@@ -1,0 +1,312 @@
+// Root benchmark harness: one bench per evaluation artifact of the paper.
+//
+//	BenchmarkFigure1               DSEARCH speedup curve (83 homogeneous donors)
+//	BenchmarkFigure2               DPRml speedup curve (50 taxa, 6 instances)
+//	BenchmarkFigure2SingleInstance the single-instance ablation (paper §3.2 prose)
+//	BenchmarkAdaptiveVsFixed       scheduling-policy ablation (paper §3.1 prose)
+//	BenchmarkChurn                 fault tolerance under donor churn (§2 design)
+//	BenchmarkBulkTransfer          RPC vs raw-socket bulk data (§2.2 design)
+//	BenchmarkDSEARCHEndToEnd       real distributed search, in-process workers
+//	BenchmarkDPRmlEndToEnd         real distributed tree build, in-process workers
+//
+// Speedup/efficiency numbers are attached to the bench output via
+// b.ReportMetric; run with -v to also print the full series as tables (the
+// text analogue of the paper's figures — same output as cmd/speedup).
+package repro
+
+import (
+	"os"
+
+	"testing"
+	"time"
+
+	"net"
+	"net/rpc"
+
+	"repro/internal/dist"
+	"repro/internal/dprml"
+	"repro/internal/dsearch"
+	"repro/internal/figures"
+	"repro/internal/likelihood"
+	"repro/internal/sched"
+	"repro/internal/seq"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func reportCurve(b *testing.B, title string, pts []simnet.SpeedupPoint) {
+	b.Helper()
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.Speedup, "speedup@max")
+	b.ReportMetric(last.Efficiency, "efficiency@max")
+	if testing.Verbose() {
+		figures.WriteTable(os.Stdout, title, pts)
+	}
+}
+
+// BenchmarkFigure1 regenerates the DSEARCH speedup series of Figure 1.
+func BenchmarkFigure1(b *testing.B) {
+	cfg := figures.DefaultFigure1()
+	var pts []simnet.SpeedupPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = figures.Figure1(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCurve(b, "Figure 1: DSEARCH speedup", pts)
+}
+
+// BenchmarkFigure2 regenerates the DPRml 6-instance speedup series of
+// Figure 2.
+func BenchmarkFigure2(b *testing.B) {
+	cfg := figures.DefaultFigure2()
+	var pts []simnet.SpeedupPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = figures.Figure2(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCurve(b, "Figure 2: DPRml speedup, 6 instances", pts)
+}
+
+// BenchmarkFigure2SingleInstance runs the ablation behind the paper's
+// remark that a single staged instance leaves clients idle.
+func BenchmarkFigure2SingleInstance(b *testing.B) {
+	cfg := figures.DefaultFigure2()
+	cfg.Instances = 1
+	var pts []simnet.SpeedupPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = figures.Figure2(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCurve(b, "Figure 2 ablation: DPRml speedup, single instance", pts)
+}
+
+// BenchmarkAdaptiveVsFixed compares unit-sizing policies on a heterogeneous
+// pool (the design choice §3.1 describes as "dynamically controlled ...
+// to match the processing abilities of the current set of donor machines").
+func BenchmarkAdaptiveVsFixed(b *testing.B) {
+	const donors, totalCost, seed = 60, 500_000, 3
+	for _, p := range []sched.Policy{
+		sched.Adaptive{Target: 30 * time.Second, Bootstrap: 1000, Min: 100},
+		sched.Fixed{Size: 20000},
+		sched.GSS{K: 1, Min: 100},
+		sched.Factoring{Min: 100},
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			var m *simnet.Metrics
+			var err error
+			for i := 0; i < b.N; i++ {
+				cfg := simnet.Config{
+					Donors:         simnet.HeterogeneousLab(donors, seed),
+					Policy:         p,
+					ServerOverhead: 3 * time.Millisecond,
+					Lease:          5 * time.Minute,
+					Seed:           seed,
+				}
+				m, err = simnet.Run(cfg, simnet.NewDivisibleWorkload(totalCost, 40, 4096))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(m.Makespan.Seconds(), "makespan-s")
+			b.ReportMetric(m.Efficiency, "efficiency")
+		})
+	}
+}
+
+// BenchmarkChurn measures the lease/reissue fault-tolerance path: a third
+// of the donors silently vanish mid-run (powered-off lab machines), and the
+// workload must still complete.
+func BenchmarkChurn(b *testing.B) {
+	const donors, totalCost, seed = 45, 150_000, 5
+	var m *simnet.Metrics
+	for i := 0; i < b.N; i++ {
+		specs := simnet.Uniform(donors, 1.0, 0.1, 2*time.Millisecond, 100e6/8)
+		for j := range specs {
+			if j%3 == 0 {
+				specs[j].LeaveAt = time.Duration(10+j) * time.Minute
+			}
+		}
+		cfg := simnet.Config{
+			Donors:         specs,
+			Policy:         sched.Adaptive{Target: 30 * time.Second, Bootstrap: 1000, Min: 100},
+			ServerOverhead: 3 * time.Millisecond,
+			Lease:          2 * time.Minute,
+			Seed:           seed,
+		}
+		var err error
+		m, err = simnet.Run(cfg, simnet.NewDivisibleWorkload(totalCost, 40, 4096))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Makespan.Seconds(), "makespan-s")
+	b.ReportMetric(float64(m.UnitsLost), "units-lost")
+}
+
+// BenchmarkDiurnal runs a multi-day workload on a lab whose machines are
+// claimed by their owners every working day (9:00-17:00) — the deployment
+// rhythm behind the paper's 3-year background-service run. Reported
+// metrics: makespan and units lost to owner arrivals.
+func BenchmarkDiurnal(b *testing.B) {
+	var m *simnet.Metrics
+	for i := 0; i < b.N; i++ {
+		cfg := simnet.Config{
+			Donors:         simnet.DiurnalLab(20, 4, 1.0, 13),
+			Policy:         sched.Adaptive{Target: 30 * time.Second, Bootstrap: 1000, Min: 100},
+			ServerOverhead: 3 * time.Millisecond,
+			Lease:          5 * time.Minute,
+			Seed:           13,
+		}
+		var err error
+		m, err = simnet.Run(cfg, simnet.NewDivisibleWorkload(1_000_000, 40, 4096))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Makespan.Hours(), "makespan-h")
+	b.ReportMetric(float64(m.UnitsLost), "units-lost")
+}
+
+// BenchmarkBulkTransfer compares shipping an 8 MiB problem blob over the
+// raw-socket bulk channel against tunnelling it through net/rpc — the
+// paper's §2.2 rationale for using ordinary sockets for data files.
+func BenchmarkBulkTransfer(b *testing.B) {
+	blob := make([]byte, 8<<20)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+
+	b.Run("socket", func(b *testing.B) {
+		bs, err := wire.NewBulkServer("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bs.Close()
+		bs.Put("blob", blob)
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := wire.FetchBlob(bs.Addr(), "blob", 30*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != len(blob) {
+				b.Fatalf("short blob: %d", len(got))
+			}
+		}
+	})
+
+	b.Run("rpc", func(b *testing.B) {
+		// Tunnel the same bytes through a real net/rpc call over TCP — the
+		// "RMI" path the paper deliberately avoids for large data files.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		srv := rpc.NewServer()
+		if err := srv.Register(&BlobService{blob: blob}); err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(conn)
+			}
+		}()
+		client, err := rpc.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var got []byte
+			if err := client.Call("BlobService.Fetch", struct{}{}, &got); err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != len(blob) {
+				b.Fatalf("short blob: %d", len(got))
+			}
+		}
+	})
+}
+
+// BlobService serves the bulk-transfer bench's blob over net/rpc.
+type BlobService struct{ blob []byte }
+
+// Fetch returns the blob.
+func (s *BlobService) Fetch(_ struct{}, out *[]byte) error {
+	*out = s.blob
+	return nil
+}
+
+// BenchmarkDSEARCHEndToEnd runs a real (non-simulated) distributed search
+// on in-process workers: FASTA partitioning, gob codecs, scheduling, hit
+// merging — everything but physical network and real donor machines.
+func BenchmarkDSEARCHEndToEnd(b *testing.B) {
+	gen := seq.NewGenerator(seq.Protein, 9)
+	w := gen.NewSearchWorkload(120, 3, 3, seq.LengthModel{Mean: 150, StdDev: 40, Min: 60, Max: 300})
+	cfg := dsearch.DefaultConfig()
+	cfg.TopK = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := dsearch.NewProblem("bench", w.DB, w.Queries, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := dist.RunLocal(p, 4, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 5000, Min: 500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dsearch.DecodeResult(out, cfg.TopK); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.DB.TotalResidues()), "db-residues")
+}
+
+// BenchmarkDPRmlEndToEnd runs a real distributed tree build on in-process
+// workers (10 taxa so a bench iteration stays around a second).
+func BenchmarkDPRmlEndToEnd(b *testing.B) {
+	taxa := make([]string, 10)
+	for i := range taxa {
+		taxa[i] = "t" + string(rune('A'+i))
+	}
+	tree, err := likelihood.RandomTree(taxa, 0.05, 0.3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := likelihood.NewHKY85(2, [4]float64{0.25, 0.25, 0.25, 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	aln, err := likelihood.Simulate(tree, model, likelihood.UniformRates(), 300, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dprml.Options{Model: "HKY85:kappa=2", LocalRounds: 1, FinalRounds: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := dprml.NewProblem("bench", aln, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dist.RunLocal(p, 4, sched.Adaptive{Target: 100 * time.Millisecond, Bootstrap: 4000, Min: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command donor runs one donor (client) process: it connects to a running
+// server, fetches work units, computes them with the algorithms compiled
+// into this binary (DSEARCH and DPRml are registered), and returns results.
+// Run it as a low-priority background service on any machine with spare
+// cycles — the paper deployed it on ~200 lab PCs and cluster nodes.
+//
+// Usage:
+//
+//	donor -server host:7070 [-name lab-pc-17] [-throttle 50ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/dist"
+
+	// Register the bioinformatics algorithms in this donor binary.
+	_ "repro/internal/dprml"
+	_ "repro/internal/dsearch"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "127.0.0.1:7070", "server RPC address")
+		name     = flag.String("name", hostnameOr("donor"), "donor display name")
+		throttle = flag.Duration("throttle", 0, "pause between units (be a polite background service)")
+	)
+	flag.Parse()
+
+	client, err := dist.Dial(*server, 30*time.Second)
+	if err != nil {
+		log.Fatalf("donor: %v", err)
+	}
+	defer client.Close()
+
+	d := dist.NewDonor(client, dist.DonorOptions{
+		Name:     *name,
+		Throttle: *throttle,
+		Logf:     log.Printf,
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Printf("donor: interrupt — finishing current unit")
+		d.Stop()
+	}()
+
+	log.Printf("donor %q connecting to %s (algorithms: %v)", *name, *server, dist.RegisteredAlgorithms())
+	if err := d.Run(); err != nil {
+		log.Fatalf("donor: %v", err)
+	}
+	fmt.Printf("donor %q processed %d units\n", *name, d.Units())
+}
+
+func hostnameOr(def string) string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return def
+	}
+	return h
+}

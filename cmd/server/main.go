@@ -1,0 +1,178 @@
+// Command server runs the distributed system's coordinating node and
+// submits one problem to it, then waits for donors to complete the work and
+// prints the result. The two bioinformatics applications of the paper are
+// built in; pick one with -app.
+//
+// DSEARCH:
+//
+//	server -app dsearch -db db.fasta -queries q.fasta [-config dsearch.conf]
+//
+// DPRml:
+//
+//	server -app dprml -alignment aln.fasta [-model HKY85:kappa=2] [-gamma 4 -alpha 0.5]
+//
+// Donors then connect with:  donor -server <host>:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dprml"
+	"repro/internal/dsearch"
+	"repro/internal/sched"
+	"repro/internal/seq"
+)
+
+func main() {
+	var (
+		rpcAddr  = flag.String("rpc", ":7070", "control (RPC) listen address")
+		bulkAddr = flag.String("bulk", ":7071", "bulk data listen address")
+		policy   = flag.String("policy", "adaptive:5s", "scheduling policy (fixed:N | adaptive:DUR | gss[:k] | factoring)")
+		lease    = flag.Duration("lease", 2*time.Minute, "work unit reissue timeout")
+		app      = flag.String("app", "", "application: dsearch | dprml")
+
+		// DSEARCH flags
+		dbPath    = flag.String("db", "", "dsearch: FASTA database")
+		queryPath = flag.String("queries", "", "dsearch: FASTA query set")
+		confPath  = flag.String("config", "", "dsearch: configuration file")
+
+		// DPRml flags
+		alnPath = flag.String("alignment", "", "dprml: FASTA alignment")
+		model   = flag.String("model", "HKY85:kappa=2", "dprml: substitution model spec")
+		gamma   = flag.Int("gamma", 1, "dprml: discrete gamma categories")
+		alpha   = flag.Float64("alpha", 0.5, "dprml: gamma shape")
+	)
+	flag.Parse()
+
+	pol, err := sched.ByName(*policy)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	ns, err := dist.ListenAndServe(*rpcAddr, *bulkAddr, dist.ServerOptions{
+		Policy: pol,
+		Lease:  *lease,
+	})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	defer ns.Close()
+	log.Printf("server: control on %s, bulk data on %s, policy %s", ns.RPCAddr(), ns.BulkAddr(), pol.Name())
+
+	var problem *dist.Problem
+	switch *app {
+	case "dsearch":
+		problem, err = buildDSearch(*dbPath, *queryPath, *confPath)
+	case "dprml":
+		problem, err = buildDPRml(*alnPath, *model, *gamma, *alpha)
+	default:
+		log.Fatalf("server: -app must be dsearch or dprml")
+	}
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	if err := ns.Submit(problem); err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	log.Printf("server: problem %q submitted — waiting for donors", problem.ID)
+
+	start := time.Now()
+	stopProgress := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(10 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopProgress:
+				return
+			case <-ticker.C:
+				st, err := ns.Status(problem.ID)
+				if err != nil {
+					return
+				}
+				if st.AppTotal > 0 {
+					log.Printf("server: progress %d/%d, %d units done (%d in flight, %d reissued, %d donors)",
+						st.AppDone, st.AppTotal, st.Completed, st.Inflight, st.Reissued, ns.DonorCount())
+				} else {
+					log.Printf("server: %d units done (%d in flight, %d reissued, %d donors)",
+						st.Completed, st.Inflight, st.Reissued, ns.DonorCount())
+				}
+			}
+		}
+	}()
+	out, err := ns.Wait(problem.ID)
+	close(stopProgress)
+	if err != nil {
+		log.Fatalf("server: problem failed: %v", err)
+	}
+	elapsed := time.Since(start)
+	dispatched, completed, reissued, _ := ns.Stats(problem.ID)
+	log.Printf("server: done in %s (%d units dispatched, %d completed, %d reissued, %d donors)",
+		elapsed.Round(time.Millisecond), dispatched, completed, reissued, ns.DonorCount())
+
+	switch *app {
+	case "dsearch":
+		hits, err := dsearch.DecodeResult(out, 1<<30)
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		fmt.Print(hits.Report())
+	case "dprml":
+		res, err := dprml.DecodeResult(out)
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		fmt.Print(res.String())
+	}
+}
+
+func buildDSearch(dbPath, queryPath, confPath string) (*dist.Problem, error) {
+	if dbPath == "" || queryPath == "" {
+		return nil, fmt.Errorf("dsearch needs -db and -queries")
+	}
+	db, err := seq.ReadFASTAFile(dbPath)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := seq.ReadFASTAFile(queryPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dsearch.DefaultConfig()
+	if confPath != "" {
+		f, err := os.Open(confPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cfg, err = dsearch.ParseConfig(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dsearch.NewProblem("dsearch", db, queries, cfg)
+}
+
+func buildDPRml(alnPath, model string, gamma int, alpha float64) (*dist.Problem, error) {
+	if alnPath == "" {
+		return nil, fmt.Errorf("dprml needs -alignment")
+	}
+	f, err := os.Open(alnPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	aln, err := seq.ReadAlignmentFASTA(f)
+	if err != nil {
+		return nil, err
+	}
+	return dprml.NewProblem("dprml", aln, dprml.Options{
+		Model:           model,
+		GammaCategories: gamma,
+		GammaAlpha:      alpha,
+	})
+}

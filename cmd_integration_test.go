@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// TestServerDonorBinaries is the full multi-process deployment test: it
+// builds the real cmd/server and cmd/donor binaries, starts one server and
+// two donor processes on loopback (control over net/rpc, bulk data over a
+// raw socket), runs a DSEARCH problem end to end, and checks the report.
+func TestServerDonorBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	// Synthetic database and queries on disk, as a user would provide.
+	gen := seq.NewGenerator(seq.Protein, 77)
+	w := gen.NewSearchWorkload(60, 2, 3, seq.LengthModel{Mean: 120, StdDev: 30, Min: 60, Max: 200})
+	dbPath := filepath.Join(dir, "db.fasta")
+	qPath := filepath.Join(dir, "q.fasta")
+	if err := seq.WriteFASTAFile(dbPath, w.DB); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteFASTAFile(qPath, w.Queries); err != nil {
+		t.Fatal(err)
+	}
+
+	serverBin := filepath.Join(dir, "server")
+	donorBin := filepath.Join(dir, "donor")
+	for _, b := range []struct{ out, pkg string }{
+		{serverBin, "./cmd/server"},
+		{donorBin, "./cmd/donor"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	rpcAddr := freeAddr(t)
+	bulkAddr := freeAddr(t)
+
+	var serverOut bytes.Buffer
+	server := exec.Command(serverBin,
+		"-app", "dsearch", "-db", dbPath, "-queries", qPath,
+		"-rpc", rpcAddr, "-bulk", bulkAddr, "-policy", "adaptive:200ms")
+	server.Stdout = &serverOut
+	server.Stderr = &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- server.Wait() }()
+	defer func() { _ = server.Process.Kill() }()
+
+	// Give the listeners a moment, then attach two donors.
+	waitForListener(t, rpcAddr)
+	var donors []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		d := exec.Command(donorBin, "-server", rpcAddr, "-name", fmt.Sprintf("it-donor-%d", i))
+		d.Stdout = os.Stderr
+		d.Stderr = os.Stderr
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		donors = append(donors, d)
+	}
+	defer func() {
+		for _, d := range donors {
+			_ = d.Process.Kill()
+			_ = d.Wait()
+		}
+	}()
+
+	select {
+	case err := <-serverDone:
+		if err != nil {
+			t.Fatalf("server exited with error: %v\n%s", err, serverOut.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("server did not finish in 90s; output so far:\n%s", serverOut.String())
+	}
+
+	out := serverOut.String()
+	if !strings.Contains(out, "QUERY") {
+		t.Errorf("server output lacks hit report:\n%s", out)
+	}
+	for q, members := range w.Planted {
+		if !strings.Contains(out, q) {
+			t.Errorf("report missing query %s", q)
+		}
+		if !strings.Contains(out, members[0]) {
+			t.Errorf("report missing planted homolog %s for %s", members[0], q)
+		}
+	}
+}
+
+// freeAddr reserves a loopback port and returns host:port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitForListener polls until the server's RPC port accepts connections.
+func waitForListener(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("server never listened on %s", addr)
+}

@@ -1,0 +1,70 @@
+// Adaptive-scheduling example: why the paper's server sizes work units to
+// each donor's measured throughput. A heterogeneous donor pool (Pentium II
+// desktops through cluster nodes, as in the paper's deployment) processes
+// the same DSEARCH-shaped workload under four scheduling policies on the
+// discrete-event simulator, and the makespans are compared.
+//
+// Run:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/simnet"
+)
+
+func main() {
+	const (
+		donors    = 40
+		totalCost = 200_000 // ~1.4 donor-days at speed 1
+		seed      = 11
+	)
+	policies := []sched.Policy{
+		sched.Adaptive{Target: 30 * time.Second, Bootstrap: 1000, Min: 100},
+		sched.Fixed{Size: 500},   // too small: dispatch overhead dominates
+		sched.Fixed{Size: 20000}, // too large: stragglers at the tail
+		sched.GSS{K: 1, Min: 100},
+		sched.Factoring{Min: 100},
+	}
+
+	type row struct {
+		name     string
+		makespan time.Duration
+		eff      float64
+		units    int64
+	}
+	var rows []row
+	for _, p := range policies {
+		cfg := simnet.Config{
+			Donors:         simnet.HeterogeneousLab(donors, seed),
+			Policy:         p,
+			ServerOverhead: 3 * time.Millisecond,
+			Lease:          5 * time.Minute,
+			Seed:           seed,
+		}
+		m, err := simnet.Run(cfg, simnet.NewDivisibleWorkload(totalCost, 40, 4096))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{p.Name(), m.Makespan, m.Efficiency, m.UnitsDispatched})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].makespan < rows[j].makespan })
+
+	fmt.Printf("%d heterogeneous donors (P-II desktops ... cluster nodes), total cost %d\n\n", donors, totalCost)
+	fmt.Printf("%-16s %14s %12s %8s\n", "policy", "makespan", "efficiency", "units")
+	best := rows[0].makespan.Seconds()
+	for _, r := range rows {
+		fmt.Printf("%-16s %14s %11.3f %8d   (%.2fx best)\n",
+			r.name, r.makespan.Round(time.Second), r.eff, r.units, r.makespan.Seconds()/best)
+	}
+	fmt.Println("\nThe adaptive policy hands slow Pentium IIs small units and fast")
+	fmt.Println("cluster nodes large ones, so all donors finish together and neither")
+	fmt.Println("dispatch overhead (tiny fixed units) nor the straggler tail (huge")
+	fmt.Println("fixed units) dominates — the paper's §3.1 'dynamically sized units'.")
+}

@@ -1,0 +1,73 @@
+// Deployment example: what the paper's 3-year background-service run looks
+// like day to day. A laboratory of donor machines is simulated over a work
+// week — owners claim their machines every morning (in-flight units are
+// lost and reissued after the lease), the pool recovers every evening —
+// and the same workload is compared against an always-on pool and a pool
+// with permanent churn.
+//
+// Run:
+//
+//	go run ./examples/deployment
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/simnet"
+)
+
+func main() {
+	const (
+		nDonors   = 25
+		days      = 5
+		totalCost = 800_000 // ~9 donor-days of compute at speed 1
+		seed      = 17
+	)
+	base := simnet.Config{
+		Policy:         sched.Adaptive{Target: 30 * time.Second, Bootstrap: 1000, Min: 100},
+		ServerOverhead: 3 * time.Millisecond,
+		Lease:          5 * time.Minute,
+		Seed:           seed,
+	}
+
+	type scenario struct {
+		name   string
+		donors []simnet.DonorSpec
+	}
+	scenarios := []scenario{
+		{"always-on lab", simnet.Uniform(nDonors, 1.0, 0.05, 2*time.Millisecond, 100e6/8)},
+		{"diurnal lab (owners 9-17h)", simnet.DiurnalLab(nDonors, days, 1.0, seed)},
+	}
+	// Permanent churn: a third of the machines power off for good mid-run.
+	churned := simnet.Uniform(nDonors, 1.0, 0.05, 2*time.Millisecond, 100e6/8)
+	for i := range churned {
+		if i%3 == 0 {
+			churned[i].LeaveAt = time.Duration(2+i) * time.Hour
+		}
+	}
+	scenarios = append(scenarios, scenario{"churning lab (1/3 power off)", churned})
+
+	fmt.Printf("%d donors, %d cost units (~%d donor-days), adaptive scheduling\n\n",
+		nDonors, totalCost, totalCost/(86400))
+	fmt.Printf("%-30s %12s %10s %10s %8s\n", "scenario", "makespan", "units", "lost", "effcy")
+	for _, sc := range scenarios {
+		cfg := base
+		cfg.Donors = sc.donors
+		m, err := simnet.Run(cfg, simnet.NewDivisibleWorkload(totalCost, 40, 4096))
+		if err != nil {
+			log.Fatalf("%s: %v", sc.name, err)
+		}
+		fmt.Printf("%-30s %12s %10d %10d %8.3f\n",
+			sc.name, m.Makespan.Round(time.Minute), m.UnitsCompleted, m.UnitsLost, m.Efficiency)
+	}
+
+	fmt.Println(`
+Every lost unit was recovered by the server's lease/reissue fault
+tolerance — the property that let the paper's system run for 3 years on
+~200 machines nobody administered for it. The diurnal pool pays roughly
+the owners' duty cycle in makespan; efficiency is computed against
+wall-clock donor-hours, so offline time counts against it.`)
+}

@@ -1,0 +1,153 @@
+// Quickstart: implement the system's two extension points — a DataManager
+// (server side) and an Algorithm (client side) — for a trivially
+// parallelisable problem, and run it on in-process workers.
+//
+// The problem here is Monte-Carlo estimation of pi: the DataManager
+// partitions a total sample count into work units, donors count the darts
+// that land inside the unit circle, and the DataManager folds the counts
+// back together. This mirrors the paper's §2.1: "The user is required to
+// extend two classes to create a Problem to run on the system."
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// piUnit is one work unit's payload: how many darts to throw, and the seed
+// that makes the run reproducible.
+type piUnit struct {
+	Samples int64
+	Seed    int64
+}
+
+// piResult is a unit's output.
+type piResult struct {
+	Inside int64
+}
+
+// piManager is the server-side half: it partitions TotalSamples into units
+// whose size follows the scheduler's per-donor budget, and accumulates the
+// inside-circle counts.
+type piManager struct {
+	TotalSamples int64
+
+	dispatched int64
+	completed  int64
+	inside     int64
+	seq        int64
+	inflight   map[int64]int64 // unitID -> samples
+}
+
+func newPiManager(total int64) *piManager {
+	return &piManager{TotalSamples: total, inflight: make(map[int64]int64)}
+}
+
+// NextUnit implements core.DataManager. The budget is in cost units; we
+// declare 1 cost unit = 1000 samples so the adaptive policy's throughput
+// accounting has reasonable magnitudes.
+func (m *piManager) NextUnit(budget int64) (*core.Unit, bool, error) {
+	left := m.TotalSamples - m.dispatched
+	if left <= 0 {
+		return nil, false, nil
+	}
+	samples := budget * 1000
+	if samples < 1000 {
+		samples = 1000
+	}
+	if samples > left {
+		samples = left
+	}
+	m.seq++
+	payload, err := core.Marshal(piUnit{Samples: samples, Seed: m.seq})
+	if err != nil {
+		return nil, false, err
+	}
+	m.dispatched += samples
+	m.inflight[m.seq] = samples
+	return &core.Unit{
+		ID:        m.seq,
+		Algorithm: "quickstart/pi",
+		Payload:   payload,
+		Cost:      samples / 1000,
+	}, true, nil
+}
+
+// Consume implements core.DataManager.
+func (m *piManager) Consume(unitID int64, payload []byte) error {
+	samples, ok := m.inflight[unitID]
+	if !ok {
+		return fmt.Errorf("pi: result for unknown unit %d", unitID)
+	}
+	delete(m.inflight, unitID)
+	var res piResult
+	if err := core.Unmarshal(payload, &res); err != nil {
+		return err
+	}
+	m.inside += res.Inside
+	m.completed += samples
+	return nil
+}
+
+// Done implements core.DataManager.
+func (m *piManager) Done() bool { return m.completed >= m.TotalSamples }
+
+// FinalResult implements core.DataManager.
+func (m *piManager) FinalResult() ([]byte, error) {
+	return core.Marshal(4 * float64(m.inside) / float64(m.completed))
+}
+
+// RemainingCost lets remaining-aware policies (GSS, factoring) size units.
+func (m *piManager) RemainingCost() int64 { return (m.TotalSamples - m.completed) / 1000 }
+
+// piAlgorithm is the client-side half: throw darts.
+type piAlgorithm struct{}
+
+// Init implements core.Algorithm (this problem has no shared data).
+func (piAlgorithm) Init(shared []byte) error { return nil }
+
+// Process implements core.Algorithm.
+func (piAlgorithm) Process(payload []byte) ([]byte, error) {
+	var u piUnit
+	if err := core.Unmarshal(payload, &u); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(u.Seed))
+	var inside int64
+	for i := int64(0); i < u.Samples; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1 {
+			inside++
+		}
+	}
+	return core.Marshal(piResult{Inside: inside})
+}
+
+func main() {
+	// Donor binaries know algorithms by name (the Go substitute for Java's
+	// runtime class shipping — see DESIGN.md).
+	core.RegisterAlgorithm("quickstart/pi", func() core.Algorithm { return piAlgorithm{} })
+
+	const totalSamples = 50_000_000
+	problem := &core.Problem{ID: "pi", DM: newPiManager(totalSamples)}
+
+	start := time.Now()
+	out, err := core.RunLocal(problem, 8, core.Adaptive(100*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pi float64
+	if err := core.Unmarshal(out, &pi); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pi ≈ %.6f  (%d samples, 8 workers, %s)\n",
+		pi, int64(totalSamples), time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and executes every example program, asserting it
+// exits cleanly and prints its key result line — the examples are part of
+// the public API surface and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution skipped in -short mode")
+	}
+	cases := []struct {
+		pkg  string
+		want []string // substrings the output must contain
+	}{
+		{"./examples/quickstart", []string{"pi ≈ 3.14"}},
+		{"./examples/keysearch", []string{"recovered key 0x9a5b17"}},
+		{"./examples/adaptive", []string{"adaptive(30s)", "policy"}},
+		{"./examples/deployment", []string{"always-on lab", "diurnal lab"}},
+		{"./examples/dsearch", []string{"recovered 4/4 planted homologs", "match the sequential reference"}},
+		{"./examples/dprml", []string{"Robinson-Foulds distance to truth 0"}},
+	}
+	dir := t.TempDir()
+	for _, c := range cases {
+		c := c
+		name := filepath.Base(c.pkg)
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(dir, name)
+			build := exec.Command("go", "build", "-o", bin, c.pkg)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example did not finish in 120s")
+			}
+			if runErr != nil {
+				t.Fatalf("run: %v\n%s", runErr, out)
+			}
+			for _, w := range c.want {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}

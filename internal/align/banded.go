@@ -1,0 +1,167 @@
+package align
+
+// Banded global alignment: the affine-gap Needleman–Wunsch recurrence
+// restricted to the diagonal band |i - j| <= band. This is the practical
+// fast built-in standing in for the subquadratic method of Crochemore et
+// al. (2003) cited by the paper; it is exact whenever the optimal path stays
+// inside the band (always true for band >= max(la, lb)).
+
+type bandedAligner struct {
+	p    Params
+	band int
+}
+
+func (ba *bandedAligner) Name() string { return AlgBanded }
+
+func (ba *bandedAligner) bandwidth(la, lb int) int {
+	b := ba.band
+	if b <= 0 {
+		d := la - lb
+		if d < 0 {
+			d = -d
+		}
+		b = d + 16
+		if b < 32 {
+			b = 32
+		}
+	}
+	// The band must at least cover the length difference or no global path
+	// exists inside it.
+	d := la - lb
+	if d < 0 {
+		d = -d
+	}
+	if b < d+1 {
+		b = d + 1
+	}
+	return b
+}
+
+// Score computes the banded global alignment score with rolling rows.
+// Cells outside the band are -infinity.
+func (ba *bandedAligner) Score(a, b []byte) int {
+	gapO, gapE := ba.p.Gap.Open, ba.p.Gap.Extend
+	mat := ba.p.Matrix
+	la, lb := len(a), len(b)
+	band := ba.bandwidth(la, lb)
+
+	M := make([]int, lb+1)
+	X := make([]int, lb+1)
+	Y := make([]int, lb+1)
+	prevM := make([]int, lb+1)
+	prevX := make([]int, lb+1)
+	prevY := make([]int, lb+1)
+
+	for j := 0; j <= lb; j++ {
+		M[j], X[j], Y[j] = negInf, negInf, negInf
+	}
+	M[0] = 0
+	for j := 1; j <= lb && j <= band; j++ {
+		Y[j] = -gapO - j*gapE
+	}
+	for i := 1; i <= la; i++ {
+		copy(prevM, M)
+		copy(prevX, X)
+		copy(prevY, Y)
+		lo := i - band
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + band
+		if hi > lb {
+			hi = lb
+		}
+		// Reset the band slice of this row. Cells outside [lo,hi] are never
+		// read at this row because all reads below are band-guarded.
+		for j := lo; j <= hi; j++ {
+			M[j], X[j], Y[j] = negInf, negInf, negInf
+		}
+		if lo == 0 {
+			X[0] = -gapO - i*gapE
+		}
+		ai := a[i-1]
+		prevLo, prevHi := i-1-band, i-1+band
+		for j := max2(lo, 1); j <= hi; j++ {
+			sub := mat.Score(ai, b[j-1])
+			if j-1 >= prevLo && j-1 <= prevHi {
+				M[j] = safeAdd(max3(prevM[j-1], prevX[j-1], prevY[j-1]), sub)
+			}
+			if j >= prevLo && j <= prevHi {
+				X[j] = max3(
+					safeSub(prevM[j], gapO+gapE),
+					safeSub(prevX[j], gapE),
+					safeSub(prevY[j], gapO+gapE),
+				)
+			}
+			if j-1 >= lo {
+				Y[j] = max3(
+					safeSub(M[j-1], gapO+gapE),
+					safeSub(Y[j-1], gapE),
+					safeSub(X[j-1], gapO+gapE),
+				)
+			}
+		}
+	}
+	return max3(M[lb], X[lb], Y[lb])
+}
+
+// Align runs the banded recurrence with full traceback matrices (O(la*lb)
+// storage for simplicity; the band saves compute, not memory) and shares the
+// global traceback with the NW aligner — out-of-band cells stay -infinity.
+func (ba *bandedAligner) Align(a, b []byte) *Result {
+	la, lb := len(a), len(b)
+	band := ba.bandwidth(la, lb)
+	gapO, gapE := ba.p.Gap.Open, ba.p.Gap.Extend
+	mat := ba.p.Matrix
+	w := lb + 1
+	M := make([]int, (la+1)*w)
+	X := make([]int, (la+1)*w)
+	Y := make([]int, (la+1)*w)
+	for k := range M {
+		M[k], X[k], Y[k] = negInf, negInf, negInf
+	}
+	M[0] = 0
+	for j := 1; j <= lb && j <= band; j++ {
+		Y[j] = -gapO - j*gapE
+	}
+	for i := 1; i <= la; i++ {
+		if i <= band {
+			X[i*w] = -gapO - i*gapE
+		}
+		ai := a[i-1]
+		lo := max2(1, i-band)
+		hi := lb
+		if i+band < hi {
+			hi = i + band
+		}
+		for j := lo; j <= hi; j++ {
+			sub := mat.Score(ai, b[j-1])
+			p := (i-1)*w + (j - 1)
+			M[i*w+j] = safeAdd(max3(M[p], X[p], Y[p]), sub)
+			up := (i-1)*w + j
+			X[i*w+j] = max3(
+				safeSub(M[up], gapO+gapE),
+				safeSub(X[up], gapE),
+				safeSub(Y[up], gapO+gapE),
+			)
+			left := i*w + (j - 1)
+			Y[i*w+j] = max3(
+				safeSub(M[left], gapO+gapE),
+				safeSub(Y[left], gapE),
+				safeSub(X[left], gapO+gapE),
+			)
+		}
+	}
+	ops, score := tracebackGlobal(a, b, M, X, Y, w, gapO, gapE, mat)
+	alignedA, alignedB := emit(a, b, 0, 0, ops)
+	return &Result{Score: score, AlignedA: alignedA, AlignedB: alignedB,
+		StartA: 0, EndA: la, StartB: 0, EndB: lb}
+}
+
+// safeSub subtracts but keeps -infinity absorbing.
+func safeSub(v, d int) int {
+	if v <= negInf/2 {
+		return negInf
+	}
+	return v - d
+}

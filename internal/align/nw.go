@@ -1,0 +1,242 @@
+package align
+
+// Needleman–Wunsch global alignment with affine gap penalties (Gotoh's
+// three-matrix formulation, full transition set). M[i][j] is the best score
+// of an alignment of a[:i] and b[:j] ending in a substitution column; X ends
+// in a gap in b (consuming a[i-1]); Y ends in a gap in a (consuming b[j-1]).
+// All transitions between states are allowed; entering X or Y from any other
+// state pays the gap-open penalty.
+
+type nwAligner struct{ p Params }
+
+func (n *nwAligner) Name() string { return AlgNeedlemanWunsch }
+
+// Score computes the global alignment score in O(lb) memory (rolling rows).
+func (n *nwAligner) Score(a, b []byte) int {
+	gapO, gapE := n.p.Gap.Open, n.p.Gap.Extend
+	m := n.p.Matrix
+	la, lb := len(a), len(b)
+	M := make([]int, lb+1)
+	X := make([]int, lb+1) // gap in b (vertical move)
+	Y := make([]int, lb+1) // gap in a (horizontal move)
+	prevM := make([]int, lb+1)
+	prevX := make([]int, lb+1)
+	prevY := make([]int, lb+1)
+
+	M[0] = 0
+	X[0], Y[0] = negInf, negInf
+	for j := 1; j <= lb; j++ {
+		Y[j] = -gapO - j*gapE
+		M[j], X[j] = negInf, negInf
+	}
+	for i := 1; i <= la; i++ {
+		copy(prevM, M)
+		copy(prevX, X)
+		copy(prevY, Y)
+		M[0], Y[0] = negInf, negInf
+		X[0] = -gapO - i*gapE
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := m.Score(ai, b[j-1])
+			M[j] = safeAdd(max3(prevM[j-1], prevX[j-1], prevY[j-1]), sub)
+			X[j] = max3(
+				safeSub(prevM[j], gapO+gapE),
+				safeSub(prevX[j], gapE),
+				safeSub(prevY[j], gapO+gapE),
+			)
+			Y[j] = max3(
+				safeSub(M[j-1], gapO+gapE),
+				safeSub(Y[j-1], gapE),
+				safeSub(X[j-1], gapO+gapE),
+			)
+		}
+	}
+	return max3(M[lb], X[lb], Y[lb])
+}
+
+// safeAdd adds but keeps -infinity absorbing.
+func safeAdd(v, d int) int {
+	if v <= negInf/2 {
+		return negInf
+	}
+	return v + d
+}
+
+// traceback op codes
+const (
+	opSub  byte = 'S' // consume one residue of each
+	opGapB byte = 'D' // consume a[i-1], gap in b
+	opGapA byte = 'I' // consume b[j-1], gap in a
+)
+
+// Align computes the full alignment with O(la*lb) traceback matrices.
+func (n *nwAligner) Align(a, b []byte) *Result {
+	gapO, gapE := n.p.Gap.Open, n.p.Gap.Extend
+	mat := n.p.Matrix
+	la, lb := len(a), len(b)
+	w := lb + 1
+	M := make([]int, (la+1)*w)
+	X := make([]int, (la+1)*w)
+	Y := make([]int, (la+1)*w)
+	for k := range M {
+		M[k], X[k], Y[k] = negInf, negInf, negInf
+	}
+	M[0] = 0
+	for j := 1; j <= lb; j++ {
+		Y[j] = -gapO - j*gapE
+	}
+	for i := 1; i <= la; i++ {
+		X[i*w] = -gapO - i*gapE
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := mat.Score(ai, b[j-1])
+			p := (i-1)*w + (j - 1)
+			M[i*w+j] = safeAdd(max3(M[p], X[p], Y[p]), sub)
+			up := (i-1)*w + j
+			X[i*w+j] = max3(
+				safeSub(M[up], gapO+gapE),
+				safeSub(X[up], gapE),
+				safeSub(Y[up], gapO+gapE),
+			)
+			left := i*w + (j - 1)
+			Y[i*w+j] = max3(
+				safeSub(M[left], gapO+gapE),
+				safeSub(Y[left], gapE),
+				safeSub(X[left], gapO+gapE),
+			)
+		}
+	}
+	ops, score := tracebackGlobal(a, b, M, X, Y, w, gapO, gapE, n.p.Matrix)
+	alignedA, alignedB := emit(a, b, 0, 0, ops)
+	return &Result{
+		Score:    score,
+		AlignedA: alignedA, AlignedB: alignedB,
+		StartA: 0, EndA: la, StartB: 0, EndB: lb,
+	}
+}
+
+// tracebackGlobal walks the three matrices back from (la, lb) and returns
+// the op list (in forward order) and the optimal score. Shared by the NW and
+// banded aligners — for banded matrices, out-of-band cells are -infinity so
+// the walk naturally stays inside the band.
+func tracebackGlobal(a, b []byte, M, X, Y []int, w, gapO, gapE int, mat interface{ Score(x, y byte) int }) ([]byte, int) {
+	la, lb := len(a), len(b)
+	i, j := la, lb
+	state := stateOfMax(M[i*w+j], X[i*w+j], Y[i*w+j])
+	score := maxOfState(state, M[i*w+j], X[i*w+j], Y[i*w+j])
+	var ops []byte
+	for i > 0 || j > 0 {
+		switch state {
+		case 'M':
+			if i == 0 {
+				state = 'Y'
+				continue
+			}
+			if j == 0 {
+				state = 'X'
+				continue
+			}
+			ops = append(ops, opSub)
+			sub := mat.Score(a[i-1], b[j-1])
+			p := (i-1)*w + (j - 1)
+			cur := M[i*w+j]
+			switch {
+			case cur == safeAdd(M[p], sub):
+				state = 'M'
+			case cur == safeAdd(X[p], sub):
+				state = 'X'
+			default:
+				state = 'Y'
+			}
+			i, j = i-1, j-1
+		case 'X':
+			if i == 0 {
+				state = 'Y'
+				continue
+			}
+			ops = append(ops, opGapB)
+			up := (i-1)*w + j
+			cur := X[i*w+j]
+			switch {
+			case cur == safeSub(X[up], gapE):
+				state = 'X'
+			case cur == safeSub(M[up], gapO+gapE):
+				state = 'M'
+			default:
+				state = 'Y'
+			}
+			i--
+		case 'Y':
+			if j == 0 {
+				state = 'X'
+				continue
+			}
+			ops = append(ops, opGapA)
+			left := i*w + (j - 1)
+			cur := Y[i*w+j]
+			switch {
+			case cur == safeSub(Y[left], gapE):
+				state = 'Y'
+			case cur == safeSub(M[left], gapO+gapE):
+				state = 'M'
+			default:
+				state = 'X'
+			}
+			j--
+		}
+	}
+	return reverseOps(ops), score
+}
+
+func stateOfMax(m, x, y int) byte {
+	if m >= x && m >= y {
+		return 'M'
+	}
+	if x >= y {
+		return 'X'
+	}
+	return 'Y'
+}
+
+func maxOfState(s byte, m, x, y int) int {
+	switch s {
+	case 'M':
+		return m
+	case 'X':
+		return x
+	default:
+		return y
+	}
+}
+
+func reverseOps(ops []byte) []byte {
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	return ops
+}
+
+// emit materialises aligned strings from an op list, starting at offsets
+// (ia, ib) into a and b.
+func emit(a, b []byte, ia, ib int, ops []byte) (alignedA, alignedB []byte) {
+	alignedA = make([]byte, 0, len(ops))
+	alignedB = make([]byte, 0, len(ops))
+	for _, op := range ops {
+		switch op {
+		case opSub:
+			alignedA = append(alignedA, a[ia])
+			alignedB = append(alignedB, b[ib])
+			ia++
+			ib++
+		case opGapB:
+			alignedA = append(alignedA, a[ia])
+			alignedB = append(alignedB, '-')
+			ia++
+		case opGapA:
+			alignedA = append(alignedA, '-')
+			alignedB = append(alignedB, b[ib])
+			ib++
+		}
+	}
+	return alignedA, alignedB
+}

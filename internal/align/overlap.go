@@ -1,0 +1,173 @@
+package align
+
+// Semi-global ("overlap", query-global/subject-local) alignment: the whole
+// query must be aligned, but gaps that skip a prefix or suffix of the
+// subject are free. This is the natural mode for database search when the
+// query is expected to be contained in longer subject sequences — DSEARCH's
+// third built-in algorithm class alongside global NW and local SW.
+//
+// Conventions follow nw.go: a is the query (fully consumed), b is the
+// subject (free flanks); affine gaps via Gotoh's three matrices.
+
+type overlapAligner struct{ p Params }
+
+func (o *overlapAligner) Name() string { return AlgOverlap }
+
+// Score computes the best semi-global score in O(lb) memory.
+func (o *overlapAligner) Score(a, b []byte) int {
+	gapO, gapE := o.p.Gap.Open, o.p.Gap.Extend
+	m := o.p.Matrix
+	la, lb := len(a), len(b)
+	M := make([]int, lb+1)
+	X := make([]int, lb+1)
+	Y := make([]int, lb+1)
+	prevM := make([]int, lb+1)
+	prevX := make([]int, lb+1)
+	prevY := make([]int, lb+1)
+
+	// Row 0: skipping any subject prefix is free.
+	M[0] = 0
+	X[0], Y[0] = negInf, negInf
+	for j := 1; j <= lb; j++ {
+		M[j], X[j] = negInf, negInf
+		Y[j] = 0
+	}
+	for i := 1; i <= la; i++ {
+		copy(prevM, M)
+		copy(prevX, X)
+		copy(prevY, Y)
+		M[0], Y[0] = negInf, negInf
+		X[0] = -gapO - i*gapE // skipping query residues is NOT free
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := m.Score(ai, b[j-1])
+			M[j] = safeAdd(max3(prevM[j-1], prevX[j-1], prevY[j-1]), sub)
+			X[j] = max3(
+				safeSub(prevM[j], gapO+gapE),
+				safeSub(prevX[j], gapE),
+				safeSub(prevY[j], gapO+gapE),
+			)
+			Y[j] = max3(
+				safeSub(M[j-1], gapO+gapE),
+				safeSub(Y[j-1], gapE),
+				safeSub(X[j-1], gapO+gapE),
+			)
+		}
+	}
+	// Skipping any subject suffix is free: best over the last row.
+	best := negInf
+	for j := 0; j <= lb; j++ {
+		best = max3(best, M[j], X[j])
+	}
+	return best
+}
+
+// Align computes the semi-global alignment with traceback. The Result's
+// StartB/EndB mark the subject region the query aligned to; AlignedA/B
+// cover only that region (flanks are implicit).
+func (o *overlapAligner) Align(a, b []byte) *Result {
+	gapO, gapE := o.p.Gap.Open, o.p.Gap.Extend
+	mat := o.p.Matrix
+	la, lb := len(a), len(b)
+	w := lb + 1
+	M := make([]int, (la+1)*w)
+	X := make([]int, (la+1)*w)
+	Y := make([]int, (la+1)*w)
+	for k := range M {
+		M[k], X[k], Y[k] = negInf, negInf, negInf
+	}
+	M[0] = 0
+	for j := 1; j <= lb; j++ {
+		Y[j] = 0 // free subject prefix, tracked in Y so the walk knows
+	}
+	for i := 1; i <= la; i++ {
+		X[i*w] = -gapO - i*gapE
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := mat.Score(ai, b[j-1])
+			p := (i-1)*w + (j - 1)
+			M[i*w+j] = safeAdd(max3(M[p], X[p], Y[p]), sub)
+			up := (i-1)*w + j
+			X[i*w+j] = max3(
+				safeSub(M[up], gapO+gapE),
+				safeSub(X[up], gapE),
+				safeSub(Y[up], gapO+gapE),
+			)
+			left := i*w + (j - 1)
+			Y[i*w+j] = max3(
+				safeSub(M[left], gapO+gapE),
+				safeSub(Y[left], gapE),
+				safeSub(X[left], gapO+gapE),
+			)
+		}
+	}
+	// End cell: best of the last row over M and X.
+	endJ, best, state := 0, negInf, byte('M')
+	for j := 0; j <= lb; j++ {
+		if v := M[la*w+j]; v > best {
+			best, endJ, state = v, j, 'M'
+		}
+		if v := X[la*w+j]; v > best {
+			best, endJ, state = v, j, 'X'
+		}
+	}
+
+	// Walk back from (la, endJ) until the query is fully consumed (i == 0);
+	// the free prefix means we stop as soon as i hits 0 in state M/Y-start.
+	i, j := la, endJ
+	var ops []byte
+	for i > 0 {
+		switch state {
+		case 'M':
+			ops = append(ops, opSub)
+			sub := mat.Score(a[i-1], b[j-1])
+			p := (i-1)*w + (j - 1)
+			cur := M[i*w+j]
+			switch {
+			case cur == safeAdd(M[p], sub):
+				state = 'M'
+			case cur == safeAdd(X[p], sub):
+				state = 'X'
+			default:
+				state = 'Y'
+			}
+			i, j = i-1, j-1
+		case 'X':
+			ops = append(ops, opGapB)
+			up := (i-1)*w + j
+			cur := X[i*w+j]
+			switch {
+			case cur == safeSub(X[up], gapE):
+				state = 'X'
+			case cur == safeSub(M[up], gapO+gapE):
+				state = 'M'
+			default:
+				state = 'Y'
+			}
+			i--
+		case 'Y':
+			// Free-prefix Y cells in row 0 are only reachable at i == 0, so
+			// a Y here is a real (charged) gap in the query's alignment.
+			ops = append(ops, opGapA)
+			left := i*w + (j - 1)
+			cur := Y[i*w+j]
+			switch {
+			case cur == safeSub(Y[left], gapE):
+				state = 'Y'
+			case cur == safeSub(M[left], gapO+gapE):
+				state = 'M'
+			default:
+				state = 'X'
+			}
+			j--
+		}
+	}
+	startB := j
+	alignedA, alignedB := emit(a, b, 0, startB, reverseOps(ops))
+	return &Result{
+		Score:    best,
+		AlignedA: alignedA, AlignedB: alignedB,
+		StartA: 0, EndA: la,
+		StartB: startB, EndB: endJ,
+	}
+}

@@ -1,0 +1,128 @@
+package align
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func overlapParams(t *testing.T) Params {
+	t.Helper()
+	m, err := seq.MatrixByName("BLOSUM62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Params{Matrix: m, Gap: Gap{Open: 10, Extend: 1}}
+}
+
+func TestOverlapContainedQuery(t *testing.T) {
+	// Query planted inside a subject with random flanks: the overlap score
+	// must equal the global score of query vs the core, and the traceback
+	// must locate the core.
+	g := seq.NewGenerator(seq.Protein, 5)
+	query := g.Random("q", 80).Residues
+	left := g.Random("l", 50).Residues
+	right := g.Random("r", 40).Residues
+	subject := append(append(append([]byte{}, left...), query...), right...)
+
+	p := overlapParams(t)
+	ov, err := New(AlgOverlap, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(AlgNeedlemanWunsch, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ov.Score(query, subject)
+	want := nw.Score(query, query) // perfect self-alignment of the core
+	if got != want {
+		t.Errorf("overlap score %d, want self-alignment score %d", got, want)
+	}
+	res := ov.Align(query, subject)
+	if res.Score != got {
+		t.Errorf("Align score %d != Score %d", res.Score, got)
+	}
+	if res.StartB != len(left) || res.EndB != len(left)+len(query) {
+		t.Errorf("located core at [%d,%d), want [%d,%d)", res.StartB, res.EndB, len(left), len(left)+len(query))
+	}
+	if !bytes.Equal(res.AlignedA, query) || !bytes.Equal(res.AlignedB, query) {
+		t.Error("aligned strings are not the gapless core")
+	}
+}
+
+func TestOverlapAtLeastGlobal(t *testing.T) {
+	// Free flanks can only help: overlap >= global for any pair.
+	g := seq.NewGenerator(seq.Protein, 9)
+	p := overlapParams(t)
+	ov, _ := New(AlgOverlap, p, 0)
+	nw, _ := New(AlgNeedlemanWunsch, p, 0)
+	for i := 0; i < 20; i++ {
+		a := g.Random("a", 30+i).Residues
+		b := g.Random("b", 60+2*i).Residues
+		if o, n := ov.Score(a, b), nw.Score(a, b); o < n {
+			t.Fatalf("case %d: overlap %d < global %d", i, o, n)
+		}
+	}
+}
+
+func TestOverlapAtMostLocal(t *testing.T) {
+	// The query-global constraint can only hurt relative to fully local SW.
+	g := seq.NewGenerator(seq.Protein, 13)
+	p := overlapParams(t)
+	ov, _ := New(AlgOverlap, p, 0)
+	sw, _ := New(AlgSmithWaterman, p, 0)
+	for i := 0; i < 20; i++ {
+		a := g.Random("a", 40).Residues
+		b := g.Random("b", 80).Residues
+		if o, s := ov.Score(a, b), sw.Score(a, b); o > s {
+			t.Fatalf("case %d: overlap %d > local %d", i, o, s)
+		}
+	}
+}
+
+func TestOverlapIdentical(t *testing.T) {
+	p := overlapParams(t)
+	ov, _ := New(AlgOverlap, p, 0)
+	nw, _ := New(AlgNeedlemanWunsch, p, 0)
+	s := []byte("ACDEFGHIKLMNPQRSTVWY")
+	if ov.Score(s, s) != nw.Score(s, s) {
+		t.Errorf("self overlap %d != self global %d", ov.Score(s, s), nw.Score(s, s))
+	}
+}
+
+func TestOverlapAlignConsistent(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 21)
+	p := overlapParams(t)
+	ov, _ := New(AlgOverlap, p, 0)
+	for i := 0; i < 10; i++ {
+		a := g.Random("a", 35).Residues
+		mut := g.Mutate(&seq.Sequence{ID: "m", Residues: a}, "m", 0.1, 0.02)
+		flank := g.Random("f", 25).Residues
+		b := append(append([]byte{}, flank...), mut.Residues...)
+		res := ov.Align(a, b)
+		if res.Score != ov.Score(a, b) {
+			t.Fatalf("case %d: Align score %d != Score %d", i, res.Score, ov.Score(a, b))
+		}
+		// The full query appears (gaps stripped) in AlignedA.
+		gapless := bytes.ReplaceAll(res.AlignedA, []byte("-"), nil)
+		if !bytes.Equal(gapless, a) {
+			t.Fatalf("case %d: query not fully aligned", i)
+		}
+		// AlignedB gapless equals b[StartB:EndB].
+		bg := bytes.ReplaceAll(res.AlignedB, []byte("-"), nil)
+		if !bytes.Equal(bg, b[res.StartB:res.EndB]) {
+			t.Fatalf("case %d: subject span mismatch", i)
+		}
+	}
+}
+
+func TestOverlapInDSearchConfigName(t *testing.T) {
+	p := overlapParams(t)
+	for _, name := range []string{"overlap", "semi-global", "glocal"} {
+		if _, err := New(name, p, 0); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+}

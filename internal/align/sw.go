@@ -1,0 +1,157 @@
+package align
+
+// Smith–Waterman local alignment with affine gap penalties. Identical
+// recurrences to the global aligner except M is floored at zero and the
+// result is the global maximum over all M cells.
+
+type swAligner struct{ p Params }
+
+func (s *swAligner) Name() string { return AlgSmithWaterman }
+
+// Score computes the optimal local alignment score in O(lb) memory.
+func (s *swAligner) Score(a, b []byte) int {
+	gapO, gapE := s.p.Gap.Open, s.p.Gap.Extend
+	mat := s.p.Matrix
+	la, lb := len(a), len(b)
+	M := make([]int, lb+1)
+	X := make([]int, lb+1)
+	Y := make([]int, lb+1)
+	prevM := make([]int, lb+1)
+	prevX := make([]int, lb+1)
+	prevY := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		X[j], Y[j] = negInf, negInf
+	}
+	best := 0
+	for i := 1; i <= la; i++ {
+		copy(prevM, M)
+		copy(prevX, X)
+		copy(prevY, Y)
+		M[0], X[0], Y[0] = 0, negInf, negInf
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := mat.Score(ai, b[j-1])
+			newM := max2(0, safeAdd(max3(prevM[j-1], prevX[j-1], prevY[j-1]), sub))
+			newX := max3(
+				safeSub(prevM[j], gapO+gapE),
+				safeSub(prevX[j], gapE),
+				safeSub(prevY[j], gapO+gapE),
+			)
+			newY := max3(
+				safeSub(M[j-1], gapO+gapE),
+				safeSub(Y[j-1], gapE),
+				safeSub(X[j-1], gapO+gapE),
+			)
+			M[j], X[j], Y[j] = newM, newX, newY
+			if newM > best {
+				best = newM
+			}
+		}
+	}
+	return best
+}
+
+// Align computes the optimal local alignment with traceback.
+func (s *swAligner) Align(a, b []byte) *Result {
+	gapO, gapE := s.p.Gap.Open, s.p.Gap.Extend
+	mat := s.p.Matrix
+	la, lb := len(a), len(b)
+	w := lb + 1
+	M := make([]int, (la+1)*w)
+	X := make([]int, (la+1)*w)
+	Y := make([]int, (la+1)*w)
+	for k := range X {
+		X[k], Y[k] = negInf, negInf
+	}
+	bestI, bestJ, best := 0, 0, 0
+	for i := 1; i <= la; i++ {
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := mat.Score(ai, b[j-1])
+			p := (i-1)*w + (j - 1)
+			newM := max2(0, safeAdd(max3(M[p], X[p], Y[p]), sub))
+			up := (i-1)*w + j
+			newX := max3(
+				safeSub(M[up], gapO+gapE),
+				safeSub(X[up], gapE),
+				safeSub(Y[up], gapO+gapE),
+			)
+			left := i*w + (j - 1)
+			newY := max3(
+				safeSub(M[left], gapO+gapE),
+				safeSub(Y[left], gapE),
+				safeSub(X[left], gapO+gapE),
+			)
+			M[i*w+j], X[i*w+j], Y[i*w+j] = newM, newX, newY
+			if newM > best {
+				best, bestI, bestJ = newM, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return &Result{Score: 0}
+	}
+	// Traceback from (bestI, bestJ) in state M until a zero M cell (local
+	// alignments start and end in substitution columns).
+	i, j := bestI, bestJ
+	state := byte('M')
+	var ops []byte
+	for i > 0 && j > 0 {
+		switch state {
+		case 'M':
+			if M[i*w+j] == 0 {
+				goto done
+			}
+			{
+				ops = append(ops, opSub)
+				sub := mat.Score(a[i-1], b[j-1])
+				p := (i-1)*w + (j - 1)
+				cur := M[i*w+j]
+				switch {
+				case cur == safeAdd(M[p], sub) || (cur == sub && M[p] == 0):
+					state = 'M'
+				case cur == safeAdd(X[p], sub):
+					state = 'X'
+				default:
+					state = 'Y'
+				}
+				i, j = i-1, j-1
+			}
+		case 'X':
+			ops = append(ops, opGapB)
+			up := (i-1)*w + j
+			cur := X[i*w+j]
+			switch {
+			case cur == safeSub(X[up], gapE):
+				state = 'X'
+			case cur == safeSub(M[up], gapO+gapE):
+				state = 'M'
+			default:
+				state = 'Y'
+			}
+			i--
+		case 'Y':
+			ops = append(ops, opGapA)
+			left := i*w + (j - 1)
+			cur := Y[i*w+j]
+			switch {
+			case cur == safeSub(Y[left], gapE):
+				state = 'Y'
+			case cur == safeSub(M[left], gapO+gapE):
+				state = 'M'
+			default:
+				state = 'X'
+			}
+			j--
+		}
+	}
+done:
+	startA, startB := i, j
+	alignedA, alignedB := emit(a, b, startA, startB, reverseOps(ops))
+	return &Result{
+		Score:    best,
+		AlignedA: alignedA, AlignedB: alignedB,
+		StartA: startA, EndA: bestI,
+		StartB: startB, EndB: bestJ,
+	}
+}

@@ -1,0 +1,99 @@
+// Package core is the library's front door: it re-exports the handful of
+// types and functions a user needs to run a computation on the paper's
+// distributed system, without having to know how the subsystem packages
+// (dist, sched, wire) divide the work.
+//
+// The programming model is the paper's: a Problem is a DataManager (server
+// side — partitions work, folds results) plus an Algorithm (donor side —
+// computes one unit), plus optional shared data. Three deployment shapes
+// are offered:
+//
+//   - RunLocal: in-process workers; zero configuration (tests, small jobs).
+//   - ListenAndServe + Dial/NewDonor: the paper's real shape — one server,
+//     many donor processes on other machines, control over net/rpc ("RMI")
+//     and bulk data over raw TCP sockets.
+//   - package simnet: a discrete-event simulation of hundreds of donors,
+//     used to regenerate the paper's figures.
+package core
+
+import (
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/sched"
+)
+
+// Core programming-model types (see package dist for full documentation).
+type (
+	// Problem bundles a DataManager, optional shared data and an ID.
+	Problem = dist.Problem
+	// DataManager is the server-side extension point.
+	DataManager = dist.DataManager
+	// Algorithm is the donor-side extension point.
+	Algorithm = dist.Algorithm
+	// Unit is one dispatched piece of work.
+	Unit = dist.Unit
+	// Result is a completed unit's output.
+	Result = dist.Result
+	// Policy sizes work units per donor.
+	Policy = sched.Policy
+	// DonorStats is the server's measured view of one donor.
+	DonorStats = sched.DonorStats
+	// ServerOptions tunes scheduling and fault tolerance.
+	ServerOptions = dist.ServerOptions
+	// DonorOptions tunes a donor worker.
+	DonorOptions = dist.DonorOptions
+	// Server is the coordinating node.
+	Server = dist.Server
+	// NetworkServer is a Server with RPC + bulk listeners attached.
+	NetworkServer = dist.NetworkServer
+	// Donor is one worker's compute loop.
+	Donor = dist.Donor
+)
+
+// RegisterAlgorithm adds a named Algorithm factory to the donor-side
+// registry (the Go substitute for Java's runtime class shipping).
+func RegisterAlgorithm(name string, f func() Algorithm) {
+	dist.RegisterAlgorithm(name, func() dist.Algorithm { return f() })
+}
+
+// Marshal gob-encodes a unit payload, shared blob or result.
+func Marshal(v any) ([]byte, error) { return dist.Marshal(v) }
+
+// Unmarshal gob-decodes data produced by Marshal.
+func Unmarshal(data []byte, v any) error { return dist.Unmarshal(data, v) }
+
+// RunLocal executes one problem to completion with n in-process workers.
+func RunLocal(p *Problem, n int, policy Policy) ([]byte, error) {
+	return dist.RunLocal(p, n, policy)
+}
+
+// ListenAndServe starts a network-facing server (rpcAddr for control,
+// bulkAddr for data; ":0" picks free ports).
+func ListenAndServe(rpcAddr, bulkAddr string, opts ServerOptions) (*NetworkServer, error) {
+	return dist.ListenAndServe(rpcAddr, bulkAddr, opts)
+}
+
+// Dial connects a donor-side coordinator to a server's control channel.
+func Dial(rpcAddr string, timeout time.Duration) (*dist.RPCClient, error) {
+	return dist.Dial(rpcAddr, timeout)
+}
+
+// NewDonor creates a donor bound to a coordinator (a *Server for in-process
+// use or an *RPCClient from Dial).
+func NewDonor(coord dist.Coordinator, opts DonorOptions) *Donor {
+	return dist.NewDonor(coord, opts)
+}
+
+// Adaptive returns the paper's scheduling policy: unit sized so the donor
+// reports back roughly every target duration.
+func Adaptive(target time.Duration) Policy {
+	return sched.Adaptive{Target: target, Bootstrap: 1000, Min: 1}
+}
+
+// Fixed returns the non-adaptive baseline policy with constant unit size.
+func Fixed(size int64) Policy { return sched.Fixed{Size: size} }
+
+// PolicyByName resolves a policy from a config string such as
+// "adaptive:5s", "fixed:1000", "gss:2" or "factoring".
+func PolicyByName(spec string) (Policy, error) { return sched.ByName(spec) }

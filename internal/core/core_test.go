@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The test problem doubles as facade documentation: count the vowels in a
+// shared text, partitioned into index ranges.
+
+type vowelDM struct {
+	textLen   int
+	chunk     int
+	next      int
+	seq       int64
+	inflight  map[int64]int
+	completed int
+	total     int64
+}
+
+func (d *vowelDM) NextUnit(budget int64) (*core.Unit, bool, error) {
+	if d.next >= d.textLen {
+		return nil, false, nil
+	}
+	n := d.chunk
+	if d.next+n > d.textLen {
+		n = d.textLen - d.next
+	}
+	d.seq++
+	payload, err := core.Marshal([2]int{d.next, d.next + n})
+	if err != nil {
+		return nil, false, err
+	}
+	d.next += n
+	d.inflight[d.seq] = n
+	return &core.Unit{ID: d.seq, Algorithm: "core-test/vowels", Payload: payload, Cost: int64(n)}, true, nil
+}
+
+func (d *vowelDM) Consume(id int64, payload []byte) error {
+	n, ok := d.inflight[id]
+	if !ok {
+		return fmt.Errorf("unknown unit %d", id)
+	}
+	delete(d.inflight, id)
+	var part int64
+	if err := core.Unmarshal(payload, &part); err != nil {
+		return err
+	}
+	d.total += part
+	d.completed += n
+	return nil
+}
+
+func (d *vowelDM) Done() bool                   { return d.completed >= d.textLen }
+func (d *vowelDM) FinalResult() ([]byte, error) { return core.Marshal(d.total) }
+
+type vowelAlg struct{ text []byte }
+
+func (a *vowelAlg) Init(shared []byte) error {
+	a.text = shared
+	return nil
+}
+
+func (a *vowelAlg) Process(payload []byte) ([]byte, error) {
+	var span [2]int
+	if err := core.Unmarshal(payload, &span); err != nil {
+		return nil, err
+	}
+	var count int64
+	for _, b := range a.text[span[0]:span[1]] {
+		switch b {
+		case 'a', 'e', 'i', 'o', 'u':
+			count++
+		}
+	}
+	return core.Marshal(count)
+}
+
+var registerOnce sync.Once
+
+func register() {
+	registerOnce.Do(func() {
+		core.RegisterAlgorithm("core-test/vowels", func() core.Algorithm { return &vowelAlg{} })
+	})
+}
+
+const testText = "the quick brown fox jumps over the lazy dog again and again"
+
+func countVowels(s string) int64 {
+	var n int64
+	for _, b := range []byte(s) {
+		switch b {
+		case 'a', 'e', 'i', 'o', 'u':
+			n++
+		}
+	}
+	return n
+}
+
+func newVowelProblem(id string, chunk int) *core.Problem {
+	return &core.Problem{
+		ID:         id,
+		DM:         &vowelDM{textLen: len(testText), chunk: chunk, inflight: make(map[int64]int)},
+		SharedData: []byte(testText),
+	}
+}
+
+func TestRunLocalThroughFacade(t *testing.T) {
+	register()
+	out, err := core.RunLocal(newVowelProblem("vowels-local", 7), 3, core.Fixed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if err := core.Unmarshal(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := countVowels(testText); got != want {
+		t.Fatalf("vowels = %d, want %d", got, want)
+	}
+}
+
+func TestNetworkDeploymentThroughFacade(t *testing.T) {
+	register()
+	srv, err := core.ListenAndServe("127.0.0.1:0", "127.0.0.1:0", core.ServerOptions{
+		Lease:    time.Hour,
+		WaitHint: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Submit(newVowelProblem("vowels-net", 5)); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := core.Dial(srv.RPCAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	d := core.NewDonor(cl, core.DonorOptions{Name: "facade-donor"})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = d.Run() }()
+	out, err := srv.Wait("vowels-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	wg.Wait()
+	var got int64
+	_ = core.Unmarshal(out, &got)
+	if want := countVowels(testText); got != want {
+		t.Fatalf("vowels = %d, want %d", got, want)
+	}
+	if d.Units() == 0 {
+		t.Error("donor reports zero completed units")
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	if core.Fixed(100).Budget(core.DonorStats{}, 0, 1) != 100 {
+		t.Error("Fixed budget wrong")
+	}
+	a := core.Adaptive(2 * time.Second)
+	if b := a.Budget(core.DonorStats{}, 0, 1); b <= 0 {
+		t.Errorf("Adaptive bootstrap budget %d", b)
+	}
+	for _, spec := range []string{"fixed:10", "adaptive:1s", "gss", "factoring", "tss"} {
+		if _, err := core.PolicyByName(spec); err != nil {
+			t.Errorf("PolicyByName(%q): %v", spec, err)
+		}
+	}
+	if _, err := core.PolicyByName("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package dprml
+
+import (
+	"testing"
+
+	"repro/internal/phylo"
+	"repro/internal/sched"
+	"repro/internal/seq"
+)
+
+func TestBootstrapAlignmentProperties(t *testing.T) {
+	aln, _ := simAlignment(t, 5, 200, 23)
+	rep, err := seq.BootstrapAlignment(aln, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NTaxa() != aln.NTaxa() || rep.NSites() != aln.NSites() {
+		t.Fatalf("replicate shape %dx%d, want %dx%d", rep.NTaxa(), rep.NSites(), aln.NTaxa(), aln.NSites())
+	}
+	// Same taxa, same order.
+	for i := range aln.Rows {
+		if rep.Rows[i].ID != aln.Rows[i].ID {
+			t.Errorf("row %d: %s vs %s", i, rep.Rows[i].ID, aln.Rows[i].ID)
+		}
+	}
+	// Column j of the replicate is column c of the original for all rows
+	// simultaneously (columns resampled, not cells).
+	orig := make(map[string]bool)
+	for s := 0; s < aln.NSites(); s++ {
+		col := make([]byte, aln.NTaxa())
+		for r := range aln.Rows {
+			col[r] = aln.Rows[r].Residues[s]
+		}
+		orig[string(col)] = true
+	}
+	for s := 0; s < rep.NSites(); s++ {
+		col := make([]byte, rep.NTaxa())
+		for r := range rep.Rows {
+			col[r] = rep.Rows[r].Residues[s]
+		}
+		if !orig[string(col)] {
+			t.Fatalf("replicate column %d is not an original column", s)
+		}
+	}
+	// Deterministic and seed-sensitive.
+	rep2, _ := seq.BootstrapAlignment(aln, 1)
+	if rep.Rows[0].String() != rep2.Rows[0].String() {
+		t.Error("bootstrap not deterministic for equal seeds")
+	}
+	rep3, _ := seq.BootstrapAlignment(aln, 2)
+	same := true
+	for i := range rep.Rows {
+		if string(rep.Rows[i].Residues) != string(rep3.Rows[i].Residues) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical replicates")
+	}
+	if _, err := seq.BootstrapAlignment(nil, 1); err == nil {
+		t.Error("nil alignment accepted")
+	}
+}
+
+func TestBootstrapAnalysis(t *testing.T) {
+	// Strong signal (long alignment, clean tree): every true split should
+	// receive high bootstrap support.
+	aln, truth := simAlignment(t, 6, 900, 42)
+	opts := testOpts()
+	res, err := Bootstrap(aln, opts, 6, 3, sched.Adaptive{Target: 1, Bootstrap: 2000, Min: 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replicates) != 6 {
+		t.Fatalf("%d replicates", len(res.Replicates))
+	}
+	if res.Consensus == nil || res.Consensus.NLeaves() != 6 {
+		t.Fatalf("bad consensus: %v", res.Consensus)
+	}
+	// Consensus should recover the generating topology (or very nearly).
+	d, err := phylo.RobinsonFoulds(res.Consensus, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 2 {
+		t.Errorf("bootstrap consensus RF %d from truth:\n cons %s\n true %s", d, res.Consensus, truth)
+	}
+	for s, frac := range res.Support {
+		if frac <= 0.5 || frac > 1 {
+			t.Errorf("consensus split %s has support %g outside (0.5, 1]", s, frac)
+		}
+	}
+	if _, err := Bootstrap(aln, opts, 1, 1, sched.Fixed{Size: 1}, 1); err == nil {
+		t.Error("1-replicate bootstrap accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package dprml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/phylo"
+	"repro/internal/seq"
+)
+
+// phases of the staged computation
+const (
+	phaseTriplet = iota // optimise the 3-taxon starting tree
+	phaseInsert         // insertion stages, one per remaining taxon
+	phaseFinal          // full branch-length smoothing of the finished tree
+	phaseDone
+)
+
+// DataManager drives distributed stepwise insertion. All ML computation
+// happens on donors; the server only does tree bookkeeping, which is how
+// the paper's modest Pentium III server coordinates 200 machines. It
+// implements dist.DataManager and dist.CostReporter.
+type DataManager struct {
+	opts  Options
+	order []string
+
+	phase     int
+	taxonIdx  int // index into order of the taxon being inserted
+	tree      *phylo.Tree
+	unitSeq   int64
+	costScale int64 // cost of one candidate evaluation ~ tree size
+
+	// current stage bookkeeping
+	stageEdges    int
+	nextEdge      int
+	edgesConsumed int
+	pending       map[int64]*taskUnit
+	bestEdge      int
+	bestLL        float64
+	bestTree      string
+
+	final TreeResult
+}
+
+var (
+	_ dist.DataManager  = (*DataManager)(nil)
+	_ dist.CostReporter = (*DataManager)(nil)
+	_ dist.Requeuer     = (*DataManager)(nil)
+	_ dist.Progresser   = (*DataManager)(nil)
+)
+
+// NewDataManager builds the server-side half of a DPRml problem.
+func NewDataManager(aln *seq.Alignment, opts Options) (*DataManager, error) {
+	opts.applyDefaults()
+	order, err := additionOrder(aln, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the model spec early (server side) so a typo fails at
+	// submission, not on the first donor.
+	if _, err := newEvalContext(aln, opts); err != nil {
+		return nil, err
+	}
+	d := &DataManager{
+		opts:    opts,
+		order:   order,
+		phase:   phaseTriplet,
+		tree:    phylo.Triplet(order[0], order[1], order[2], opts.InitialBranchLength),
+		pending: make(map[int64]*taskUnit),
+		// One candidate evaluation costs roughly tree-size likelihood
+		// work; sites scale it so throughput is comparable across
+		// problems.
+		costScale: int64(aln.NSites()),
+	}
+	return d, nil
+}
+
+// NewProblem assembles a complete dist.Problem for a DPRml run.
+func NewProblem(id string, aln *seq.Alignment, opts Options) (*dist.Problem, error) {
+	dm, err := NewDataManager(aln, opts)
+	if err != nil {
+		return nil, err
+	}
+	var fasta []byte
+	{
+		var buf writerBuf
+		if err := seq.WriteFASTA(&buf, &seq.Database{Seqs: aln.Rows}, 70); err != nil {
+			return nil, err
+		}
+		fasta = buf.b
+	}
+	opts.applyDefaults()
+	shared, err := dist.Marshal(sharedData{AlignmentFasta: fasta, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return &dist.Problem{ID: id, DM: dm, SharedData: shared}, nil
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// taskCost estimates one candidate evaluation's cost at the current stage.
+func (d *DataManager) taskCost() int64 {
+	leaves := int64(d.tree.NLeaves() + 1)
+	c := leaves * d.costScale
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// NextUnit implements dist.DataManager.
+func (d *DataManager) NextUnit(budget int64) (*dist.Unit, bool, error) {
+	switch d.phase {
+	case phaseTriplet:
+		if len(d.pending) > 0 {
+			return nil, false, nil // triplet unit already out
+		}
+		u := &taskUnit{Tree: d.tree.String(), FullOptimize: true, Rounds: 1}
+		return d.issue(u, 3*d.costScale)
+
+	case phaseInsert:
+		remaining := d.stageEdges - d.nextEdge
+		if remaining <= 0 {
+			return nil, false, nil // stage barrier: waiting on results
+		}
+		tc := d.taskCost()
+		n := int(budget / tc)
+		if n < 1 {
+			n = 1
+		}
+		if n > remaining {
+			n = remaining
+		}
+		edges := make([]int, n)
+		for i := range edges {
+			edges[i] = d.nextEdge + i
+		}
+		d.nextEdge += n
+		u := &taskUnit{
+			Tree:  d.tree.String(),
+			Taxon: d.order[d.taxonIdx],
+			Edges: edges,
+		}
+		return d.issue(u, int64(n)*tc)
+
+	case phaseFinal:
+		if len(d.pending) > 0 {
+			return nil, false, nil
+		}
+		u := &taskUnit{Tree: d.tree.String(), FullOptimize: true, Rounds: d.opts.FinalRounds}
+		return d.issue(u, int64(d.tree.NLeaves())*d.costScale)
+
+	default:
+		return nil, false, nil
+	}
+}
+
+func (d *DataManager) issue(u *taskUnit, cost int64) (*dist.Unit, bool, error) {
+	payload, err := dist.Marshal(*u)
+	if err != nil {
+		return nil, false, err
+	}
+	d.unitSeq++
+	d.pending[d.unitSeq] = u
+	return &dist.Unit{
+		ID:        d.unitSeq,
+		Algorithm: AlgorithmName,
+		Payload:   payload,
+		Cost:      cost,
+	}, true, nil
+}
+
+// Requeue implements dist.Requeuer: a lost unit's edges return to the
+// dispatch pool. The server calls this through its reissue path; because
+// the DataManager already caches the unit in pending, reissue via the
+// server's payload cache also works — this hook just keeps the stage
+// accounting exact if the server prefers regeneration.
+func (d *DataManager) Requeue(unitID int64) {
+	u, ok := d.pending[unitID]
+	if !ok {
+		return
+	}
+	delete(d.pending, unitID)
+	if d.phase == phaseInsert && u.Taxon == d.order[d.taxonIdx] {
+		// Return the lowest edge index so re-dispatch is contiguous.
+		lo := u.Edges[0]
+		if lo < d.nextEdge {
+			d.nextEdge = lo
+		}
+	}
+}
+
+// Consume implements dist.DataManager.
+func (d *DataManager) Consume(unitID int64, payload []byte) error {
+	u, ok := d.pending[unitID]
+	if !ok {
+		return fmt.Errorf("dprml: result for unknown unit %d", unitID)
+	}
+	delete(d.pending, unitID)
+	var res taskResult
+	if err := dist.Unmarshal(payload, &res); err != nil {
+		return err
+	}
+	switch d.phase {
+	case phaseTriplet:
+		t, err := phylo.ParseNewick(res.BestTree)
+		if err != nil {
+			return fmt.Errorf("dprml: triplet result: %w", err)
+		}
+		d.tree = t
+		d.taxonIdx = 3
+		d.phase = phaseInsert
+		d.startStage()
+
+	case phaseInsert:
+		if d.bestEdge < 0 || better(res.BestLogL, res.BestEdge, d.bestLL, d.bestEdge) {
+			d.bestEdge, d.bestLL, d.bestTree = res.BestEdge, res.BestLogL, res.BestTree
+		}
+		d.edgesConsumed += len(u.Edges)
+		if d.edgesConsumed >= d.stageEdges {
+			t, err := phylo.ParseNewick(d.bestTree)
+			if err != nil {
+				return fmt.Errorf("dprml: stage winner: %w", err)
+			}
+			d.tree = t
+			d.taxonIdx++
+			if d.taxonIdx < len(d.order) {
+				d.startStage()
+			} else {
+				d.phase = phaseFinal
+			}
+		}
+
+	case phaseFinal:
+		t, err := phylo.ParseNewick(res.BestTree)
+		if err != nil {
+			return fmt.Errorf("dprml: final result: %w", err)
+		}
+		d.tree = t
+		d.final = TreeResult{Newick: res.BestTree, LogL: res.BestLogL}
+		d.phase = phaseDone
+	}
+	return nil
+}
+
+func (d *DataManager) startStage() {
+	d.stageEdges = len(d.tree.Edges())
+	d.nextEdge = 0
+	d.edgesConsumed = 0
+	d.bestEdge = -1
+	d.bestLL = math.Inf(-1)
+	d.bestTree = ""
+}
+
+// Done implements dist.DataManager.
+func (d *DataManager) Done() bool { return d.phase == phaseDone }
+
+// FinalResult implements dist.DataManager.
+func (d *DataManager) FinalResult() ([]byte, error) {
+	if d.phase != phaseDone {
+		return nil, fmt.Errorf("dprml: FinalResult before completion")
+	}
+	return dist.Marshal(d.final)
+}
+
+// RemainingCost implements dist.CostReporter: a rough estimate of the
+// outstanding candidate evaluations across all future stages.
+func (d *DataManager) RemainingCost() int64 {
+	if d.phase == phaseDone {
+		return 0
+	}
+	var sum int64
+	k := d.tree.NLeaves() + 1
+	// Current stage's undispatched tasks plus all future stages.
+	if d.phase == phaseInsert {
+		sum += int64(d.stageEdges-d.edgesConsumed) * d.taskCost()
+		k = d.tree.NLeaves() + 2
+	}
+	for ; k <= len(d.order); k++ {
+		sum += int64(2*k-5) * int64(k) * d.costScale
+	}
+	return sum
+}
+
+// Progress reports (taxa placed, total taxa) for status displays.
+func (d *DataManager) Progress() (placed, total int) {
+	switch d.phase {
+	case phaseTriplet:
+		return 3, len(d.order)
+	case phaseDone, phaseFinal:
+		return len(d.order), len(d.order)
+	default:
+		return d.taxonIdx, len(d.order)
+	}
+}

@@ -1,0 +1,329 @@
+// Package dprml implements DPRml (Keane et al. 2004): distributed
+// phylogeny reconstruction by maximum likelihood on the paper's system.
+//
+// The algorithm is stepwise insertion (fastDNAml's strategy, which the
+// paper describes as "an already proven tree building algorithm"): start
+// from the unique 3-taxon tree; to add taxon k, evaluate inserting it on
+// every edge of the current (k-1)-leaf tree (2k-5 candidates), keep the
+// maximum-likelihood candidate, and repeat. Each stage's candidate
+// evaluations are independent, so they form the work units the distributed
+// system parallelises; stages are separated by barriers, which is why a
+// single DPRml instance leaves donors idle and biologists run several
+// instances concurrently (Figure 2).
+package dprml
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/likelihood"
+	"repro/internal/phylo"
+	"repro/internal/seq"
+)
+
+// AlgorithmName is the donor-side registry key.
+const AlgorithmName = "dprml/v1"
+
+// Options configures a DPRml run; zero values get sensible defaults.
+type Options struct {
+	// Model is a likelihood.ModelByName spec, e.g. "HKY85:kappa=2". The
+	// wide model menu is one of DPRml's advertised strengths.
+	Model string
+	// GammaCategories > 1 enables discrete-gamma rate heterogeneity with
+	// shape GammaAlpha.
+	GammaCategories int
+	GammaAlpha      float64
+	// AdditionOrder lists taxa in insertion order; empty means alignment
+	// row order. (Biologists randomise this per run — the stochastic
+	// element behind running several instances.)
+	AdditionOrder []string
+	// LocalRounds is how many Brent passes optimise the three branches a
+	// candidate insertion creates.
+	LocalRounds int
+	// FinalRounds is how many full branch-length smoothing passes run on
+	// the completed topology.
+	FinalRounds int
+	// BranchTolerance is Brent's x tolerance.
+	BranchTolerance float64
+	// InitialBranchLength seeds new branches.
+	InitialBranchLength float64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Model == "" {
+		o.Model = "HKY85:kappa=2"
+	}
+	if o.GammaCategories <= 0 {
+		o.GammaCategories = 1
+	}
+	if o.GammaAlpha <= 0 {
+		o.GammaAlpha = 0.5
+	}
+	if o.LocalRounds <= 0 {
+		o.LocalRounds = 1
+	}
+	if o.FinalRounds <= 0 {
+		o.FinalRounds = 2
+	}
+	if o.BranchTolerance <= 0 {
+		o.BranchTolerance = 1e-4
+	}
+	if o.InitialBranchLength <= 0 {
+		o.InitialBranchLength = 0.1
+	}
+}
+
+// sharedData is the per-problem blob donors fetch once.
+type sharedData struct {
+	AlignmentFasta []byte
+	Options        Options
+}
+
+// taskUnit is one work unit: evaluate inserting Taxon on each of Edges
+// (indices into the deterministic pre-order edge enumeration of Tree), or —
+// for the final unit — fully smooth the finished topology.
+type taskUnit struct {
+	Tree         string
+	Taxon        string
+	Edges        []int
+	FullOptimize bool
+	// Kappas, when non-empty, makes the unit a model-parameter scan: score
+	// each kappa on the (fixed) Tree and report the best (see kappascan.go).
+	Kappas []float64
+	// Rounds overrides Options.FinalRounds for FullOptimize units (the
+	// triplet warm-up uses a single pass, matching the sequential
+	// reference).
+	Rounds int
+}
+
+// taskResult reports the best candidate of a unit.
+type taskResult struct {
+	BestEdge int
+	BestLogL float64
+	BestTree string
+	// BestKappa is set by kappa-scan units.
+	BestKappa float64
+}
+
+// TreeResult is the decoded final answer.
+type TreeResult struct {
+	Newick string
+	LogL   float64
+}
+
+// evalContext is the donor-side ML machinery shared by the distributed
+// algorithm and the sequential reference implementation.
+type evalContext struct {
+	eval *likelihood.Evaluator
+	opts Options
+	aln  *seq.Alignment
+	data *likelihood.CompressedAlignment
+}
+
+func newEvalContext(aln *seq.Alignment, opts Options) (*evalContext, error) {
+	opts.applyDefaults()
+	model, err := likelihood.ModelByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	rates := likelihood.UniformRates()
+	if opts.GammaCategories > 1 {
+		rates, err = likelihood.DiscreteGamma(opts.GammaAlpha, opts.GammaCategories)
+		if err != nil {
+			return nil, err
+		}
+	}
+	data := likelihood.Compress(aln)
+	eval, err := likelihood.NewEvaluator(model, rates, data)
+	if err != nil {
+		return nil, err
+	}
+	return &evalContext{eval: eval, opts: opts, aln: aln, data: data}, nil
+}
+
+// scoreInsertion clones the tree, inserts taxon on edge idx, optimises the
+// three branches the insertion created, and returns (logL, resulting tree).
+func (c *evalContext) scoreInsertion(base *phylo.Tree, taxon string, idx int) (float64, *phylo.Tree, error) {
+	work := base.Clone()
+	edges := work.Edges()
+	if idx < 0 || idx >= len(edges) {
+		return 0, nil, fmt.Errorf("dprml: edge index %d out of range (%d edges)", idx, len(edges))
+	}
+	leaf, err := work.InsertLeafOnEdge(edges[idx], taxon, c.opts.InitialBranchLength)
+	if err != nil {
+		return 0, nil, err
+	}
+	mid := leaf.Parent
+	// The three branches created/split by the insertion: the new leaf's,
+	// the mid node's (upper half) and the original child's (lower half).
+	locals := []*phylo.Node{leaf, mid, mid.Children[0]}
+	ll, err := c.eval.OptimizeLocal(work, locals, c.opts.LocalRounds, c.opts.BranchTolerance)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ll, work, nil
+}
+
+// better reports whether candidate (ll, edge) beats the incumbent —
+// higher likelihood wins, ties break to the lower edge index so results
+// are independent of unit batching and arrival order.
+func better(ll float64, edge int, bestLL float64, bestEdge int) bool {
+	if ll != bestLL {
+		return ll > bestLL
+	}
+	return edge < bestEdge
+}
+
+// Algorithm is the donor-side computation.
+type Algorithm struct {
+	ctx *evalContext
+}
+
+var _ dist.Algorithm = (*Algorithm)(nil)
+
+// Init implements dist.Algorithm.
+func (a *Algorithm) Init(shared []byte) error {
+	var sd sharedData
+	if err := dist.Unmarshal(shared, &sd); err != nil {
+		return err
+	}
+	aln, err := seq.ReadAlignmentFASTA(bytes.NewReader(sd.AlignmentFasta))
+	if err != nil {
+		return err
+	}
+	ctx, err := newEvalContext(aln, sd.Options)
+	if err != nil {
+		return err
+	}
+	a.ctx = ctx
+	return nil
+}
+
+// Process implements dist.Algorithm.
+func (a *Algorithm) Process(payload []byte) ([]byte, error) {
+	var u taskUnit
+	if err := dist.Unmarshal(payload, &u); err != nil {
+		return nil, err
+	}
+	base, err := phylo.ParseNewick(u.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("dprml: unit tree: %w", err)
+	}
+	if len(u.Kappas) > 0 {
+		res, err := a.ctx.scanKappas(base, u.Kappas)
+		if err != nil {
+			return nil, err
+		}
+		return dist.Marshal(res)
+	}
+	if u.FullOptimize {
+		rounds := u.Rounds
+		if rounds <= 0 {
+			rounds = a.ctx.opts.FinalRounds
+		}
+		ll, err := a.ctx.eval.OptimizeBranchLengths(base, rounds, a.ctx.opts.BranchTolerance)
+		if err != nil {
+			return nil, err
+		}
+		return dist.Marshal(taskResult{BestEdge: -1, BestLogL: ll, BestTree: base.String()})
+	}
+	best := taskResult{BestEdge: -1, BestLogL: math.Inf(-1)}
+	for _, idx := range u.Edges {
+		ll, tree, err := a.ctx.scoreInsertion(base, u.Taxon, idx)
+		if err != nil {
+			return nil, err
+		}
+		if best.BestEdge < 0 || better(ll, idx, best.BestLogL, best.BestEdge) {
+			best = taskResult{BestEdge: idx, BestLogL: ll, BestTree: tree.String()}
+		}
+	}
+	if best.BestEdge < 0 {
+		return nil, fmt.Errorf("dprml: unit had no edges")
+	}
+	return dist.Marshal(best)
+}
+
+func init() {
+	dist.RegisterAlgorithm(AlgorithmName, func() dist.Algorithm { return &Algorithm{} })
+}
+
+// BuildTreeLocal is the sequential reference implementation of the full
+// stepwise-insertion algorithm — the single-machine program DPRml
+// distributes. Used for validation and as the baseline in benchmarks.
+func BuildTreeLocal(aln *seq.Alignment, opts Options) (*TreeResult, error) {
+	order, err := additionOrder(aln, opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := newEvalContext(aln, opts)
+	if err != nil {
+		return nil, err
+	}
+	tree := phylo.Triplet(order[0], order[1], order[2], ctx.opts.InitialBranchLength)
+	if _, err := ctx.eval.OptimizeBranchLengths(tree, 1, ctx.opts.BranchTolerance); err != nil {
+		return nil, err
+	}
+	for _, taxon := range order[3:] {
+		nEdges := len(tree.Edges())
+		bestEdge, bestLL := -1, math.Inf(-1)
+		var bestTree *phylo.Tree
+		for idx := 0; idx < nEdges; idx++ {
+			ll, cand, err := ctx.scoreInsertion(tree, taxon, idx)
+			if err != nil {
+				return nil, err
+			}
+			if bestEdge < 0 || better(ll, idx, bestLL, bestEdge) {
+				bestEdge, bestLL, bestTree = idx, ll, cand
+			}
+		}
+		tree = bestTree
+	}
+	ll, err := ctx.eval.OptimizeBranchLengths(tree, ctx.opts.FinalRounds, ctx.opts.BranchTolerance)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeResult{Newick: tree.String(), LogL: ll}, nil
+}
+
+func additionOrder(aln *seq.Alignment, opts Options) ([]string, error) {
+	order := opts.AdditionOrder
+	if len(order) == 0 {
+		order = aln.Taxa()
+	}
+	if len(order) < 3 {
+		return nil, fmt.Errorf("dprml: need at least 3 taxa, got %d", len(order))
+	}
+	seen := make(map[string]bool, len(order))
+	for _, t := range order {
+		if aln.Row(t) == nil {
+			return nil, fmt.Errorf("dprml: taxon %q not in alignment", t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("dprml: duplicate taxon %q in addition order", t)
+		}
+		seen[t] = true
+	}
+	if len(order) != aln.NTaxa() {
+		return nil, fmt.Errorf("dprml: addition order lists %d of %d taxa", len(order), aln.NTaxa())
+	}
+	return order, nil
+}
+
+// DecodeResult unpacks a completed problem's final payload.
+func DecodeResult(payload []byte) (*TreeResult, error) {
+	var r TreeResult
+	if err := dist.Unmarshal(payload, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// FormatTree pretty-prints a result for reports.
+func (r *TreeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "logL = %.4f\n%s\n", r.LogL, r.Newick)
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package dprml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/likelihood"
+	"repro/internal/phylo"
+	"repro/internal/seq"
+)
+
+// Distributed model-parameter estimation: a second DPRml problem family
+// demonstrating the framework's "more generalisable problems" claim. The
+// transition/transversion ratio kappa is estimated by scanning a grid of
+// candidate values on a fixed tree; each grid point is an independent
+// likelihood evaluation, so the DataManager hands donors batches of
+// kappas and keeps the best. Donors reuse the DPRml Algorithm (the unit
+// carries the kappa batch), so any donor binary that can build trees can
+// also fit models.
+
+// KappaScanResult is the decoded final answer of a kappa scan.
+type KappaScanResult struct {
+	Kappa float64
+	LogL  float64
+}
+
+// KappaScanDM distributes a kappa grid scan. Implements dist.DataManager,
+// dist.CostReporter and dist.Progresser.
+type KappaScanDM struct {
+	tree string
+	grid []float64
+	cost int64 // per-evaluation cost (tree size x sites)
+
+	next     int
+	consumed int
+	unitSeq  int64
+	pending  map[int64][]float64
+	bestK    float64
+	bestLL   float64
+}
+
+var (
+	_ dist.DataManager  = (*KappaScanDM)(nil)
+	_ dist.CostReporter = (*KappaScanDM)(nil)
+	_ dist.Progresser   = (*KappaScanDM)(nil)
+)
+
+// KappaGrid builds a log-spaced grid of n kappa candidates in [lo, hi].
+func KappaGrid(lo, hi float64, n int) ([]float64, error) {
+	if lo <= 0 || hi <= lo || n < 2 {
+		return nil, fmt.Errorf("dprml: bad kappa grid [%g, %g] x %d", lo, hi, n)
+	}
+	out := make([]float64, n)
+	step := (math.Log(hi) - math.Log(lo)) / float64(n-1)
+	for i := range out {
+		out[i] = math.Exp(math.Log(lo) + float64(i)*step)
+	}
+	return out, nil
+}
+
+// NewKappaScanProblem assembles a distributed kappa estimation over the
+// given fixed tree (typically neighbor joining). Base frequencies are
+// empirical; Options supplies gamma settings (Model is ignored — the scan
+// is over HKY85 by construction).
+func NewKappaScanProblem(id string, aln *seq.Alignment, tree *phylo.Tree, grid []float64, opts Options) (*dist.Problem, error) {
+	if len(grid) < 2 {
+		return nil, fmt.Errorf("dprml: kappa grid needs >= 2 points, got %d", len(grid))
+	}
+	for _, k := range grid {
+		if k <= 0 {
+			return nil, fmt.Errorf("dprml: kappa %g must be positive", k)
+		}
+	}
+	if tree == nil || tree.NLeaves() != aln.NTaxa() {
+		return nil, fmt.Errorf("dprml: scan tree does not cover the alignment")
+	}
+	opts.applyDefaults()
+	opts.Model = "HKY85:kappa=2" // donors rebuild per-kappa models; validated here
+	var fasta []byte
+	{
+		var buf writerBuf
+		if err := seq.WriteFASTA(&buf, &seq.Database{Seqs: aln.Rows}, 70); err != nil {
+			return nil, err
+		}
+		fasta = buf.b
+	}
+	shared, err := dist.Marshal(sharedData{AlignmentFasta: fasta, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	dm := &KappaScanDM{
+		tree:    tree.String(),
+		grid:    append([]float64(nil), grid...),
+		cost:    int64(aln.NTaxa()) * int64(aln.NSites()),
+		pending: make(map[int64][]float64),
+		bestLL:  math.Inf(-1),
+	}
+	return &dist.Problem{ID: id, DM: dm, SharedData: shared}, nil
+}
+
+// NextUnit implements dist.DataManager: batch grid points up to the budget.
+func (d *KappaScanDM) NextUnit(budget int64) (*dist.Unit, bool, error) {
+	remaining := len(d.grid) - d.next
+	if remaining <= 0 {
+		return nil, false, nil
+	}
+	n := int(budget / d.cost)
+	if n < 1 {
+		n = 1
+	}
+	if n > remaining {
+		n = remaining
+	}
+	batch := d.grid[d.next : d.next+n]
+	d.next += n
+	payload, err := dist.Marshal(taskUnit{Tree: d.tree, Kappas: batch})
+	if err != nil {
+		return nil, false, err
+	}
+	d.unitSeq++
+	d.pending[d.unitSeq] = batch
+	return &dist.Unit{
+		ID:        d.unitSeq,
+		Algorithm: AlgorithmName,
+		Payload:   payload,
+		Cost:      int64(n) * d.cost,
+	}, true, nil
+}
+
+// Consume implements dist.DataManager.
+func (d *KappaScanDM) Consume(unitID int64, payload []byte) error {
+	batch, ok := d.pending[unitID]
+	if !ok {
+		return fmt.Errorf("dprml: kappa result for unknown unit %d", unitID)
+	}
+	delete(d.pending, unitID)
+	var res taskResult
+	if err := dist.Unmarshal(payload, &res); err != nil {
+		return err
+	}
+	d.consumed += len(batch)
+	// Ties break to the smaller kappa so batching is irrelevant.
+	if res.BestLogL > d.bestLL || (res.BestLogL == d.bestLL && res.BestKappa < d.bestK) {
+		d.bestLL, d.bestK = res.BestLogL, res.BestKappa
+	}
+	return nil
+}
+
+// Done implements dist.DataManager.
+func (d *KappaScanDM) Done() bool { return d.consumed >= len(d.grid) }
+
+// FinalResult implements dist.DataManager.
+func (d *KappaScanDM) FinalResult() ([]byte, error) {
+	if !d.Done() {
+		return nil, fmt.Errorf("dprml: kappa scan incomplete")
+	}
+	return dist.Marshal(KappaScanResult{Kappa: d.bestK, LogL: d.bestLL})
+}
+
+// RemainingCost implements dist.CostReporter.
+func (d *KappaScanDM) RemainingCost() int64 {
+	return int64(len(d.grid)-d.consumed) * d.cost
+}
+
+// Progress implements dist.Progresser.
+func (d *KappaScanDM) Progress() (done, total int) { return d.consumed, len(d.grid) }
+
+// DecodeKappaScan unpacks a kappa scan's final payload.
+func DecodeKappaScan(payload []byte) (*KappaScanResult, error) {
+	var r KappaScanResult
+	if err := dist.Unmarshal(payload, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// scanKappas is the donor-side half: evaluate each kappa on the unit's
+// fixed tree with empirical base frequencies.
+func (c *evalContext) scanKappas(tree *phylo.Tree, kappas []float64) (taskResult, error) {
+	best := taskResult{BestEdge: -1, BestLogL: math.Inf(-1)}
+	pi := likelihood.EmpiricalFrequencies(c.aln)
+	rates := likelihood.UniformRates()
+	if c.opts.GammaCategories > 1 {
+		var err error
+		rates, err = likelihood.DiscreteGamma(c.opts.GammaAlpha, c.opts.GammaCategories)
+		if err != nil {
+			return best, err
+		}
+	}
+	for _, kappa := range kappas {
+		m, err := likelihood.NewHKY85(kappa, pi)
+		if err != nil {
+			return best, err
+		}
+		ev, err := likelihood.NewEvaluator(m, rates, c.data)
+		if err != nil {
+			return best, err
+		}
+		ll, err := ev.LogLikelihood(tree)
+		if err != nil {
+			return best, err
+		}
+		if ll > best.BestLogL || (ll == best.BestLogL && kappa < best.BestKappa) {
+			best.BestLogL, best.BestKappa = ll, kappa
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,146 @@
+package dprml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/likelihood"
+	"repro/internal/phylo"
+	"repro/internal/sched"
+)
+
+func TestKappaGrid(t *testing.T) {
+	g, err := KappaGrid(0.5, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 9 || math.Abs(g[0]-0.5) > 1e-12 || math.Abs(g[8]-8) > 1e-9 {
+		t.Errorf("grid = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Errorf("grid not increasing at %d", i)
+		}
+	}
+	// Log spacing: constant ratio.
+	r := g[1] / g[0]
+	for i := 2; i < len(g); i++ {
+		if math.Abs(g[i]/g[i-1]-r) > 1e-9 {
+			t.Errorf("grid not log-spaced at %d", i)
+		}
+	}
+	for _, bad := range [][3]float64{{0, 5, 5}, {1, 1, 5}, {2, 1, 5}, {1, 5, 1}} {
+		if _, err := KappaGrid(bad[0], bad[1], int(bad[2])); err == nil {
+			t.Errorf("KappaGrid(%v) accepted", bad)
+		}
+	}
+}
+
+func TestDistributedKappaScanMatchesSerialEstimate(t *testing.T) {
+	const trueKappa = 4.0
+	taxa := make([]string, 8)
+	for i := range taxa {
+		taxa[i] = "t" + string(rune('A'+i))
+	}
+	tree, err := likelihood.RandomTree(taxa, 0.05, 0.3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := likelihood.NewHKY85(trueKappa, [4]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := likelihood.Simulate(tree, m, likelihood.UniformRates(), 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nj, err := phylo.NeighborJoining(phylo.AlignmentDistances(aln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := KappaGrid(0.5, 20, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed scan under two batching policies must agree exactly.
+	var results []*KappaScanResult
+	for _, pol := range []sched.Policy{
+		sched.Fixed{Size: 1},       // one kappa per unit
+		sched.Fixed{Size: 1 << 40}, // the whole grid in one unit
+	} {
+		p, err := NewKappaScanProblem("kscan-"+pol.Name(), aln, nj, grid, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := dist.RunLocal(p, 3, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DecodeKappaScan(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if results[0].Kappa != results[1].Kappa || results[0].LogL != results[1].LogL {
+		t.Errorf("batching changed the scan result: %+v vs %+v", results[0], results[1])
+	}
+
+	// The grid winner must bracket the Brent estimate on the same tree.
+	kappaHat, _, err := likelihood.EstimateKappa(nj, aln, likelihood.EstimateKappaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results[0].Kappa
+	if got < kappaHat/1.3 || got > kappaHat*1.3 {
+		t.Errorf("grid winner %.3f far from Brent estimate %.3f", got, kappaHat)
+	}
+	if got < trueKappa*0.6 || got > trueKappa*1.6 {
+		t.Errorf("grid winner %.3f far from truth %.1f", got, trueKappa)
+	}
+}
+
+func TestKappaScanValidation(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d"}
+	tree, _ := likelihood.RandomTree(taxa, 0.1, 0.2, 1)
+	aln, err := likelihood.Simulate(tree, likelihood.NewJC69(), likelihood.UniformRates(), 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewKappaScanProblem("x", aln, tree, []float64{2}, Options{}); err == nil {
+		t.Error("1-point grid accepted")
+	}
+	if _, err := NewKappaScanProblem("x", aln, tree, []float64{2, -1}, Options{}); err == nil {
+		t.Error("negative kappa accepted")
+	}
+	wrong := phylo.Triplet("a", "b", "c", 0.1)
+	if _, err := NewKappaScanProblem("x", aln, wrong, []float64{1, 2}, Options{}); err == nil {
+		t.Error("tree/alignment mismatch accepted")
+	}
+}
+
+func TestKappaScanProgress(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d", "e"}
+	tree, _ := likelihood.RandomTree(taxa, 0.1, 0.2, 3)
+	aln, err := likelihood.Simulate(tree, likelihood.NewJC69(), likelihood.UniformRates(), 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := KappaGrid(1, 4, 8)
+	p, err := NewKappaScanProblem("prog", aln, tree, grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := p.DM.(*KappaScanDM)
+	if done, total := dm.Progress(); done != 0 || total != 8 {
+		t.Errorf("fresh progress %d/%d", done, total)
+	}
+	if dm.RemainingCost() <= 0 {
+		t.Error("no remaining cost on a fresh scan")
+	}
+	if _, err := dm.FinalResult(); err == nil {
+		t.Error("FinalResult before completion succeeded")
+	}
+}

@@ -1,0 +1,175 @@
+package dsearch
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/sched"
+	"repro/internal/seq"
+)
+
+func alignmentWorkload(t *testing.T) *seq.SearchWorkload {
+	t.Helper()
+	gen := seq.NewGenerator(seq.Protein, 31)
+	return gen.NewSearchWorkload(40, 2, 3, seq.LengthModel{Mean: 120, StdDev: 30, Min: 60, Max: 200})
+}
+
+func TestReportAlignmentsLocal(t *testing.T) {
+	w := alignmentWorkload(t)
+	cfg := DefaultConfig()
+	cfg.TopK = 5
+	cfg.ReportAlignments = true
+	hits, err := SearchLocal(w.DB, w.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := hits.All()
+	if len(all) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range all {
+		if h.AlignedQuery == "" || h.AlignedSubject == "" {
+			t.Fatalf("hit %s/%s missing alignment", h.Query, h.Subject)
+		}
+		if len(h.AlignedQuery) != len(h.AlignedSubject) {
+			t.Fatalf("hit %s/%s: ragged alignment %d vs %d",
+				h.Query, h.Subject, len(h.AlignedQuery), len(h.AlignedSubject))
+		}
+		if h.Identity <= 0 || h.Identity > 1 {
+			t.Errorf("hit %s/%s: identity %g out of (0,1]", h.Query, h.Subject, h.Identity)
+		}
+		// Stripping gaps from the aligned query must give a substring of
+		// the query (Smith-Waterman aligns a local region).
+		gapless := strings.ReplaceAll(h.AlignedQuery, "-", "")
+		var qres []byte
+		for _, q := range w.Queries.Seqs {
+			if q.ID == h.Query {
+				qres = q.Residues
+			}
+		}
+		if !strings.Contains(string(qres), gapless) {
+			t.Errorf("hit %s/%s: aligned query is not a subsequence of the query", h.Query, h.Subject)
+		}
+	}
+	// Planted homologs should show high identity.
+	for q, members := range w.Planted {
+		for _, h := range hits.Query(q) {
+			for _, m := range members {
+				if h.Subject == m && h.Identity < 0.5 {
+					t.Errorf("planted homolog %s/%s identity %.2f < 0.5", q, m, h.Identity)
+				}
+			}
+		}
+	}
+}
+
+func TestReportAlignmentsDistributedMatchesLocal(t *testing.T) {
+	w := alignmentWorkload(t)
+	cfg := DefaultConfig()
+	cfg.TopK = 5
+	cfg.ReportAlignments = true
+
+	ref, err := SearchLocal(w.DB, w.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem("aln", w.DB, w.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dist.RunLocal(p, 3, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 2000, Min: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(out, cfg.TopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries.Seqs {
+		g, r := got.Query(q.ID), ref.Query(q.ID)
+		if len(g) != len(r) {
+			t.Fatalf("%s: %d hits distributed vs %d local", q.ID, len(g), len(r))
+		}
+		for i := range g {
+			if g[i] != r[i] {
+				t.Errorf("%s hit %d differs:\n dist  %+v\n local %+v", q.ID, i, g[i], r[i])
+			}
+		}
+	}
+}
+
+func TestNoAlignmentsByDefault(t *testing.T) {
+	w := alignmentWorkload(t)
+	cfg := DefaultConfig()
+	cfg.TopK = 3
+	hits, err := SearchLocal(w.DB, w.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits.All() {
+		if h.AlignedQuery != "" || h.Identity != 0 {
+			t.Fatalf("alignment present without ReportAlignments: %+v", h)
+		}
+	}
+	if strings.Contains(hits.Report(), "IDENT") {
+		t.Error("report shows IDENT column without alignments")
+	}
+}
+
+func TestReportShowsIdentityColumn(t *testing.T) {
+	w := alignmentWorkload(t)
+	cfg := DefaultConfig()
+	cfg.TopK = 3
+	cfg.ReportAlignments = true
+	hits, err := SearchLocal(w.DB, w.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := hits.Report()
+	if !strings.Contains(rep, "IDENT") || !strings.Contains(rep, "%") {
+		t.Errorf("report missing identity column:\n%s", rep)
+	}
+}
+
+func TestFormatAlignment(t *testing.T) {
+	h := Hit{
+		Query: "q", Subject: "s", Score: 42, Identity: 0.75,
+		AlignedQuery:   "ACDEFG-IK",
+		AlignedSubject: "ACDEFGHIK",
+	}
+	out := FormatAlignment(h)
+	if !strings.Contains(out, "q vs s") || !strings.Contains(out, "||||||") {
+		t.Errorf("bad alignment block:\n%s", out)
+	}
+	if FormatAlignment(Hit{Query: "q"}) != "" {
+		t.Error("alignment block for score-only hit")
+	}
+	// Long alignments wrap at 60 columns.
+	long := Hit{
+		Query: "q", Subject: "s",
+		AlignedQuery:   strings.Repeat("A", 130),
+		AlignedSubject: strings.Repeat("A", 130),
+	}
+	if got := strings.Count(FormatAlignment(long), "\n  "); got != 9 {
+		t.Errorf("wrapped alignment has %d body lines, want 9 (3 blocks x 3)", got)
+	}
+}
+
+func TestParseConfigReportAlignments(t *testing.T) {
+	c, err := ParseConfig(strings.NewReader("report_alignments = true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.ReportAlignments {
+		t.Error("report_alignments=true not applied")
+	}
+	c, err = ParseConfig(strings.NewReader("report_alignments = no\n"))
+	if err != nil || c.ReportAlignments {
+		t.Errorf("report_alignments=no: %v %v", c.ReportAlignments, err)
+	}
+	if _, err := ParseConfig(strings.NewReader("report_alignments = maybe\n")); err == nil {
+		t.Error("bad boolean accepted")
+	}
+}

@@ -1,0 +1,291 @@
+package dsearch
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// AlgorithmName is the donor-side registry key for the DSEARCH search
+// algorithm.
+const AlgorithmName = "dsearch/v1"
+
+// sharedData is the per-problem blob every donor fetches once: the query
+// set and the search configuration.
+type sharedData struct {
+	Queries []*seq.Sequence
+	Config  Config
+}
+
+// unitPayload is one database chunk.
+type unitPayload struct {
+	Seqs []*seq.Sequence
+}
+
+// resultPayload is a chunk's top hits.
+type resultPayload struct {
+	Hits []Hit
+}
+
+// DataManager partitions the database into dynamically sized chunks
+// (granularity = residues, chosen by the scheduler per donor) and merges
+// per-chunk hit lists. It implements dist.DataManager and
+// dist.CostReporter.
+type DataManager struct {
+	db     *seq.Database
+	config Config
+
+	next      int // index of next undispatched sequence
+	seq       int64
+	inflight  map[int64][2]int // unitID -> [from, to)
+	remaining int64
+	consumed  int
+	hits      *HitList
+}
+
+var _ dist.DataManager = (*DataManager)(nil)
+var _ dist.CostReporter = (*DataManager)(nil)
+var _ dist.Progresser = (*DataManager)(nil)
+
+// NewDataManager builds the server-side half of a DSEARCH problem.
+func NewDataManager(db *seq.Database, cfg Config) (*DataManager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("dsearch: empty database")
+	}
+	return &DataManager{
+		db:        db,
+		config:    cfg,
+		inflight:  make(map[int64][2]int),
+		remaining: db.TotalResidues(),
+		hits:      NewHitList(cfg.TopK),
+	}, nil
+}
+
+// NewProblem assembles a complete dist.Problem for a search.
+func NewProblem(id string, db, queries *seq.Database, cfg Config) (*dist.Problem, error) {
+	if queries == nil || queries.Len() == 0 {
+		return nil, fmt.Errorf("dsearch: empty query set")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db, queries, err := cfg.applyMask(db, queries)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := NewDataManager(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := dist.Marshal(sharedData{Queries: queries.Seqs, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return &dist.Problem{ID: id, DM: dm, SharedData: shared}, nil
+}
+
+// NextUnit implements dist.DataManager: it takes sequences from the
+// database until the residue budget is exhausted.
+func (d *DataManager) NextUnit(budget int64) (*dist.Unit, bool, error) {
+	if d.next >= d.db.Len() {
+		return nil, false, nil
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	from := d.next
+	var cost int64
+	for d.next < d.db.Len() {
+		l := int64(d.db.Seqs[d.next].Len())
+		if cost > 0 && cost+l > budget {
+			break
+		}
+		cost += l
+		d.next++
+	}
+	d.seq++
+	d.inflight[d.seq] = [2]int{from, d.next}
+	payload, err := dist.Marshal(unitPayload{Seqs: d.db.Seqs[from:d.next]})
+	if err != nil {
+		return nil, false, err
+	}
+	return &dist.Unit{
+		ID:        d.seq,
+		Algorithm: AlgorithmName,
+		Payload:   payload,
+		Cost:      cost,
+	}, true, nil
+}
+
+// Consume implements dist.DataManager: merge a chunk's hits.
+func (d *DataManager) Consume(unitID int64, payload []byte) error {
+	span, ok := d.inflight[unitID]
+	if !ok {
+		return fmt.Errorf("dsearch: result for unknown unit %d", unitID)
+	}
+	delete(d.inflight, unitID)
+	var res resultPayload
+	if err := dist.Unmarshal(payload, &res); err != nil {
+		return err
+	}
+	d.hits.Merge(res.Hits)
+	d.consumed += span[1] - span[0]
+	for i := span[0]; i < span[1]; i++ {
+		d.remaining -= int64(d.db.Seqs[i].Len())
+	}
+	return nil
+}
+
+// Done implements dist.DataManager.
+func (d *DataManager) Done() bool { return d.consumed == d.db.Len() }
+
+// FinalResult implements dist.DataManager: the merged hit list.
+func (d *DataManager) FinalResult() ([]byte, error) {
+	return dist.Marshal(resultPayload{Hits: d.hits.All()})
+}
+
+// RemainingCost implements dist.CostReporter.
+func (d *DataManager) RemainingCost() int64 { return d.remaining }
+
+// Progress implements dist.Progresser: database sequences searched so far.
+func (d *DataManager) Progress() (done, total int) { return d.consumed, d.db.Len() }
+
+// Hits exposes the accumulated hit list (for progress inspection).
+func (d *DataManager) Hits() *HitList { return d.hits }
+
+// Algorithm is the donor-side computation: align every query against every
+// sequence in the chunk and return the per-query top hits.
+type Algorithm struct {
+	queries []*seq.Sequence
+	cfg     Config
+	aligner align.Aligner
+}
+
+var _ dist.Algorithm = (*Algorithm)(nil)
+
+// Init implements dist.Algorithm.
+func (a *Algorithm) Init(shared []byte) error {
+	var sd sharedData
+	if err := dist.Unmarshal(shared, &sd); err != nil {
+		return err
+	}
+	if len(sd.Queries) == 0 {
+		return fmt.Errorf("dsearch: shared data has no queries")
+	}
+	al, err := sd.Config.aligner()
+	if err != nil {
+		return err
+	}
+	a.queries = sd.Queries
+	a.cfg = sd.Config
+	a.aligner = al
+	return nil
+}
+
+// Process implements dist.Algorithm.
+func (a *Algorithm) Process(payload []byte) ([]byte, error) {
+	var up unitPayload
+	if err := dist.Unmarshal(payload, &up); err != nil {
+		return nil, err
+	}
+	local := NewHitList(a.cfg.TopK)
+	for _, q := range a.queries {
+		for _, s := range up.Seqs {
+			score := a.aligner.Score(q.Residues, s.Residues)
+			if score < a.cfg.MinScore {
+				continue
+			}
+			local.Add(Hit{
+				Query:      q.ID,
+				Subject:    s.ID,
+				Score:      score,
+				SubjectLen: s.Len(),
+			})
+		}
+	}
+	hits := local.All()
+	if a.cfg.ReportAlignments {
+		a.attachAlignments(hits, up.Seqs)
+	}
+	return dist.Marshal(resultPayload{Hits: hits})
+}
+
+// attachAlignments runs the traceback for each kept hit — only the top-K
+// survivors pay the quadratic-space alignment, not every database
+// sequence scanned.
+func (a *Algorithm) attachAlignments(hits []Hit, chunk []*seq.Sequence) {
+	queries := make(map[string][]byte, len(a.queries))
+	for _, q := range a.queries {
+		queries[q.ID] = q.Residues
+	}
+	subjects := make(map[string][]byte, len(chunk))
+	for _, s := range chunk {
+		subjects[s.ID] = s.Residues
+	}
+	for i := range hits {
+		q, okQ := queries[hits[i].Query]
+		s, okS := subjects[hits[i].Subject]
+		if !okQ || !okS {
+			continue
+		}
+		res := a.aligner.Align(q, s)
+		hits[i].AlignedQuery = string(res.AlignedA)
+		hits[i].AlignedSubject = string(res.AlignedB)
+		hits[i].Identity = res.Identity()
+	}
+}
+
+func init() {
+	dist.RegisterAlgorithm(AlgorithmName, func() dist.Algorithm { return &Algorithm{} })
+}
+
+// SearchLocal runs a search without the distributed machinery — the
+// single-machine reference DSEARCH results are validated against.
+func SearchLocal(db, queries *seq.Database, cfg Config) (*HitList, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db, queries, err := cfg.applyMask(db, queries)
+	if err != nil {
+		return nil, err
+	}
+	al, err := cfg.aligner()
+	if err != nil {
+		return nil, err
+	}
+	hits := NewHitList(cfg.TopK)
+	for _, q := range queries.Seqs {
+		for _, s := range db.Seqs {
+			score := al.Score(q.Residues, s.Residues)
+			if score < cfg.MinScore {
+				continue
+			}
+			hits.Add(Hit{Query: q.ID, Subject: s.ID, Score: score, SubjectLen: s.Len()})
+		}
+	}
+	if cfg.ReportAlignments {
+		a := &Algorithm{queries: queries.Seqs, cfg: cfg, aligner: al}
+		kept := hits.All()
+		a.attachAlignments(kept, db.Seqs)
+		merged := NewHitList(cfg.TopK)
+		merged.Merge(kept)
+		return merged, nil
+	}
+	return hits, nil
+}
+
+// DecodeResult unpacks a completed problem's final payload.
+func DecodeResult(payload []byte, k int) (*HitList, error) {
+	var res resultPayload
+	if err := dist.Unmarshal(payload, &res); err != nil {
+		return nil, err
+	}
+	h := NewHitList(k)
+	h.Merge(res.Hits)
+	return h, nil
+}

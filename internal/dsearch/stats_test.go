@@ -1,0 +1,139 @@
+package dsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestFitGumbelRecoversKnownParameters(t *testing.T) {
+	// Sample from a known Gumbel(mu=40, beta=6) via inverse CDF and check
+	// the moment fit recovers the parameters.
+	rng := rand.New(rand.NewSource(3))
+	const mu, beta = 40.0, 6.0
+	scores := make([]float64, 20000)
+	for i := range scores {
+		u := rng.Float64()
+		scores[i] = mu - beta*math.Log(-math.Log(u))
+	}
+	c, err := FitGumbel(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Mu-mu) > 0.5 {
+		t.Errorf("mu = %.3f, want ~%.1f", c.Mu, mu)
+	}
+	if math.Abs(c.Beta-beta) > 0.3 {
+		t.Errorf("beta = %.3f, want ~%.1f", c.Beta, beta)
+	}
+}
+
+func TestFitGumbelValidation(t *testing.T) {
+	if _, err := FitGumbel([]float64{1, 2, 3}); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	constant := make([]float64, 50)
+	for i := range constant {
+		constant[i] = 7
+	}
+	if _, err := FitGumbel(constant); err == nil {
+		t.Error("constant scores accepted")
+	}
+}
+
+func TestPValueMonotoneAndBounded(t *testing.T) {
+	c := Calibration{Mu: 30, Beta: 5}
+	prev := 1.1
+	for s := 0.0; s <= 120; s += 5 {
+		p := c.PValue(s)
+		if p < 0 || p > 1 {
+			t.Fatalf("PValue(%g) = %g out of [0,1]", s, p)
+		}
+		if p > prev {
+			t.Fatalf("PValue not non-increasing at s=%g: %g after %g", s, p, prev)
+		}
+		prev = p
+	}
+	// Far-right tail: P ~ exp(-(s-mu)/beta), positive and tiny.
+	if p := c.PValue(200); p <= 0 || p > 1e-10 {
+		t.Errorf("tail PValue = %g", p)
+	}
+}
+
+func TestEValueSeparatesPlantedFromBackground(t *testing.T) {
+	gen := seq.NewGenerator(seq.Protein, 61)
+	w := gen.NewSearchWorkload(80, 2, 3, seq.LengthModel{Mean: 150, StdDev: 30, Min: 80, Max: 250})
+	cfg := DefaultConfig()
+	cfg.TopK = 15
+
+	hits, err := SearchLocal(w.DB, w.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := Calibrate(w.DB, w.Queries, cfg, 60, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AnnotateEValues(hits, calib, w.DB.Len())
+
+	for q, members := range w.Planted {
+		planted := map[string]bool{}
+		for _, m := range members {
+			planted[m] = true
+		}
+		for _, h := range hits.Query(q) {
+			if planted[h.Subject] {
+				if h.EValue > 1e-3 {
+					t.Errorf("%s/%s: planted homolog E-value %g, want << 1", q, h.Subject, h.EValue)
+				}
+			} else if h.EValue < 1e-4 {
+				t.Errorf("%s/%s: background hit E-value %g suspiciously significant", q, h.Subject, h.EValue)
+			}
+		}
+	}
+
+	// FilterByEValue at a strict cutoff keeps exactly the planted pairs.
+	sig := hits.FilterByEValue(1e-3)
+	wantSig := 0
+	for _, members := range w.Planted {
+		wantSig += len(members)
+	}
+	if len(sig) != wantSig {
+		t.Errorf("%d significant hits at E<=1e-3, want %d (the planted homologs): %+v", len(sig), wantSig, sig)
+	}
+	// Sorted ascending by E-value.
+	for i := 1; i < len(sig); i++ {
+		if sig[i].EValue < sig[i-1].EValue {
+			t.Error("FilterByEValue output not sorted")
+		}
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	gen := seq.NewGenerator(seq.Protein, 71)
+	db := gen.RandomDatabase("d", 5, seq.LengthModel{Mean: 100, StdDev: 10, Min: 50, Max: 150})
+	q := gen.RandomDatabase("q", 1, seq.LengthModel{Mean: 100, StdDev: 10, Min: 50, Max: 150})
+	cfg := DefaultConfig()
+	if _, err := Calibrate(db, q, cfg, 5, 1); err == nil {
+		t.Error("too few decoys accepted")
+	}
+	if _, err := Calibrate(&seq.Database{}, q, cfg, 20, 1); err == nil {
+		t.Error("empty database accepted")
+	}
+	calib, err := Calibrate(db, q, cfg, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calib) != 1 {
+		t.Fatalf("%d calibrations, want 1", len(calib))
+	}
+	// Determinism.
+	calib2, _ := Calibrate(db, q, cfg, 20, 1)
+	for k, c := range calib {
+		if calib2[k] != c {
+			t.Error("calibration not deterministic")
+		}
+	}
+}

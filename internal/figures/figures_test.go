@@ -1,0 +1,166 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallFig1 shrinks the Figure 1 workload so shape tests run in
+// milliseconds while exercising the same code path.
+func smallFig1() Figure1Config {
+	cfg := DefaultFigure1()
+	cfg.TotalCost = 40_000
+	return cfg
+}
+
+func TestFigure1Shape(t *testing.T) {
+	counts := []int{1, 2, 4, 8, 16}
+	pts, err := Figure1(smallFig1(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(counts) {
+		t.Fatalf("%d points, want %d", len(pts), len(counts))
+	}
+	for i, p := range pts {
+		if p.Donors != counts[i] {
+			t.Errorf("point %d: donors %d, want %d", i, p.Donors, counts[i])
+		}
+		if i > 0 && p.Speedup <= pts[i-1].Speedup {
+			t.Errorf("speedup not monotonic at %d donors: %.2f after %.2f",
+				p.Donors, p.Speedup, pts[i-1].Speedup)
+		}
+		if p.Speedup > float64(p.Donors)*1.05 {
+			t.Errorf("superlinear speedup %.2f at %d donors", p.Speedup, p.Donors)
+		}
+		if p.Efficiency < 0.80 {
+			t.Errorf("efficiency %.3f at %d donors below Figure 1's near-linear regime", p.Efficiency, p.Donors)
+		}
+	}
+}
+
+func TestFigure1SingleDonorBaseline(t *testing.T) {
+	pts, err := Figure1(smallFig1(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pts[0].Speedup; s < 0.999 || s > 1.001 {
+		t.Errorf("1-donor speedup = %.4f, want 1.0", s)
+	}
+}
+
+func TestFigure2MultiInstanceBeatsSingle(t *testing.T) {
+	counts := []int{1, 10, 20}
+	cfg := DefaultFigure2()
+	cfg.Taxa = 30 // smaller dataset for test speed; same staged structure
+
+	multi, err := Figure2(cfg, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := cfg
+	single.Instances = 1
+	solo, err := Figure2(single, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mEff, sEff := multi[len(multi)-1].Efficiency, solo[len(solo)-1].Efficiency
+	if mEff <= sEff {
+		t.Errorf("6-instance efficiency %.3f not above single-instance %.3f at 20 donors — Figure 2's whole point", mEff, sEff)
+	}
+	if mEff < 0.9 {
+		t.Errorf("6-instance efficiency %.3f at 20 donors; paper shows near-linear", mEff)
+	}
+	// The single instance must saturate: efficiency visibly below 1 by 20
+	// donors (stage width 2k-5 caps parallelism early in the build).
+	if sEff > 0.95 {
+		t.Errorf("single-instance efficiency %.3f at 20 donors; expected visible saturation", sEff)
+	}
+}
+
+func TestFigure2SingleInstanceSaturates(t *testing.T) {
+	cfg := DefaultFigure2()
+	cfg.Taxa = 30
+	cfg.Instances = 1
+	pts, err := Figure2(cfg, []int{1, 5, 10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Efficiency > pts[i-1].Efficiency+1e-9 {
+			t.Errorf("single-instance efficiency rose from %.3f to %.3f at %d donors",
+				pts[i-1].Efficiency, pts[i].Efficiency, pts[i].Donors)
+		}
+	}
+}
+
+func TestFigure2InstanceFloor(t *testing.T) {
+	cfg := DefaultFigure2()
+	cfg.Taxa = 20
+	cfg.Instances = 0 // must clamp to 1, not crash
+	if _, err := Figure2(cfg, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveWinsAblation(t *testing.T) {
+	res, err := AdaptiveVsFixed(30, 100_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("%d policies, want 5", len(res))
+	}
+	var adaptive time.Duration
+	for name, ms := range res {
+		if strings.HasPrefix(name, "adaptive") {
+			adaptive = ms
+		}
+		if ms <= 0 {
+			t.Errorf("policy %s: non-positive makespan %s", name, ms)
+		}
+	}
+	if adaptive == 0 {
+		t.Fatal("no adaptive policy in results")
+	}
+	for name, ms := range res {
+		if !strings.HasPrefix(name, "adaptive") && ms < adaptive {
+			t.Errorf("policy %s (%s) beat adaptive (%s) on the heterogeneous pool", name, ms, adaptive)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	pts, err := Figure1(smallFig1(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteTable(&sb, "test title", pts)
+	out := sb.String()
+	if !strings.Contains(out, "test title") || !strings.Contains(out, "Speedup") {
+		t.Errorf("table missing header:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 2+len(pts) {
+		t.Errorf("table has %d lines, want %d", got, 2+len(pts))
+	}
+}
+
+func TestDefaultsAreSane(t *testing.T) {
+	f1 := DefaultFigure1()
+	if f1.TotalCost <= 0 || f1.Target <= 0 {
+		t.Errorf("bad Figure1 defaults: %+v", f1)
+	}
+	f2 := DefaultFigure2()
+	if f2.Taxa != 50 || f2.Instances != 6 {
+		t.Errorf("Figure2 defaults deviate from the paper: %+v", f2)
+	}
+	if last := Figure1Counts[len(Figure1Counts)-1]; last != 83 {
+		t.Errorf("Figure1 x-axis ends at %d, paper uses 83", last)
+	}
+	if last := Figure2Counts[len(Figure2Counts)-1]; last != 40 {
+		t.Errorf("Figure2 x-axis ends at %d, paper uses 40", last)
+	}
+}

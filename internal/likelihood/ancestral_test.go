@@ -1,0 +1,174 @@
+package likelihood
+
+import (
+	"testing"
+
+	"repro/internal/phylo"
+	"repro/internal/seq"
+)
+
+func TestAncestralRootRecoversRootSequence(t *testing.T) {
+	// Simulate with short branches from a known root: Simulate draws the
+	// root sequence from Pi, evolves it down the tree. With very short
+	// branches, the leaves are nearly identical to the root, so the
+	// reconstruction should match the shared majority state at almost
+	// every site with high posterior.
+	taxa := []string{"a", "b", "c", "d", "e", "f"}
+	tree, err := RandomTree(taxa, 0.01, 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHKY85(2, [4]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, UniformRates(), 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(m, UniformRates(), Compress(aln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AncestralRoot(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sequence) != 500 || len(res.Posterior) != 500 {
+		t.Fatalf("reconstruction length %d/%d, want 500", len(res.Sequence), len(res.Posterior))
+	}
+	// Site-wise majority over the leaves approximates the root on short
+	// branches; the reconstruction should agree with it overwhelmingly.
+	agree, highPost := 0, 0
+	for s := 0; s < 500; s++ {
+		counts := map[byte]int{}
+		for _, row := range aln.Rows {
+			counts[row.Residues[s]]++
+		}
+		var maj byte
+		best := -1
+		for b, n := range counts {
+			if n > best {
+				maj, best = b, n
+			}
+		}
+		if res.Sequence[s] == maj {
+			agree++
+		}
+		if res.Posterior[s] > 0.9 {
+			highPost++
+		}
+		if res.Posterior[s] < 0.25-1e-9 || res.Posterior[s] > 1+1e-9 {
+			t.Fatalf("site %d: posterior %g out of range", s, res.Posterior[s])
+		}
+	}
+	if agree < 480 {
+		t.Errorf("reconstruction agrees with leaf majority at %d/500 sites", agree)
+	}
+	if highPost < 450 {
+		t.Errorf("only %d/500 sites with posterior > 0.9 on near-identical leaves", highPost)
+	}
+}
+
+func TestAncestralRootUniformWhenUninformative(t *testing.T) {
+	// Two taxa with maximally long branches: the root posterior should be
+	// pulled toward the equilibrium frequencies (far below 0.9).
+	aln, err := seq.NewAlignment([]*seq.Sequence{
+		seq.NewSequence("a", "AAAA"),
+		seq.NewSequence("b", "CCCC"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := phylo.ParseNewick("(a:8,b:8);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewJC69()
+	e, err := NewEvaluator(m, UniformRates(), Compress(aln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AncestralRoot(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, p := range res.Posterior {
+		if p > 0.5 {
+			t.Errorf("site %d: posterior %g despite saturated branches", s, p)
+		}
+	}
+}
+
+func TestAncestralRootGamma(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d"}
+	tree, err := RandomTree(taxa, 0.05, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewJC69()
+	rates, err := DiscreteGamma(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, rates, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(m, rates, Compress(aln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AncestralRoot(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sequence) != 200 {
+		t.Fatalf("length %d", len(res.Sequence))
+	}
+}
+
+func TestSiteLogLikelihoodsSumToTotal(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d", "e"}
+	tree, err := RandomTree(taxa, 0.05, 0.3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHKY85(2, [4]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := DiscreteGamma(0.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, rates, 300, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(m, rates, Compress(aln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := e.LogLikelihood(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := e.SiteLogLikelihoods(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 300 {
+		t.Fatalf("%d site values", len(sites))
+	}
+	var sum float64
+	for _, v := range sites {
+		if v >= 0 {
+			t.Fatalf("non-negative site logL %g", v)
+		}
+		sum += v
+	}
+	if d := sum - total; d > 1e-8 || d < -1e-8 {
+		t.Errorf("site logLs sum to %g, total is %g", sum, total)
+	}
+}

@@ -1,0 +1,102 @@
+package likelihood
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/phylo"
+	"repro/internal/seq"
+)
+
+func benchFixture(b *testing.B, nTaxa, nSites int) (*phylo.Tree, *Model, *seq.Alignment) {
+	b.Helper()
+	taxa := make([]string, nTaxa)
+	for i := range taxa {
+		taxa[i] = fmt.Sprintf("t%02d", i)
+	}
+	tree, err := RandomTree(taxa, 0.05, 0.3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewHKY85(2, [4]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, UniformRates(), nSites, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, m, aln
+}
+
+// BenchmarkLogLikelihood is the hot loop of every DPRml work unit.
+func BenchmarkLogLikelihood(b *testing.B) {
+	for _, size := range []struct{ taxa, sites int }{{10, 500}, {20, 1000}, {50, 1000}} {
+		b.Run(fmt.Sprintf("taxa%d_sites%d", size.taxa, size.sites), func(b *testing.B) {
+			tree, m, aln := benchFixture(b, size.taxa, size.sites)
+			e, err := NewEvaluator(m, UniformRates(), Compress(aln))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.LogLikelihood(tree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLogLikelihoodGamma4(b *testing.B) {
+	tree, m, aln := benchFixture(b, 20, 1000)
+	rates, err := DiscreteGamma(0.5, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEvaluator(m, rates, Compress(aln))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.LogLikelihood(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransitionMatrix(b *testing.B) {
+	m, err := NewGTR([6]float64{1, 2, 1, 1, 3, 1}, [4]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p [NStates][NStates]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TransitionMatrix(0.1+float64(i%10)*0.05, &p)
+	}
+}
+
+func BenchmarkOptimizeBranchLengths(b *testing.B) {
+	tree, m, aln := benchFixture(b, 10, 500)
+	e, err := NewEvaluator(m, UniformRates(), Compress(aln))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := tree.Clone()
+		if _, err := e.OptimizeBranchLengths(work, 1, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	_, _, aln := benchFixture(b, 20, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(aln)
+	}
+}

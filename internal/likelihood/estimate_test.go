@@ -1,0 +1,131 @@
+package likelihood
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEmpiricalFrequencies(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d", "e", "f"}
+	tree, err := RandomTree(taxa, 0.05, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := [4]float64{0.4, 0.1, 0.2, 0.3}
+	m, err := NewHKY85(2, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, UniformRates(), 5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EmpiricalFrequencies(aln)
+	var sum float64
+	for i, g := range got {
+		sum += g
+		if math.Abs(g-pi[i]) > 0.03 {
+			t.Errorf("frequency %d: %.3f, want ~%.3f", i, g, pi[i])
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("frequencies sum to %g", sum)
+	}
+}
+
+func TestEstimateKappaRecoversTruth(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	tree, err := RandomTree(taxa, 0.05, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trueKappa = 4.0
+	m, err := NewHKY85(trueKappa, [4]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, UniformRates(), 4000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kappa, ll, err := EstimateKappa(tree, aln, EstimateKappaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(ll, 0) || ll >= 0 {
+		t.Fatalf("bad logL %g", ll)
+	}
+	if kappa < trueKappa*0.8 || kappa > trueKappa*1.25 {
+		t.Errorf("estimated kappa %.3f, truth %.1f", kappa, trueKappa)
+	}
+	// The fitted kappa's likelihood must beat a deliberately wrong kappa.
+	pi := EmpiricalFrequencies(aln)
+	wrong, err := NewHKY85(1, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(wrong, UniformRates(), Compress(aln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	llWrong, err := e.LogLikelihood(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll <= llWrong {
+		t.Errorf("fitted logL %.2f not above kappa=1 logL %.2f", ll, llWrong)
+	}
+}
+
+func TestEstimateAlphaRecoversTruth(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	tree, err := RandomTree(taxa, 0.08, 0.4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHKY85(2, [4]float64{0.25, 0.25, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trueAlpha = 0.4
+	rates, err := DiscreteGamma(trueAlpha, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, rates, 4000, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, ll, err := EstimateAlpha(tree, aln, m, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll >= 0 {
+		t.Fatalf("bad logL %g", ll)
+	}
+	// Alpha is weakly identified on modest data; accept a factor-2 band.
+	if alpha < trueAlpha/2 || alpha > trueAlpha*2 {
+		t.Errorf("estimated alpha %.3f, truth %.2f", alpha, trueAlpha)
+	}
+}
+
+func TestEstimateAlphaValidation(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d"}
+	tree, _ := RandomTree(taxa, 0.1, 0.2, 1)
+	m := NewJC69()
+	aln, err := Simulate(tree, m, UniformRates(), 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EstimateAlpha(tree, aln, m, 1, 1e-3); err == nil {
+		t.Error("1 category accepted")
+	}
+}
+
+func TestEstimateKappaDefaultsApplied(t *testing.T) {
+	var o EstimateKappaOptions
+	o.applyDefaults()
+	if o.Lo <= 0 || o.Hi <= o.Lo || o.Tol <= 0 {
+		t.Errorf("bad defaults: %+v", o)
+	}
+}

@@ -1,0 +1,154 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+)
+
+// SiteRates describes among-site rate variation as a set of discrete rate
+// categories with equal probability (Yang 1994). The plain no-heterogeneity
+// case is a single category of rate 1.
+type SiteRates struct {
+	Rates []float64
+}
+
+// UniformRates returns the single-category (no heterogeneity) model.
+func UniformRates() *SiteRates { return &SiteRates{Rates: []float64{1}} }
+
+// NCategories returns the category count.
+func (s *SiteRates) NCategories() int { return len(s.Rates) }
+
+// DiscreteGamma builds k equal-probability rate categories for a gamma
+// distribution with shape alpha and mean 1, using the category-mean method
+// of Yang (1994). Rates average exactly 1.
+func DiscreteGamma(alpha float64, k int) (*SiteRates, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("likelihood: gamma shape must be positive, got %g", alpha)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("likelihood: need at least one rate category, got %d", k)
+	}
+	if k == 1 {
+		return UniformRates(), nil
+	}
+	// Quantile boundaries of Gamma(alpha, rate=alpha) at i/k.
+	bounds := make([]float64, k+1)
+	bounds[0] = 0
+	bounds[k] = math.Inf(1)
+	for i := 1; i < k; i++ {
+		q, err := gammaQuantile(float64(i)/float64(k), alpha, alpha)
+		if err != nil {
+			return nil, err
+		}
+		bounds[i] = q
+	}
+	// Mean rate within [a,b) of Gamma(alpha, alpha) with overall mean 1:
+	// k * (P(alpha+1, alpha*b) - P(alpha+1, alpha*a)).
+	rates := make([]float64, k)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		hi := 1.0
+		if !math.IsInf(bounds[i+1], 1) {
+			hi = regIncGammaLower(alpha+1, alpha*bounds[i+1])
+		}
+		lo := 0.0
+		if bounds[i] > 0 {
+			lo = regIncGammaLower(alpha+1, alpha*bounds[i])
+		}
+		rates[i] = float64(k) * (hi - lo)
+		sum += rates[i]
+	}
+	// Renormalise against accumulated numerical error.
+	for i := range rates {
+		rates[i] *= float64(k) / sum
+	}
+	return &SiteRates{Rates: rates}, nil
+}
+
+// regIncGammaLower computes the regularised lower incomplete gamma function
+// P(a, x) = γ(a,x)/Γ(a) via the series expansion for x < a+1 and the
+// continued fraction for larger x (Numerical Recipes style).
+func regIncGammaLower(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// gammaQuantile inverts the Gamma(shape, rate) CDF at probability p by
+// bisection (robust; called only during model setup).
+func gammaQuantile(p, shape, rate float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("likelihood: gamma quantile needs 0 < p < 1, got %g", p)
+	}
+	cdf := func(x float64) float64 { return regIncGammaLower(shape, rate*x) }
+	lo, hi := 0.0, 1.0
+	for cdf(hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("likelihood: gamma quantile bracket failed (p=%g shape=%g)", p, shape)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,69 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phylo"
+)
+
+// Kishino–Hasegawa test: given two candidate topologies, is the
+// log-likelihood difference larger than expected from site-to-site
+// sampling noise? Biologists run it on the trees from repeated DPRml
+// instances to decide whether the best tree is *significantly* better
+// than the runner-up or the difference is within noise. The normal
+// approximation over per-site differences is the classic form.
+
+// KHResult reports a Kishino–Hasegawa comparison.
+type KHResult struct {
+	// Delta is logL(t1) - logL(t2) (positive favours t1).
+	Delta float64
+	// StdErr is the standard error of Delta under site resampling.
+	StdErr float64
+	// Z is Delta / StdErr; PValue is the two-sided normal tail.
+	Z, PValue float64
+}
+
+// KHTest compares two topologies on the evaluator's alignment. Both trees
+// must cover the alignment's taxa; branch lengths are used as given (fit
+// them first for a fair comparison).
+func (e *Evaluator) KHTest(t1, t2 *phylo.Tree) (*KHResult, error) {
+	s1, err := e.SiteLogLikelihoods(t1)
+	if err != nil {
+		return nil, fmt.Errorf("likelihood: KH tree 1: %w", err)
+	}
+	s2, err := e.SiteLogLikelihoods(t2)
+	if err != nil {
+		return nil, fmt.Errorf("likelihood: KH tree 2: %w", err)
+	}
+	n := len(s1)
+	if n != len(s2) || n < 2 {
+		return nil, fmt.Errorf("likelihood: KH needs matching site vectors (%d vs %d)", n, len(s2))
+	}
+	var sum, ss float64
+	for i := range s1 {
+		d := s1[i] - s2[i]
+		sum += d
+		ss += d * d
+	}
+	mean := sum / float64(n)
+	varPerSite := (ss - sum*mean) / float64(n-1)
+	if varPerSite < 0 {
+		varPerSite = 0
+	}
+	res := &KHResult{Delta: sum, StdErr: math.Sqrt(varPerSite * float64(n))}
+	if res.StdErr == 0 {
+		// Identical site vectors: no evidence either way.
+		res.Z, res.PValue = 0, 1
+		return res, nil
+	}
+	res.Z = res.Delta / res.StdErr
+	res.PValue = 2 * normalTail(math.Abs(res.Z))
+	return res, nil
+}
+
+// normalTail returns P(Z > z) for the standard normal via the
+// complementary error function.
+func normalTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

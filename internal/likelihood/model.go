@@ -1,0 +1,312 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// NStates is the nucleotide state count. States are ordered A, C, G, T.
+const NStates = 4
+
+// baseIndex maps nucleotide letters to state indices (-1 for non-canonical).
+var baseIndex = func() [256]int8 {
+	var t [256]int8
+	for i := range t {
+		t[i] = -1
+	}
+	for i, b := range []byte("ACGT") {
+		t[b] = int8(i)
+		t[b+'a'-'A'] = int8(i)
+	}
+	t['U'], t['u'] = 3, 3
+	return t
+}()
+
+// StateIndex returns the 0..3 index of a canonical base, or -1.
+func StateIndex(b byte) int { return int(baseIndex[b]) }
+
+// ambiguityMask maps IUPAC codes to bitmasks over (A=1, C=2, G=4, T=8).
+var ambiguityMask = map[byte]uint8{
+	'A': 1, 'C': 2, 'G': 4, 'T': 8, 'U': 8,
+	'R': 1 | 4, 'Y': 2 | 8, 'S': 2 | 4, 'W': 1 | 8, 'K': 4 | 8, 'M': 1 | 2,
+	'B': 2 | 4 | 8, 'D': 1 | 4 | 8, 'H': 1 | 2 | 8, 'V': 1 | 2 | 4,
+	'N': 15, '-': 15, '.': 15, '?': 15, 'X': 15,
+}
+
+// StateMask returns the set of states compatible with an input byte
+// (ambiguity codes and gaps map to "any state").
+func StateMask(b byte) uint8 {
+	if b >= 'a' && b <= 'z' {
+		b = b - 'a' + 'A'
+	}
+	if m, ok := ambiguityMask[b]; ok {
+		return m
+	}
+	return 15
+}
+
+// Model is a time-reversible DNA substitution model with an eigendecomposed
+// rate matrix, normalised to one expected substitution per unit branch
+// length.
+type Model struct {
+	Name string
+	// Pi holds the equilibrium base frequencies (A, C, G, T).
+	Pi [NStates]float64
+	// Rates holds the six exchangeability parameters in the order
+	// AC, AG, AT, CG, CT, GT (GTR parameterisation; simpler models are
+	// special cases).
+	Rates [6]float64
+
+	// Eigen system of the normalised rate matrix Q = U diag(eval) U^-1.
+	eval [NStates]float64
+	u    [NStates][NStates]float64
+	uinv [NStates][NStates]float64
+}
+
+// rateIndex maps an unordered state pair to its position in Rates.
+func rateIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	switch {
+	case i == 0 && j == 1:
+		return 0 // AC
+	case i == 0 && j == 2:
+		return 1 // AG
+	case i == 0 && j == 3:
+		return 2 // AT
+	case i == 1 && j == 2:
+		return 3 // CG
+	case i == 1 && j == 3:
+		return 4 // CT
+	default:
+		return 5 // GT
+	}
+}
+
+// NewGTR builds a general time-reversible model from six exchangeabilities
+// (AC, AG, AT, CG, CT, GT) and base frequencies. Frequencies are normalised;
+// all parameters must be positive.
+func NewGTR(rates [6]float64, pi [4]float64) (*Model, error) {
+	return newModel("GTR", rates, pi)
+}
+
+func newModel(name string, rates [6]float64, pi [4]float64) (*Model, error) {
+	var sum float64
+	for i, p := range pi {
+		if p <= 0 {
+			return nil, fmt.Errorf("likelihood: %s: base frequency %d must be positive, got %g", name, i, p)
+		}
+		sum += p
+	}
+	for i, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("likelihood: %s: rate %d must be positive, got %g", name, i, r)
+		}
+	}
+	m := &Model{Name: name, Rates: rates}
+	for i := range pi {
+		m.Pi[i] = pi[i] / sum
+	}
+	if err := m.decompose(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decompose builds the normalised rate matrix and its eigen system. For a
+// reversible Q, B = D^{1/2} Q D^{-1/2} (D = diag(Pi)) is symmetric, so the
+// Jacobi method applies; then U = D^{-1/2} V and U^{-1} = V^T D^{1/2}.
+func (m *Model) decompose() error {
+	var q [NStates][NStates]float64
+	for i := 0; i < NStates; i++ {
+		for j := 0; j < NStates; j++ {
+			if i == j {
+				continue
+			}
+			q[i][j] = m.Rates[rateIndex(i, j)] * m.Pi[j]
+		}
+	}
+	// Diagonal and normalisation: mean rate = -sum_i pi_i q_ii = 1.
+	meanRate := 0.0
+	for i := 0; i < NStates; i++ {
+		row := 0.0
+		for j := 0; j < NStates; j++ {
+			if i != j {
+				row += q[i][j]
+			}
+		}
+		q[i][i] = -row
+		meanRate += m.Pi[i] * row
+	}
+	if meanRate <= 0 {
+		return fmt.Errorf("likelihood: %s: degenerate rate matrix", m.Name)
+	}
+	for i := 0; i < NStates; i++ {
+		for j := 0; j < NStates; j++ {
+			q[i][j] /= meanRate
+		}
+	}
+	// Symmetrise.
+	b := make([][]float64, NStates)
+	for i := range b {
+		b[i] = make([]float64, NStates)
+		for j := 0; j < NStates; j++ {
+			b[i][j] = math.Sqrt(m.Pi[i]) * q[i][j] / math.Sqrt(m.Pi[j])
+		}
+	}
+	// Enforce exact symmetry against float noise.
+	for i := 0; i < NStates; i++ {
+		for j := i + 1; j < NStates; j++ {
+			avg := (b[i][j] + b[j][i]) / 2
+			b[i][j], b[j][i] = avg, avg
+		}
+	}
+	vals, vecs, err := jacobiEigen(b)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < NStates; i++ {
+		m.eval[i] = vals[i]
+		for j := 0; j < NStates; j++ {
+			m.u[i][j] = vecs[i][j] / math.Sqrt(m.Pi[i])
+			m.uinv[i][j] = vecs[j][i] * math.Sqrt(m.Pi[j])
+		}
+	}
+	return nil
+}
+
+// TransitionMatrix fills p with P(t) = exp(Qt), the probability of state j
+// at the child end of a branch of length t*rate given state i at the parent
+// end. Small negative round-off values are clamped to zero.
+func (m *Model) TransitionMatrix(t float64, p *[NStates][NStates]float64) {
+	var ev [NStates]float64
+	for k := 0; k < NStates; k++ {
+		ev[k] = math.Exp(m.eval[k] * t)
+	}
+	for i := 0; i < NStates; i++ {
+		for j := 0; j < NStates; j++ {
+			sum := 0.0
+			for k := 0; k < NStates; k++ {
+				sum += m.u[i][k] * ev[k] * m.uinv[k][j]
+			}
+			if sum < 0 {
+				sum = 0
+			}
+			p[i][j] = sum
+		}
+	}
+}
+
+// uniformPi is the equal-frequency vector.
+var uniformPi = [4]float64{0.25, 0.25, 0.25, 0.25}
+
+// NewJC69 builds the Jukes–Cantor 1969 model (all rates and frequencies
+// equal).
+func NewJC69() *Model {
+	m, err := newModel("JC69", [6]float64{1, 1, 1, 1, 1, 1}, uniformPi)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewK80 builds the Kimura 1980 two-parameter model with
+// transition/transversion ratio kappa (transitions AG and CT get rate
+// kappa). Frequencies are uniform.
+func NewK80(kappa float64) (*Model, error) {
+	if kappa <= 0 {
+		return nil, fmt.Errorf("likelihood: K80: kappa must be positive, got %g", kappa)
+	}
+	return newModel("K80", [6]float64{1, kappa, 1, 1, kappa, 1}, uniformPi)
+}
+
+// NewF81 builds the Felsenstein 1981 model: equal exchangeabilities,
+// arbitrary base frequencies.
+func NewF81(pi [4]float64) (*Model, error) {
+	return newModel("F81", [6]float64{1, 1, 1, 1, 1, 1}, pi)
+}
+
+// NewHKY85 builds the Hasegawa–Kishino–Yano 1985 model: transition bias
+// kappa plus arbitrary base frequencies.
+func NewHKY85(kappa float64, pi [4]float64) (*Model, error) {
+	if kappa <= 0 {
+		return nil, fmt.Errorf("likelihood: HKY85: kappa must be positive, got %g", kappa)
+	}
+	return newModel("HKY85", [6]float64{1, kappa, 1, 1, kappa, 1}, pi)
+}
+
+// NewF84 builds Felsenstein's 1984 model as used by DNAML/PHYLIP. Its
+// transition bias parameter is converted to the GTR parameterisation:
+// rate(AG) = 1 + k/piR, rate(CT) = 1 + k/piY.
+func NewF84(k float64, pi [4]float64) (*Model, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("likelihood: F84: k must be non-negative, got %g", k)
+	}
+	piR := pi[0] + pi[2]
+	piY := pi[1] + pi[3]
+	if piR <= 0 || piY <= 0 {
+		return nil, fmt.Errorf("likelihood: F84: degenerate purine/pyrimidine frequencies")
+	}
+	return newModel("F84", [6]float64{1, 1 + k/piR, 1, 1, 1 + k/piY, 1}, pi)
+}
+
+// NewTN93 builds the Tamura–Nei 1993 model with separate purine (kappaR:
+// AG) and pyrimidine (kappaY: CT) transition biases.
+func NewTN93(kappaR, kappaY float64, pi [4]float64) (*Model, error) {
+	if kappaR <= 0 || kappaY <= 0 {
+		return nil, fmt.Errorf("likelihood: TN93: kappas must be positive, got %g, %g", kappaR, kappaY)
+	}
+	return newModel("TN93", [6]float64{1, kappaR, 1, 1, kappaY, 1}, pi)
+}
+
+// ModelByName constructs a model from a config-file style specification,
+// e.g. "JC69", "K80:kappa=2", "HKY85:kappa=2,piA=0.3,piC=0.2,piG=0.2,piT=0.3",
+// "GTR:ac=1,ag=2,at=1,cg=1,ct=2,gt=1,piA=0.25,...". This is the menu of
+// substitution models the paper highlights as one of DPRml's strengths.
+func ModelByName(spec string) (*Model, error) {
+	name, argstr, _ := strings.Cut(spec, ":")
+	args := map[string]float64{}
+	if argstr != "" {
+		for _, kv := range strings.Split(argstr, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("likelihood: bad model argument %q in %q", kv, spec)
+			}
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+				return nil, fmt.Errorf("likelihood: bad value %q for %q: %w", v, k, err)
+			}
+			args[strings.ToLower(strings.TrimSpace(k))] = f
+		}
+	}
+	get := func(key string, def float64) float64 {
+		if v, ok := args[key]; ok {
+			return v
+		}
+		return def
+	}
+	pi := [4]float64{get("pia", 0.25), get("pic", 0.25), get("pig", 0.25), get("pit", 0.25)}
+	switch strings.ToUpper(name) {
+	case "JC69", "JC":
+		return NewJC69(), nil
+	case "K80", "K2P":
+		return NewK80(get("kappa", 2))
+	case "F81":
+		return NewF81(pi)
+	case "F84":
+		return NewF84(get("k", 1), pi)
+	case "HKY85", "HKY":
+		return NewHKY85(get("kappa", 2), pi)
+	case "TN93":
+		return NewTN93(get("kappar", 2), get("kappay", 2), pi)
+	case "GTR":
+		return NewGTR([6]float64{
+			get("ac", 1), get("ag", 2), get("at", 1),
+			get("cg", 1), get("ct", 2), get("gt", 1),
+		}, pi)
+	default:
+		return nil, fmt.Errorf("likelihood: unknown model %q (have JC69, K80, F81, F84, HKY85, TN93, GTR)", name)
+	}
+}

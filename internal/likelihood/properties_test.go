@@ -1,0 +1,154 @@
+package likelihood
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+// randModel builds a random valid GTR model from quick-generated values.
+func randModel(rng *rand.Rand) *Model {
+	var rates [6]float64
+	for i := range rates {
+		rates[i] = 0.2 + 5*rng.Float64()
+	}
+	var pi [4]float64
+	for i := range pi {
+		pi[i] = 0.1 + rng.Float64()
+	}
+	m, err := NewGTR(rates, pi)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestDetailedBalanceProperty checks time reversibility: pi_i P_ij(t) ==
+// pi_j P_ji(t) for random GTR models and branch lengths — the property the
+// whole pruning likelihood relies on.
+func TestDetailedBalanceProperty(t *testing.T) {
+	f := func(seed int64, tRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		bl := math.Abs(tRaw)
+		bl = math.Mod(bl, 5) + 1e-4
+		var p [NStates][NStates]float64
+		m.TransitionMatrix(bl, &p)
+		for i := 0; i < NStates; i++ {
+			for j := 0; j < NStates; j++ {
+				lhs := m.Pi[i] * p[i][j]
+				rhs := m.Pi[j] * p[j][i]
+				if math.Abs(lhs-rhs) > 1e-9 {
+					t.Logf("detailed balance broken at (%d,%d): %g vs %g (t=%g)", i, j, lhs, rhs, bl)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChapmanKolmogorovProperty: P(s+t) == P(s) P(t) for random models.
+func TestChapmanKolmogorovProperty(t *testing.T) {
+	f := func(seed int64, sRaw, tRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		s := math.Mod(math.Abs(sRaw), 2) + 1e-4
+		u := math.Mod(math.Abs(tRaw), 2) + 1e-4
+		var ps, pt, pst [NStates][NStates]float64
+		m.TransitionMatrix(s, &ps)
+		m.TransitionMatrix(u, &pt)
+		m.TransitionMatrix(s+u, &pst)
+		for i := 0; i < NStates; i++ {
+			for j := 0; j < NStates; j++ {
+				var dot float64
+				for k := 0; k < NStates; k++ {
+					dot += ps[i][k] * pt[k][j]
+				}
+				if math.Abs(dot-pst[i][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStationarityProperty: pi is a left eigenvector of P(t): pi P(t) == pi.
+func TestStationarityProperty(t *testing.T) {
+	f := func(seed int64, tRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		bl := math.Mod(math.Abs(tRaw), 10) + 1e-4
+		var p [NStates][NStates]float64
+		m.TransitionMatrix(bl, &p)
+		for j := 0; j < NStates; j++ {
+			var dot float64
+			for i := 0; i < NStates; i++ {
+				dot += m.Pi[i] * p[i][j]
+			}
+			if math.Abs(dot-m.Pi[j]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLikelihoodInvariantToRowOrder: shuffling alignment rows must not
+// change the tree likelihood (taxa are matched by name, not index).
+func TestLikelihoodInvariantToRowOrder(t *testing.T) {
+	taxa := []string{"a", "b", "c", "d", "e"}
+	tree, err := RandomTree(taxa, 0.05, 0.3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHKY85(3, [4]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tree, m, UniformRates(), 400, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := NewEvaluator(m, UniformRates(), Compress(aln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll1, err := e1.LogLikelihood(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the alignment with the row order reversed.
+	rev := make([]*seq.Sequence, len(aln.Rows))
+	for i, r := range aln.Rows {
+		rev[len(aln.Rows)-1-i] = r
+	}
+	aln2, err := seq.NewAlignment(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEvaluator(m, UniformRates(), Compress(aln2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll2, err := e2.LogLikelihood(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ll1-ll2) > 1e-9 {
+		t.Errorf("row order changed logL: %g vs %g", ll1, ll2)
+	}
+}

@@ -1,0 +1,229 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phylo"
+	"repro/internal/seq"
+)
+
+// CompressedAlignment is a site-pattern-compressed DNA alignment: identical
+// columns are merged and weighted, which is the single most important
+// optimisation in ML phylogenetics.
+type CompressedAlignment struct {
+	Taxa []string
+	// Patterns[p] holds one state mask per taxon (same order as Taxa).
+	Patterns [][]uint8
+	// Weights[p] is the number of original columns with pattern p.
+	Weights []int
+	// NSites is the original column count.
+	NSites int
+
+	index map[string]int
+	// siteToPattern maps each original column to its pattern index
+	// (ancestral reconstruction expands patterns back to sites).
+	siteToPattern []int
+}
+
+// Compress builds the pattern-compressed form of an alignment.
+func Compress(a *seq.Alignment) *CompressedAlignment {
+	nt, ns := a.NTaxa(), a.NSites()
+	c := &CompressedAlignment{
+		Taxa:   a.Taxa(),
+		NSites: ns,
+		index:  make(map[string]int, nt),
+	}
+	for i, t := range c.Taxa {
+		c.index[t] = i
+	}
+	seen := make(map[string]int)
+	col := make([]uint8, nt)
+	c.siteToPattern = make([]int, ns)
+	for s := 0; s < ns; s++ {
+		for t := 0; t < nt; t++ {
+			col[t] = StateMask(a.Rows[t].Residues[s])
+		}
+		key := string(col)
+		if p, ok := seen[key]; ok {
+			c.Weights[p]++
+			c.siteToPattern[s] = p
+			continue
+		}
+		p := len(c.Patterns)
+		seen[key] = p
+		c.siteToPattern[s] = p
+		c.Patterns = append(c.Patterns, append([]uint8(nil), col...))
+		c.Weights = append(c.Weights, 1)
+	}
+	return c
+}
+
+// NPatterns returns the number of distinct site patterns.
+func (c *CompressedAlignment) NPatterns() int { return len(c.Patterns) }
+
+// TaxonIndex returns the row index of a taxon, or -1.
+func (c *CompressedAlignment) TaxonIndex(name string) int {
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Evaluator computes log-likelihoods of trees over a fixed alignment,
+// substitution model and rate model using Felsenstein's pruning algorithm
+// with per-pattern numerical scaling. An Evaluator is not safe for
+// concurrent use; create one per goroutine (they share the immutable
+// compressed alignment).
+type Evaluator struct {
+	Model *Model
+	Rates *SiteRates
+	Data  *CompressedAlignment
+
+	// scratch buffers, resized per tree
+	clv      [][]float64 // [nodeID][cat*npat*4]
+	logScale []float64   // [npat] accumulated per-pattern scaling
+	pmat     [NStates][NStates]float64
+}
+
+// NewEvaluator wires together the three inputs of an ML computation.
+func NewEvaluator(m *Model, r *SiteRates, data *CompressedAlignment) (*Evaluator, error) {
+	if m == nil || r == nil || data == nil {
+		return nil, fmt.Errorf("likelihood: NewEvaluator requires model, rates and data")
+	}
+	if len(data.Patterns) == 0 {
+		return nil, fmt.Errorf("likelihood: empty alignment")
+	}
+	return &Evaluator{Model: m, Rates: r, Data: data}, nil
+}
+
+const scaleThreshold = 1e-100
+
+// LogLikelihood computes the log-likelihood of the tree. Every leaf must
+// name a row of the alignment. The tree's node IDs are (re)assigned.
+func (e *Evaluator) LogLikelihood(t *phylo.Tree) (float64, error) {
+	nNodes := t.Index()
+	ncat := e.Rates.NCategories()
+	npat := e.Data.NPatterns()
+	stride := npat * NStates
+
+	if len(e.clv) < nNodes {
+		e.clv = make([][]float64, nNodes)
+	}
+	for id := 0; id < nNodes; id++ {
+		if len(e.clv[id]) < ncat*stride {
+			e.clv[id] = make([]float64, ncat*stride)
+		}
+	}
+	if len(e.logScale) < npat {
+		e.logScale = make([]float64, npat)
+	}
+	for p := 0; p < npat; p++ {
+		e.logScale[p] = 0
+	}
+
+	var walkErr error
+	t.WalkPost(func(n *phylo.Node) {
+		if walkErr != nil {
+			return
+		}
+		if n.IsLeaf() {
+			walkErr = e.fillLeaf(n, ncat, npat)
+			return
+		}
+		e.fillInternal(n, ncat, npat)
+	})
+	if walkErr != nil {
+		return 0, walkErr
+	}
+
+	root := e.clv[t.Root.ID]
+	catW := 1.0 / float64(ncat)
+	logL := 0.0
+	for p := 0; p < npat; p++ {
+		site := 0.0
+		for cat := 0; cat < ncat; cat++ {
+			base := cat*stride + p*NStates
+			for i := 0; i < NStates; i++ {
+				site += e.Model.Pi[i] * root[base+i]
+			}
+		}
+		site *= catW
+		if site <= 0 {
+			return 0, fmt.Errorf("likelihood: zero site likelihood at pattern %d (branch lengths too extreme?)", p)
+		}
+		logL += float64(e.Data.Weights[p]) * (math.Log(site) + e.logScale[p])
+	}
+	return logL, nil
+}
+
+func (e *Evaluator) fillLeaf(n *phylo.Node, ncat, npat int) error {
+	row := e.Data.TaxonIndex(n.Name)
+	if row < 0 {
+		return fmt.Errorf("likelihood: leaf %q has no alignment row", n.Name)
+	}
+	clv := e.clv[n.ID]
+	stride := npat * NStates
+	for p := 0; p < npat; p++ {
+		mask := e.Data.Patterns[p][row]
+		base := p * NStates
+		for i := 0; i < NStates; i++ {
+			v := 0.0
+			if mask&(1<<uint(i)) != 0 {
+				v = 1.0
+			}
+			clv[base+i] = v
+		}
+	}
+	// Copy category 0 into the remaining categories (leaf CLVs are
+	// category-independent).
+	for cat := 1; cat < ncat; cat++ {
+		copy(clv[cat*stride:(cat+1)*stride], clv[:stride])
+	}
+	return nil
+}
+
+func (e *Evaluator) fillInternal(n *phylo.Node, ncat, npat int) {
+	clv := e.clv[n.ID]
+	stride := npat * NStates
+	for k := 0; k < ncat*stride; k++ {
+		clv[k] = 1
+	}
+	for _, child := range n.Children {
+		childCLV := e.clv[child.ID]
+		for cat := 0; cat < ncat; cat++ {
+			e.Model.TransitionMatrix(child.Length*e.Rates.Rates[cat], &e.pmat)
+			cbase := cat * stride
+			for p := 0; p < npat; p++ {
+				b := cbase + p*NStates
+				c0, c1, c2, c3 := childCLV[b], childCLV[b+1], childCLV[b+2], childCLV[b+3]
+				clv[b] *= e.pmat[0][0]*c0 + e.pmat[0][1]*c1 + e.pmat[0][2]*c2 + e.pmat[0][3]*c3
+				clv[b+1] *= e.pmat[1][0]*c0 + e.pmat[1][1]*c1 + e.pmat[1][2]*c2 + e.pmat[1][3]*c3
+				clv[b+2] *= e.pmat[2][0]*c0 + e.pmat[2][1]*c1 + e.pmat[2][2]*c2 + e.pmat[2][3]*c3
+				clv[b+3] *= e.pmat[3][0]*c0 + e.pmat[3][1]*c1 + e.pmat[3][2]*c2 + e.pmat[3][3]*c3
+			}
+		}
+	}
+	// Per-pattern scaling across categories.
+	for p := 0; p < npat; p++ {
+		maxV := 0.0
+		for cat := 0; cat < ncat; cat++ {
+			b := cat*stride + p*NStates
+			for i := 0; i < NStates; i++ {
+				if clv[b+i] > maxV {
+					maxV = clv[b+i]
+				}
+			}
+		}
+		if maxV > 0 && maxV < scaleThreshold {
+			inv := 1 / maxV
+			for cat := 0; cat < ncat; cat++ {
+				b := cat*stride + p*NStates
+				for i := 0; i < NStates; i++ {
+					clv[b+i] *= inv
+				}
+			}
+			e.logScale[p] += math.Log(maxV)
+		}
+	}
+}

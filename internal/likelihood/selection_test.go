@@ -1,0 +1,107 @@
+package likelihood
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phylo"
+	"repro/internal/seq"
+)
+
+// selectionFixture simulates nSites of data under model m on a random
+// 8-taxon tree.
+func selectionFixture(t *testing.T, m *Model, nSites int, seed int64) (*phylo.Tree, *seq.Alignment) {
+	t.Helper()
+	taxa := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	tr, err := RandomTree(taxa, 0.05, 0.3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Simulate(tr, m, UniformRates(), nSites, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, aln
+}
+
+func TestSelectModelPrefersTrueFamilyHKY(t *testing.T) {
+	// Strong transition bias + skewed frequencies: HKY85 should win over
+	// JC69/K80/F81.
+	m, err := NewHKY85(6, [4]float64{0.4, 0.1, 0.15, 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, aln := selectionFixture(t, m, 3000, 31)
+	fits, err := SelectModel(tr, aln, SelectModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 4 {
+		t.Fatalf("%d candidates, want 4", len(fits))
+	}
+	if fits[0].Name != "HKY85" {
+		t.Errorf("best model %s, want HKY85 (fits: %+v)", fits[0].Name, fits)
+	}
+	// Sorted by AIC ascending.
+	for i := 1; i < len(fits); i++ {
+		if fits[i].AIC < fits[i-1].AIC {
+			t.Errorf("fits not sorted by AIC: %g before %g", fits[i-1].AIC, fits[i].AIC)
+		}
+	}
+	// The winning spec must round-trip through ModelByName.
+	if _, err := ModelByName(fits[0].Spec); err != nil {
+		t.Errorf("winning spec %q does not parse: %v", fits[0].Spec, err)
+	}
+}
+
+func TestSelectModelPrefersJCWhenTrue(t *testing.T) {
+	// Data simulated under JC69: the parameter-free model should win on
+	// AIC (richer models gain < 2 logL units per parameter on average).
+	tr, aln := selectionFixture(t, NewJC69(), 2000, 41)
+	fits, err := SelectModel(tr, aln, SelectModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[0].Name != "JC69" && fits[0].Name != "K80" {
+		t.Errorf("best model %s under JC69 data, want JC69 (or K80 by chance)", fits[0].Name)
+	}
+	// Log-likelihoods must be nested: HKY85 >= K80 >= JC69 and HKY85 >= F81.
+	ll := map[string]float64{}
+	for _, f := range fits {
+		ll[f.Name] = f.LogL
+	}
+	if ll["K80"] < ll["JC69"]-1e-6 || ll["HKY85"] < ll["K80"]-1e-6 || ll["HKY85"] < ll["F81"]-1e-6 {
+		t.Errorf("nesting violated: %+v", ll)
+	}
+}
+
+func TestSelectModelBIC(t *testing.T) {
+	m, err := NewHKY85(6, [4]float64{0.4, 0.1, 0.15, 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, aln := selectionFixture(t, m, 3000, 51)
+	fits, err := SelectModel(tr, aln, SelectModelOptions{Criterion: "bic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i].BIC < fits[i-1].BIC {
+			t.Errorf("fits not sorted by BIC")
+		}
+	}
+	// BIC charges more per parameter than AIC at n=3000.
+	for _, f := range fits {
+		if f.K > 0 && f.BIC <= f.AIC {
+			t.Errorf("%s: BIC %g <= AIC %g with K=%d", f.Name, f.BIC, f.AIC, f.K)
+		}
+	}
+}
+
+func TestSelectModelBadCriterion(t *testing.T) {
+	tr, aln := selectionFixture(t, NewJC69(), 200, 61)
+	if _, err := SelectModel(tr, aln, SelectModelOptions{Criterion: "dic"}); err == nil ||
+		!strings.Contains(err.Error(), "criterion") {
+		t.Errorf("bad criterion not rejected: %v", err)
+	}
+}

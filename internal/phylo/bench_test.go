@@ -1,0 +1,109 @@
+package phylo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchTree builds a random binary tree over n leaves.
+func benchTree(b *testing.B, n int, seed int64) *Tree {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	t := Triplet("L0", "L1", "L2", 0.1)
+	for i := 3; i < n; i++ {
+		edges := t.Edges()
+		if _, err := t.InsertLeafOnEdge(edges[rng.Intn(len(edges))], fmt.Sprintf("L%d", i), 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+func BenchmarkParseNewick50(b *testing.B) {
+	s := benchTree(b, 50, 1).String()
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNewick(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewickRoundTrip50(b *testing.B) {
+	t := benchTree(b, 50, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNewick(t.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBipartitions50(b *testing.B) {
+	t := benchTree(b, 50, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Bipartitions()
+	}
+}
+
+func BenchmarkRobinsonFoulds50(b *testing.B) {
+	x := benchTree(b, 50, 3)
+	y := benchTree(b, 50, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RobinsonFoulds(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighborJoining30(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	taxa := make([]string, 30)
+	for i := range taxa {
+		taxa[i] = fmt.Sprintf("L%d", i)
+	}
+	dm := NewDistanceMatrix(taxa)
+	for i := 0; i < len(taxa); i++ {
+		for j := i + 1; j < len(taxa); j++ {
+			d := 0.05 + rng.Float64()
+			dm.D[i][j], dm.D[j][i] = d, d
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NeighborJoining(dm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloneAndInsert50(b *testing.B) {
+	t := benchTree(b, 50, 6)
+	edges := t.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := t.Clone()
+		we := w.Edges()
+		if _, err := w.InsertLeafOnEdge(we[i%len(edges)], "new", 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMajorityConsensus(b *testing.B) {
+	base := benchTree(b, 30, 7)
+	trees := make([]*Tree, 10)
+	for i := range trees {
+		trees[i] = base.Clone()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MajorityRuleConsensus(trees); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package phylo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bipartition is a canonical string encoding of a leaf-set split induced by
+// an internal edge: the lexicographically smaller side's sorted names joined
+// by commas, with a "|" separating the two sides' canonical form. Two
+// unrooted trees share a bipartition iff the encodings are equal.
+type Bipartition string
+
+// Bipartitions returns the set of non-trivial bipartitions (splits with at
+// least two leaves on each side) of the tree viewed as unrooted.
+func (t *Tree) Bipartitions() map[Bipartition]bool {
+	all := t.LeafNames()
+	total := len(all)
+	out := make(map[Bipartition]bool)
+	var rec func(n *Node) []string
+	rec = func(n *Node) []string {
+		if n.IsLeaf() {
+			return []string{n.Name}
+		}
+		var names []string
+		for _, c := range n.Children {
+			names = append(names, rec(c)...)
+		}
+		// The edge above n induces the split names | rest — skip the root
+		// (no edge) and trivial splits.
+		if n.Parent != nil && len(names) >= 2 && total-len(names) >= 2 {
+			out[canonicalSplit(names, all)] = true
+		}
+		return names
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+	return out
+}
+
+func canonicalSplit(side []string, all []string) Bipartition {
+	in := make(map[string]bool, len(side))
+	for _, s := range side {
+		in[s] = true
+	}
+	var a, b []string
+	for _, s := range all {
+		if in[s] {
+			a = append(a, s)
+		} else {
+			b = append(b, s)
+		}
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	sa, sb := strings.Join(a, ","), strings.Join(b, ",")
+	if sa > sb {
+		sa, sb = sb, sa
+	}
+	return Bipartition(sa + "|" + sb)
+}
+
+// RobinsonFoulds returns the Robinson–Foulds distance between two trees on
+// the same leaf set: the number of bipartitions present in exactly one of
+// the trees. It errors if the leaf sets differ.
+func RobinsonFoulds(a, b *Tree) (int, error) {
+	an, bn := a.LeafNames(), b.LeafNames()
+	if len(an) != len(bn) {
+		return 0, fmt.Errorf("phylo: RF: leaf sets differ in size: %d vs %d", len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return 0, fmt.Errorf("phylo: RF: leaf sets differ (%q vs %q)", an[i], bn[i])
+		}
+	}
+	ba := a.Bipartitions()
+	bb := b.Bipartitions()
+	d := 0
+	for s := range ba {
+		if !bb[s] {
+			d++
+		}
+	}
+	for s := range bb {
+		if !ba[s] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// SameTopology reports whether two trees induce the same unrooted topology.
+func SameTopology(a, b *Tree) bool {
+	d, err := RobinsonFoulds(a, b)
+	return err == nil && d == 0
+}

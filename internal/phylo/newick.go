@@ -1,0 +1,167 @@
+package phylo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseNewick parses a Newick tree string, e.g. "((A:0.1,B:0.2):0.05,C:0.3);".
+// Internal node labels are accepted and stored in Name. Branch lengths are
+// optional and default to 0.
+func ParseNewick(s string) (*Tree, error) {
+	p := &newickParser{src: s}
+	p.skipSpace()
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != ';' {
+		return nil, fmt.Errorf("phylo: newick: expected ';' at offset %d", p.pos)
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("phylo: newick: trailing data at offset %d", p.pos)
+	}
+	t := &Tree{Root: root}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type newickParser struct {
+	src string
+	pos int
+}
+
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *newickParser) parseNode() (*Node, error) {
+	p.skipSpace()
+	n := &Node{ID: -1}
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.AddChild(child)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("phylo: newick: unterminated group")
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("phylo: newick: unexpected %q at offset %d", p.src[p.pos], p.pos)
+		}
+	}
+	// Optional label.
+	n.Name = p.parseLabel()
+	// Optional branch length.
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ':' {
+		p.pos++
+		l, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		n.Length = l
+	}
+	if len(n.Children) == 0 && n.Name == "" {
+		return nil, fmt.Errorf("phylo: newick: leaf without a name at offset %d", p.pos)
+	}
+	return n, nil
+}
+
+func (p *newickParser) parseLabel() string {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		// Quoted label.
+		end := strings.IndexByte(p.src[p.pos+1:], '\'')
+		if end < 0 {
+			return ""
+		}
+		label := p.src[p.pos+1 : p.pos+1+end]
+		p.pos += end + 2
+		return label
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ':' || c == ',' || c == ')' || c == '(' || c == ';' || c == ' ' || c == '\n' || c == '\t' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *newickParser) parseNumber() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("phylo: newick: expected number at offset %d", p.pos)
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("phylo: newick: bad branch length %q: %w", p.src[start:p.pos], err)
+	}
+	return v, nil
+}
+
+func writeNewick(b *strings.Builder, n *Node, isRoot bool) {
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeNewick(b, c, false)
+		}
+		b.WriteByte(')')
+	}
+	if n.Name != "" {
+		b.WriteString(escapeLabel(n.Name))
+	}
+	if !isRoot {
+		b.WriteByte(':')
+		// Shortest representation that round-trips exactly: serialised
+		// trees (DPRml ships topologies between server and donors as
+		// Newick) must not lose branch-length precision.
+		b.WriteString(strconv.FormatFloat(n.Length, 'g', -1, 64))
+	}
+}
+
+func escapeLabel(s string) string {
+	if strings.ContainsAny(s, "():;, '") {
+		return "'" + s + "'"
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFixed(t *testing.T) {
+	p := Fixed{Size: 500}
+	if got := p.Budget(DonorStats{}, 1e9, 10); got != 500 {
+		t.Errorf("Budget = %d", got)
+	}
+	if got := (Fixed{}).Budget(DonorStats{}, 0, 0); got != 1 {
+		t.Errorf("zero-size fixed budget = %d, want 1", got)
+	}
+}
+
+func TestAdaptive(t *testing.T) {
+	p := Adaptive{Target: 2 * time.Second, Bootstrap: 100, Min: 10, Max: 100000}
+	// No history: bootstrap.
+	if got := p.Budget(DonorStats{}, 0, 5); got != 100 {
+		t.Errorf("bootstrap budget = %d", got)
+	}
+	// 1000 cost/s donor, 2 s target -> 2000.
+	if got := p.Budget(DonorStats{Throughput: 1000}, 0, 5); got != 2000 {
+		t.Errorf("adaptive budget = %d, want 2000", got)
+	}
+	// Clamps.
+	if got := p.Budget(DonorStats{Throughput: 1}, 0, 5); got != 10 {
+		t.Errorf("min clamp = %d", got)
+	}
+	if got := p.Budget(DonorStats{Throughput: 1e9}, 0, 5); got != 100000 {
+		t.Errorf("max clamp = %d", got)
+	}
+	// Faster donors get proportionally bigger units (the paper's core
+	// heterogeneity mechanism).
+	slow := p.Budget(DonorStats{Throughput: 500}, 0, 5)
+	fast := p.Budget(DonorStats{Throughput: 5000}, 0, 5)
+	if fast != 10*slow {
+		t.Errorf("budgets not proportional: slow=%d fast=%d", slow, fast)
+	}
+}
+
+func TestGSS(t *testing.T) {
+	p := GSS{K: 1, Min: 1}
+	if got := p.Budget(DonorStats{}, 1000, 10); got != 100 {
+		t.Errorf("GSS budget = %d, want 100", got)
+	}
+	// Shrinks as work drains.
+	if a, b := p.Budget(DonorStats{}, 1000, 10), p.Budget(DonorStats{}, 100, 10); b >= a {
+		t.Errorf("GSS did not shrink: %d -> %d", a, b)
+	}
+	// Min floor.
+	if got := p.Budget(DonorStats{}, 5, 10); got != 1 {
+		t.Errorf("GSS floor = %d", got)
+	}
+	// Degenerate inputs.
+	if got := (GSS{}).Budget(DonorStats{}, 0, 0); got != 1 {
+		t.Errorf("degenerate GSS = %d", got)
+	}
+}
+
+func TestFactoring(t *testing.T) {
+	p := Factoring{Min: 1}
+	if got := p.Budget(DonorStats{}, 1000, 10); got != 50 {
+		t.Errorf("factoring budget = %d, want 50", got)
+	}
+}
+
+func TestTSS(t *testing.T) {
+	p := TSS{Min: 10}
+	// Full queue: roughly remaining/(2*donors).
+	full := p.Budget(DonorStats{}, 10000, 10)
+	if full < 400 || full > 500 {
+		t.Errorf("full-queue TSS budget = %d, want ~500", full)
+	}
+	// Taper: budgets shrink monotonically as the queue drains.
+	prev := full
+	for _, rem := range []int64{5000, 2000, 500, 100, 10} {
+		b := p.Budget(DonorStats{}, rem, 10)
+		if b > prev {
+			t.Errorf("TSS grew as work drained: %d -> %d at remaining=%d", prev, b, rem)
+		}
+		prev = b
+	}
+	// Floor.
+	if got := p.Budget(DonorStats{}, 1, 10); got != 10 {
+		t.Errorf("TSS floor = %d, want 10", got)
+	}
+	// Degenerate inputs survive.
+	if got := (TSS{}).Budget(DonorStats{}, 0, 0); got < 1 {
+		t.Errorf("degenerate TSS = %d", got)
+	}
+	// Explicit First/Last are respected at the endpoints.
+	e := TSS{First: 1000, Last: 100, Min: 1}
+	if got := e.Budget(DonorStats{}, 1<<40, 4); got != 1000 {
+		t.Errorf("explicit full-queue TSS = %d, want 1000", got)
+	}
+	if got := e.Budget(DonorStats{}, 0, 4); got != 100 {
+		t.Errorf("explicit drained TSS = %d, want 100", got)
+	}
+}
+
+func TestPolicyBudgetsAlwaysPositive(t *testing.T) {
+	policies := []Policy{
+		Fixed{}, Fixed{Size: -5},
+		Adaptive{}, Adaptive{Target: time.Second},
+		GSS{}, GSS{K: -1},
+		Factoring{}, TSS{}, TSS{First: -10, Last: -10},
+	}
+	stats := []DonorStats{{}, {Throughput: 1e-12}, {Throughput: 1e12}, {Failures: 100}}
+	for _, p := range policies {
+		for _, d := range stats {
+			for _, rem := range []int64{-1, 0, 1, 1 << 40} {
+				for _, n := range []int{-1, 0, 1, 1000} {
+					if got := p.Budget(d, rem, n); got < 1 {
+						t.Errorf("%s.Budget(%+v, %d, %d) = %d", p.Name(), d, rem, n, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	if got := EWMA(0, 100, 0.3); got != 100 {
+		t.Errorf("first sample EWMA = %g", got)
+	}
+	got := EWMA(100, 200, 0.5)
+	if got != 150 {
+		t.Errorf("EWMA = %g, want 150", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := map[string]string{
+		"fixed:2000":  "fixed(2000)",
+		"fixed":       "fixed(1000)",
+		"adaptive:3s": "adaptive(3s)",
+		"adaptive":    "adaptive(5s)",
+		"gss":         "gss(k=1)",
+		"gss:4":       "gss(k=4)",
+		"factoring":   "factoring",
+		"tss":         "tss",
+	}
+	for spec, want := range cases {
+		p, err := ByName(spec)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", spec, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", spec, p.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "nope", "fixed:x", "adaptive:zzz", "gss:x"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package seq
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BootstrapAlignment returns a nonparametric bootstrap replicate of the
+// alignment: the same number of columns, drawn with replacement. This is
+// the standard way biologists attach support values to a tree — build a
+// tree per replicate, then take the consensus (Felsenstein 1985). The
+// replicate is deterministic for a given seed.
+func BootstrapAlignment(a *Alignment, seed int64) (*Alignment, error) {
+	if a == nil || a.NTaxa() == 0 || a.NSites() == 0 {
+		return nil, fmt.Errorf("seq: cannot bootstrap an empty alignment")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ns := a.NSites()
+	cols := make([]int, ns)
+	for i := range cols {
+		cols[i] = rng.Intn(ns)
+	}
+	rows := make([]*Sequence, a.NTaxa())
+	for i, r := range a.Rows {
+		res := make([]byte, ns)
+		for j, c := range cols {
+			res[j] = r.Residues[c]
+		}
+		rows[i] = &Sequence{ID: r.ID, Desc: r.Desc, Residues: res}
+	}
+	return NewAlignment(rows)
+}

@@ -1,0 +1,111 @@
+package seq
+
+import (
+	"fmt"
+	"math"
+)
+
+// Low-complexity masking (SEG/DUST-style). Compositionally biased regions
+// — homopolymer runs, short repeats — produce spuriously high alignment
+// scores between unrelated sequences; database search tools mask them
+// before scoring. The filter here is the windowed-entropy form: a window
+// whose Shannon entropy falls below a threshold is masked (residues
+// replaced by the alphabet's ambiguity character, which scoring matrices
+// treat neutrally-to-negatively).
+
+// MaskChar is the residue written into masked positions.
+const MaskChar = 'X'
+
+// WindowEntropy returns the Shannon entropy (bits) of the residue
+// composition of w. Case-insensitive; an empty window has zero entropy.
+func WindowEntropy(w []byte) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range w {
+		if b >= 'a' && b <= 'z' {
+			b = b - 'a' + 'A'
+		}
+		counts[b]++
+	}
+	n := float64(len(w))
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// LowComplexityRegions returns the merged [from, to) intervals covered by
+// any length-window sliding window whose entropy is below threshold.
+func LowComplexityRegions(residues []byte, window int, threshold float64) ([][2]int, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("seq: complexity window must be >= 2, got %d", window)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("seq: complexity threshold must be positive, got %g", threshold)
+	}
+	if len(residues) < window {
+		return nil, nil
+	}
+	var out [][2]int
+	for i := 0; i+window <= len(residues); i++ {
+		if WindowEntropy(residues[i:i+window]) >= threshold {
+			continue
+		}
+		from, to := i, i+window
+		if n := len(out); n > 0 && out[n-1][1] >= from {
+			out[n-1][1] = to // merge overlapping/adjacent windows
+		} else {
+			out = append(out, [2]int{from, to})
+		}
+	}
+	return out, nil
+}
+
+// MaskLowComplexity returns a copy of the sequence with low-complexity
+// regions replaced by MaskChar. The input is not modified.
+func MaskLowComplexity(s *Sequence, window int, threshold float64) (*Sequence, error) {
+	regions, err := LowComplexityRegions(s.Residues, window, threshold)
+	if err != nil {
+		return nil, err
+	}
+	masked := append([]byte(nil), s.Residues...)
+	for _, r := range regions {
+		for i := r[0]; i < r[1]; i++ {
+			masked[i] = MaskChar
+		}
+	}
+	return &Sequence{ID: s.ID, Desc: s.Desc, Residues: masked}, nil
+}
+
+// MaskDatabase applies MaskLowComplexity to every sequence, returning a
+// new database. MaskedFraction helps callers report how aggressive the
+// filter was.
+func MaskDatabase(db *Database, window int, threshold float64) (*Database, float64, error) {
+	out := &Database{Seqs: make([]*Sequence, len(db.Seqs))}
+	var masked, total int64
+	for i, s := range db.Seqs {
+		m, err := MaskLowComplexity(s, window, threshold)
+		if err != nil {
+			return nil, 0, fmt.Errorf("seq: masking %s: %w", s.ID, err)
+		}
+		out.Seqs[i] = m
+		for j := range m.Residues {
+			if m.Residues[j] == MaskChar && s.Residues[j] != MaskChar {
+				masked++
+			}
+		}
+		total += int64(s.Len())
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(masked) / float64(total)
+	}
+	return out, frac, nil
+}

@@ -1,0 +1,146 @@
+package seq
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWindowEntropy(t *testing.T) {
+	if h := WindowEntropy([]byte("AAAAAAAA")); h != 0 {
+		t.Errorf("homopolymer entropy %g, want 0", h)
+	}
+	if h := WindowEntropy([]byte("ACGT")); math.Abs(h-2) > 1e-12 {
+		t.Errorf("uniform 4-letter entropy %g, want 2", h)
+	}
+	if h := WindowEntropy([]byte("aAaA")); h != 0 {
+		t.Errorf("case-insensitivity broken: %g", h)
+	}
+	if h := WindowEntropy(nil); h != 0 {
+		t.Errorf("empty window entropy %g", h)
+	}
+	// Entropy grows with diversity.
+	if WindowEntropy([]byte("AACC")) >= WindowEntropy([]byte("ACGT")) {
+		t.Error("2-letter window not below 4-letter window")
+	}
+}
+
+func TestLowComplexityRegionsFindsRuns(t *testing.T) {
+	g := NewGenerator(Protein, 3)
+	random := g.Random("r", 60).Residues
+	s := append(append(append([]byte{}, random...), bytes.Repeat([]byte("Q"), 30)...), g.Random("r2", 60).Residues...)
+	regions, err := LowComplexityRegions(s, 12, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) == 0 {
+		t.Fatal("polyQ run not detected")
+	}
+	// The run [60, 90) must be inside some region; random flanks mostly not.
+	covered := func(i int) bool {
+		for _, r := range regions {
+			if i >= r[0] && i < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 65; i < 85; i++ {
+		if !covered(i) {
+			t.Fatalf("position %d inside polyQ not covered", i)
+		}
+	}
+	if covered(20) {
+		t.Error("random prefix flagged as low complexity")
+	}
+}
+
+func TestLowComplexityValidation(t *testing.T) {
+	if _, err := LowComplexityRegions([]byte("AAAA"), 1, 2); err == nil {
+		t.Error("window 1 accepted")
+	}
+	if _, err := LowComplexityRegions([]byte("AAAA"), 4, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	regions, err := LowComplexityRegions([]byte("AA"), 12, 2)
+	if err != nil || regions != nil {
+		t.Errorf("short sequence: %v %v", regions, err)
+	}
+}
+
+func TestMaskLowComplexity(t *testing.T) {
+	g := NewGenerator(Protein, 5)
+	flank := g.Random("f", 50).Residues
+	s := &Sequence{ID: "s", Residues: append(append([]byte{}, flank...), bytes.Repeat([]byte("S"), 25)...)}
+	masked, err := MaskLowComplexity(s, 12, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.ID != "s" || len(masked.Residues) != len(s.Residues) {
+		t.Fatal("mask changed identity or length")
+	}
+	if !bytes.Contains(masked.Residues, bytes.Repeat([]byte{MaskChar}, 20)) {
+		t.Errorf("polyS not masked: %s", masked.Residues)
+	}
+	// Original untouched.
+	if bytes.ContainsRune(s.Residues[:50], rune(MaskChar)) {
+		t.Error("input sequence mutated")
+	}
+	if strings.Count(string(masked.Residues[:30]), string(MaskChar)) > 0 {
+		t.Error("random flank masked")
+	}
+}
+
+func TestMaskDatabaseFraction(t *testing.T) {
+	g := NewGenerator(Protein, 7)
+	db := &Database{Seqs: []*Sequence{
+		g.Random("clean", 100),
+		{ID: "dirty", Residues: bytes.Repeat([]byte("E"), 100)},
+	}}
+	masked, frac, err := MaskDatabase(db, 12, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("masked fraction %.3f, want ~0.5", frac)
+	}
+	if bytes.ContainsRune(masked.Seqs[0].Residues, rune(MaskChar)) {
+		t.Error("clean sequence masked")
+	}
+	for _, b := range masked.Seqs[1].Residues {
+		if b != MaskChar {
+			t.Fatalf("homopolymer not fully masked: %c", b)
+		}
+	}
+}
+
+func TestMaskingSuppressesSpuriousSimilarity(t *testing.T) {
+	// Two unrelated sequences that share only a long homopolymer: masking
+	// must remove most of the shared signal (p-distance on the masked pair
+	// goes up). This is the filter's purpose in DSEARCH.
+	g := NewGenerator(Protein, 11)
+	run := bytes.Repeat([]byte("K"), 40)
+	a := &Sequence{ID: "a", Residues: append(append([]byte{}, g.Random("x", 40).Residues...), run...)}
+	b := &Sequence{ID: "b", Residues: append(append([]byte{}, g.Random("y", 40).Residues...), run...)}
+	ma, err := MaskLowComplexity(a, 12, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := MaskLowComplexity(b, 12, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(x, y []byte) int {
+		n := 0
+		for i := range x {
+			if x[i] == y[i] && x[i] != MaskChar {
+				n++
+			}
+		}
+		return n
+	}
+	if before, after := same(a.Residues, b.Residues), same(ma.Residues, mb.Residues); after >= before-30 {
+		t.Errorf("masking left %d of %d shared positions", after, before)
+	}
+}

@@ -1,0 +1,242 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Matrix is a residue substitution scoring matrix over an alphabet. Lookups
+// are case-insensitive; residues outside the canonical alphabet (ambiguity
+// codes, gaps) score Unknown.
+type Matrix struct {
+	Name     string
+	Alphabet *Alphabet
+	// Unknown is the score used when either residue is not canonical.
+	Unknown int
+	scores  [][]int
+	// lut is a flat 256x256 lookup for the hot path.
+	lut []int16
+}
+
+// NewMatrix builds a scoring matrix from a square score table indexed by the
+// alphabet's canonical letter order.
+func NewMatrix(name string, a *Alphabet, scores [][]int, unknown int) *Matrix {
+	n := a.Size()
+	if len(scores) != n {
+		panic(fmt.Sprintf("seq: matrix %s has %d rows, alphabet %s has %d letters", name, len(scores), a.Name(), n))
+	}
+	for i, row := range scores {
+		if len(row) != n {
+			panic(fmt.Sprintf("seq: matrix %s row %d has %d cols, want %d", name, i, len(row), n))
+		}
+	}
+	m := &Matrix{Name: name, Alphabet: a, Unknown: unknown, scores: scores}
+	m.buildLUT()
+	return m
+}
+
+func (m *Matrix) buildLUT() {
+	m.lut = make([]int16, 256*256)
+	for i := range m.lut {
+		m.lut[i] = int16(m.Unknown)
+	}
+	a := m.Alphabet
+	for x := 0; x < 256; x++ {
+		ix := a.Index(byte(x))
+		if ix < 0 {
+			continue
+		}
+		for y := 0; y < 256; y++ {
+			iy := a.Index(byte(y))
+			if iy < 0 {
+				continue
+			}
+			m.lut[x<<8|y] = int16(m.scores[ix][iy])
+		}
+	}
+}
+
+// Score returns the substitution score for the residue pair (x, y).
+func (m *Matrix) Score(x, y byte) int { return int(m.lut[int(x)<<8|int(y)]) }
+
+// Max returns the largest score in the matrix (usually the best self-match),
+// used for normalised-score statistics.
+func (m *Matrix) Max() int {
+	best := m.scores[0][0]
+	for _, row := range m.scores {
+		for _, v := range row {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// MatchMismatch builds a simple nucleotide scoring matrix with the given
+// match and mismatch scores.
+func MatchMismatch(name string, a *Alphabet, match, mismatch int) *Matrix {
+	n := a.Size()
+	scores := make([][]int, n)
+	for i := range scores {
+		scores[i] = make([]int, n)
+		for j := range scores[i] {
+			if i == j {
+				scores[i][j] = match
+			} else {
+				scores[i][j] = mismatch
+			}
+		}
+	}
+	return NewMatrix(name, a, scores, mismatch)
+}
+
+// DNASimple is the default +5/−4 nucleotide scheme (BLAST's defaults).
+var DNASimple = MatchMismatch("dna+5/-4", DNA, 5, -4)
+
+// DNAUnit scores +1 match / −1 mismatch — the textbook scheme.
+var DNAUnit = MatchMismatch("dna+1/-1", DNA, 1, -1)
+
+// blosum62Text is the standard NCBI BLOSUM62 matrix, in the usual
+// whitespace-separated layout (rows/cols in the order given on the first
+// line). The B, Z, X and * columns are parsed and folded into Unknown
+// handling by restricting to the Protein alphabet order at load time.
+const blosum62Text = `
+   A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V
+A  4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0
+R -1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3
+N -2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3
+D -2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3
+C  0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1
+Q -1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2
+E -1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2
+G  0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3
+H -2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3
+I -1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3
+L -1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1
+K -1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2
+M -1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1
+F -2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1
+P -1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2
+S  1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2
+T  0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0
+W -3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3
+Y -2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -2
+V  0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -2  4
+`
+
+// pam250Text is the classic Dayhoff PAM250 matrix.
+const pam250Text = `
+   A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V
+A  2 -2  0  0 -2  0  0  1 -1 -1 -2 -1 -1 -3  1  1  1 -6 -3  0
+R -2  6  0 -1 -4  1 -1 -3  2 -2 -3  3  0 -4  0  0 -1  2 -4 -2
+N  0  0  2  2 -4  1  1  0  2 -2 -3  1 -2 -3  0  1  0 -4 -2 -2
+D  0 -1  2  4 -5  2  3  1  1 -2 -4  0 -3 -6 -1  0  0 -7 -4 -2
+C -2 -4 -4 -5 12 -5 -5 -3 -3 -2 -6 -5 -5 -4 -3  0 -2 -8  0 -2
+Q  0  1  1  2 -5  4  2 -1  3 -2 -2  1 -1 -5  0 -1 -1 -5 -4 -2
+E  0 -1  1  3 -5  2  4  0  1 -2 -3  0 -2 -5 -1  0  0 -7 -4 -2
+G  1 -3  0  1 -3 -1  0  5 -2 -3 -4 -2 -3 -5  0  1  0 -7 -5 -1
+H -1  2  2  1 -3  3  1 -2  6 -2 -2  0 -2 -2  0 -1 -1 -3  0 -2
+I -1 -2 -2 -2 -2 -2 -2 -3 -2  5  2 -2  2  1 -2 -1  0 -5 -1  4
+L -2 -3 -3 -4 -6 -2 -3 -4 -2  2  6 -3  4  2 -3 -3 -2 -2 -1  2
+K -1  3  1  0 -5  1  0 -2  0 -2 -3  5  0 -5 -1  0  0 -3 -4 -2
+M -1  0 -2 -3 -5 -1 -2 -3 -2  2  4  0  6  0 -2 -2 -1 -4 -2  2
+F -3 -4 -3 -6 -4 -5 -5 -5 -2  1  2 -5  0  9 -5 -3 -3  0  7 -1
+P  1  0  0 -1 -3  0 -1  0  0 -2 -3 -1 -2 -5  6  1  0 -6 -5 -1
+S  1  0  1  0  0 -1  0  1 -1 -1 -3  0 -2 -3  1  2  1 -2 -3 -1
+T  1 -1  0  0 -2 -1  0  0 -1  0 -2  0 -1 -3  0  1  3 -5 -3  0
+W -6  2 -4 -7 -8 -5 -7 -7 -3 -5 -2 -3 -4  0 -6 -2 -5 17  0 -6
+Y -3 -4 -2 -4  0 -4 -4 -5  0 -1 -1 -4 -2  7 -5 -3 -3  0 10 -2
+V  0 -2 -2 -2 -2 -2 -2 -1 -2  4  2 -2  2 -1 -1 -1  0 -6 -2  4
+`
+
+// ParseMatrix reads a whitespace-separated scoring matrix (NCBI layout: a
+// header row of letters, then one labelled row per letter). Letters present
+// in the file but absent from the alphabet are ignored, so the B/Z/X/*
+// columns of distribution files are tolerated.
+func ParseMatrix(name string, a *Alphabet, r io.Reader, unknown int) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	var header []string
+	n := a.Size()
+	scores := make([][]int, n)
+	for i := range scores {
+		scores[i] = make([]int, n)
+	}
+	seen := make(map[int]bool)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if header == nil {
+			header = fields
+			continue
+		}
+		rowLetter := fields[0]
+		if len(rowLetter) != 1 {
+			return nil, fmt.Errorf("seq: bad matrix row label %q", rowLetter)
+		}
+		ri := a.Index(rowLetter[0])
+		if ri < 0 {
+			continue // row for a letter outside the alphabet (B, Z, X, *)
+		}
+		if len(fields)-1 != len(header) {
+			return nil, fmt.Errorf("seq: matrix row %s has %d scores, header has %d letters", rowLetter, len(fields)-1, len(header))
+		}
+		for k, h := range header {
+			if len(h) != 1 {
+				return nil, fmt.Errorf("seq: bad matrix header token %q", h)
+			}
+			ci := a.Index(h[0])
+			if ci < 0 {
+				continue
+			}
+			var v int
+			if _, err := fmt.Sscanf(fields[k+1], "%d", &v); err != nil {
+				return nil, fmt.Errorf("seq: bad score %q in row %s: %w", fields[k+1], rowLetter, err)
+			}
+			scores[ri][ci] = v
+		}
+		seen[ri] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(seen) != n {
+		return nil, fmt.Errorf("seq: matrix %s covers %d of %d alphabet letters", name, len(seen), n)
+	}
+	return NewMatrix(name, a, scores, unknown), nil
+}
+
+func mustParse(name string, a *Alphabet, text string, unknown int) *Matrix {
+	m, err := ParseMatrix(name, a, strings.NewReader(text), unknown)
+	if err != nil {
+		panic("seq: built-in matrix " + name + ": " + err.Error())
+	}
+	return m
+}
+
+// BLOSUM62 is the standard protein scoring matrix.
+var BLOSUM62 = mustParse("BLOSUM62", Protein, blosum62Text, -4)
+
+// PAM250 is the classic Dayhoff protein scoring matrix.
+var PAM250 = mustParse("PAM250", Protein, pam250Text, -8)
+
+// MatrixByName resolves a built-in matrix by its conventional name.
+func MatrixByName(name string) (*Matrix, error) {
+	switch strings.ToUpper(name) {
+	case "BLOSUM62":
+		return BLOSUM62, nil
+	case "PAM250":
+		return PAM250, nil
+	case "DNA", "DNA+5/-4":
+		return DNASimple, nil
+	case "DNA+1/-1", "UNIT":
+		return DNAUnit, nil
+	default:
+		return nil, fmt.Errorf("seq: unknown scoring matrix %q (have BLOSUM62, PAM250, DNA, UNIT)", name)
+	}
+}

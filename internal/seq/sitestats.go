@@ -1,0 +1,85 @@
+package seq
+
+import "fmt"
+
+// SiteStats summarises an alignment's columns — the standard dataset
+// report printed before a phylogenetic analysis.
+type SiteStats struct {
+	// Sites is the column count; Constant counts columns where every
+	// unambiguous residue agrees; Variable = Sites - Constant - AllGap.
+	Sites    int
+	Constant int
+	Variable int
+	// ParsimonyInformative counts columns with at least two residues each
+	// occurring in at least two taxa — the columns that can discriminate
+	// topologies under parsimony (and carry most of the ML signal).
+	ParsimonyInformative int
+	// GapFraction is the fraction of cells that are gaps or ambiguity
+	// characters; AllGap counts columns that are entirely gap/ambiguous.
+	GapFraction float64
+	AllGap      int
+}
+
+// isResidueByte reports whether b is an unambiguous residue (not a gap,
+// not an ambiguity code) for site-statistics purposes.
+func isResidueByte(b byte) bool {
+	switch b {
+	case '-', '.', '?', 'N', 'n', 'X', 'x', '*':
+		return false
+	}
+	return true
+}
+
+// ComputeSiteStats scans the alignment once and fills a SiteStats.
+func ComputeSiteStats(a *Alignment) (*SiteStats, error) {
+	if a == nil || a.NTaxa() == 0 || a.NSites() == 0 {
+		return nil, fmt.Errorf("seq: empty alignment")
+	}
+	st := &SiteStats{Sites: a.NSites()}
+	var gapCells int64
+	for s := 0; s < a.NSites(); s++ {
+		var counts [256]int
+		residues := 0
+		for _, row := range a.Rows {
+			b := row.Residues[s]
+			if b >= 'a' && b <= 'z' {
+				b = b - 'a' + 'A'
+			}
+			if !isResidueByte(b) {
+				gapCells++
+				continue
+			}
+			counts[b]++
+			residues++
+		}
+		if residues == 0 {
+			st.AllGap++
+			continue
+		}
+		distinct, pairs := 0, 0
+		for _, c := range counts {
+			if c > 0 {
+				distinct++
+			}
+			if c >= 2 {
+				pairs++
+			}
+		}
+		if distinct <= 1 {
+			st.Constant++
+		} else {
+			st.Variable++
+			if pairs >= 2 {
+				st.ParsimonyInformative++
+			}
+		}
+	}
+	st.GapFraction = float64(gapCells) / float64(int64(a.NTaxa())*int64(a.NSites()))
+	return st, nil
+}
+
+// String renders the stats as a one-line dataset summary.
+func (st *SiteStats) String() string {
+	return fmt.Sprintf("%d sites: %d constant, %d variable (%d parsimony-informative), %.1f%% gaps/ambiguous",
+		st.Sites, st.Constant, st.Variable, st.ParsimonyInformative, 100*st.GapFraction)
+}

@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func diurnalConfig(donors []DonorSpec, seed int64) Config {
+	return Config{
+		Donors:         donors,
+		Policy:         sched.Adaptive{Target: 30 * time.Second, Bootstrap: 1000, Min: 100},
+		ServerOverhead: 3 * time.Millisecond,
+		Lease:          2 * time.Minute,
+		Seed:           seed,
+	}
+}
+
+func TestOfflineWindowLosesAndRecoversUnits(t *testing.T) {
+	// One donor that goes offline mid-run: its in-flight unit must be lost,
+	// reissued after the lease, and the workload still completes after the
+	// donor rejoins.
+	specs := []DonorSpec{{
+		Name:    "flaky",
+		Speed:   1,
+		Offline: []Window{{From: 30 * time.Second, To: 10 * time.Minute}},
+	}}
+	cfg := diurnalConfig(specs, 1)
+	// Work sized so several units dispatch before the window opens.
+	m, err := Run(cfg, NewDivisibleWorkload(5000, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UnitsCompleted == 0 {
+		t.Fatal("nothing completed")
+	}
+	if m.UnitsLost == 0 {
+		t.Error("offline window lost no units — epoch invalidation not working")
+	}
+	if m.Makespan < 10*time.Minute {
+		t.Errorf("makespan %s precedes the donor's return at 10m", m.Makespan)
+	}
+}
+
+func TestRejoinWhileOthersWork(t *testing.T) {
+	// Donor A is always on; donor B is offline for a stretch. The run must
+	// complete, and A must have done strictly more units.
+	specs := []DonorSpec{
+		{Name: "steady", Speed: 1},
+		{Name: "parttime", Speed: 1, Offline: []Window{{From: 1 * time.Minute, To: 2 * time.Hour}}},
+	}
+	m, err := Run(diurnalConfig(specs, 2), NewDivisibleWorkload(20000, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PerDonorUnits["steady"] <= m.PerDonorUnits["parttime"] {
+		t.Errorf("steady=%d parttime=%d: part-time donor did not fall behind",
+			m.PerDonorUnits["steady"], m.PerDonorUnits["parttime"])
+	}
+}
+
+func TestInvertedWindowRejected(t *testing.T) {
+	specs := []DonorSpec{{
+		Name: "bad", Speed: 1,
+		Offline: []Window{{From: time.Hour, To: time.Minute}},
+	}}
+	if _, err := Run(diurnalConfig(specs, 3), NewDivisibleWorkload(100, 0, 0)); err == nil {
+		t.Error("inverted offline window accepted")
+	}
+}
+
+func TestDiurnalLabGenerator(t *testing.T) {
+	specs := DiurnalLab(20, 3, 1.0, 7)
+	if len(specs) != 20 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	for _, s := range specs {
+		if len(s.Offline) != 3 {
+			t.Errorf("%s: %d offline windows, want 3 (one per day)", s.Name, len(s.Offline))
+		}
+		for d, w := range s.Offline {
+			day := time.Duration(d) * 24 * time.Hour
+			if w.From < day+8*time.Hour || w.From > day+10*time.Hour {
+				t.Errorf("%s day %d: owner arrives at %s", s.Name, d, w.From)
+			}
+			if w.To < day+16*time.Hour || w.To > day+18*time.Hour {
+				t.Errorf("%s day %d: owner leaves at %s", s.Name, d, w.To)
+			}
+			if w.To <= w.From {
+				t.Errorf("%s day %d: inverted window", s.Name, d)
+			}
+		}
+	}
+	// Determinism.
+	again := DiurnalLab(20, 3, 1.0, 7)
+	for i := range specs {
+		if specs[i].Offline[0] != again[i].Offline[0] {
+			t.Fatal("DiurnalLab not deterministic")
+		}
+	}
+}
+
+func TestDiurnalThroughputRhythm(t *testing.T) {
+	// A long workload over a diurnal lab: the run must complete, donors do
+	// most of their work outside office hours, and the makespan spans
+	// multiple days.
+	specs := DiurnalLab(10, 5, 1.0, 9)
+	cfg := diurnalConfig(specs, 9)
+	cfg.Lease = 5 * time.Minute
+	// ~46 donor-hours of work: with ~16h/day availability per donor this
+	// takes a few hours of pool time but must survive day boundaries.
+	m, err := Run(cfg, NewDivisibleWorkload(500_000, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UnitsLost == 0 {
+		t.Error("no units lost across owner arrivals — windows had no effect")
+	}
+	if m.Makespan <= 9*time.Hour {
+		t.Errorf("makespan %s suspiciously short for a diurnal pool", m.Makespan)
+	}
+}

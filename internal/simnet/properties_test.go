@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TestWorkConservationProperty: for random divisible workloads and donor
+// pools, every simulated run completes exactly the total cost — no work is
+// lost or double-counted, whatever the policy or pool shape.
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(seedRaw int64, nRaw uint8, totRaw uint16, polPick uint8) bool {
+		n := int(nRaw%20) + 1
+		total := int64(totRaw%5000) + 100
+		var pol sched.Policy
+		switch polPick % 4 {
+		case 0:
+			pol = sched.Adaptive{Target: 10 * time.Second, Bootstrap: 50, Min: 10}
+		case 1:
+			pol = sched.Fixed{Size: int64(totRaw%300) + 1}
+		case 2:
+			pol = sched.GSS{K: 1, Min: 10}
+		default:
+			pol = sched.TSS{Min: 10}
+		}
+		cfg := Config{
+			Donors:         HeterogeneousLab(n, seedRaw),
+			Policy:         pol,
+			ServerOverhead: time.Millisecond,
+			Lease:          5 * time.Minute,
+			Seed:           seedRaw,
+		}
+		w := NewDivisibleWorkload(total, 1, 100)
+		m, err := Run(cfg, w)
+		if err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		if !w.Done() || w.Remaining() != 0 {
+			t.Logf("workload not drained: remaining %d", w.Remaining())
+			return false
+		}
+		if m.UnitsCompleted > m.UnitsDispatched {
+			t.Logf("completed %d > dispatched %d", m.UnitsCompleted, m.UnitsDispatched)
+			return false
+		}
+		if m.Efficiency < 0 || m.Efficiency > 1.0001 {
+			t.Logf("efficiency %g out of range", m.Efficiency)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStagedConservationProperty: staged workloads complete every stage in
+// order for random shapes.
+func TestStagedConservationProperty(t *testing.T) {
+	f := func(seedRaw int64, stagesRaw, widthRaw uint8) bool {
+		stages := int(stagesRaw%6) + 1
+		width := int(widthRaw%9) + 1
+		tasks := make([]int, stages)
+		costs := make([]int64, stages)
+		for i := range tasks {
+			tasks[i] = width
+			costs[i] = int64(i%3) + 1
+		}
+		cfg := Config{
+			Donors:         Uniform(4, 1, 0, time.Millisecond, 0),
+			Policy:         sched.Fixed{Size: 2},
+			ServerOverhead: time.Millisecond,
+			Lease:          5 * time.Minute,
+			Seed:           seedRaw,
+		}
+		w := NewStagedWorkload(tasks, costs, 100, 100)
+		if _, err := Run(cfg, w); err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		return w.Done() && w.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreDonorsNeverSlower: adding donors to a homogeneous pool must not
+// increase makespan (work-conserving scheduler, no contention modelled
+// beyond the server, which is far from saturation here).
+func TestMoreDonorsNeverSlower(t *testing.T) {
+	mk := func(n int) time.Duration {
+		cfg := Config{
+			Donors:         Uniform(n, 1, 0, time.Millisecond, 0),
+			Policy:         sched.Adaptive{Target: 30 * time.Second, Bootstrap: 500, Min: 100},
+			ServerOverhead: time.Millisecond,
+			Lease:          5 * time.Minute,
+			Seed:           1,
+		}
+		m, err := Run(cfg, NewDivisibleWorkload(60_000, 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Makespan
+	}
+	prev := mk(1)
+	for _, n := range []int{2, 4, 8, 16} {
+		cur := mk(n)
+		if cur > prev {
+			t.Errorf("makespan rose from %s to %s going to %d donors", prev, cur, n)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Availability traces: the paper's deployment ran on machines whose
+// availability nobody controlled (lab PCs, cluster nodes). For experiments
+// that should replay a recorded (or hand-written) availability pattern
+// rather than a synthetic one, donor specs can be loaded from a CSV trace.
+//
+// Format (header optional, columns fixed):
+//
+//	name,speed,offline_from_min,offline_to_min
+//
+// One row per offline window; rows with empty window columns declare an
+// always-on machine. Rows for the same name accumulate windows. Example:
+//
+//	pc01,1.0,540,1020     # owner 9:00-17:00
+//	pc01,1.0,1980,2460    # and again next day
+//	node1,0.8,,           # dedicated, always on
+
+// LoadAvailabilityTrace parses a CSV availability trace into donor specs.
+// Windows are sorted and validated per machine.
+func LoadAvailabilityTrace(r io.Reader) ([]DonorSpec, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+	cr.Comment = '#'
+
+	specs := make(map[string]*DonorSpec)
+	var order []string
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("simnet: trace line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && rec[0] == "name" {
+			continue // header
+		}
+		name := rec[0]
+		if name == "" {
+			return nil, fmt.Errorf("simnet: trace line %d: empty machine name", line)
+		}
+		speed, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil || speed <= 0 {
+			return nil, fmt.Errorf("simnet: trace line %d: bad speed %q", line, rec[1])
+		}
+		d, ok := specs[name]
+		if !ok {
+			d = &DonorSpec{
+				Name:      name,
+				Speed:     speed,
+				Latency:   2 * time.Millisecond,
+				Bandwidth: 100e6 / 8,
+			}
+			specs[name] = d
+			order = append(order, name)
+		} else if d.Speed != speed {
+			return nil, fmt.Errorf("simnet: trace line %d: machine %s re-declared with speed %g (was %g)",
+				line, name, speed, d.Speed)
+		}
+		if rec[2] == "" && rec[3] == "" {
+			continue // always-on declaration
+		}
+		from, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: trace line %d: bad offline_from %q", line, rec[2])
+		}
+		to, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: trace line %d: bad offline_to %q", line, rec[3])
+		}
+		w := Window{
+			From: time.Duration(from * float64(time.Minute)),
+			To:   time.Duration(to * float64(time.Minute)),
+		}
+		if w.To <= w.From || w.From < 0 {
+			return nil, fmt.Errorf("simnet: trace line %d: inverted window [%s, %s)", line, w.From, w.To)
+		}
+		d.Offline = append(d.Offline, w)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("simnet: empty availability trace")
+	}
+	out := make([]DonorSpec, 0, len(order))
+	for _, name := range order {
+		d := specs[name]
+		sort.Slice(d.Offline, func(i, j int) bool { return d.Offline[i].From < d.Offline[j].From })
+		for i := 1; i < len(d.Offline); i++ {
+			if d.Offline[i].From < d.Offline[i-1].To {
+				return nil, fmt.Errorf("simnet: machine %s has overlapping offline windows", name)
+			}
+		}
+		out = append(out, *d)
+	}
+	return out, nil
+}
+
+// WriteAvailabilityTrace renders donor specs back to the CSV trace format
+// (round-trip counterpart of LoadAvailabilityTrace, used to snapshot
+// generated pools such as DiurnalLab for reuse).
+func WriteAvailabilityTrace(w io.Writer, specs []DonorSpec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "speed", "offline_from_min", "offline_to_min"}); err != nil {
+		return err
+	}
+	for _, d := range specs {
+		speed := strconv.FormatFloat(d.Speed, 'g', -1, 64)
+		if len(d.Offline) == 0 {
+			if err := cw.Write([]string{d.Name, speed, "", ""}); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, win := range d.Offline {
+			if err := cw.Write([]string{
+				d.Name, speed,
+				strconv.FormatFloat(win.From.Minutes(), 'g', -1, 64),
+				strconv.FormatFloat(win.To.Minutes(), 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

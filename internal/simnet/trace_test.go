@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+const sampleTrace = `name,speed,offline_from_min,offline_to_min
+pc01,1.0,540,1020
+pc01,1.0,1980,2460
+node1,0.8,,
+pc02,0.5,0,60
+`
+
+func TestLoadAvailabilityTrace(t *testing.T) {
+	specs, err := LoadAvailabilityTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("%d machines, want 3", len(specs))
+	}
+	byName := map[string]DonorSpec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	pc01 := byName["pc01"]
+	if len(pc01.Offline) != 2 || pc01.Offline[0].From != 9*time.Hour || pc01.Offline[1].To != 41*time.Hour {
+		t.Errorf("pc01 windows: %+v", pc01.Offline)
+	}
+	if n := byName["node1"]; n.Speed != 0.8 || len(n.Offline) != 0 {
+		t.Errorf("node1: %+v", n)
+	}
+	if len(byName["pc02"].Offline) != 1 {
+		t.Errorf("pc02: %+v", byName["pc02"])
+	}
+}
+
+func TestLoadAvailabilityTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"pc,0,10,20\n",             // zero speed
+		"pc,1,20,10\n",             // inverted
+		"pc,1,abc,10\n",            // bad number
+		"pc,1,10,20\npc,2,30,40\n", // speed re-declared
+		"pc,1,10,30\npc,1,20,40\n", // overlapping windows
+		",1,10,20\n",               // empty name
+	}
+	for _, c := range cases {
+		if _, err := LoadAvailabilityTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("trace %q accepted", c)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := DiurnalLab(8, 2, 1.0, 5)
+	var buf bytes.Buffer
+	if err := WriteAvailabilityTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAvailabilityTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("%d machines after round trip, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].Name != orig[i].Name || back[i].Speed != orig[i].Speed {
+			t.Fatalf("machine %d identity changed", i)
+		}
+		if len(back[i].Offline) != len(orig[i].Offline) {
+			t.Fatalf("machine %d window count changed", i)
+		}
+		for j := range orig[i].Offline {
+			if back[i].Offline[j] != orig[i].Offline[j] {
+				t.Errorf("machine %d window %d: %v vs %v", i, j, back[i].Offline[j], orig[i].Offline[j])
+			}
+		}
+	}
+}
+
+func TestTraceDrivenSimulation(t *testing.T) {
+	specs, err := LoadAvailabilityTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Donors:         specs,
+		Policy:         sched.Adaptive{Target: 30 * time.Second, Bootstrap: 500, Min: 100},
+		ServerOverhead: time.Millisecond,
+		Lease:          2 * time.Minute,
+		Seed:           1,
+	}
+	m, err := Run(cfg, NewDivisibleWorkload(50_000, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UnitsCompleted == 0 {
+		t.Fatal("trace-driven run completed nothing")
+	}
+}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestFrameRoundTripProperty: any payload (within the size limit) survives
+// a write/read cycle byte-for-byte, including empty and binary payloads.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrameSequenceProperty: multiple frames written back-to-back read out
+// in order with correct boundaries.
+func TestFrameSequenceProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		for _, p := range payloads {
+			if err := WriteFrame(&buf, p); err != nil {
+				return false
+			}
+		}
+		for _, p := range payloads {
+			got, err := ReadFrame(&buf)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBulkBlobRoundTripProperty: arbitrary binary blobs survive the bulk
+// socket channel.
+func TestBulkBlobRoundTripProperty(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f := func(key string, blob []byte) bool {
+		if key == "" {
+			key = "k"
+		}
+		s.Put(key, blob)
+		got, err := FetchBlob(s.Addr(), key, 5*time.Second)
+		if err != nil {
+			t.Logf("fetch %q: %v", key, err)
+			return false
+		}
+		return bytes.Equal(got, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

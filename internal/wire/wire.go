@@ -1,0 +1,189 @@
+// Package wire implements the two communication channels of the paper's
+// system: typed control traffic (carried by net/rpc, Go's analogue of Java
+// RMI) and bulk data transfer over plain TCP sockets with length-prefixed
+// framing (the paper sends large data files over ordinary sockets because
+// that is more efficient than RMI).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single framed message (64 MiB) to keep a corrupt
+// or malicious length prefix from exhausting memory.
+const MaxFrameSize = 64 << 20
+
+// WriteFrame writes a length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// BulkServer serves named blobs over raw TCP: a client connects, sends one
+// frame containing the blob key, and receives one frame with the blob (or
+// an empty frame if unknown, distinguished by a one-byte status prefix).
+// This is the "data files over ordinary sockets" channel.
+type BulkServer struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	ln    net.Listener
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewBulkServer starts a bulk server on addr ("host:0" picks a free port).
+func NewBulkServer(addr string) (*BulkServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bulk listen: %w", err)
+	}
+	s := &BulkServer{
+		blobs: make(map[string][]byte),
+		ln:    ln,
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *BulkServer) Addr() string { return s.ln.Addr().String() }
+
+// Put registers (or replaces) a blob under key.
+func (s *BulkServer) Put(key string, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[key] = blob
+}
+
+// Delete removes a blob.
+func (s *BulkServer) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, key)
+}
+
+// Close stops the server and waits for in-flight transfers.
+func (s *BulkServer) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *BulkServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error; keep serving.
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+const (
+	statusOK       = 0x01
+	statusNotFound = 0x02
+)
+
+func (s *BulkServer) serveConn(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	key, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	s.mu.RLock()
+	blob, ok := s.blobs[string(key)]
+	s.mu.RUnlock()
+	if !ok {
+		_ = WriteFrame(conn, []byte{statusNotFound})
+		return
+	}
+	// Stream header + status + blob without copying the (possibly large)
+	// blob into a combined buffer.
+	if 1+len(blob) > MaxFrameSize {
+		_ = WriteFrame(conn, []byte{statusNotFound})
+		return
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(blob)))
+	hdr[4] = statusOK
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return
+	}
+	_, _ = conn.Write(blob)
+}
+
+// FetchBlob retrieves a named blob from a bulk server.
+func FetchBlob(addr, key string, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bulk dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteFrame(conn, []byte(key)); err != nil {
+		return nil, err
+	}
+	resp, err := ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("wire: empty bulk response for %q", key)
+	}
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusNotFound:
+		return nil, fmt.Errorf("wire: blob %q not found", key)
+	default:
+		return nil, fmt.Errorf("wire: bad bulk status byte %#x", resp[0])
+	}
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 100000),
+	}
+	for _, p := range payloads {
+		buf.Reset()
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame round trip changed %d-byte payload", len(p))
+		}
+	}
+}
+
+func TestFrameMultiple(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != byte(i) {
+			t.Errorf("frame %d = %v", i, got)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+	// Forge an oversized header.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized read accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("hello world"))
+	trunc := buf.Bytes()[:8]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, err := ReadFrame(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestBulkServerRoundTrip(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob := bytes.Repeat([]byte("genome"), 10000)
+	s.Put("db1", blob)
+	got, err := FetchBlob(s.Addr(), "db1", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Errorf("blob changed in transit: %d vs %d bytes", len(got), len(blob))
+	}
+}
+
+func TestBulkServerNotFound(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = FetchBlob(s.Addr(), "missing", 2*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("expected not-found error, got %v", err)
+	}
+}
+
+func TestBulkServerDelete(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	s.Delete("k")
+	if _, err := FetchBlob(s.Addr(), "k", 2*time.Second); err == nil {
+		t.Error("deleted blob still served")
+	}
+}
+
+func TestBulkServerConcurrentFetches(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob := bytes.Repeat([]byte{7}, 50000)
+	s.Put("x", blob)
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			got, err := FetchBlob(s.Addr(), "x", 5*time.Second)
+			if err == nil && !bytes.Equal(got, blob) {
+				err = bytes.ErrTooLarge // any sentinel
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFetchBlobConnectionRefused(t *testing.T) {
+	// Grab a port then close it so nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := FetchBlob(addr, "k", 500*time.Millisecond); err == nil {
+		t.Error("fetch from dead server succeeded")
+	}
+}
