@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench demo
+
+# check is the tier-1 gate: everything CI runs (CI invokes this target).
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/dist/ ./internal/core/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+demo:
+	$(GO) run ./cmd/dsearch -demo

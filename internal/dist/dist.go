@@ -1,0 +1,207 @@
+// Package dist implements the paper's server/donor distributed-computing
+// platform (Page, Keane, Naughton): a coordinating server partitions a
+// problem into work units whose size is chosen per donor by an adaptive
+// scheduling policy (package sched), and donor machines fetch units,
+// compute them with a registered Algorithm, and return results. Control
+// traffic travels over net/rpc (Go's analogue of the paper's Java RMI) and
+// bulk data over raw TCP sockets with length-prefixed frames (package
+// wire), matching the paper's two-channel design. Failed or expired units
+// are requeued to other donors, which is how the system tolerates lab
+// machines being switched off mid-run.
+//
+// The programming model is the paper's: a Problem bundles a DataManager
+// (server side — partitions work, folds results) with optional shared data
+// every donor fetches once; the donor side is an Algorithm registered under
+// the name the DataManager stamps on each Unit.
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Problem bundles the server-side half of a computation with the shared
+// blob donors fetch once before processing any of its units.
+type Problem struct {
+	// ID names the problem; it must be unique within a server.
+	ID string
+	// DM partitions the work and folds results.
+	DM DataManager
+	// SharedData is sent to each donor once per problem (the paper's "data
+	// files over ordinary sockets"); may be nil.
+	SharedData []byte
+}
+
+// DataManager is the server-side extension point: it hands out work units
+// sized to a cost budget and folds completed results.
+//
+// The server calls all methods under its own lock, so implementations need
+// no internal synchronisation.
+type DataManager interface {
+	// NextUnit returns the next work unit, sized to approximately the given
+	// cost budget. ok is false when no unit is currently available — either
+	// because the problem is complete or because outstanding units must be
+	// consumed first (a stage barrier).
+	NextUnit(budget int64) (u *Unit, ok bool, err error)
+	// Consume folds one completed unit's result payload.
+	Consume(unitID int64, payload []byte) error
+	// Done reports whether the final result is ready. It may become true
+	// while units are still in flight (e.g. a search that found its target);
+	// the server then finalises immediately and discards late results.
+	Done() bool
+	// FinalResult returns the completed problem's output.
+	FinalResult() ([]byte, error)
+}
+
+// CostReporter is optionally implemented by DataManagers that can estimate
+// their outstanding work; policies like GSS and factoring use it.
+type CostReporter interface {
+	RemainingCost() int64
+}
+
+// Progresser is optionally implemented by DataManagers that can report
+// application-level progress for status displays.
+type Progresser interface {
+	Progress() (done, total int)
+}
+
+// Requeuer is optionally implemented by DataManagers that prefer to
+// regenerate lost units themselves. When a unit fails or its lease expires
+// the server calls Requeue instead of re-dispatching its cached payload.
+type Requeuer interface {
+	Requeue(unitID int64)
+}
+
+// Algorithm is the donor-side extension point: the computation for one kind
+// of work unit. A fresh instance is created per problem on each donor (via
+// the factory registered under the unit's algorithm name) and initialised
+// once with the problem's shared data.
+type Algorithm interface {
+	Init(shared []byte) error
+	Process(payload []byte) ([]byte, error)
+}
+
+// Unit is one dispatched piece of work.
+type Unit struct {
+	// ID is unique within the problem.
+	ID int64
+	// Algorithm names the registered donor-side computation.
+	Algorithm string
+	// Payload is the unit's input, typically produced by Marshal.
+	Payload []byte
+	// Cost is the unit's size in the problem's cost units (residues for
+	// DSEARCH, candidate topologies for DPRml); the scheduler divides it by
+	// elapsed time to measure donor throughput.
+	Cost int64
+}
+
+// Result is a completed unit's output as carried back to the server.
+type Result struct {
+	ProblemID string
+	UnitID    int64
+	Payload   []byte
+	// Elapsed is the donor-measured compute time, fed into the scheduler's
+	// throughput estimate.
+	Elapsed time.Duration
+	// Donor names the worker that computed the unit.
+	Donor string
+}
+
+// Task is one unit of work handed to a specific donor.
+type Task struct {
+	ProblemID string
+	Unit      Unit
+}
+
+// Coordinator is the donor's view of a server: the in-process *Server and
+// the networked *RPCClient both implement it.
+type Coordinator interface {
+	// RequestTask returns the next unit for the named donor, or a nil task
+	// when none is currently available together with a hint for how long to
+	// wait before polling again.
+	RequestTask(donor string) (t *Task, wait time.Duration, err error)
+	// SharedData fetches a problem's shared blob.
+	SharedData(problemID string) ([]byte, error)
+	// SubmitResult returns a completed unit's output.
+	SubmitResult(res *Result) error
+	// ReportFailure tells the server a unit could not be computed so it can
+	// be requeued to another donor.
+	ReportFailure(donor, problemID string, unitID int64, reason string) error
+}
+
+// Marshal gob-encodes a unit payload, shared blob or result.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("dist: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes data produced by Marshal.
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("dist: unmarshal %T: %w", v, err)
+	}
+	return nil
+}
+
+// MustMarshal is Marshal for values that cannot fail (tests, literals).
+func MustMarshal(v any) []byte {
+	data, err := Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]func() Algorithm)
+)
+
+// RegisterAlgorithm adds a named Algorithm factory to the donor-side
+// registry — the Go substitute for Java's runtime class shipping: every
+// algorithm a donor can run is compiled into its binary and selected by
+// name. Registering the same name twice panics.
+func RegisterAlgorithm(name string, f func() Algorithm) {
+	if name == "" {
+		panic("dist: RegisterAlgorithm with empty name")
+	}
+	if f == nil {
+		panic("dist: RegisterAlgorithm with nil factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("dist: algorithm %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// RegisteredAlgorithms lists the registry's algorithm names, sorted.
+func RegisteredAlgorithms() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newAlgorithm instantiates a registered algorithm.
+func newAlgorithm(name string) (Algorithm, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: algorithm %q not registered (have %v)", name, RegisteredAlgorithms())
+	}
+	return f(), nil
+}

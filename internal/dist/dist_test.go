@@ -1,0 +1,501 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// The test problem: sum the squares of 1..N, partitioned into ranges.
+
+type sumUnit struct {
+	From, To int64 // [From, To)
+	Poison   bool  // a poisoned unit always fails on the donor
+}
+
+type sumDM struct {
+	n         int64
+	next      int64
+	seq       int64
+	inflight  map[int64]sumUnit
+	total     int64
+	completed int64
+	poison    bool // stamp Poison on every unit
+}
+
+func newSumDM(n int64) *sumDM {
+	return &sumDM{n: n, next: 1, inflight: make(map[int64]sumUnit)}
+}
+
+func (d *sumDM) NextUnit(budget int64) (*Unit, bool, error) {
+	if d.next > d.n {
+		return nil, false, nil
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	to := d.next + budget
+	if to > d.n+1 {
+		to = d.n + 1
+	}
+	u := sumUnit{From: d.next, To: to, Poison: d.poison}
+	payload, err := Marshal(u)
+	if err != nil {
+		return nil, false, err
+	}
+	d.seq++
+	d.inflight[d.seq] = u
+	d.next = to
+	return &Unit{ID: d.seq, Algorithm: "dist-test/sum", Payload: payload, Cost: to - u.From}, true, nil
+}
+
+func (d *sumDM) Consume(unitID int64, payload []byte) error {
+	u, ok := d.inflight[unitID]
+	if !ok {
+		return fmt.Errorf("unknown unit %d", unitID)
+	}
+	delete(d.inflight, unitID)
+	var part int64
+	if err := Unmarshal(payload, &part); err != nil {
+		return err
+	}
+	d.total += part
+	d.completed += u.To - u.From
+	return nil
+}
+
+func (d *sumDM) Done() bool                   { return d.completed >= d.n }
+func (d *sumDM) FinalResult() ([]byte, error) { return Marshal(d.total) }
+func (d *sumDM) Progress() (done, total int)  { return int(d.completed), int(d.n) }
+
+// failNext makes the sum algorithm fail its next K Process calls, whichever
+// donor runs them — exercising the report-failure → requeue path.
+var failNext atomic.Int64
+
+type sumAlg struct{}
+
+func (sumAlg) Init([]byte) error { return nil }
+
+func (sumAlg) Process(payload []byte) ([]byte, error) {
+	var u sumUnit
+	if err := Unmarshal(payload, &u); err != nil {
+		return nil, err
+	}
+	if u.Poison {
+		return nil, errors.New("poisoned unit")
+	}
+	if failNext.Load() > 0 && failNext.Add(-1) >= 0 {
+		return nil, errors.New("injected failure")
+	}
+	var sum int64
+	for i := u.From; i < u.To; i++ {
+		sum += i * i
+	}
+	return Marshal(sum)
+}
+
+var registerSumOnce sync.Once
+
+func registerSum(t *testing.T) {
+	t.Helper()
+	registerSumOnce.Do(func() {
+		RegisterAlgorithm("dist-test/sum", func() Algorithm { return sumAlg{} })
+	})
+}
+
+func sumSquares(n int64) int64 {
+	return n * (n + 1) * (2*n + 1) / 6
+}
+
+func decodeSum(t *testing.T, out []byte) int64 {
+	t.Helper()
+	var got int64
+	if err := Unmarshal(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	type payload struct {
+		Name  string
+		Vals  []float64
+		Bytes []byte
+	}
+	in := payload{Name: "x", Vals: []float64{1.5, -2, 3e9}, Bytes: []byte{0, 1, 2}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || len(out.Vals) != 3 || out.Vals[2] != 3e9 || string(out.Bytes) != string(in.Bytes) {
+		t.Errorf("round trip mangled payload: %+v", out)
+	}
+	if err := Unmarshal([]byte("not gob"), &out); err == nil {
+		t.Error("garbage unmarshalled without error")
+	}
+	if !strings.HasPrefix(recoverPanic(func() { MustMarshal(make(chan int)) }), "dist: marshal") {
+		t.Error("MustMarshal did not panic on an unencodable value")
+	}
+}
+
+// recoverPanic runs f and returns the panic message ("" if none).
+func recoverPanic(f func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	f()
+	return ""
+}
+
+var registerDupOnce sync.Once
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	// Guarded so the test survives -count=N re-runs in one process.
+	registerDupOnce.Do(func() {
+		RegisterAlgorithm("dist-test/dup", func() Algorithm { return sumAlg{} })
+	})
+	if msg := recoverPanic(func() {
+		RegisterAlgorithm("dist-test/dup", func() Algorithm { return sumAlg{} })
+	}); !strings.Contains(msg, "registered twice") {
+		t.Errorf("duplicate registration panic = %q", msg)
+	}
+	if msg := recoverPanic(func() { RegisterAlgorithm("", func() Algorithm { return sumAlg{} }) }); msg == "" {
+		t.Error("empty name accepted")
+	}
+	if msg := recoverPanic(func() { RegisterAlgorithm("dist-test/nilf", nil) }); msg == "" {
+		t.Error("nil factory accepted")
+	}
+	found := false
+	for _, n := range RegisteredAlgorithms() {
+		if n == "dist-test/dup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered algorithm missing from listing")
+	}
+}
+
+func TestRunLocalEndToEnd(t *testing.T) {
+	registerSum(t)
+	const n = 1000
+	for _, pol := range []sched.Policy{
+		sched.Fixed{Size: 7},
+		sched.Fixed{Size: 1 << 40},
+		sched.Adaptive{Target: time.Millisecond, Bootstrap: 100, Min: 1},
+		sched.GSS{K: 1, Min: 1},
+	} {
+		p := &Problem{ID: "sum-" + pol.Name(), DM: newSumDM(n)}
+		out, err := RunLocal(p, 4, pol)
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol.Name(), err)
+		}
+		if got := decodeSum(t, out); got != sumSquares(n) {
+			t.Errorf("policy %s: sum = %d, want %d", pol.Name(), got, sumSquares(n))
+		}
+	}
+}
+
+func TestRunLocalRequeuesFailedUnits(t *testing.T) {
+	registerSum(t)
+	const n, failures = 500, 3
+	failNext.Store(failures)
+	defer failNext.Store(0)
+
+	srv := NewServer(ServerOptions{
+		Policy:     sched.Fixed{Size: 25},
+		Lease:      time.Hour,
+		ExpiryScan: time.Hour,
+		WaitHint:   time.Millisecond,
+	})
+	defer srv.Close()
+	p := &Problem{ID: "sum-fail", DM: newSumDM(n)}
+	if err := srv.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	donors := make([]*Donor, 2)
+	for i := range donors {
+		donors[i] = NewDonor(srv, DonorOptions{Name: fmt.Sprintf("w%d", i), Logf: t.Logf})
+		wg.Add(1)
+		go func(d *Donor) { defer wg.Done(); _ = d.Run() }(donors[i])
+	}
+	out, err := srv.Wait(p.ID)
+	for _, d := range donors {
+		d.Stop()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeSum(t, out); got != sumSquares(n) {
+		t.Errorf("sum = %d, want %d", got, sumSquares(n))
+	}
+	_, completed, reissued, err := srv.Stats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reissued != failures {
+		t.Errorf("reissued = %d, want %d", reissued, failures)
+	}
+	if completed == 0 {
+		t.Error("no units completed")
+	}
+}
+
+func TestPoisonedUnitFailsProblemEventually(t *testing.T) {
+	registerSum(t)
+	dm := newSumDM(10)
+	dm.poison = true
+	p := &Problem{ID: "sum-poison", DM: dm}
+	_, err := RunLocal(p, 2, sched.Fixed{Size: 1 << 40})
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Errorf("poisoned problem error = %v, want repeated-failure error", err)
+	}
+}
+
+func TestLeaseExpiryReissuesToOtherDonor(t *testing.T) {
+	registerSum(t)
+	srv := NewServer(ServerOptions{
+		Policy:     sched.Fixed{Size: 1 << 40}, // whole problem in one unit
+		Lease:      30 * time.Millisecond,
+		ExpiryScan: 5 * time.Millisecond,
+		WaitHint:   time.Millisecond,
+	})
+	defer srv.Close()
+	const n = 100
+	p := &Problem{ID: "sum-expire", DM: newSumDM(n)}
+	if err := srv.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	// A ghost donor claims the only unit and vanishes (a powered-off lab
+	// machine); the lease must expire and the unit go to a live donor.
+	if task, _, err := srv.RequestTask("ghost"); err != nil || task == nil {
+		t.Fatalf("ghost got no task: %v", err)
+	}
+	d := NewDonor(srv, DonorOptions{Name: "live"})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = d.Run() }()
+	out, err := srv.Wait(p.ID)
+	d.Stop()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeSum(t, out); got != sumSquares(n) {
+		t.Errorf("sum = %d, want %d", got, sumSquares(n))
+	}
+	_, _, reissued, _ := srv.Stats(p.ID)
+	if reissued < 1 {
+		t.Errorf("reissued = %d, want >= 1", reissued)
+	}
+	if d.Units() == 0 {
+		t.Error("live donor completed nothing")
+	}
+}
+
+func TestRequeueFallsBackWhenOtherDonorDead(t *testing.T) {
+	registerSum(t)
+	srv := NewServer(ServerOptions{
+		Policy:     sched.Fixed{Size: 1 << 40}, // whole problem in one unit
+		Lease:      50 * time.Millisecond,
+		ExpiryScan: time.Hour, // expiry scan out of the picture
+		WaitHint:   time.Millisecond,
+	})
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "fallback", DM: newSumDM(50)}); err != nil {
+		t.Fatal(err)
+	}
+	// Donor a claims the only unit; donor b registers, then goes silent.
+	task, _, err := srv.RequestTask("a")
+	if err != nil || task == nil {
+		t.Fatalf("a got no task: %v", err)
+	}
+	if _, _, err := srv.RequestTask("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ReportFailure("a", "fallback", task.Unit.ID, "transient"); err != nil {
+		t.Fatal(err)
+	}
+	// While b looks alive, the requeued unit is reserved for it.
+	if task, _, _ := srv.RequestTask("a"); task != nil {
+		t.Fatal("a immediately retook its own failed unit despite a live peer")
+	}
+	// Once b has not polled for a full lease, a must get the unit back
+	// rather than starving the problem forever.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		task, _, err := srv.RequestTask("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requeued unit starved: never re-dispatched after peer went silent")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sharedStub serves shared data for any problem ID without a server.
+type sharedStub struct{}
+
+func (sharedStub) RequestTask(string) (*Task, time.Duration, error) { return nil, 0, nil }
+func (sharedStub) SharedData(problemID string) ([]byte, error)      { return []byte(problemID), nil }
+func (sharedStub) SubmitResult(*Result) error                       { return nil }
+func (sharedStub) ReportFailure(string, string, int64, string) error {
+	return nil
+}
+
+func TestDonorCacheBounded(t *testing.T) {
+	registerSum(t)
+	d := NewDonor(sharedStub{}, DonorOptions{Name: "cache"})
+	for i := 0; i < 3*maxCachedProblems; i++ {
+		if _, err := d.algorithm(fmt.Sprintf("p%02d", i), "dist-test/sum"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(d.shared) > maxCachedProblems || len(d.problemOrder) > maxCachedProblems {
+		t.Errorf("cache grew unbounded: %d blobs, %d tracked", len(d.shared), len(d.problemOrder))
+	}
+	if len(d.algs) > maxCachedProblems {
+		t.Errorf("algorithm cache grew unbounded: %d", len(d.algs))
+	}
+	// The most recent problem must still be cached.
+	last := fmt.Sprintf("p%02d", 3*maxCachedProblems-1)
+	if _, ok := d.shared[last]; !ok {
+		t.Errorf("most recent problem %s evicted", last)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	defer srv.Close()
+	if err := srv.Submit(nil); err == nil {
+		t.Error("nil problem accepted")
+	}
+	if err := srv.Submit(&Problem{ID: "", DM: newSumDM(1)}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := srv.Submit(&Problem{ID: "p", DM: newSumDM(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(&Problem{ID: "p", DM: newSumDM(1)}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := srv.Wait("nope"); err == nil {
+		t.Error("Wait on unknown problem succeeded")
+	}
+	if _, err := srv.Status("nope"); err == nil {
+		t.Error("Status on unknown problem succeeded")
+	}
+	if _, _, _, err := srv.Stats("nope"); err == nil {
+		t.Error("Stats on unknown problem succeeded")
+	}
+}
+
+func TestStatusReportsProgress(t *testing.T) {
+	registerSum(t)
+	srv := NewServer(ServerOptions{Policy: sched.Fixed{Size: 10}, WaitHint: time.Millisecond})
+	defer srv.Close()
+	dm := newSumDM(100)
+	if err := srv.Submit(&Problem{ID: "prog", DM: dm}); err != nil {
+		t.Fatal(err)
+	}
+	task, _, err := srv.RequestTask("w0")
+	if err != nil || task == nil {
+		t.Fatalf("no task: %v", err)
+	}
+	st, err := srv.Status("prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inflight != 1 || st.Done || st.AppTotal != 100 {
+		t.Errorf("status = %+v", st)
+	}
+	if srv.DonorCount() != 1 {
+		t.Errorf("DonorCount = %d", srv.DonorCount())
+	}
+}
+
+// stallDM has work it never hands out — the server must fail it loudly
+// instead of letting Wait hang forever.
+type stallDM struct{}
+
+func (stallDM) NextUnit(int64) (*Unit, bool, error) { return nil, false, nil }
+func (stallDM) Consume(int64, []byte) error         { return nil }
+func (stallDM) Done() bool                          { return false }
+func (stallDM) FinalResult() ([]byte, error)        { return nil, nil }
+
+func TestStalledProblemFailsLoudly(t *testing.T) {
+	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "stall", DM: stallDM{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.RequestTask("w0"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Wait("stall")
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Errorf("stalled problem error = %v", err)
+	}
+}
+
+func TestDoneAtSubmitFinalizesImmediately(t *testing.T) {
+	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	defer srv.Close()
+	dm := newSumDM(0) // completed >= n holds immediately
+	if err := srv.Submit(&Problem{ID: "empty", DM: dm}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := srv.Wait("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeSum(t, out); got != 0 {
+		t.Errorf("empty problem sum = %d", got)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	if err := srv.Submit(&Problem{ID: "never", DM: newSumDM(1000)}); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.Wait("never")
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Wait after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait still blocked after Close")
+	}
+	if _, _, err := srv.RequestTask("w"); !errors.Is(err, ErrClosed) {
+		t.Errorf("RequestTask after Close = %v", err)
+	}
+}

@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DonorOptions tunes one donor worker.
+type DonorOptions struct {
+	// Name identifies the donor in server statistics and logs.
+	Name string
+	// Throttle pauses between units so the donor stays a polite background
+	// service on a machine someone else is using.
+	Throttle time.Duration
+	// Logf, when non-nil, receives progress and failure messages.
+	Logf func(format string, args ...any)
+}
+
+// Donor is one worker's compute loop: poll the coordinator for units, run
+// the registered algorithm, return results, and report failures so lost
+// units are requeued. The paper ran one of these as a low-priority
+// background service on ~200 lab PCs.
+type Donor struct {
+	coord Coordinator
+	opts  DonorOptions
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	units    atomic.Int64
+
+	// Per-problem algorithm instances, initialised once with the problem's
+	// shared data (keyed by problemID + "\x00" + algorithm name).
+	algs map[string]Algorithm
+	// Per-problem shared blobs, fetched once.
+	shared map[string][]byte
+	// problemOrder tracks shared-blob insertion order so the cache can be
+	// bounded: a donor is a long-lived service, and the server cycles
+	// through many problems over its lifetime.
+	problemOrder []string
+}
+
+// maxCachedProblems bounds how many problems' shared data and algorithm
+// state a donor keeps resident. Oldest-first eviction; a still-active
+// problem that gets evicted is simply re-fetched and re-initialised.
+const maxCachedProblems = 8
+
+// NewDonor creates a donor bound to a coordinator — a *Server for
+// in-process workers or an *RPCClient from Dial for the real deployment.
+func NewDonor(coord Coordinator, opts DonorOptions) *Donor {
+	if opts.Name == "" {
+		opts.Name = "donor"
+	}
+	return &Donor{
+		coord:  coord,
+		opts:   opts,
+		stop:   make(chan struct{}),
+		algs:   make(map[string]Algorithm),
+		shared: make(map[string][]byte),
+	}
+}
+
+// Units reports how many work units this donor has completed.
+func (d *Donor) Units() int { return int(d.units.Load()) }
+
+// Stop asks Run to return after the unit in progress (idempotent).
+func (d *Donor) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+}
+
+// Run polls for work until Stop is called or the coordinator goes away.
+// A unit that fails to compute is reported (and thereby requeued to another
+// donor); only coordinator-level errors end the loop.
+func (d *Donor) Run() error {
+	for {
+		select {
+		case <-d.stop:
+			return nil
+		default:
+		}
+		task, wait, err := d.coord.RequestTask(d.opts.Name)
+		if err != nil {
+			if d.stopped() || errors.Is(err, ErrClosed) {
+				return nil
+			}
+			if isTransient(err) {
+				d.logf("donor %s: transient: %v", d.opts.Name, err)
+				if !d.sleep(wait) {
+					return nil
+				}
+				continue
+			}
+			return err
+		}
+		if task == nil {
+			if !d.sleep(wait) {
+				return nil
+			}
+			continue
+		}
+		out, elapsed, perr := d.process(task)
+		if perr != nil {
+			d.logf("donor %s: unit %d of %s failed: %v", d.opts.Name, task.Unit.ID, task.ProblemID, perr)
+			report := d.coord.ReportFailure
+			// A shared-data fetch failure is transport-level, not evidence
+			// the unit is bad: route it past the poisoned-unit caps when
+			// the coordinator can make the distinction.
+			var sf *sharedFetchError
+			if errors.As(perr, &sf) {
+				if tr, ok := d.coord.(transportFailureReporter); ok {
+					report = tr.reportTransportFailure
+				}
+			}
+			if err := report(d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error()); err != nil {
+				if d.stopped() || errors.Is(err, ErrClosed) {
+					return nil
+				}
+				return err
+			}
+			continue
+		}
+		err = d.coord.SubmitResult(&Result{
+			ProblemID: task.ProblemID,
+			UnitID:    task.Unit.ID,
+			Payload:   out,
+			Elapsed:   elapsed,
+			Donor:     d.opts.Name,
+		})
+		if err != nil {
+			if d.stopped() || errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		d.units.Add(1)
+		if d.opts.Throttle > 0 {
+			if !d.sleep(d.opts.Throttle) {
+				return nil
+			}
+		}
+	}
+}
+
+// process computes one unit, lazily creating and initialising the
+// algorithm instance for (problem, algorithm name). elapsed covers only
+// Process — the scheduler's throughput estimate must not absorb one-time
+// shared-data fetch and Init cost, or a donor's first sample would make it
+// look far slower than it is.
+func (d *Donor) process(t *Task) (out []byte, elapsed time.Duration, err error) {
+	defer func() {
+		// A panicking Algorithm must not kill the donor loop: convert it to
+		// a failure so the unit is requeued.
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("algorithm panicked: %v", r)
+		}
+	}()
+	alg, err := d.algorithm(t.ProblemID, t.Unit.Algorithm)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	out, err = alg.Process(t.Unit.Payload)
+	return out, time.Since(start), err
+}
+
+func (d *Donor) algorithm(problemID, name string) (Algorithm, error) {
+	key := problemID + "\x00" + name
+	if alg, ok := d.algs[key]; ok {
+		return alg, nil
+	}
+	alg, err := newAlgorithm(name)
+	if err != nil {
+		return nil, err
+	}
+	shared, ok := d.shared[problemID]
+	if !ok {
+		var err error
+		shared, err = d.coord.SharedData(problemID)
+		if err != nil {
+			return nil, &sharedFetchError{fmt.Errorf("fetching shared data: %w", err)}
+		}
+		if len(d.problemOrder) >= maxCachedProblems {
+			d.evictProblem(d.problemOrder[0])
+		}
+		d.shared[problemID] = shared
+		d.problemOrder = append(d.problemOrder, problemID)
+	}
+	if err := alg.Init(shared); err != nil {
+		return nil, fmt.Errorf("initialising %s: %w", name, err)
+	}
+	d.algs[key] = alg
+	return alg, nil
+}
+
+// evictProblem drops one problem's shared blob and algorithm instances.
+func (d *Donor) evictProblem(problemID string) {
+	delete(d.shared, problemID)
+	for i, id := range d.problemOrder {
+		if id == problemID {
+			d.problemOrder = append(d.problemOrder[:i], d.problemOrder[i+1:]...)
+			break
+		}
+	}
+	prefix := problemID + "\x00"
+	for key := range d.algs {
+		if strings.HasPrefix(key, prefix) {
+			delete(d.algs, key)
+		}
+	}
+}
+
+// sleep waits for at most wait, returning false if Stop fired first.
+func (d *Donor) sleep(wait time.Duration) bool {
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-d.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (d *Donor) stopped() bool {
+	select {
+	case <-d.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *Donor) logf(format string, args ...any) {
+	if d.opts.Logf != nil {
+		d.opts.Logf(format, args...)
+	}
+}
+
+// transientError wraps coordinator errors a donor should retry rather than
+// exit on (e.g. a bulk payload fetch that failed after the unit was already
+// reported lost to the server).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func isTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// sharedFetchError marks a failure to obtain a problem's shared blob.
+type sharedFetchError struct{ err error }
+
+func (e *sharedFetchError) Error() string { return e.err.Error() }
+func (e *sharedFetchError) Unwrap() error { return e.err }
+
+// transportFailureReporter is implemented by coordinators that distinguish
+// payload-transport failures (which requeue without feeding the
+// poisoned-unit caps) from compute failures.
+type transportFailureReporter interface {
+	reportTransportFailure(donor, problemID string, unitID int64, reason string) error
+}

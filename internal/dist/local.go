@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// RunLocal executes one problem to completion with n in-process workers —
+// the zero-configuration deployment shape for tests and single-machine
+// runs. The full coordinator drives it (scheduling policy budgets, leases,
+// failure requeue), so results are identical to the networked deployment.
+func RunLocal(p *Problem, n int, policy sched.Policy) ([]byte, error) {
+	if n < 1 {
+		n = 1
+	}
+	srv := NewServer(ServerOptions{
+		Policy: policy,
+		// In-process workers cannot vanish, so leases only matter for the
+		// failure-requeue path, which reports explicitly.
+		Lease:      time.Hour,
+		ExpiryScan: time.Hour,
+		WaitHint:   time.Millisecond,
+	})
+	defer srv.Close()
+	if err := srv.Submit(p); err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	donors := make([]*Donor, n)
+	for i := range donors {
+		donors[i] = NewDonor(srv, DonorOptions{Name: fmt.Sprintf("local-%d", i)})
+		wg.Add(1)
+		go func(d *Donor) {
+			defer wg.Done()
+			_ = d.Run()
+		}(donors[i])
+	}
+	out, err := srv.Wait(p.ID)
+	for _, d := range donors {
+		d.Stop()
+	}
+	wg.Wait()
+	return out, err
+}

@@ -1,0 +1,438 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// rpcServiceName is the registration name of the control-channel service.
+const rpcServiceName = "Dist"
+
+// sharedKey is the bulk-channel key of a problem's shared blob.
+func sharedKey(problemID string) string { return "shared/" + problemID }
+
+// unitKey is the bulk-channel key of one offloaded unit payload.
+func unitKey(problemID string, unitID int64) string {
+	return fmt.Sprintf("unit/%s/%d", problemID, unitID)
+}
+
+// NetworkServer is a Server with the paper's two network channels attached:
+// control traffic (task handout, results, failures) over net/rpc — Go's
+// analogue of the Java RMI the paper used — and bulk data (shared blobs,
+// large unit payloads) over raw TCP sockets with length-prefixed frames.
+type NetworkServer struct {
+	*Server
+	rpcLn net.Listener
+	bulk  *wire.BulkServer
+
+	closeOnce sync.Once
+	closeErr  error
+	acceptWG  sync.WaitGroup
+
+	// connsMu guards the accepted control connections so Close can tear
+	// them down instead of leaving ServeConn goroutines to donors' mercy.
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+	connWG  sync.WaitGroup
+
+	// keysMu guards the bulk keys created for offloaded unit payloads, so
+	// they can be dropped once the unit (or the whole problem) completes.
+	keysMu   sync.Mutex
+	unitKeys map[string]map[int64]string // problemID -> unitID -> key
+}
+
+// ListenAndServe starts a network-facing coordinator. rpcAddr carries
+// control traffic, bulkAddr carries bulk data; ":0" picks free ports.
+func ListenAndServe(rpcAddr, bulkAddr string, opts ServerOptions) (*NetworkServer, error) {
+	srv := NewServer(opts)
+	bulk, err := wire.NewBulkServer(bulkAddr)
+	if err != nil {
+		_ = srv.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", rpcAddr)
+	if err != nil {
+		_ = bulk.Close()
+		_ = srv.Close()
+		return nil, fmt.Errorf("dist: rpc listen: %w", err)
+	}
+	ns := &NetworkServer{
+		Server:   srv,
+		rpcLn:    ln,
+		bulk:     bulk,
+		unitKeys: make(map[string]map[int64]string),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	// Release a problem's bulk blobs however it ends — finalized, failed,
+	// stalled, or shut down — not only on a final accepted RPC result; and
+	// release a regenerated unit's offloaded payload as soon as its old ID
+	// is retired.
+	srv.onProblemDone = ns.dropProblemKeys
+	srv.onUnitRetired = ns.dropUnitKey
+	rsrv := rpc.NewServer()
+	if err := rsrv.RegisterName(rpcServiceName, &rpcService{ns: ns}); err != nil {
+		_ = ns.Close()
+		return nil, fmt.Errorf("dist: registering rpc service: %w", err)
+	}
+	ns.acceptWG.Add(1)
+	go func() {
+		defer ns.acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			ns.connsMu.Lock()
+			ns.conns[conn] = struct{}{}
+			ns.connsMu.Unlock()
+			ns.connWG.Add(1)
+			go func(c net.Conn) {
+				defer ns.connWG.Done()
+				rsrv.ServeConn(c)
+				ns.connsMu.Lock()
+				delete(ns.conns, c)
+				ns.connsMu.Unlock()
+			}(conn)
+		}
+	}()
+	return ns, nil
+}
+
+// RPCAddr returns the control-channel listen address.
+func (ns *NetworkServer) RPCAddr() string { return ns.rpcLn.Addr().String() }
+
+// BulkAddr returns the bulk-data listen address.
+func (ns *NetworkServer) BulkAddr() string { return ns.bulk.Addr() }
+
+// Submit registers a problem and publishes its shared blob on the bulk
+// channel. Publication happens under the server lock after validation but
+// before the problem becomes dispatchable: a donor can never be handed a
+// unit whose shared data is not yet fetchable, and a rejected duplicate
+// Submit never touches the live problem's blob.
+func (ns *NetworkServer) Submit(p *Problem) error {
+	if p != nil && len(p.SharedData)+1 > wire.MaxFrameSize {
+		return fmt.Errorf("dist: shared data of %d bytes exceeds the bulk frame limit of %d",
+			len(p.SharedData), wire.MaxFrameSize-1)
+	}
+	return ns.Server.submitWith(p, func() {
+		ns.bulk.Put(sharedKey(p.ID), p.SharedData)
+	})
+}
+
+// Close shuts down both listeners, severs every accepted control
+// connection, and stops the coordinator.
+func (ns *NetworkServer) Close() error {
+	ns.closeOnce.Do(func() {
+		err := ns.rpcLn.Close()
+		ns.acceptWG.Wait()
+		ns.connsMu.Lock()
+		for c := range ns.conns {
+			_ = c.Close()
+		}
+		ns.connsMu.Unlock()
+		ns.connWG.Wait()
+		if berr := ns.bulk.Close(); err == nil {
+			err = berr
+		}
+		if serr := ns.Server.Close(); err == nil {
+			err = serr
+		}
+		ns.closeErr = err
+	})
+	return ns.closeErr
+}
+
+// offloadPayload moves a large unit payload onto the bulk channel,
+// returning the key the donor should fetch. Small payloads stay inline, as
+// do payloads too large for a single bulk frame (net/rpc has no frame
+// limit; the bulk server would answer not-found for them).
+func (ns *NetworkServer) offloadPayload(t *Task) (bulkKey string) {
+	if ns.opts.BulkThreshold < 0 || len(t.Unit.Payload) <= ns.opts.BulkThreshold {
+		return ""
+	}
+	if len(t.Unit.Payload)+1 > wire.MaxFrameSize {
+		return ""
+	}
+	key := unitKey(t.ProblemID, t.Unit.ID)
+	ns.bulk.Put(key, t.Unit.Payload)
+	ns.keysMu.Lock()
+	m := ns.unitKeys[t.ProblemID]
+	if m == nil {
+		m = make(map[int64]string)
+		ns.unitKeys[t.ProblemID] = m
+	}
+	m[t.Unit.ID] = key
+	ns.keysMu.Unlock()
+	// The problem may have finalized or failed between the task being
+	// leased and the payload being published; its cleanup hook has already
+	// run and will not run again, so undo the publication ourselves. The
+	// key was registered before this check, so a cleanup racing in after it
+	// also finds and deletes the blob — either way nothing leaks.
+	if st, err := ns.Status(t.ProblemID); err != nil || st.Done {
+		ns.dropProblemKeys(t.ProblemID)
+		return ""
+	}
+	return key
+}
+
+// dropUnitKey discards one offloaded payload once its unit completed.
+func (ns *NetworkServer) dropUnitKey(problemID string, unitID int64) {
+	ns.keysMu.Lock()
+	defer ns.keysMu.Unlock()
+	if m := ns.unitKeys[problemID]; m != nil {
+		if key, ok := m[unitID]; ok {
+			ns.bulk.Delete(key)
+			delete(m, unitID)
+		}
+	}
+}
+
+// dropProblemKeys discards a completed problem's bulk blobs.
+func (ns *NetworkServer) dropProblemKeys(problemID string) {
+	ns.bulk.Delete(sharedKey(problemID))
+	ns.keysMu.Lock()
+	defer ns.keysMu.Unlock()
+	for _, key := range ns.unitKeys[problemID] {
+		ns.bulk.Delete(key)
+	}
+	delete(ns.unitKeys, problemID)
+}
+
+// Control-channel message types (gob-encoded by net/rpc).
+
+// TaskArgs identifies the donor requesting work.
+type TaskArgs struct{ Donor string }
+
+// TaskReply carries one dispatched unit. When the payload was offloaded to
+// the bulk channel, Unit.Payload is nil and BulkKey names the blob.
+type TaskReply struct {
+	HasTask    bool
+	ProblemID  string
+	Unit       Unit
+	BulkKey    string
+	WaitHintNs int64
+}
+
+// ResultArgs carries one completed unit's output back to the server.
+type ResultArgs struct {
+	Donor     string
+	ProblemID string
+	UnitID    int64
+	Payload   []byte
+	ElapsedNs int64
+}
+
+// FailureArgs reports a unit the donor could not compute. Transport marks
+// failures to *obtain* the unit (bulk payload fetch) rather than failures
+// of the computation itself; they requeue the unit without feeding the
+// poisoned-unit attempt caps.
+type FailureArgs struct {
+	Donor     string
+	ProblemID string
+	UnitID    int64
+	Reason    string
+	Transport bool
+}
+
+// HandshakeReply tells a connecting donor where the bulk channel lives.
+type HandshakeReply struct{ BulkAddr string }
+
+// Empty is the placeholder reply for calls with no return value.
+type Empty struct{}
+
+// rpcService adapts the Server's Coordinator interface to net/rpc.
+type rpcService struct{ ns *NetworkServer }
+
+// Handshake returns the bulk-channel address.
+func (s *rpcService) Handshake(_ Empty, reply *HandshakeReply) error {
+	reply.BulkAddr = s.ns.BulkAddr()
+	return nil
+}
+
+// RequestTask hands the donor its next unit.
+func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
+	task, wait, err := s.ns.Server.RequestTask(args.Donor)
+	if err != nil {
+		return err
+	}
+	reply.WaitHintNs = int64(wait)
+	if task == nil {
+		return nil
+	}
+	reply.HasTask = true
+	reply.ProblemID = task.ProblemID
+	reply.Unit = task.Unit
+	if key := s.ns.offloadPayload(task); key != "" {
+		reply.BulkKey = key
+		reply.Unit.Payload = nil
+	}
+	return nil
+}
+
+// SubmitResult folds one completed unit. Offloaded payloads are only
+// dropped for *accepted* results: a straggler's reissued copy may still
+// need to fetch the same blob.
+func (s *rpcService) SubmitResult(args ResultArgs, _ *Empty) error {
+	accepted, err := s.ns.Server.submitResult(&Result{
+		ProblemID: args.ProblemID,
+		UnitID:    args.UnitID,
+		Payload:   args.Payload,
+		Elapsed:   time.Duration(args.ElapsedNs),
+		Donor:     args.Donor,
+	})
+	if err != nil || !accepted {
+		return err
+	}
+	s.ns.dropUnitKey(args.ProblemID, args.UnitID)
+	return nil
+}
+
+// ReportFailure requeues a unit the donor could not compute. The offloaded
+// payload (if any) is kept: the reissue needs it.
+func (s *rpcService) ReportFailure(args FailureArgs, _ *Empty) error {
+	kind := failCompute
+	if args.Transport {
+		kind = failTransport
+	}
+	return s.ns.Server.reportFailure(args.Donor, args.ProblemID, args.UnitID, args.Reason, kind)
+}
+
+// RPCClient is the donor-side coordinator proxy: control calls over
+// net/rpc, payload and shared-blob fetches over the bulk socket channel.
+type RPCClient struct {
+	c        *rpc.Client
+	bulkAddr string
+	timeout  time.Duration
+}
+
+var _ Coordinator = (*RPCClient)(nil)
+
+// Dial connects to a server's control channel and learns its bulk address.
+// timeout bounds the dial and every bulk fetch.
+func Dial(rpcAddr string, timeout time.Duration) (*RPCClient, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", rpcAddr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing %s: %w", rpcAddr, err)
+	}
+	c := rpc.NewClient(conn)
+	var hr HandshakeReply
+	if err := c.Call(rpcServiceName+".Handshake", Empty{}, &hr); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("dist: handshake with %s: %w", rpcAddr, err)
+	}
+	return &RPCClient{
+		c:        c,
+		bulkAddr: resolveBulkAddr(rpcAddr, hr.BulkAddr),
+		timeout:  timeout,
+	}, nil
+}
+
+// resolveBulkAddr fills in the bulk address's host from the RPC address
+// when the server listens on the wildcard interface.
+func resolveBulkAddr(rpcAddr, bulkAddr string) string {
+	bhost, bport, err := net.SplitHostPort(bulkAddr)
+	if err != nil {
+		return bulkAddr
+	}
+	if bhost != "" && bhost != "0.0.0.0" && bhost != "::" {
+		return bulkAddr
+	}
+	rhost, _, err := net.SplitHostPort(rpcAddr)
+	if err != nil || rhost == "" {
+		return bulkAddr
+	}
+	return net.JoinHostPort(rhost, bport)
+}
+
+// Close tears down the control connection.
+func (c *RPCClient) Close() error { return c.c.Close() }
+
+// RequestTask implements Coordinator. A failure fetching an offloaded
+// payload is reported to the server (so the unit is requeued to another
+// donor, not silently dropped) and surfaced as a transient error the donor
+// loop retries past.
+func (c *RPCClient) RequestTask(donor string) (*Task, time.Duration, error) {
+	var r TaskReply
+	if err := c.c.Call(rpcServiceName+".RequestTask", TaskArgs{Donor: donor}, &r); err != nil {
+		return nil, 0, rpcErr(err)
+	}
+	wait := time.Duration(r.WaitHintNs)
+	if !r.HasTask {
+		return nil, wait, nil
+	}
+	if r.BulkKey != "" {
+		payload, err := wire.FetchBlob(c.bulkAddr, r.BulkKey, c.timeout)
+		if err != nil {
+			ferr := fmt.Errorf("dist: fetching bulk payload %s: %w", r.BulkKey, err)
+			args := FailureArgs{Donor: donor, ProblemID: r.ProblemID, UnitID: r.Unit.ID,
+				Reason: ferr.Error(), Transport: true}
+			_ = rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
+			return nil, wait, &transientError{ferr}
+		}
+		r.Unit.Payload = payload
+	}
+	return &Task{ProblemID: r.ProblemID, Unit: r.Unit}, wait, nil
+}
+
+// SharedData implements Coordinator: fetch the problem's shared blob over
+// the bulk channel.
+func (c *RPCClient) SharedData(problemID string) ([]byte, error) {
+	return wire.FetchBlob(c.bulkAddr, sharedKey(problemID), c.timeout)
+}
+
+// SubmitResult implements Coordinator.
+func (c *RPCClient) SubmitResult(res *Result) error {
+	args := ResultArgs{
+		Donor:     res.Donor,
+		ProblemID: res.ProblemID,
+		UnitID:    res.UnitID,
+		Payload:   res.Payload,
+		ElapsedNs: int64(res.Elapsed),
+	}
+	return rpcErr(c.c.Call(rpcServiceName+".SubmitResult", args, &Empty{}))
+}
+
+// ReportFailure implements Coordinator.
+func (c *RPCClient) ReportFailure(donor, problemID string, unitID int64, reason string) error {
+	args := FailureArgs{Donor: donor, ProblemID: problemID, UnitID: unitID, Reason: reason}
+	return rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
+}
+
+// reportTransportFailure implements transportFailureReporter.
+func (c *RPCClient) reportTransportFailure(donor, problemID string, unitID int64, reason string) error {
+	args := FailureArgs{Donor: donor, ProblemID: problemID, UnitID: unitID, Reason: reason, Transport: true}
+	return rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
+}
+
+// rpcErr maps "the server went away" conditions onto ErrClosed so donor
+// loops exit cleanly: the sentinel itself (flattened to a string by
+// net/rpc), a shut-down client, and the raw EOF *or reset* a polling donor
+// sees when the server completes its problems and exits — observed in
+// loopback runs, a clean server exit surfaces as either, depending on
+// whether a request was in flight. A server crash is therefore
+// indistinguishable from a clean finish here; donors treat both as "work
+// over" (a reconnect loop is the eventual fix, tracked in ROADMAP).
+func rpcErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if err == rpc.ErrShutdown || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrClosed
+	}
+	msg := err.Error()
+	if strings.Contains(msg, ErrClosed.Error()) || strings.Contains(msg, "connection reset") {
+		return ErrClosed
+	}
+	return err
+}

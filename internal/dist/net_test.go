@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+func netOpts() ServerOptions {
+	return ServerOptions{
+		Policy:     sched.Fixed{Size: 17},
+		Lease:      time.Hour,
+		ExpiryScan: time.Hour,
+		WaitHint:   time.Millisecond,
+	}
+}
+
+// TestNetworkMatchesRunLocal runs the same problem through RunLocal and
+// through a real loopback server↔donor deployment (control over net/rpc,
+// payloads forced onto the bulk socket channel) and demands identical
+// results.
+func TestNetworkMatchesRunLocal(t *testing.T) {
+	registerSum(t)
+	const n = 400
+	ref, err := RunLocal(&Problem{ID: "sum-ref", DM: newSumDM(n)}, 3, sched.Fixed{Size: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := netOpts()
+	opts.BulkThreshold = 1 // every payload takes the bulk channel
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	shared := []byte("shared blob travels the bulk channel too")
+	if err := srv.Submit(&Problem{ID: "sum-net", DM: newSumDM(n), SharedData: shared}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var donors []*Donor
+	for i := 0; i < 2; i++ {
+		cl, err := Dial(srv.RPCAddr(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if got, err := cl.SharedData("sum-net"); err != nil || string(got) != string(shared) {
+			t.Fatalf("shared data over bulk channel = %q, %v", got, err)
+		}
+		d := NewDonor(cl, DonorOptions{Name: fmt.Sprintf("net-%d", i), Logf: t.Logf})
+		donors = append(donors, d)
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = d.Run() }()
+	}
+
+	out, err := srv.Wait("sum-net")
+	for _, d := range donors {
+		d.Stop()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := decodeSum(t, out), decodeSum(t, ref); got != want {
+		t.Errorf("network result %d != RunLocal result %d", got, want)
+	}
+	if srv.DonorCount() != 2 {
+		t.Errorf("DonorCount = %d, want 2", srv.DonorCount())
+	}
+	total := 0
+	for _, d := range donors {
+		total += d.Units()
+	}
+	if total == 0 {
+		t.Error("donors completed no units")
+	}
+}
+
+// evilBulkListener accepts bulk connections and answers every request with
+// a frame header claiming a size far beyond wire.MaxFrameSize — the
+// corrupt-peer case the frame layer must reject.
+func evilBulkListener(t *testing.T, mode string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if _, err := wire.ReadFrame(c); err != nil {
+					return
+				}
+				var hdr [4]byte
+				switch mode {
+				case "oversized":
+					binary.BigEndian.PutUint32(hdr[:], uint32(wire.MaxFrameSize+1))
+					_, _ = c.Write(hdr[:])
+				case "short":
+					binary.BigEndian.PutUint32(hdr[:], 100)
+					_, _ = c.Write(hdr[:])
+					_, _ = c.Write([]byte("only ten b")) // then hang up mid-frame
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestFetchBlobRejectsCorruptFrames is the regression test for the frame
+// hardening: oversized and truncated frames must surface as errors, never
+// as silently empty payloads.
+func TestFetchBlobRejectsCorruptFrames(t *testing.T) {
+	if _, err := wire.FetchBlob(evilBulkListener(t, "oversized"), "k", 2*time.Second); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame error = %v", err)
+	}
+	if _, err := wire.FetchBlob(evilBulkListener(t, "short"), "k", 2*time.Second); err == nil {
+		t.Error("truncated frame returned no error")
+	}
+}
+
+// TestBulkFetchFailureRequeuesUnit wires one donor to a corrupt bulk
+// channel: its payload fetches fail, each failure is reported to the server
+// (not silently dropped), and the units complete on the healthy donor.
+func TestBulkFetchFailureRequeuesUnit(t *testing.T) {
+	registerSum(t)
+	const n = 200
+	opts := netOpts()
+	opts.Policy = sched.Fixed{Size: 5} // 40 units
+	opts.BulkThreshold = 1
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "sum-evil", DM: newSumDM(n)}); err != nil {
+		t.Fatal(err)
+	}
+
+	healthyCl, err := Dial(srv.RPCAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthyCl.Close()
+	// Throttle the healthy donor so the evil one is guaranteed to claim (and
+	// fail) at least one unit before the work runs out.
+	healthy := NewDonor(healthyCl, DonorOptions{Name: "healthy", Throttle: 5 * time.Millisecond})
+
+	evilCl, err := Dial(srv.RPCAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evilCl.Close()
+	evilCl.bulkAddr = evilBulkListener(t, "oversized") // sabotage the data channel
+	evil := NewDonor(evilCl, DonorOptions{Name: "evil", Logf: t.Logf})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = healthy.Run() }()
+	// Let the healthy donor register first so requeued units prefer it.
+	time.Sleep(20 * time.Millisecond)
+	go func() { defer wg.Done(); _ = evil.Run() }()
+
+	out, err := srv.Wait("sum-evil")
+	healthy.Stop()
+	evil.Stop()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeSum(t, out); got != sumSquares(n) {
+		t.Errorf("sum = %d, want %d", got, sumSquares(n))
+	}
+	if evil.Units() != 0 {
+		t.Errorf("donor with corrupt bulk channel completed %d units", evil.Units())
+	}
+	if healthy.Units() == 0 {
+		t.Error("healthy donor completed nothing")
+	}
+	_, _, reissued, _ := srv.Stats("sum-evil")
+	if reissued < 1 {
+		t.Errorf("reissued = %d, want >= 1 (failed fetches must requeue)", reissued)
+	}
+}
+
+func TestResolveBulkAddr(t *testing.T) {
+	cases := []struct{ rpc, bulk, want string }{
+		{"10.0.0.5:7070", ":7071", "10.0.0.5:7071"},
+		{"10.0.0.5:7070", "0.0.0.0:7071", "10.0.0.5:7071"},
+		{"10.0.0.5:7070", "[::]:7071", "10.0.0.5:7071"},
+		{"10.0.0.5:7070", "192.168.1.9:7071", "192.168.1.9:7071"},
+		{"10.0.0.5:7070", "garbage", "garbage"},
+	}
+	for _, c := range cases {
+		if got := resolveBulkAddr(c.rpc, c.bulk); got != c.want {
+			t.Errorf("resolveBulkAddr(%q, %q) = %q, want %q", c.rpc, c.bulk, got, c.want)
+		}
+	}
+}

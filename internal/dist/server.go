@@ -1,0 +1,706 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// ErrClosed is returned by coordinator calls after Close.
+var ErrClosed = errors.New("dist: server closed")
+
+// throughputAlpha weights the newest cost/elapsed sample in the EWMA the
+// scheduler sizes units from.
+const throughputAlpha = 0.3
+
+// ServerOptions tunes scheduling and fault tolerance.
+type ServerOptions struct {
+	// Policy sizes work units per donor; nil defaults to the paper's
+	// adaptive strategy with a 5s target.
+	Policy sched.Policy
+	// Lease is how long a dispatched unit may stay out before it is
+	// presumed lost and reissued to another donor. Zero defaults to 2m.
+	Lease time.Duration
+	// ExpiryScan is the interval between lease sweeps. Zero defaults to
+	// Lease/4 (at least one second).
+	ExpiryScan time.Duration
+	// WaitHint is how long donors are told to wait before polling again
+	// when no unit is available. Zero defaults to 50ms.
+	WaitHint time.Duration
+	// BulkThreshold is the payload size in bytes above which a network
+	// server ships unit payloads over the raw-socket bulk channel instead
+	// of inline in the RPC reply (the paper's §2.2 rationale). Zero
+	// defaults to 64 KiB; negative disables offloading.
+	BulkThreshold int
+}
+
+func (o *ServerOptions) applyDefaults() {
+	if o.Policy == nil {
+		o.Policy = sched.Adaptive{Target: 5 * time.Second, Bootstrap: 1000, Min: 1}
+	}
+	if o.Lease <= 0 {
+		o.Lease = 2 * time.Minute
+	}
+	if o.ExpiryScan <= 0 {
+		o.ExpiryScan = o.Lease / 4
+		if o.ExpiryScan < time.Second {
+			o.ExpiryScan = time.Second
+		}
+	}
+	if o.WaitHint <= 0 {
+		o.WaitHint = 50 * time.Millisecond
+	}
+	if o.BulkThreshold == 0 {
+		o.BulkThreshold = 64 << 10
+	}
+}
+
+// maxUnitAttempts bounds how often one cached unit is re-dispatched after
+// failures before the whole problem is failed — a deterministically
+// poisoned unit must not ping-pong between donors forever.
+const maxUnitAttempts = 8
+
+// maxConsecutiveFailures bounds compute failures with no intervening
+// success for one problem. Requeuer DataManagers regenerate lost units
+// under fresh IDs, so the per-unit attempt cap cannot see a poisoned unit
+// cycling there; this problem-level bound catches it.
+const maxConsecutiveFailures = 64
+
+// maxConsecutiveTransport bounds transport failures (unfetchable payloads)
+// with no intervening success. Deliberately very loose — partial-fleet
+// bulk-connectivity problems self-heal via requeue and any completed unit
+// resets it — but it turns "no donor can reach the bulk channel at all"
+// (a misconfigured advertised address, a NAT forwarding only the RPC port)
+// from a silent livelock into a diagnosable failure.
+const maxConsecutiveTransport = 1024
+
+// leaseInfo tracks one in-flight unit.
+type leaseInfo struct {
+	unit     *Unit
+	donor    string
+	deadline time.Time
+	attempts int
+}
+
+// queuedUnit is a cached unit awaiting reissue (DataManagers implementing
+// Requeuer regenerate units instead and never enter this queue).
+type queuedUnit struct {
+	unit      *Unit
+	lastDonor string
+	attempts  int
+}
+
+// problemState is the server's bookkeeping for one submitted problem.
+type problemState struct {
+	p *Problem
+	// shared is the server's own reference to the problem's shared blob,
+	// so retiring the problem can release it without mutating the
+	// caller-owned Problem struct.
+	shared   []byte
+	inflight map[int64]*leaseInfo
+	requeue  []queuedUnit
+
+	dispatched      int
+	completed       int
+	reissued        int
+	consecFails     int // compute failures since the last successful Consume
+	consecTransport int // transport failures since the last successful Consume
+
+	done   bool
+	result []byte
+	err    error
+	doneCh chan struct{}
+}
+
+// donorState is the server's measured view of one donor.
+type donorState struct {
+	stats    sched.DonorStats
+	lastSeen time.Time
+}
+
+// Status is a point-in-time snapshot of one problem's progress.
+type Status struct {
+	// Completed, Inflight and Reissued count work units.
+	Completed, Inflight, Reissued int
+	// AppDone/AppTotal are application-level progress (from Progresser);
+	// both zero when the DataManager does not report progress.
+	AppDone, AppTotal int
+	// Done reports whether the final result is ready.
+	Done bool
+}
+
+// Server is the coordinating node: it owns the submitted problems, sizes
+// units per donor via the scheduling policy, tracks leases, and requeues
+// failed or expired units. It implements Coordinator for in-process donors;
+// wrap it with ListenAndServe for the networked deployment.
+type Server struct {
+	opts ServerOptions
+
+	mu       sync.Mutex
+	problems map[string]*problemState
+	order    []string // live problems in submission order, for round-robin dispatch
+	rr       int
+	donors   map[string]*donorState
+	closed   bool
+
+	// onProblemDone, when non-nil, is invoked (under the server lock) each
+	// time a problem finalizes or fails; the network layer uses it to drop
+	// the problem's bulk-channel blobs however the problem ended.
+	onProblemDone func(problemID string)
+	// onUnitRetired, when non-nil, is invoked (under the server lock) when
+	// a lost unit is regenerated by a Requeuer DataManager — its old ID
+	// will never be dispatched again, so the network layer can drop the
+	// ID's offloaded payload immediately instead of at problem end.
+	onUnitRetired func(problemID string, unitID int64)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+var _ Coordinator = (*Server)(nil)
+
+// NewServer creates an in-process coordinator.
+func NewServer(opts ServerOptions) *Server {
+	opts.applyDefaults()
+	s := &Server{
+		opts:     opts,
+		problems: make(map[string]*problemState),
+		donors:   make(map[string]*donorState),
+		stop:     make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.expiryLoop()
+	return s
+}
+
+// Submit registers a problem for dispatch.
+func (s *Server) Submit(p *Problem) error {
+	return s.submitWith(p, nil)
+}
+
+// submitWith registers a problem, invoking publish (when non-nil) under the
+// server lock after validation but before the problem becomes dispatchable.
+// The network server uses this to put the shared blob on the bulk channel
+// so no donor can be handed a unit whose shared data is not yet fetchable —
+// and a rejected duplicate Submit never touches the live problem's blob.
+func (s *Server) submitWith(p *Problem, publish func()) error {
+	if p == nil || p.DM == nil {
+		return errors.New("dist: Submit with nil problem or DataManager")
+	}
+	if p.ID == "" {
+		return errors.New("dist: Submit with empty problem ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.problems[p.ID]; dup {
+		return fmt.Errorf("dist: problem %q already submitted", p.ID)
+	}
+	if publish != nil {
+		publish()
+	}
+	ps := &problemState{
+		p:        p,
+		shared:   p.SharedData,
+		inflight: make(map[int64]*leaseInfo),
+		doneCh:   make(chan struct{}),
+	}
+	s.problems[p.ID] = ps
+	s.order = append(s.order, p.ID)
+	if p.DM.Done() {
+		s.finalize(ps)
+	}
+	return nil
+}
+
+// Wait blocks until the problem completes and returns its final result.
+func (s *Server) Wait(id string) ([]byte, error) {
+	s.mu.Lock()
+	ps, ok := s.problems[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown problem %q", id)
+	}
+	<-ps.doneCh
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ps.result, ps.err
+}
+
+// Status reports a problem's progress.
+func (s *Server) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.problems[id]
+	if !ok {
+		return Status{}, fmt.Errorf("dist: unknown problem %q", id)
+	}
+	st := Status{
+		Completed: ps.completed,
+		Inflight:  len(ps.inflight),
+		Reissued:  ps.reissued,
+		Done:      ps.done,
+	}
+	if pr, ok := ps.p.DM.(Progresser); ok {
+		st.AppDone, st.AppTotal = pr.Progress()
+	}
+	return st, nil
+}
+
+// Stats reports a problem's unit counters.
+func (s *Server) Stats(id string) (dispatched, completed, reissued int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.problems[id]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("dist: unknown problem %q", id)
+	}
+	return ps.dispatched, ps.completed, ps.reissued, nil
+}
+
+// DonorCount reports how many distinct donors have contacted the server.
+func (s *Server) DonorCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.donors)
+}
+
+// Close stops the server. Problems still running fail with ErrClosed so
+// concurrent Wait calls return.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, ps := range s.problems {
+			if !ps.done {
+				s.fail(ps, ErrClosed)
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	return nil
+}
+
+// RequestTask implements Coordinator: pick the next unit for a donor,
+// round-robin across live problems so concurrent instances keep every donor
+// busy across stage barriers (the paper's Figure 2 usage pattern).
+func (s *Server) RequestTask(donor string) (*Task, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	ds := s.touchDonor(donor)
+	// Snapshot the rotation: dispatch failures inside the loop can retire a
+	// problem, which mutates s.order.
+	ids := append([]string(nil), s.order...)
+	n := len(ids)
+	for i := 0; i < n; i++ {
+		idx := (s.rr + i) % n
+		ps := s.problems[ids[idx]]
+		if ps == nil || ps.done {
+			continue
+		}
+		if u, attempts, ok := s.popRequeue(ps, donor); ok {
+			s.lease(ps, u, donor, attempts)
+			s.rr = (idx + 1) % n
+			return &Task{ProblemID: ps.p.ID, Unit: *u}, s.opts.WaitHint, nil
+		}
+		budget := s.opts.Policy.Budget(ds.stats, remainingCost(ps.p.DM), s.liveDonorCount())
+		u, ok, err := ps.p.DM.NextUnit(budget)
+		if err != nil {
+			s.fail(ps, fmt.Errorf("dist: problem %q: NextUnit: %w", ps.p.ID, err))
+			continue
+		}
+		if !ok {
+			if ps.p.DM.Done() {
+				s.finalize(ps)
+			} else if len(ps.inflight) == 0 && len(ps.requeue) == 0 {
+				// Nothing dispatchable, nothing in flight, nothing awaiting
+				// reissue, not done: no future event can unstick this
+				// problem. Fail loudly rather than leaving Wait hanging.
+				s.fail(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.p.ID))
+			}
+			continue
+		}
+		s.lease(ps, u, donor, 0)
+		s.rr = (idx + 1) % n
+		return &Task{ProblemID: ps.p.ID, Unit: *u}, s.opts.WaitHint, nil
+	}
+	return nil, s.opts.WaitHint, nil
+}
+
+// SharedData implements Coordinator.
+func (s *Server) SharedData(problemID string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.problems[problemID]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown problem %q", problemID)
+	}
+	return ps.shared, nil
+}
+
+// SubmitResult implements Coordinator: fold one completed unit and feed the
+// donor's measured cost/elapsed back into its scheduling statistics.
+func (s *Server) SubmitResult(res *Result) error {
+	_, err := s.submitResult(res)
+	return err
+}
+
+// submitResult additionally reports whether the result was accepted (false
+// for stragglers whose unit already completed elsewhere or whose problem is
+// done) so the network layer keeps bulk payloads a reissued copy may still
+// need.
+func (s *Server) submitResult(res *Result) (accepted bool, err error) {
+	if res == nil {
+		return false, errors.New("dist: SubmitResult with nil result")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	ds := s.touchDonor(res.Donor)
+	ps, ok := s.problems[res.ProblemID]
+	if !ok || ps.done {
+		return false, nil // problem finished (or failed) while the unit was out
+	}
+	var cost int64
+	if li, ok := ps.inflight[res.UnitID]; ok {
+		cost = li.unit.Cost
+		delete(ps.inflight, res.UnitID)
+	} else if q, ok := s.takeQueued(ps, res.UnitID); ok {
+		// The donor outlived its lease but finished before the unit was
+		// re-dispatched: the result is perfectly good, and accepting it
+		// saves recomputing the whole unit.
+		cost = q.unit.Cost
+	} else {
+		return false, nil // reissued copy already completed; drop the straggler
+	}
+	if err := ps.p.DM.Consume(res.UnitID, res.Payload); err != nil {
+		s.fail(ps, fmt.Errorf("dist: problem %q: Consume unit %d: %w", ps.p.ID, res.UnitID, err))
+		return false, nil
+	}
+	ps.completed++
+	ps.consecFails = 0
+	ps.consecTransport = 0
+	ds.stats.Completed++
+	// Floor elapsed at 1ms: a sub-millisecond (or bogus donor-reported)
+	// sample would otherwise make the EWMA throughput — and with it the
+	// next adaptive budget, which has no upper clamp by default —
+	// effectively infinite, serializing the whole problem onto one donor.
+	elapsed := res.Elapsed.Seconds()
+	if elapsed < 1e-3 {
+		elapsed = 1e-3
+	}
+	ds.stats.Throughput = sched.EWMA(ds.stats.Throughput, float64(cost)/elapsed, throughputAlpha)
+	if ps.p.DM.Done() {
+		s.finalize(ps)
+	}
+	return true, nil
+}
+
+// ReportFailure implements Coordinator: attribute the failure to the donor
+// and requeue the unit for another donor.
+func (s *Server) ReportFailure(donor, problemID string, unitID int64, reason string) error {
+	return s.reportFailure(donor, problemID, unitID, reason, failCompute)
+}
+
+// reportTransportFailure implements transportFailureReporter for in-process
+// donors.
+func (s *Server) reportTransportFailure(donor, problemID string, unitID int64, reason string) error {
+	return s.reportFailure(donor, problemID, unitID, reason, failTransport)
+}
+
+// reportFailure requeues a failed unit. kind is failTransport for failures
+// to *fetch* the payload: those say nothing about the unit itself and must
+// not feed the poisoned-unit caps — half a fleet with a firewalled bulk
+// port would otherwise fail the whole problem while healthy donors remain.
+func (s *Server) reportFailure(donor, problemID string, unitID int64, reason string, kind failureKind) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	ds := s.touchDonor(donor)
+	ps, ok := s.problems[problemID]
+	if !ok || ps.done {
+		return nil
+	}
+	li, ok := ps.inflight[unitID]
+	if !ok {
+		return nil
+	}
+	if li.donor != donor {
+		// Stale report: the unit's lease already expired and the unit was
+		// re-dispatched to someone else. Results from stragglers are
+		// accepted; their failure reports must not revoke the new lease.
+		return nil
+	}
+	ds.stats.Failures++
+	s.requeueLocked(ps, li, reason, kind)
+	return nil
+}
+
+// failureKind classifies why an in-flight unit came back, because each
+// class gets a different bound: compute failures feed the tight
+// poisoned-unit caps; transport failures (payload unfetchable) feed only a
+// very loose cap that catches a bulk channel no donor can reach; lease
+// expiries feed no cap at all — a healthy unit that merely takes many
+// lease periods, or a mass outage expiring every lease in one sweep, must
+// reissue, not fail the problem.
+type failureKind int
+
+const (
+	failCompute failureKind = iota
+	failTransport
+	failExpiry
+)
+
+// requeueLocked returns a lost or failed in-flight unit to the dispatch
+// pool: Requeuer DataManagers regenerate it, others get the cached payload
+// re-dispatched (preferring a different donor).
+func (s *Server) requeueLocked(ps *problemState, li *leaseInfo, reason string, kind failureKind) {
+	if ps.done {
+		return
+	}
+	delete(ps.inflight, li.unit.ID)
+	ps.reissued++
+	switch kind {
+	case failCompute:
+		ps.consecFails++
+		attempts := li.attempts + 1
+		if attempts >= maxUnitAttempts {
+			s.fail(ps, fmt.Errorf("dist: problem %q: unit %d failed %d times, last: %s",
+				ps.p.ID, li.unit.ID, attempts, reason))
+			return
+		}
+		li.attempts = attempts
+		if ps.consecFails >= maxConsecutiveFailures {
+			s.fail(ps, fmt.Errorf("dist: problem %q: %d consecutive failures without a completed unit, last: %s",
+				ps.p.ID, ps.consecFails, reason))
+			return
+		}
+	case failTransport:
+		ps.consecTransport++
+		if ps.consecTransport >= maxConsecutiveTransport {
+			s.fail(ps, fmt.Errorf("dist: problem %q: %d consecutive transport failures without a completed unit (bulk channel unreachable from every donor?), last: %s",
+				ps.p.ID, ps.consecTransport, reason))
+			return
+		}
+	}
+	if rq, ok := ps.p.DM.(Requeuer); ok {
+		rq.Requeue(li.unit.ID)
+		if s.onUnitRetired != nil {
+			s.onUnitRetired(ps.p.ID, li.unit.ID)
+		}
+		return
+	}
+	ps.requeue = append(ps.requeue, queuedUnit{unit: li.unit, lastDonor: li.donor, attempts: li.attempts})
+}
+
+// takeQueued removes and returns the queued unit with the given ID, if the
+// unit is awaiting reissue (its lease expired but it has not been handed
+// out again).
+func (s *Server) takeQueued(ps *problemState, unitID int64) (queuedUnit, bool) {
+	for i, q := range ps.requeue {
+		if q.unit.ID == unitID {
+			ps.requeue = append(ps.requeue[:i], ps.requeue[i+1:]...)
+			return q, true
+		}
+	}
+	return queuedUnit{}, false
+}
+
+// popRequeue takes a queued unit for the donor, preferring units last held
+// by a different donor so a unit one machine cannot compute migrates. The
+// preference only holds while some *other* donor is actually alive — a
+// donor that has not polled for a full lease is presumed gone, and waiting
+// for it would starve the unit forever.
+func (s *Server) popRequeue(ps *problemState, donor string) (*Unit, int, bool) {
+	pick := -1
+	for i, q := range ps.requeue {
+		if q.lastDonor != donor {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		if len(ps.requeue) == 0 || s.otherDonorAlive(donor) {
+			return nil, 0, false // let another donor claim it
+		}
+		pick = 0 // no other live donor: better to retry than to stall
+	}
+	q := ps.requeue[pick]
+	ps.requeue = append(ps.requeue[:pick], ps.requeue[pick+1:]...)
+	return q.unit, q.attempts, true
+}
+
+// otherDonorAlive reports whether any donor other than name has polled
+// within the last lease interval.
+func (s *Server) otherDonorAlive(name string) bool {
+	cutoff := time.Now().Add(-s.opts.Lease)
+	for n, ds := range s.donors {
+		if n != name && ds.lastSeen.After(cutoff) {
+			return true
+		}
+	}
+	return false
+}
+
+// liveDonorCount counts donors seen within the last lease interval — the
+// pool size scheduling policies divide remaining work by. Counting every
+// donor ever seen would permanently shrink GSS/factoring unit sizes after
+// churn. Never returns less than 1 (the caller itself just polled).
+func (s *Server) liveDonorCount() int {
+	cutoff := time.Now().Add(-s.opts.Lease)
+	n := 0
+	for _, ds := range s.donors {
+		if ds.lastSeen.After(cutoff) {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// lease records a dispatched unit.
+func (s *Server) lease(ps *problemState, u *Unit, donor string, attempts int) {
+	ps.inflight[u.ID] = &leaseInfo{
+		unit:     u,
+		donor:    donor,
+		deadline: time.Now().Add(s.opts.Lease),
+		attempts: attempts,
+	}
+	ps.dispatched++
+}
+
+func (s *Server) touchDonor(name string) *donorState {
+	ds, ok := s.donors[name]
+	if !ok {
+		ds = &donorState{}
+		s.donors[name] = ds
+	}
+	ds.lastSeen = time.Now()
+	return ds
+}
+
+func remainingCost(dm DataManager) int64 {
+	if cr, ok := dm.(CostReporter); ok {
+		return cr.RemainingCost()
+	}
+	return 0
+}
+
+// finalize marks a problem done with its DataManager's final result.
+// Callers hold s.mu.
+func (s *Server) finalize(ps *problemState) {
+	if ps.done {
+		return
+	}
+	out, err := ps.p.DM.FinalResult()
+	ps.done = true
+	ps.result, ps.err = out, err
+	close(ps.doneCh)
+	s.retire(ps)
+}
+
+// fail marks a problem done with an error. Callers hold s.mu.
+func (s *Server) fail(ps *problemState, err error) {
+	if ps.done {
+		return
+	}
+	ps.done = true
+	ps.err = err
+	close(ps.doneCh)
+	s.retire(ps)
+}
+
+// retire removes a completed problem from the dispatch rotation (its state
+// stays addressable for Wait/Status/Stats) and releases any network-layer
+// resources. Callers hold s.mu.
+func (s *Server) retire(ps *problemState) {
+	for i, id := range s.order {
+		if id == ps.p.ID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if len(s.order) > 0 {
+		s.rr %= len(s.order)
+	} else {
+		s.rr = 0
+	}
+	// Drop queued and leased unit payloads and the shared blob: a problem
+	// that finalized early (Done with units still out) must not pin them
+	// for the server's lifetime, and Status should not report in-flight
+	// work for a done problem. (A donor fetching shared data for a retired
+	// problem gets nil, fails Init, and the failure report is ignored —
+	// the problem is done.)
+	ps.requeue = nil
+	ps.inflight = nil
+	ps.shared = nil // the server's reference only; the caller's Problem is untouched
+	if s.onProblemDone != nil {
+		s.onProblemDone(ps.p.ID)
+	}
+}
+
+// expiryLoop periodically reissues units whose lease has lapsed — the
+// fault-tolerance path that lets the run survive donors being powered off.
+func (s *Server) expiryLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.ExpiryScan)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.expireLeases(time.Now())
+		}
+	}
+}
+
+// expireLeases requeues every in-flight unit whose lease deadline passed
+// and prunes donors gone long enough that their scheduling statistics are
+// worthless, so the donor map stays bounded on a long-lived server.
+func (s *Server) expireLeases(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	donorCutoff := now.Add(-10 * s.opts.Lease)
+	for name, ds := range s.donors {
+		if ds.lastSeen.Before(donorCutoff) {
+			delete(s.donors, name)
+		}
+	}
+	for _, ps := range s.problems {
+		if ps.done {
+			continue
+		}
+		for _, li := range ps.inflight {
+			if ps.done {
+				break // requeueLocked failed the problem mid-sweep
+			}
+			if now.After(li.deadline) {
+				if ds, ok := s.donors[li.donor]; ok {
+					ds.stats.Failures++
+				}
+				s.requeueLocked(ps, li, "lease expired", failExpiry)
+			}
+		}
+	}
+}
