@@ -8,6 +8,7 @@
 //	BenchmarkBulkTransfer          RPC vs raw-socket bulk data (§2.2 design)
 //	BenchmarkDSEARCHEndToEnd       real distributed search, in-process workers
 //	BenchmarkDPRmlEndToEnd         real distributed tree build, in-process workers
+//	BenchmarkCoordinatorSharding   RequestTask/SubmitResult throughput vs problem count
 //
 // Speedup/efficiency numbers are attached to the bench output via
 // b.ReportMetric; run with -v to also print the full series as tables (the
@@ -15,7 +16,10 @@
 package repro
 
 import (
+	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"testing"
 	"time"
@@ -252,6 +256,98 @@ type BlobService struct{ blob []byte }
 func (s *BlobService) Fetch(_ struct{}, out *[]byte) error {
 	*out = s.blob
 	return nil
+}
+
+// slowDM is an endless DataManager whose NextUnit/Consume each hold the
+// problem's lock for a fixed latency — a stand-in for real partitioning
+// and folding work (FASTA slicing, hit merging, likelihood bookkeeping).
+// It makes coordinator serialization visible: with the old single server
+// mutex, every donor of every problem queued behind this hold time; with
+// per-problem locks, donors dispatch against other problems while one
+// problem's DataManager is busy, so round-trip throughput scales with the
+// problem count.
+type slowDM struct {
+	hold time.Duration
+	seq  int64
+}
+
+func (d *slowDM) NextUnit(int64) (*dist.Unit, bool, error) {
+	time.Sleep(d.hold)
+	d.seq++
+	return &dist.Unit{ID: d.seq, Algorithm: "bench/noop", Cost: 1}, true, nil
+}
+
+func (d *slowDM) Consume(int64, []byte) error {
+	time.Sleep(d.hold)
+	return nil
+}
+
+func (d *slowDM) Done() bool                   { return false }
+func (d *slowDM) FinalResult() ([]byte, error) { return nil, nil }
+
+// BenchmarkCoordinatorSharding measures one in-process coordinator's
+// RequestTask+SubmitResult round-trip throughput as the number of
+// concurrent problems grows, with a fixed pool of 16 donor goroutines
+// hammering it and each DataManager call holding its problem's lock for
+// 100µs. The pool is hand-rolled (not b.RunParallel, which scales its
+// goroutine count with GOMAXPROCS) so the committed BENCH_prN.json curves
+// are comparable across machines: the donors wait on problem locks, not
+// CPU. Under the pre-shard global mutex, ns/op was flat in the problem
+// count (every round-trip serialized); with per-problem state, ns/op
+// drops as problems are added until the donor pool is saturated.
+func BenchmarkCoordinatorSharding(b *testing.B) {
+	const (
+		hold      = 100 * time.Microsecond
+		benchPool = 16
+	)
+	for _, nProblems := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("problems=%d", nProblems), func(b *testing.B) {
+			srv := dist.NewServer(dist.ServerOptions{
+				Policy:     sched.Fixed{Size: 1},
+				Lease:      time.Hour,
+				ExpiryScan: time.Hour,
+				WaitHint:   time.Microsecond,
+			})
+			defer srv.Close()
+			for i := 0; i < nProblems; i++ {
+				if err := srv.Submit(&dist.Problem{ID: fmt.Sprintf("contend-%d", i), DM: &slowDM{hold: hold}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			var failed atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for g := 0; g < benchPool; g++ {
+				wg.Add(1)
+				go func(name string) {
+					defer wg.Done()
+					for remaining.Add(-1) >= 0 {
+						task, _, err := srv.RequestTask(name)
+						if err != nil || task == nil {
+							failed.Add(1)
+							continue
+						}
+						if err := srv.SubmitResult(&dist.Result{
+							ProblemID: task.ProblemID,
+							UnitID:    task.Unit.ID,
+							Elapsed:   time.Millisecond,
+							Donor:     name,
+							Epoch:     task.Epoch,
+						}); err != nil {
+							failed.Add(1)
+						}
+					}
+				}(fmt.Sprintf("bench-donor-%d", g))
+			}
+			wg.Wait()
+			b.StopTimer()
+			if n := failed.Load(); n > 0 {
+				b.Fatalf("%d coordinator round-trips failed", n)
+			}
+		})
+	}
 }
 
 // BenchmarkDSEARCHEndToEnd runs a real (non-simulated) distributed search

@@ -29,19 +29,32 @@ func main() {
 		server   = flag.String("server", "127.0.0.1:7070", "server RPC address")
 		name     = flag.String("name", hostnameOr("donor"), "donor display name")
 		throttle = flag.Duration("throttle", 0, "pause between units (be a polite background service)")
+		retry    = flag.Duration("retry", 30*time.Second, "max backoff while reconnecting to a vanished server (0 = exit instead of retrying)")
 	)
 	flag.Parse()
 
-	client, err := dist.Dial(*server, 30*time.Second)
+	const dialTimeout = 30 * time.Second
+	client, err := dist.Dial(*server, dialTimeout)
 	if err != nil {
 		log.Fatalf("donor: %v", err)
 	}
 	defer client.Close()
 
+	// A background-service donor outlives server restarts: when the
+	// connection drops without an explicit close, keep redialing with
+	// capped exponential backoff. Only the server's own Close — or an
+	// interrupt — ends the loop.
+	var redial func() (dist.Coordinator, error)
+	if *retry > 0 {
+		redial = func() (dist.Coordinator, error) { return dist.Dial(*server, dialTimeout) }
+	}
+
 	d := dist.NewDonor(client, dist.DonorOptions{
-		Name:     *name,
-		Throttle: *throttle,
-		Logf:     log.Printf,
+		Name:      *name,
+		Throttle:  *throttle,
+		Logf:      log.Printf,
+		Redial:    redial,
+		RedialMax: *retry,
 	})
 
 	sig := make(chan os.Signal, 1)

@@ -113,6 +113,12 @@ func main() {
 	dispatched, completed, reissued, _ := ns.Stats(problem.ID)
 	log.Printf("server: done in %s (%d units dispatched, %d completed, %d reissued, %d donors)",
 		elapsed.Round(time.Millisecond), dispatched, completed, reissued, ns.DonorCount())
+	// Retire the problem now that its stats have been read: a long-lived
+	// server submitting job after job evicts each one's state and bulk
+	// blobs this way instead of growing without bound.
+	if err := ns.Forget(problem.ID); err != nil {
+		log.Printf("server: forget: %v", err)
+	}
 
 	switch *app {
 	case "dsearch":

@@ -61,6 +61,10 @@ func main() {
 		Lease:      time.Hour,
 		ExpiryScan: time.Hour,
 		WaitHint:   time.Millisecond,
+		// Each instance's state is evicted as soon as its Wait below
+		// delivers the result — the lifecycle a long-lived multi-problem
+		// server uses to stay bounded.
+		AutoForget: true,
 	})
 	defer srv.Close()
 

@@ -51,6 +51,18 @@ type (
 	Donor = dist.Donor
 )
 
+// Lifecycle and transport sentinels (see package dist). Status, Stats and
+// Wait return ErrForgotten for a problem retired with Forget — distinct
+// from ErrUnknownProblem for an ID never submitted. RPC-backed donors see
+// ErrServerGone when the server's connection drops without an explicit
+// Close, and reconnect when DonorOptions.Redial is set.
+var (
+	ErrClosed         = dist.ErrClosed
+	ErrUnknownProblem = dist.ErrUnknownProblem
+	ErrForgotten      = dist.ErrForgotten
+	ErrServerGone     = dist.ErrServerGone
+)
+
 // RegisterAlgorithm adds a named Algorithm factory to the donor-side
 // registry (the Go substitute for Java's runtime class shipping).
 func RegisterAlgorithm(name string, f func() Algorithm) {

@@ -39,8 +39,9 @@ type Problem struct {
 // DataManager is the server-side extension point: it hands out work units
 // sized to a cost budget and folds completed results.
 //
-// The server calls all methods under its own lock, so implementations need
-// no internal synchronisation.
+// The server calls all methods under the owning problem's lock, so
+// implementations need no internal synchronisation; different problems'
+// DataManagers run concurrently with each other.
 type DataManager interface {
 	// NextUnit returns the next work unit, sized to approximately the given
 	// cost budget. ok is false when no unit is currently available — either
@@ -109,12 +110,23 @@ type Result struct {
 	Elapsed time.Duration
 	// Donor names the worker that computed the unit.
 	Donor string
+	// Epoch echoes the Task's incarnation tag so the server can drop a
+	// straggler computed for a forgotten problem whose ID was reused.
+	// Zero means "unknown" (a donor predating the field) and is accepted
+	// unchecked.
+	Epoch int64
 }
 
 // Task is one unit of work handed to a specific donor.
 type Task struct {
 	ProblemID string
 	Unit      Unit
+	// Epoch identifies the incarnation of the problem that issued this
+	// task: Forget frees a problem ID for reuse, and without the tag a
+	// straggler result from the old incarnation could collide with an
+	// identically numbered unit of its successor and be silently folded
+	// into the wrong problem. Donors echo it in Result.Epoch.
+	Epoch int64
 }
 
 // Coordinator is the donor's view of a server: the in-process *Server and

@@ -366,7 +366,7 @@ func TestDonorCacheBounded(t *testing.T) {
 	registerSum(t)
 	d := NewDonor(sharedStub{}, DonorOptions{Name: "cache"})
 	for i := 0; i < 3*maxCachedProblems; i++ {
-		if _, err := d.algorithm(fmt.Sprintf("p%02d", i), "dist-test/sum"); err != nil {
+		if _, err := d.algorithm(fmt.Sprintf("p%02d", i), "dist-test/sum", int64(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -380,6 +380,41 @@ func TestDonorCacheBounded(t *testing.T) {
 	last := fmt.Sprintf("p%02d", 3*maxCachedProblems-1)
 	if _, ok := d.shared[last]; !ok {
 		t.Errorf("most recent problem %s evicted", last)
+	}
+}
+
+// fetchCountingStub counts shared-data fetches so cache behaviour is
+// observable.
+type fetchCountingStub struct {
+	sharedStub
+	fetches int
+}
+
+func (s *fetchCountingStub) SharedData(problemID string) ([]byte, error) {
+	s.fetches++
+	return []byte(problemID), nil
+}
+
+func TestDonorEvictsCacheOnEpochChange(t *testing.T) {
+	registerSum(t)
+	stub := &fetchCountingStub{}
+	d := NewDonor(stub, DonorOptions{Name: "epoch"})
+	if _, err := d.algorithm("p", "dist-test/sum", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.algorithm("p", "dist-test/sum", 1); err != nil {
+		t.Fatal(err)
+	}
+	if stub.fetches != 1 {
+		t.Fatalf("same-epoch tasks fetched shared data %d times, want 1", stub.fetches)
+	}
+	// A new epoch means the ID was forgotten and resubmitted — possibly
+	// with different shared data — so the cache must be refetched.
+	if _, err := d.algorithm("p", "dist-test/sum", 2); err != nil {
+		t.Fatal(err)
+	}
+	if stub.fetches != 2 {
+		t.Fatalf("epoch change fetched shared data %d times total, want 2", stub.fetches)
 	}
 }
 
@@ -398,14 +433,345 @@ func TestServerValidation(t *testing.T) {
 	if err := srv.Submit(&Problem{ID: "p", DM: newSumDM(1)}); err == nil {
 		t.Error("duplicate ID accepted")
 	}
-	if _, err := srv.Wait("nope"); err == nil {
-		t.Error("Wait on unknown problem succeeded")
+	if _, err := srv.Wait("nope"); !errors.Is(err, ErrUnknownProblem) {
+		t.Errorf("Wait on unknown problem = %v, want ErrUnknownProblem", err)
 	}
-	if _, err := srv.Status("nope"); err == nil {
-		t.Error("Status on unknown problem succeeded")
+	if _, err := srv.Status("nope"); !errors.Is(err, ErrUnknownProblem) {
+		t.Errorf("Status on unknown problem = %v, want ErrUnknownProblem", err)
 	}
-	if _, _, _, err := srv.Stats("nope"); err == nil {
-		t.Error("Stats on unknown problem succeeded")
+	if _, _, _, err := srv.Stats("nope"); !errors.Is(err, ErrUnknownProblem) {
+		t.Errorf("Stats on unknown problem = %v, want ErrUnknownProblem", err)
+	}
+}
+
+func TestForgetLifecycle(t *testing.T) {
+	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "gone", DM: newSumDM(0), SharedData: []byte("blob")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Wait("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Forget("gone"); err != nil {
+		t.Fatalf("Forget = %v", err)
+	}
+	if err := srv.Forget("gone"); err != nil {
+		t.Errorf("double Forget = %v, want nil (idempotent)", err)
+	}
+	// Completed-and-evicted is distinguishable from never-existed.
+	if _, err := srv.Status("gone"); !errors.Is(err, ErrForgotten) {
+		t.Errorf("Status after Forget = %v, want ErrForgotten", err)
+	}
+	if _, _, _, err := srv.Stats("gone"); !errors.Is(err, ErrForgotten) {
+		t.Errorf("Stats after Forget = %v, want ErrForgotten", err)
+	}
+	if _, err := srv.SharedData("gone"); !errors.Is(err, ErrForgotten) {
+		t.Errorf("SharedData after Forget = %v, want ErrForgotten", err)
+	}
+	if err := srv.Forget("never"); !errors.Is(err, ErrUnknownProblem) {
+		t.Errorf("Forget(never submitted) = %v, want ErrUnknownProblem", err)
+	}
+	// Wait after Forget fails fast instead of blocking forever.
+	waited := make(chan error, 1)
+	go func() {
+		_, err := srv.Wait("gone")
+		waited <- err
+	}()
+	select {
+	case err := <-waited:
+		if !errors.Is(err, ErrForgotten) {
+			t.Errorf("Wait after Forget = %v, want ErrForgotten", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait after Forget blocked")
+	}
+	// A forgotten ID may be reused by a later Submit.
+	if err := srv.Submit(&Problem{ID: "gone", DM: newSumDM(0)}); err != nil {
+		t.Fatalf("resubmit after Forget: %v", err)
+	}
+	if _, err := srv.Wait("gone"); err != nil {
+		t.Errorf("Wait on resubmitted ID = %v", err)
+	}
+}
+
+func TestForgetWhileLeased(t *testing.T) {
+	srv := NewServer(ServerOptions{
+		Policy:     sched.Fixed{Size: 10},
+		Lease:      time.Hour,
+		ExpiryScan: time.Hour,
+		WaitHint:   time.Millisecond,
+	})
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "leased", DM: newSumDM(100)}); err != nil {
+		t.Fatal(err)
+	}
+	task, _, err := srv.RequestTask("w0")
+	if err != nil || task == nil {
+		t.Fatalf("no task: %v", err)
+	}
+	waited := make(chan error, 1)
+	go func() {
+		_, err := srv.Wait("leased")
+		waited <- err
+	}()
+	if err := srv.Forget("leased"); err != nil {
+		t.Fatal(err)
+	}
+	// Forgetting a running problem unblocks its waiters with ErrForgotten.
+	select {
+	case err := <-waited:
+		if !errors.Is(err, ErrForgotten) {
+			t.Errorf("Wait on problem forgotten mid-run = %v, want ErrForgotten", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait still blocked after Forget")
+	}
+	// The leased unit is discarded, not requeued: straggler results and
+	// failure reports are ignored without error, and no donor is handed
+	// the unit again.
+	if err := srv.SubmitResult(&Result{ProblemID: "leased", UnitID: task.Unit.ID, Donor: "w0"}); err != nil {
+		t.Errorf("straggler SubmitResult after Forget = %v", err)
+	}
+	if err := srv.ReportFailure("w0", "leased", task.Unit.ID, "late"); err != nil {
+		t.Errorf("straggler ReportFailure after Forget = %v", err)
+	}
+	if task2, _, err := srv.RequestTask("w1"); err != nil || task2 != nil {
+		t.Errorf("unit re-dispatched after Forget: task=%+v err=%v", task2, err)
+	}
+}
+
+// TestStaleResultAfterResubmitRejected: unit numbering restarts when a
+// forgotten ID is resubmitted, so a straggler result computed for the old
+// incarnation can collide with a new unit's ID. The epoch tag must keep it
+// out of the new problem's DataManager.
+func TestStaleResultAfterResubmitRejected(t *testing.T) {
+	srv := NewServer(ServerOptions{
+		Policy:     sched.Fixed{Size: 10},
+		Lease:      time.Hour,
+		ExpiryScan: time.Hour,
+		WaitHint:   time.Millisecond,
+	})
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "re", DM: newSumDM(100)}); err != nil {
+		t.Fatal(err)
+	}
+	oldTask, _, err := srv.RequestTask("a")
+	if err != nil || oldTask == nil {
+		t.Fatalf("no task from first incarnation: %v", err)
+	}
+	if err := srv.Forget("re"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(&Problem{ID: "re", DM: newSumDM(100)}); err != nil {
+		t.Fatal(err)
+	}
+	newTask, _, err := srv.RequestTask("b")
+	if err != nil || newTask == nil {
+		t.Fatalf("no task from second incarnation: %v", err)
+	}
+	if oldTask.Unit.ID != newTask.Unit.ID {
+		t.Fatalf("test setup: unit IDs %d vs %d do not collide", oldTask.Unit.ID, newTask.Unit.ID)
+	}
+	if oldTask.Epoch == newTask.Epoch {
+		t.Fatalf("incarnations share epoch %d", oldTask.Epoch)
+	}
+	// The stale straggler must be dropped, not folded into the new unit.
+	if err := srv.SubmitResult(&Result{
+		ProblemID: "re", UnitID: oldTask.Unit.ID, Payload: MustMarshal(int64(1 << 40)),
+		Elapsed: time.Millisecond, Donor: "a", Epoch: oldTask.Epoch,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, completed, _, err := srv.Stats("re"); err != nil || completed != 0 {
+		t.Fatalf("stale result accepted: completed=%d err=%v", completed, err)
+	}
+	// The current incarnation's own result still lands.
+	var u sumUnit
+	if err := Unmarshal(newTask.Unit.Payload, &u); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for i := u.From; i < u.To; i++ {
+		sum += i * i
+	}
+	if err := srv.SubmitResult(&Result{
+		ProblemID: "re", UnitID: newTask.Unit.ID, Payload: MustMarshal(sum),
+		Elapsed: time.Millisecond, Donor: "b", Epoch: newTask.Epoch,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, completed, _, err := srv.Stats("re"); err != nil || completed != 1 {
+		t.Fatalf("live result rejected: completed=%d err=%v", completed, err)
+	}
+}
+
+func TestForgottenTombstonesBounded(t *testing.T) {
+	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	defer srv.Close()
+	for i := 0; i < maxForgottenTombstones+50; i++ {
+		id := fmt.Sprintf("tomb-%05d", i)
+		if err := srv.Submit(&Problem{ID: id, DM: newSumDM(0)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Forget(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.regMu.RLock()
+	n, ordered := len(srv.forgotten), len(srv.forgottenOrder)
+	srv.regMu.RUnlock()
+	if n > maxForgottenTombstones || ordered > maxForgottenTombstones {
+		t.Errorf("tombstones unbounded: set=%d order=%d cap=%d", n, ordered, maxForgottenTombstones)
+	}
+	// Recent tombstones still answer ErrForgotten; the oldest aged out to
+	// the unknown-problem error.
+	if _, err := srv.Status(fmt.Sprintf("tomb-%05d", maxForgottenTombstones+49)); !errors.Is(err, ErrForgotten) {
+		t.Errorf("fresh tombstone = %v, want ErrForgotten", err)
+	}
+	if _, err := srv.Status("tomb-00000"); !errors.Is(err, ErrUnknownProblem) {
+		t.Errorf("aged-out tombstone = %v, want ErrUnknownProblem", err)
+	}
+}
+
+func TestDonorOptionsRedialDefaults(t *testing.T) {
+	// An explicit cap below the default floor must win — "-retry 100ms"
+	// means backoff ≤ 100ms, not a silent raise to 250ms.
+	o := DonorOptions{RedialMax: 100 * time.Millisecond}
+	o.applyDefaults()
+	if o.RedialMin != 100*time.Millisecond || o.RedialMax != 100*time.Millisecond {
+		t.Errorf("sub-default cap not honored: min=%s max=%s", o.RedialMin, o.RedialMax)
+	}
+	o = DonorOptions{}
+	o.applyDefaults()
+	if o.RedialMin != 250*time.Millisecond || o.RedialMax != 30*time.Second {
+		t.Errorf("defaults: min=%s max=%s", o.RedialMin, o.RedialMax)
+	}
+}
+
+func TestAutoForgetAfterWait(t *testing.T) {
+	srv := NewServer(ServerOptions{WaitHint: time.Millisecond, AutoForget: true})
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "auto", DM: newSumDM(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Wait("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Status("auto"); !errors.Is(err, ErrForgotten) {
+		t.Errorf("Status after auto-forgetting Wait = %v, want ErrForgotten", err)
+	}
+}
+
+// TestConcurrentSubmitWaitReportFailure is the -race regression for the
+// sharded coordinator: problems are submitted while worker loops hammer
+// RequestTask/SubmitResult/ReportFailure across all of them and a waiter
+// blocks on each problem. Injected failures exercise requeueLocked and
+// popRequeueLocked concurrently with Wait on the same problem.
+func TestConcurrentSubmitWaitReportFailure(t *testing.T) {
+	registerSum(t)
+	srv := NewServer(ServerOptions{
+		Policy:     sched.Fixed{Size: 7},
+		Lease:      time.Hour,
+		ExpiryScan: time.Hour,
+		WaitHint:   100 * time.Microsecond,
+	})
+	defer srv.Close()
+
+	const (
+		problems = 4
+		n        = 2000
+		workers  = 4
+	)
+	stopWorkers := make(chan struct{})
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(name string) {
+			defer workerWG.Done()
+			for {
+				select {
+				case <-stopWorkers:
+					return
+				default:
+				}
+				task, wait, err := srv.RequestTask(name)
+				if err != nil {
+					return // server closed under us (test tearing down)
+				}
+				if task == nil {
+					time.Sleep(wait)
+					continue
+				}
+				// One worker fails some units; requeue must migrate them
+				// to the others without racing the waiters.
+				if name == "cw0" && task.Unit.ID%5 == 0 {
+					_ = srv.ReportFailure(name, task.ProblemID, task.Unit.ID, "injected")
+					continue
+				}
+				var u sumUnit
+				if err := Unmarshal(task.Unit.Payload, &u); err != nil {
+					t.Error(err)
+					return
+				}
+				var sum int64
+				for i := u.From; i < u.To; i++ {
+					sum += i * i
+				}
+				payload, err := Marshal(sum)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = srv.SubmitResult(&Result{
+					ProblemID: task.ProblemID,
+					UnitID:    task.Unit.ID,
+					Payload:   payload,
+					Elapsed:   time.Millisecond,
+					Donor:     name,
+					Epoch:     task.Epoch,
+				})
+			}
+		}(fmt.Sprintf("cw%d", w))
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, problems)
+	sums := make([]int64, problems)
+	for p := 0; p < problems; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Stagger the submissions so dispatch is already running when
+			// later problems register.
+			time.Sleep(time.Duration(p) * 2 * time.Millisecond)
+			id := fmt.Sprintf("conc-%d", p)
+			if err := srv.Submit(&Problem{ID: id, DM: newSumDM(n)}); err != nil {
+				errs[p] = err
+				return
+			}
+			out, err := srv.Wait(id)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			var got int64
+			if err := Unmarshal(out, &got); err != nil {
+				errs[p] = err
+				return
+			}
+			sums[p] = got
+		}(p)
+	}
+	wg.Wait()
+	close(stopWorkers)
+	workerWG.Wait()
+	for p := 0; p < problems; p++ {
+		if errs[p] != nil {
+			t.Errorf("problem %d: %v", p, errs[p])
+		} else if sums[p] != sumSquares(n) {
+			t.Errorf("problem %d: sum = %d, want %d", p, sums[p], sumSquares(n))
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,38 @@ type DonorOptions struct {
 	Throttle time.Duration
 	// Logf, when non-nil, receives progress and failure messages.
 	Logf func(format string, args ...any)
+	// Redial, when non-nil, re-establishes the coordinator connection
+	// after the server becomes unreachable (ErrServerGone): Run closes the
+	// old coordinator and retries Redial with capped exponential backoff
+	// until it succeeds or Stop is called. Without Redial the donor exits
+	// cleanly when the server vanishes — the pre-reconnect behaviour,
+	// still right for RunLocal-style in-process pools. An explicit server
+	// Close (ErrClosed) always ends the loop; only lost connections are
+	// retried.
+	Redial func() (Coordinator, error)
+	// RedialMin and RedialMax bound the exponential backoff between
+	// redial attempts. Zero values default to 250ms and 30s.
+	RedialMin, RedialMax time.Duration
+}
+
+func (o *DonorOptions) applyDefaults() {
+	if o.Name == "" {
+		o.Name = "donor"
+	}
+	if o.RedialMin <= 0 {
+		o.RedialMin = 250 * time.Millisecond
+		// An explicit cap below the default floor wins: "-retry 100ms"
+		// must mean backoff ≤ 100ms, not a silent raise to the floor.
+		if o.RedialMax > 0 && o.RedialMax < o.RedialMin {
+			o.RedialMin = o.RedialMax
+		}
+	}
+	if o.RedialMax <= 0 {
+		o.RedialMax = 30 * time.Second
+	}
+	if o.RedialMax < o.RedialMin {
+		o.RedialMax = o.RedialMin
+	}
 }
 
 // Donor is one worker's compute loop: poll the coordinator for units, run
@@ -37,6 +70,13 @@ type Donor struct {
 	algs map[string]Algorithm
 	// Per-problem shared blobs, fetched once.
 	shared map[string][]byte
+	// epochs records the incarnation tag each cached problem was fetched
+	// under: a forgotten ID may be resubmitted with different shared data,
+	// and serving the successor from the predecessor's cache would
+	// silently corrupt results (the epoch on the result would be correct,
+	// so the server could not catch it). A task whose epoch differs from
+	// the cache's evicts and refetches.
+	epochs map[string]int64
 	// problemOrder tracks shared-blob insertion order so the cache can be
 	// bounded: a donor is a long-lived service, and the server cycles
 	// through many problems over its lifetime.
@@ -50,16 +90,17 @@ const maxCachedProblems = 8
 
 // NewDonor creates a donor bound to a coordinator — a *Server for
 // in-process workers or an *RPCClient from Dial for the real deployment.
+// Set DonorOptions.Redial to make the donor a resilient background service
+// that reconnects when the server bounces instead of exiting.
 func NewDonor(coord Coordinator, opts DonorOptions) *Donor {
-	if opts.Name == "" {
-		opts.Name = "donor"
-	}
+	opts.applyDefaults()
 	return &Donor{
 		coord:  coord,
 		opts:   opts,
 		stop:   make(chan struct{}),
 		algs:   make(map[string]Algorithm),
 		shared: make(map[string][]byte),
+		epochs: make(map[string]int64),
 	}
 }
 
@@ -71,9 +112,12 @@ func (d *Donor) Stop() {
 	d.stopOnce.Do(func() { close(d.stop) })
 }
 
-// Run polls for work until Stop is called or the coordinator goes away.
-// A unit that fails to compute is reported (and thereby requeued to another
-// donor); only coordinator-level errors end the loop.
+// Run polls for work until Stop is called or the server tells the donor it
+// is shutting down (ErrClosed). A unit that fails to compute is reported
+// (and thereby requeued to another donor). When the server merely becomes
+// unreachable (ErrServerGone — a crash, a restart, a partition) and Redial
+// is configured, Run reconnects with capped exponential backoff and keeps
+// going; without Redial it exits cleanly, the pre-reconnect behaviour.
 func (d *Donor) Run() error {
 	for {
 		select {
@@ -81,9 +125,15 @@ func (d *Donor) Run() error {
 			return nil
 		default:
 		}
-		task, wait, err := d.coord.RequestTask(d.opts.Name)
+		var task *Task
+		var wait time.Duration
+		err := d.call(func() error {
+			var err error
+			task, wait, err = d.coord.RequestTask(d.opts.Name)
+			return err
+		})
 		if err != nil {
-			if d.stopped() || errors.Is(err, ErrClosed) {
+			if d.stopped() || errors.Is(err, ErrClosed) || errors.Is(err, ErrServerGone) {
 				return nil
 			}
 			if isTransient(err) {
@@ -104,17 +154,26 @@ func (d *Donor) Run() error {
 		out, elapsed, perr := d.process(task)
 		if perr != nil {
 			d.logf("donor %s: unit %d of %s failed: %v", d.opts.Name, task.Unit.ID, task.ProblemID, perr)
-			report := d.coord.ReportFailure
 			// A shared-data fetch failure is transport-level, not evidence
 			// the unit is bad: route it past the poisoned-unit caps when
-			// the coordinator can make the distinction.
+			// the coordinator can make the distinction. The tagged path
+			// also carries the task's epoch so a straggler report can
+			// never revoke a lease of a successor problem reusing the ID.
 			var sf *sharedFetchError
-			if errors.As(perr, &sf) {
-				if tr, ok := d.coord.(transportFailureReporter); ok {
-					report = tr.reportTransportFailure
-				}
+			transport := errors.As(perr, &sf)
+			var err error
+			if tr, ok := d.coord.(taggedFailureReporter); ok {
+				err = tr.reportTaggedFailure(d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error(), transport, task.Epoch)
+			} else {
+				err = d.coord.ReportFailure(d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error())
 			}
-			if err := report(d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error()); err != nil {
+			if gone, alive := d.handleGone(err, "failure report for unit", task); gone {
+				if !alive {
+					return nil
+				}
+				continue
+			}
+			if err != nil {
 				if d.stopped() || errors.Is(err, ErrClosed) {
 					return nil
 				}
@@ -128,7 +187,14 @@ func (d *Donor) Run() error {
 			Payload:   out,
 			Elapsed:   elapsed,
 			Donor:     d.opts.Name,
+			Epoch:     task.Epoch,
 		})
+		if gone, alive := d.handleGone(err, "result of unit", task); gone {
+			if !alive {
+				return nil
+			}
+			continue
+		}
 		if err != nil {
 			if d.stopped() || errors.Is(err, ErrClosed) {
 				return nil
@@ -140,6 +206,85 @@ func (d *Donor) Run() error {
 			if !d.sleep(d.opts.Throttle) {
 				return nil
 			}
+		}
+	}
+}
+
+// call runs one coordinator operation, transparently redialing and
+// retrying while the server is unreachable. Only use it for operations
+// that are safe to replay against a *different* server instance —
+// RequestTask is (it merely asks the current server for work). Results
+// and failure reports are NOT replayed after a reconnect: a restarted
+// server may carry a resubmitted problem under the same ID whose unit IDs
+// cover different ranges, and a stale replayed payload would be silently
+// folded into the wrong unit (see handleGone). call returns ErrServerGone
+// only when redialing is not configured or Stop fired mid-backoff.
+func (d *Donor) call(op func() error) error {
+	for {
+		err := op()
+		if err == nil || !errors.Is(err, ErrServerGone) {
+			return err
+		}
+		if d.opts.Redial == nil || !d.reconnect() {
+			return err
+		}
+	}
+}
+
+// handleGone deals with a result/failure-report delivery that died with
+// the server connection. The pending message is dropped, never replayed:
+// the reconnected server may be a different instance carrying a
+// resubmitted problem whose unit IDs mean different work, so replaying a
+// stale payload could be silently consumed as the wrong unit. Dropping is
+// always safe — the old server's lease expires and the unit reissues.
+// gone reports whether err was a lost-connection error; alive is false
+// when the donor should exit (no Redial configured, or Stop fired during
+// backoff).
+func (d *Donor) handleGone(err error, what string, task *Task) (gone, alive bool) {
+	if err == nil || !errors.Is(err, ErrServerGone) {
+		return false, true
+	}
+	if d.opts.Redial == nil {
+		return true, false
+	}
+	d.logf("donor %s: %s %d of %s lost with the server connection (a lease expiry will reissue it)",
+		d.opts.Name, what, task.Unit.ID, task.ProblemID)
+	return true, d.reconnect()
+}
+
+// reconnect closes the dead coordinator and redials — immediately at
+// first (a rolling restart may already be back up), then with exponential
+// backoff between RedialMin and RedialMax — until a dial succeeds or Stop
+// fires (returning false). Problem caches are cleared on success: a
+// restarted server may resubmit an ID with different shared data, and a
+// stale Init would silently corrupt results.
+func (d *Donor) reconnect() bool {
+	if c, ok := d.coord.(io.Closer); ok {
+		_ = c.Close()
+	}
+	backoff := d.opts.RedialMin
+	for attempt := 1; ; attempt++ {
+		if d.stopped() {
+			return false
+		}
+		coord, err := d.opts.Redial()
+		if err == nil {
+			d.logf("donor %s: reconnected to server (attempt %d)", d.opts.Name, attempt)
+			d.coord = coord
+			d.algs = make(map[string]Algorithm)
+			d.shared = make(map[string][]byte)
+			d.epochs = make(map[string]int64)
+			d.problemOrder = nil
+			return true
+		}
+		d.logf("donor %s: server unreachable, retrying in %s (attempt %d): %v",
+			d.opts.Name, backoff, attempt, err)
+		if !d.sleep(backoff) {
+			return false
+		}
+		backoff *= 2
+		if backoff > d.opts.RedialMax {
+			backoff = d.opts.RedialMax
 		}
 	}
 }
@@ -157,7 +302,7 @@ func (d *Donor) process(t *Task) (out []byte, elapsed time.Duration, err error) 
 			out, err = nil, fmt.Errorf("algorithm panicked: %v", r)
 		}
 	}()
-	alg, err := d.algorithm(t.ProblemID, t.Unit.Algorithm)
+	alg, err := d.algorithm(t.ProblemID, t.Unit.Algorithm, t.Epoch)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -166,7 +311,18 @@ func (d *Donor) process(t *Task) (out []byte, elapsed time.Duration, err error) 
 	return out, time.Since(start), err
 }
 
-func (d *Donor) algorithm(problemID, name string) (Algorithm, error) {
+// algorithm returns the cached (problem, algorithm) instance, fetching
+// shared data and running Init on first use. epoch is the task's
+// incarnation tag: a mismatch with the cache means the problem ID was
+// forgotten and reused — possibly with different shared data — so the
+// stale entry is evicted and refetched. Epoch zero (a server predating
+// the tag) disables the check.
+func (d *Donor) algorithm(problemID, name string, epoch int64) (Algorithm, error) {
+	if epoch != 0 {
+		if cached, ok := d.epochs[problemID]; ok && cached != epoch {
+			d.evictProblem(problemID)
+		}
+	}
 	key := problemID + "\x00" + name
 	if alg, ok := d.algs[key]; ok {
 		return alg, nil
@@ -186,6 +342,7 @@ func (d *Donor) algorithm(problemID, name string) (Algorithm, error) {
 			d.evictProblem(d.problemOrder[0])
 		}
 		d.shared[problemID] = shared
+		d.epochs[problemID] = epoch
 		d.problemOrder = append(d.problemOrder, problemID)
 	}
 	if err := alg.Init(shared); err != nil {
@@ -198,6 +355,7 @@ func (d *Donor) algorithm(problemID, name string) (Algorithm, error) {
 // evictProblem drops one problem's shared blob and algorithm instances.
 func (d *Donor) evictProblem(problemID string) {
 	delete(d.shared, problemID)
+	delete(d.epochs, problemID)
 	for i, id := range d.problemOrder {
 		if id == problemID {
 			d.problemOrder = append(d.problemOrder[:i], d.problemOrder[i+1:]...)
@@ -261,9 +419,13 @@ type sharedFetchError struct{ err error }
 func (e *sharedFetchError) Error() string { return e.err.Error() }
 func (e *sharedFetchError) Unwrap() error { return e.err }
 
-// transportFailureReporter is implemented by coordinators that distinguish
-// payload-transport failures (which requeue without feeding the
-// poisoned-unit caps) from compute failures.
-type transportFailureReporter interface {
-	reportTransportFailure(donor, problemID string, unitID int64, reason string) error
+// taggedFailureReporter is implemented by coordinators that accept the
+// full failure context Coordinator.ReportFailure cannot carry: transport
+// marks payload-fetch failures (requeued without feeding the
+// poisoned-unit caps), and epoch is the failed task's incarnation tag (a
+// mismatched straggler report from a forgotten problem ID is dropped
+// instead of revoking the successor's lease). *Server and *RPCClient both
+// implement it; foreign Coordinators fall back to plain ReportFailure.
+type taggedFailureReporter interface {
+	reportTaggedFailure(donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error
 }

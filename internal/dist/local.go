@@ -23,6 +23,9 @@ func RunLocal(p *Problem, n int, policy sched.Policy) ([]byte, error) {
 		Lease:      time.Hour,
 		ExpiryScan: time.Hour,
 		WaitHint:   time.Millisecond,
+		// The problem's state is evicted as soon as Wait delivers the
+		// result below — the Submit → Wait → Forget lifecycle in one call.
+		AutoForget: true,
 	})
 	defer srv.Close()
 	if err := srv.Submit(p); err != nil {

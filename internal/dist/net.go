@@ -19,10 +19,18 @@ const rpcServiceName = "Dist"
 // sharedKey is the bulk-channel key of a problem's shared blob.
 func sharedKey(problemID string) string { return "shared/" + problemID }
 
-// unitKey is the bulk-channel key of one offloaded unit payload.
-func unitKey(problemID string, unitID int64) string {
-	return fmt.Sprintf("unit/%s/%d", problemID, unitID)
+// unitKey is the bulk-channel key of one offloaded unit payload. The
+// problem's incarnation epoch is part of the key: unit numbering restarts
+// when a forgotten ID is resubmitted, and a stale offload racing the
+// Forget must never overwrite — or be fetched as — the successor's
+// payload for a colliding unit ID.
+func unitKey(problemID string, epoch, unitID int64) string {
+	return fmt.Sprintf("unit/%s/%d.%d", problemID, epoch, unitID)
 }
+
+// unitRef identifies one offloaded payload within a problem ID's
+// bookkeeping.
+type unitRef struct{ epoch, unitID int64 }
 
 // NetworkServer is a Server with the paper's two network channels attached:
 // control traffic (task handout, results, failures) over net/rpc — Go's
@@ -46,7 +54,7 @@ type NetworkServer struct {
 	// keysMu guards the bulk keys created for offloaded unit payloads, so
 	// they can be dropped once the unit (or the whole problem) completes.
 	keysMu   sync.Mutex
-	unitKeys map[string]map[int64]string // problemID -> unitID -> key
+	unitKeys map[string]map[unitRef]string // problemID -> (epoch, unitID) -> key
 }
 
 // ListenAndServe starts a network-facing coordinator. rpcAddr carries
@@ -68,7 +76,7 @@ func ListenAndServe(rpcAddr, bulkAddr string, opts ServerOptions) (*NetworkServe
 		Server:   srv,
 		rpcLn:    ln,
 		bulk:     bulk,
-		unitKeys: make(map[string]map[int64]string),
+		unitKeys: make(map[string]map[unitRef]string),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	// Release a problem's bulk blobs however it ends — finalized, failed,
@@ -127,11 +135,38 @@ func (ns *NetworkServer) Submit(p *Problem) error {
 	})
 }
 
-// Close shuts down both listeners, severs every accepted control
-// connection, and stops the coordinator.
+// Close shuts down the coordinator and then both listeners. The
+// coordinator is closed FIRST and the control channel keeps answering for
+// a short drain window — a couple of poll intervals — so polling donors
+// receive the explicit ErrClosed reply that cleanly ends their reconnect
+// loops. Severing the connections first would turn every clean shutdown
+// into an ambiguous EOF that a Redial-configured donor treats as a crash
+// and retries forever. A donor that spends the whole window inside a long
+// unit still misses the sentinel and sees connection-refused on its next
+// call; that residual is inherent to a poll-based control channel.
 func (ns *NetworkServer) Close() error {
 	ns.closeOnce.Do(func() {
-		err := ns.rpcLn.Close()
+		err := ns.Server.Close()
+		// Drain only when someone is listening: a donor polls over a
+		// persistent control connection, so an empty conns map means
+		// nobody can receive the sentinel and the sleep would be wasted
+		// (e.g. the constructor's own error path, or an idle teardown).
+		ns.connsMu.Lock()
+		draining := len(ns.conns) > 0
+		ns.connsMu.Unlock()
+		if draining {
+			grace := 2 * ns.opts.WaitHint
+			if grace < 100*time.Millisecond {
+				grace = 100 * time.Millisecond
+			}
+			if grace > time.Second {
+				grace = time.Second
+			}
+			time.Sleep(grace)
+		}
+		if lerr := ns.rpcLn.Close(); err == nil {
+			err = lerr
+		}
 		ns.acceptWG.Wait()
 		ns.connsMu.Lock()
 		for c := range ns.conns {
@@ -141,9 +176,6 @@ func (ns *NetworkServer) Close() error {
 		ns.connWG.Wait()
 		if berr := ns.bulk.Close(); err == nil {
 			err = berr
-		}
-		if serr := ns.Server.Close(); err == nil {
-			err = serr
 		}
 		ns.closeErr = err
 	})
@@ -161,36 +193,46 @@ func (ns *NetworkServer) offloadPayload(t *Task) (bulkKey string) {
 	if len(t.Unit.Payload)+1 > wire.MaxFrameSize {
 		return ""
 	}
-	key := unitKey(t.ProblemID, t.Unit.ID)
+	key := unitKey(t.ProblemID, t.Epoch, t.Unit.ID)
 	ns.bulk.Put(key, t.Unit.Payload)
 	ns.keysMu.Lock()
 	m := ns.unitKeys[t.ProblemID]
 	if m == nil {
-		m = make(map[int64]string)
+		m = make(map[unitRef]string)
 		ns.unitKeys[t.ProblemID] = m
 	}
-	m[t.Unit.ID] = key
+	m[unitRef{t.Epoch, t.Unit.ID}] = key
 	ns.keysMu.Unlock()
-	// The problem may have finalized or failed between the task being
-	// leased and the payload being published; its cleanup hook has already
-	// run and will not run again, so undo the publication ourselves. The
-	// key was registered before this check, so a cleanup racing in after it
-	// also finds and deletes the blob — either way nothing leaks.
-	if st, err := ns.Status(t.ProblemID); err != nil || st.Done {
-		ns.dropProblemKeys(t.ProblemID)
+	// The problem may have finalized, failed, or been forgotten — even
+	// forgotten and resubmitted under the same ID — between the task being
+	// leased and the payload being published; the cleanup hook has already
+	// run and will not cover this key, so undo the publication ourselves.
+	// The check is by incarnation, not just ID, and the undo removes only
+	// this task's key: a live successor's blobs must never be touched. The
+	// key was registered before this check, so a cleanup racing in after
+	// it also finds and deletes the blob — either way nothing leaks.
+	if epoch, live := ns.Server.liveEpoch(t.ProblemID); !live || epoch != t.Epoch {
+		ns.dropUnitKey(t.ProblemID, t.Epoch, t.Unit.ID)
 		return ""
 	}
 	return key
 }
 
-// dropUnitKey discards one offloaded payload once its unit completed.
-func (ns *NetworkServer) dropUnitKey(problemID string, unitID int64) {
+// dropUnitKey discards one offloaded payload once its unit completed (or
+// its publication turned out stale).
+func (ns *NetworkServer) dropUnitKey(problemID string, epoch, unitID int64) {
 	ns.keysMu.Lock()
 	defer ns.keysMu.Unlock()
 	if m := ns.unitKeys[problemID]; m != nil {
-		if key, ok := m[unitID]; ok {
+		ref := unitRef{epoch, unitID}
+		if key, ok := m[ref]; ok {
 			ns.bulk.Delete(key)
-			delete(m, unitID)
+			delete(m, ref)
+		}
+		if len(m) == 0 {
+			// A stale offload can re-create this entry after the problem's
+			// cleanup already ran; don't leak empty maps for retired IDs.
+			delete(ns.unitKeys, problemID)
 		}
 	}
 }
@@ -219,27 +261,35 @@ type TaskReply struct {
 	Unit       Unit
 	BulkKey    string
 	WaitHintNs int64
+	// Epoch is the problem incarnation tag (see Task.Epoch); donors echo
+	// it in ResultArgs.
+	Epoch int64
 }
 
 // ResultArgs carries one completed unit's output back to the server.
+// Epoch echoes TaskReply.Epoch (zero from donors predating the field is
+// accepted unchecked).
 type ResultArgs struct {
 	Donor     string
 	ProblemID string
 	UnitID    int64
 	Payload   []byte
 	ElapsedNs int64
+	Epoch     int64
 }
 
 // FailureArgs reports a unit the donor could not compute. Transport marks
 // failures to *obtain* the unit (bulk payload fetch) rather than failures
 // of the computation itself; they requeue the unit without feeding the
-// poisoned-unit attempt caps.
+// poisoned-unit attempt caps. Epoch echoes TaskReply.Epoch (zero from
+// donors predating the field is accepted unchecked).
 type FailureArgs struct {
 	Donor     string
 	ProblemID string
 	UnitID    int64
 	Reason    string
 	Transport bool
+	Epoch     int64
 }
 
 // HandshakeReply tells a connecting donor where the bulk channel lives.
@@ -270,6 +320,7 @@ func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
 	reply.HasTask = true
 	reply.ProblemID = task.ProblemID
 	reply.Unit = task.Unit
+	reply.Epoch = task.Epoch
 	if key := s.ns.offloadPayload(task); key != "" {
 		reply.BulkKey = key
 		reply.Unit.Payload = nil
@@ -287,11 +338,12 @@ func (s *rpcService) SubmitResult(args ResultArgs, _ *Empty) error {
 		Payload:   args.Payload,
 		Elapsed:   time.Duration(args.ElapsedNs),
 		Donor:     args.Donor,
+		Epoch:     args.Epoch,
 	})
 	if err != nil || !accepted {
 		return err
 	}
-	s.ns.dropUnitKey(args.ProblemID, args.UnitID)
+	s.ns.dropUnitKey(args.ProblemID, args.Epoch, args.UnitID)
 	return nil
 }
 
@@ -302,7 +354,7 @@ func (s *rpcService) ReportFailure(args FailureArgs, _ *Empty) error {
 	if args.Transport {
 		kind = failTransport
 	}
-	return s.ns.Server.reportFailure(args.Donor, args.ProblemID, args.UnitID, args.Reason, kind)
+	return s.ns.Server.reportFailure(args.Donor, args.ProblemID, args.UnitID, args.Reason, kind, args.Epoch)
 }
 
 // RPCClient is the donor-side coordinator proxy: control calls over
@@ -376,13 +428,13 @@ func (c *RPCClient) RequestTask(donor string) (*Task, time.Duration, error) {
 		if err != nil {
 			ferr := fmt.Errorf("dist: fetching bulk payload %s: %w", r.BulkKey, err)
 			args := FailureArgs{Donor: donor, ProblemID: r.ProblemID, UnitID: r.Unit.ID,
-				Reason: ferr.Error(), Transport: true}
+				Reason: ferr.Error(), Transport: true, Epoch: r.Epoch}
 			_ = rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
 			return nil, wait, &transientError{ferr}
 		}
 		r.Unit.Payload = payload
 	}
-	return &Task{ProblemID: r.ProblemID, Unit: r.Unit}, wait, nil
+	return &Task{ProblemID: r.ProblemID, Unit: r.Unit, Epoch: r.Epoch}, wait, nil
 }
 
 // SharedData implements Coordinator: fetch the problem's shared blob over
@@ -399,6 +451,7 @@ func (c *RPCClient) SubmitResult(res *Result) error {
 		UnitID:    res.UnitID,
 		Payload:   res.Payload,
 		ElapsedNs: int64(res.Elapsed),
+		Epoch:     res.Epoch,
 	}
 	return rpcErr(c.c.Call(rpcServiceName+".SubmitResult", args, &Empty{}))
 }
@@ -409,30 +462,49 @@ func (c *RPCClient) ReportFailure(donor, problemID string, unitID int64, reason 
 	return rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
 }
 
-// reportTransportFailure implements transportFailureReporter.
-func (c *RPCClient) reportTransportFailure(donor, problemID string, unitID int64, reason string) error {
-	args := FailureArgs{Donor: donor, ProblemID: problemID, UnitID: unitID, Reason: reason, Transport: true}
+// reportTaggedFailure implements taggedFailureReporter.
+func (c *RPCClient) reportTaggedFailure(donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error {
+	args := FailureArgs{Donor: donor, ProblemID: problemID, UnitID: unitID, Reason: reason,
+		Transport: transport, Epoch: epoch}
 	return rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
 }
 
-// rpcErr maps "the server went away" conditions onto ErrClosed so donor
-// loops exit cleanly: the sentinel itself (flattened to a string by
-// net/rpc), a shut-down client, and the raw EOF *or reset* a polling donor
-// sees when the server completes its problems and exits — observed in
-// loopback runs, a clean server exit surfaces as either, depending on
-// whether a request was in flight. A server crash is therefore
-// indistinguishable from a clean finish here; donors treat both as "work
-// over" (a reconnect loop is the eventual fix, tracked in ROADMAP).
+// ErrServerGone is returned by RPC-backed coordinator calls when the
+// control connection is lost without an explicit close reply from the
+// server — a crash, a restart, or a network partition. It is deliberately
+// distinct from ErrClosed: ErrClosed means the server *told* the donor it
+// is shutting down (the sentinel travelled back in an RPC reply), while
+// ErrServerGone means the wire went dead mid-conversation and the server
+// may well come back. Donors configured with DonorOptions.Redial reconnect
+// on ErrServerGone and exit only on ErrClosed.
+var ErrServerGone = errors.New("dist: server gone (connection lost)")
+
+// rpcErr classifies transport-level failures of a control-channel call.
+//
+//   - A reply actually carrying the ErrClosed sentinel (flattened to a
+//     string by net/rpc) is an explicit, clean shutdown: ErrClosed.
+//   - EOF, unexpected EOF, a reset or severed connection, and a shut-down
+//     rpc.Client all mean the conversation died without a goodbye — the
+//     server crashed, restarted, or the network dropped. Observed in
+//     loopback runs, even a clean server exit surfaces this way when a
+//     request was in flight, so the donor cannot tell a crash from a
+//     finish: both map to ErrServerGone and the reconnect loop (or, with
+//     no Redial configured, a clean donor exit) decides what happens next.
 func rpcErr(err error) error {
 	if err == nil {
 		return nil
 	}
 	if err == rpc.ErrShutdown || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-		return ErrClosed
+		return ErrServerGone
 	}
 	msg := err.Error()
-	if strings.Contains(msg, ErrClosed.Error()) || strings.Contains(msg, "connection reset") {
+	if strings.Contains(msg, ErrClosed.Error()) {
 		return ErrClosed
+	}
+	if strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "broken pipe") ||
+		strings.Contains(msg, "use of closed network connection") {
+		return ErrServerGone
 	}
 	return err
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -196,6 +197,245 @@ func TestBulkFetchFailureRequeuesUnit(t *testing.T) {
 	_, _, reissued, _ := srv.Stats("sum-evil")
 	if reissued < 1 {
 		t.Errorf("reissued = %d, want >= 1 (failed fetches must requeue)", reissued)
+	}
+}
+
+// crashNetworkServer tears the network down with no clean-shutdown reply —
+// the donor-visible signature of a server process crash (SIGKILL) — then
+// disposes the coordinator. Unlike Close, the ErrClosed sentinel is never
+// delivered, so donors see only EOF/reset.
+func crashNetworkServer(t *testing.T, ns *NetworkServer) {
+	t.Helper()
+	ns.closeOnce.Do(func() {}) // a later Close must not re-run the teardown
+	_ = ns.rpcLn.Close()
+	ns.acceptWG.Wait()
+	ns.connsMu.Lock()
+	for c := range ns.conns {
+		_ = c.Close()
+	}
+	ns.connsMu.Unlock()
+	ns.connWG.Wait()
+	_ = ns.bulk.Close()
+	_ = ns.Server.Close()
+}
+
+// freeLoopbackAddr reserves a loopback port and returns host:port, so a
+// server can be restarted on the same address later in the test.
+func freeLoopbackAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDonorReconnectsAcrossServerBounce is the regression test for the
+// EOF-as-completion bug: a donor used to treat the EOF/reset of a vanished
+// server as a clean finish and exit. With Redial configured it must instead
+// keep redialing with backoff, survive the server being torn down and
+// restarted on the same address mid-run, and complete fresh work on the new
+// server.
+func TestDonorReconnectsAcrossServerBounce(t *testing.T) {
+	registerSum(t)
+	rpcAddr := freeLoopbackAddr(t)
+	bulkAddr := freeLoopbackAddr(t)
+
+	opts := netOpts()
+	opts.Policy = sched.Fixed{Size: 5}
+	srv1, err := ListenAndServe(rpcAddr, bulkAddr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far more work than the donor can finish before the bounce.
+	if err := srv1.Submit(&Problem{ID: "bounce-1", DM: newSumDM(1_000_000)}); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(rpcAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDonor(cl, DonorOptions{
+		Name:      "bouncer",
+		Throttle:  2 * time.Millisecond,
+		Logf:      t.Logf,
+		Redial:    func() (Coordinator, error) { return Dial(rpcAddr, 2*time.Second) },
+		RedialMin: 5 * time.Millisecond,
+		RedialMax: 50 * time.Millisecond,
+	})
+	runErr := make(chan error, 1)
+	go func() { runErr <- d.Run() }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Units() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("donor stuck at %d units before bounce", d.Units())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Crash the server mid-run (network severed, no close reply). The
+	// donor must not exit — the old bug mapped this EOF/reset onto a
+	// clean completion.
+	crashNetworkServer(t, srv1)
+	select {
+	case err := <-runErr:
+		t.Fatalf("donor exited on server loss (err=%v); want reconnect loop", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	unitsBeforeRestart := d.Units()
+
+	// Restart on the same address with fresh work; the donor must find it
+	// and finish the job.
+	srv2, err := ListenAndServe(rpcAddr, bulkAddr, netOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	const n = 400
+	if err := srv2.Submit(&Problem{ID: "bounce-2", DM: newSumDM(n), SharedData: []byte("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := srv2.Wait("bounce-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeSum(t, out); got != sumSquares(n) {
+		t.Errorf("post-bounce sum = %d, want %d", got, sumSquares(n))
+	}
+	if d.Units() <= unitsBeforeRestart {
+		t.Errorf("donor completed no units after the bounce (%d before, %d after)",
+			unitsBeforeRestart, d.Units())
+	}
+	// An explicit Close, by contrast, must end the donor loop cleanly:
+	// the drain window delivers the ErrClosed sentinel to the polling
+	// donor, which exits instead of redialing.
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Errorf("donor Run after explicit Close = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("donor still retrying after an explicit server Close")
+	}
+}
+
+// TestForgetReleasesBulkBlobs covers Forget-while-leased at the network
+// layer: the shared blob and the leased unit's offloaded payload are both
+// dropped from the bulk channel, the unit is not requeued, and Wait fails
+// fast with ErrForgotten.
+func TestForgetReleasesBulkBlobs(t *testing.T) {
+	registerSum(t)
+	opts := netOpts()
+	opts.Policy = sched.Fixed{Size: 50}
+	opts.BulkThreshold = 1 // force every payload onto the bulk channel
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "fgt", DM: newSumDM(500), SharedData: []byte("shared payload")}); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(srv.RPCAddr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	task, _, err := cl.RequestTask("w0") // leases a unit, offloading its payload
+	if err != nil || task == nil {
+		t.Fatalf("no task: %v", err)
+	}
+
+	if _, err := wire.FetchBlob(srv.BulkAddr(), sharedKey("fgt"), time.Second); err != nil {
+		t.Fatalf("shared blob missing before Forget: %v", err)
+	}
+	if _, err := wire.FetchBlob(srv.BulkAddr(), unitKey("fgt", task.Epoch, task.Unit.ID), time.Second); err != nil {
+		t.Fatalf("unit blob missing before Forget: %v", err)
+	}
+
+	if err := srv.Forget("fgt"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := wire.FetchBlob(srv.BulkAddr(), sharedKey("fgt"), time.Second); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("shared blob after Forget: err = %v, want not found", err)
+	}
+	if _, err := wire.FetchBlob(srv.BulkAddr(), unitKey("fgt", task.Epoch, task.Unit.ID), time.Second); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("unit blob after Forget: err = %v, want not found", err)
+	}
+	if task2, _, err := srv.RequestTask("w1"); err != nil || task2 != nil {
+		t.Errorf("unit re-dispatched after Forget: task=%+v err=%v", task2, err)
+	}
+	if _, err := srv.Wait("fgt"); !errors.Is(err, ErrForgotten) {
+		t.Errorf("Wait after Forget = %v, want ErrForgotten", err)
+	}
+}
+
+// TestStaleOffloadDoesNotClobberSuccessor: a task leased from a problem
+// that is then forgotten and resubmitted under the same ID can have its
+// payload published to the bulk channel late (the RPC goroutine runs
+// offloadPayload after the server lock is released). The stale offload
+// must neither be advertised nor disturb the successor incarnation's blob
+// for a colliding unit ID.
+func TestStaleOffloadDoesNotClobberSuccessor(t *testing.T) {
+	registerSum(t)
+	opts := netOpts()
+	opts.Policy = sched.Fixed{Size: 50}
+	opts.BulkThreshold = 1
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Submit(&Problem{ID: "so", DM: newSumDM(500)}); err != nil {
+		t.Fatal(err)
+	}
+	// Lease a unit of incarnation 1 without offloading — the state of an
+	// rpcService goroutine stalled between RequestTask and offloadPayload.
+	stale, _, err := srv.Server.RequestTask("a")
+	if err != nil || stale == nil {
+		t.Fatalf("no stale task: %v", err)
+	}
+	if err := srv.Forget("so"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(&Problem{ID: "so", DM: newSumDM(500)}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.RPCAddr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	live, _, err := cl.RequestTask("b") // offloads the successor's payload
+	if err != nil || live == nil {
+		t.Fatalf("no live task: %v", err)
+	}
+	if live.Unit.ID != stale.Unit.ID {
+		t.Fatalf("test setup: unit IDs %d vs %d do not collide", live.Unit.ID, stale.Unit.ID)
+	}
+	// The stalled goroutine finally publishes the stale payload.
+	if key := srv.offloadPayload(stale); key != "" {
+		t.Errorf("stale offload advertised key %q", key)
+	}
+	got, err := wire.FetchBlob(srv.BulkAddr(), unitKey("so", live.Epoch, live.Unit.ID), time.Second)
+	if err != nil {
+		t.Fatalf("successor blob gone after stale offload: %v", err)
+	}
+	if string(got) != string(live.Unit.Payload) {
+		t.Error("successor blob corrupted by stale offload")
+	}
+	// The stale incarnation's blob is not left behind either.
+	if _, err := wire.FetchBlob(srv.BulkAddr(), unitKey("so", stale.Epoch, stale.Unit.ID), time.Second); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("stale blob leaked: err = %v, want not found", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
@@ -11,6 +12,17 @@ import (
 
 // ErrClosed is returned by coordinator calls after Close.
 var ErrClosed = errors.New("dist: server closed")
+
+// ErrUnknownProblem is returned by problem-addressed calls (Wait, Status,
+// Stats, SharedData, Forget) for an ID that was never submitted.
+var ErrUnknownProblem = errors.New("dist: unknown problem")
+
+// ErrForgotten is returned by problem-addressed calls for an ID that was
+// submitted and later retired with Forget (or auto-retired after Wait), so
+// callers can distinguish "never existed" from "completed and evicted".
+// A Wait already blocked when the problem is forgotten mid-run also fails
+// with this error.
+var ErrForgotten = errors.New("dist: problem forgotten")
 
 // throughputAlpha weights the newest cost/elapsed sample in the EWMA the
 // scheduler sizes units from.
@@ -35,6 +47,13 @@ type ServerOptions struct {
 	// of inline in the RPC reply (the paper's §2.2 rationale). Zero
 	// defaults to 64 KiB; negative disables offloading.
 	BulkThreshold int
+	// AutoForget retires a problem automatically once a Wait call has
+	// delivered its final result, so a long-lived server submitting many
+	// problems does not accumulate their states. Waiters already blocked
+	// when the first Wait returns still receive the result (they hold the
+	// problem's state directly); later Status/Stats/Wait calls get
+	// ErrForgotten.
+	AutoForget bool
 }
 
 func (o *ServerOptions) applyDefaults() {
@@ -69,6 +88,10 @@ const maxUnitAttempts = 8
 // cycling there; this problem-level bound catches it.
 const maxConsecutiveFailures = 64
 
+// maxForgottenTombstones bounds the retired-ID set a long-lived server
+// keeps for ErrForgotten answers.
+const maxForgottenTombstones = 4096
+
 // maxConsecutiveTransport bounds transport failures (unfetchable payloads)
 // with no intervening success. Deliberately very loose — partial-fleet
 // bulk-connectivity problems self-heal via requeue and any completed unit
@@ -93,8 +116,25 @@ type queuedUnit struct {
 	attempts  int
 }
 
-// problemState is the server's bookkeeping for one submitted problem.
+// problemState is the server's bookkeeping for one submitted problem. Each
+// problem carries its own mutex, lease table and requeue queue, so
+// RequestTask/SubmitResult/ReportFailure for different problems never
+// contend — the registry lock is held only for the map lookup.
 type problemState struct {
+	// id duplicates p.ID so lock-free callers (cleanup hooks, rotation
+	// pruning) never have to touch the caller-owned Problem struct.
+	id string
+	// epoch tags this incarnation of the ID (Forget frees IDs for reuse);
+	// dispatched tasks carry it and results must echo it, so a straggler
+	// from a forgotten predecessor is never folded into this problem.
+	// Immutable after Submit.
+	epoch int64
+
+	// mu guards every field below. DataManager methods are called with mu
+	// held, so DataManager implementations need no internal
+	// synchronisation (but must not call back into the server).
+	mu sync.Mutex
+
 	p *Problem
 	// shared is the server's own reference to the problem's shared blob,
 	// so retiring the problem can release it without mutating the
@@ -115,8 +155,10 @@ type problemState struct {
 	doneCh chan struct{}
 }
 
-// donorState is the server's measured view of one donor.
+// donorState is the server's measured view of one donor. Its own mutex
+// keeps stats updates off both the registry lock and the problem locks.
 type donorState struct {
+	mu       sync.Mutex
 	stats    sched.DonorStats
 	lastSeen time.Time
 }
@@ -136,25 +178,54 @@ type Status struct {
 // units per donor via the scheduling policy, tracks leases, and requeues
 // failed or expired units. It implements Coordinator for in-process donors;
 // wrap it with ListenAndServe for the networked deployment.
+//
+// State is sharded per problem: a small RWMutex-guarded registry maps IDs
+// to problemStates, each of which owns its mutex, lease table and requeue
+// queue. Coordinator calls for different problems proceed in parallel.
+//
+// Lock order (outer to inner): registry (regMu) → problemState.mu →
+// donorMu / donorState.mu. A problem lock is never held while acquiring
+// the registry lock, and the donor locks are leaves: no code path takes a
+// registry or problem lock while holding one.
 type Server struct {
 	opts ServerOptions
 
-	mu       sync.Mutex
+	// regMu guards the problem registry: problems, order, forgotten and
+	// closed. Held only for lookup and registration — never across
+	// DataManager calls.
+	regMu    sync.RWMutex
 	problems map[string]*problemState
-	order    []string // live problems in submission order, for round-robin dispatch
-	rr       int
-	donors   map[string]*donorState
-	closed   bool
+	order    []string // dispatch rotation; done problems are pruned lazily
+	// forgotten tombstones retired IDs so Status/Stats/Wait can answer
+	// ErrForgotten instead of ErrUnknownProblem. The set is bounded
+	// (oldest-first eviction) so the eviction feature cannot itself grow
+	// without bound; an ID whose tombstone has aged out degrades to the
+	// unknown-problem error.
+	forgotten      map[string]struct{}
+	forgottenOrder []string
+	closed         bool
 
-	// onProblemDone, when non-nil, is invoked (under the server lock) each
-	// time a problem finalizes or fails; the network layer uses it to drop
-	// the problem's bulk-channel blobs however the problem ended.
+	// rr is the round-robin dispatch cursor across live problems, advanced
+	// once per RequestTask so concurrent instances keep every donor busy
+	// across stage barriers (the paper's Figure 2 usage pattern).
+	rr atomic.Uint64
+
+	// epochSeq allocates problem incarnation tags (see problemState.epoch).
+	epochSeq atomic.Int64
+
+	donorMu sync.RWMutex
+	donors  map[string]*donorState
+
+	// onProblemDone, when non-nil, is invoked (under the problem's lock)
+	// each time a problem finalizes, fails, or is forgotten; the network
+	// layer uses it to drop the problem's bulk-channel blobs however the
+	// problem ended.
 	onProblemDone func(problemID string)
-	// onUnitRetired, when non-nil, is invoked (under the server lock) when
-	// a lost unit is regenerated by a Requeuer DataManager — its old ID
-	// will never be dispatched again, so the network layer can drop the
+	// onUnitRetired, when non-nil, is invoked (under the problem's lock)
+	// when a lost unit is regenerated by a Requeuer DataManager — its old
+	// ID will never be dispatched again, so the network layer can drop the
 	// ID's offloaded payload immediately instead of at problem end.
-	onUnitRetired func(problemID string, unitID int64)
+	onUnitRetired func(problemID string, epoch, unitID int64)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -167,26 +238,29 @@ var _ Coordinator = (*Server)(nil)
 func NewServer(opts ServerOptions) *Server {
 	opts.applyDefaults()
 	s := &Server{
-		opts:     opts,
-		problems: make(map[string]*problemState),
-		donors:   make(map[string]*donorState),
-		stop:     make(chan struct{}),
+		opts:      opts,
+		problems:  make(map[string]*problemState),
+		forgotten: make(map[string]struct{}),
+		donors:    make(map[string]*donorState),
+		stop:      make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.expiryLoop()
 	return s
 }
 
-// Submit registers a problem for dispatch.
+// Submit registers a problem for dispatch. An ID retired with Forget may be
+// reused; a live or completed-but-unforgotten ID may not.
 func (s *Server) Submit(p *Problem) error {
 	return s.submitWith(p, nil)
 }
 
 // submitWith registers a problem, invoking publish (when non-nil) under the
-// server lock after validation but before the problem becomes dispatchable.
-// The network server uses this to put the shared blob on the bulk channel
-// so no donor can be handed a unit whose shared data is not yet fetchable —
-// and a rejected duplicate Submit never touches the live problem's blob.
+// registry lock after validation but before the problem becomes
+// dispatchable. The network server uses this to put the shared blob on the
+// bulk channel so no donor can be handed a unit whose shared data is not
+// yet fetchable — and a rejected duplicate Submit never touches the live
+// problem's blob.
 func (s *Server) submitWith(p *Problem, publish func()) error {
 	if p == nil || p.DM == nil {
 		return errors.New("dist: Submit with nil problem or DataManager")
@@ -194,8 +268,8 @@ func (s *Server) submitWith(p *Problem, publish func()) error {
 	if p.ID == "" {
 		return errors.New("dist: Submit with empty problem ID")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -206,6 +280,8 @@ func (s *Server) submitWith(p *Problem, publish func()) error {
 		publish()
 	}
 	ps := &problemState{
+		id:       p.ID,
+		epoch:    s.epochSeq.Add(1),
 		p:        p,
 		shared:   p.SharedData,
 		inflight: make(map[int64]*leaseInfo),
@@ -213,34 +289,191 @@ func (s *Server) submitWith(p *Problem, publish func()) error {
 	}
 	s.problems[p.ID] = ps
 	s.order = append(s.order, p.ID)
+	s.untombstoneLocked(p.ID) // the ID is live again
+	// Holding regMu exclusively means no other goroutine can have seen ps
+	// yet, so taking its lock here cannot deadlock or contend.
+	ps.mu.Lock()
 	if p.DM.Done() {
-		s.finalize(ps)
+		s.finalizeLocked(ps)
 	}
+	ps.mu.Unlock()
 	return nil
 }
 
+// lookup resolves a problem ID, distinguishing never-submitted from
+// forgotten IDs.
+func (s *Server) lookup(id string) (*problemState, error) {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	if ps, ok := s.problems[id]; ok {
+		return ps, nil
+	}
+	if _, ok := s.forgotten[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrForgotten, id)
+	}
+	return nil, fmt.Errorf("%w %q", ErrUnknownProblem, id)
+}
+
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.closed
+}
+
+// liveEpoch reports the incarnation currently registered — and not yet
+// done — under id. The network layer uses it to detect that an offload it
+// just published was for a stale task.
+func (s *Server) liveEpoch(id string) (int64, bool) {
+	ps, err := s.lookup(id)
+	if err != nil {
+		return 0, false
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.done {
+		return 0, false
+	}
+	return ps.epoch, true
+}
+
 // Wait blocks until the problem completes and returns its final result.
+// With ServerOptions.AutoForget the problem is retired once the result has
+// been delivered; subsequent calls return ErrForgotten.
 func (s *Server) Wait(id string) ([]byte, error) {
-	s.mu.Lock()
-	ps, ok := s.problems[id]
-	s.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("dist: unknown problem %q", id)
+	ps, err := s.lookup(id)
+	if err != nil {
+		return nil, err
 	}
 	<-ps.doneCh
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return ps.result, ps.err
+	ps.mu.Lock()
+	out, werr := ps.result, ps.err
+	ps.mu.Unlock()
+	if s.opts.AutoForget {
+		// Idempotent across concurrent waiters; each already holds ps, so
+		// every Wait in flight still delivers the result. The eviction is
+		// identity-checked: if another waiter already forgot this ID and
+		// the caller resubmitted a fresh problem under it, a slow waiter's
+		// deferred forget must not evict the new problem mid-run.
+		_ = s.forgetMatching(id, ps)
+	}
+	return out, werr
+}
+
+// Forget retires a problem: its state is evicted from the server and its
+// network-layer resources (shared blob, offloaded unit payloads) are
+// released. A problem forgotten before completion fails with ErrForgotten,
+// unblocking any Wait; leased and requeued units are discarded, not
+// reissued. Forgetting an already-forgotten ID is a no-op; forgetting a
+// never-submitted ID returns ErrUnknownProblem.
+func (s *Server) Forget(id string) error {
+	return s.forgetMatching(id, nil)
+}
+
+// forgetMatching is Forget, optionally restricted to a specific problem
+// instance: with only non-nil the eviction happens just when the registry
+// still maps id to that exact state, so a stale ID-addressed forget (an
+// AutoForget waiter racing a resubmission of the same ID) never evicts a
+// successor problem.
+func (s *Server) forgetMatching(id string, only *problemState) error {
+	s.regMu.Lock()
+	if s.closed {
+		s.regMu.Unlock()
+		return ErrClosed
+	}
+	ps, ok := s.problems[id]
+	if !ok {
+		_, wasForgotten := s.forgotten[id]
+		s.regMu.Unlock()
+		if wasForgotten {
+			return nil // idempotent double-Forget
+		}
+		return fmt.Errorf("%w %q", ErrUnknownProblem, id)
+	}
+	if only != nil && ps != only {
+		s.regMu.Unlock()
+		return nil // the ID was reused; the caller's problem is already gone
+	}
+	s.regMu.Unlock()
+
+	// Release the problem BEFORE unregistering its ID. The network layer's
+	// blob cleanup is keyed by problem ID, so it must run while the ID is
+	// still registered — a duplicate Submit is rejected until the delete
+	// below, which means the cleanup can only ever touch this incarnation's
+	// blobs, never a successor's. This ordering also keeps the exclusive
+	// registry lock from being held while waiting on the problem's lock
+	// (a DataManager call may hold it for a while, and stalling every
+	// other problem's lookups behind regMu would re-serialize the
+	// coordinator).
+	ps.mu.Lock()
+	// A still-running problem fails (releasing its units and blobs, and
+	// unblocking waiters); a completed one already released everything in
+	// finalize/fail, so this is a no-op.
+	s.failLocked(ps, fmt.Errorf("%w: %q evicted before completion", ErrForgotten, id))
+	ps.mu.Unlock()
+
+	s.regMu.Lock()
+	// Identity-checked removal: a concurrent Forget of the same ID may
+	// have completed (and the ID may even have been resubmitted) while the
+	// release above ran; never unregister a successor.
+	if cur := s.problems[id]; cur == ps {
+		delete(s.problems, id)
+		s.tombstoneLocked(id)
+		s.removeFromOrderLocked(id)
+	}
+	s.regMu.Unlock()
+	return nil
+}
+
+// tombstoneLocked records a retired ID, evicting the oldest tombstones
+// past the cap so the set stays bounded on a long-lived server. Callers
+// hold regMu.
+func (s *Server) tombstoneLocked(id string) {
+	if _, ok := s.forgotten[id]; !ok {
+		s.forgotten[id] = struct{}{}
+		s.forgottenOrder = append(s.forgottenOrder, id)
+	}
+	for len(s.forgottenOrder) > maxForgottenTombstones {
+		old := s.forgottenOrder[0]
+		s.forgottenOrder = s.forgottenOrder[1:]
+		delete(s.forgotten, old)
+	}
+}
+
+// untombstoneLocked clears a retired ID that is live again, keeping the
+// eviction order in sync with the set. Callers hold regMu.
+func (s *Server) untombstoneLocked(id string) {
+	if _, ok := s.forgotten[id]; !ok {
+		return
+	}
+	delete(s.forgotten, id)
+	for i, oid := range s.forgottenOrder {
+		if oid == id {
+			s.forgottenOrder = append(s.forgottenOrder[:i], s.forgottenOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// removeFromOrderLocked drops one ID from the dispatch rotation. Callers
+// hold regMu.
+func (s *Server) removeFromOrderLocked(id string) {
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
 }
 
 // Status reports a problem's progress.
 func (s *Server) Status(id string) (Status, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ps, ok := s.problems[id]
-	if !ok {
-		return Status{}, fmt.Errorf("dist: unknown problem %q", id)
+	ps, err := s.lookup(id)
+	if err != nil {
+		return Status{}, err
 	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	st := Status{
 		Completed: ps.completed,
 		Inflight:  len(ps.inflight),
@@ -255,97 +488,168 @@ func (s *Server) Status(id string) (Status, error) {
 
 // Stats reports a problem's unit counters.
 func (s *Server) Stats(id string) (dispatched, completed, reissued int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ps, ok := s.problems[id]
-	if !ok {
-		return 0, 0, 0, fmt.Errorf("dist: unknown problem %q", id)
+	ps, lerr := s.lookup(id)
+	if lerr != nil {
+		return 0, 0, 0, lerr
 	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	return ps.dispatched, ps.completed, ps.reissued, nil
 }
 
 // DonorCount reports how many distinct donors have contacted the server.
 func (s *Server) DonorCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.donorMu.RLock()
+	defer s.donorMu.RUnlock()
 	return len(s.donors)
 }
 
 // Close stops the server. Problems still running fail with ErrClosed so
 // concurrent Wait calls return.
 func (s *Server) Close() error {
-	s.mu.Lock()
+	s.regMu.Lock()
+	var toFail []*problemState
 	if !s.closed {
 		s.closed = true
 		for _, ps := range s.problems {
-			if !ps.done {
-				s.fail(ps, ErrClosed)
-			}
+			toFail = append(toFail, ps)
 		}
 	}
-	s.mu.Unlock()
+	s.regMu.Unlock()
+	for _, ps := range toFail {
+		ps.mu.Lock()
+		s.failLocked(ps, ErrClosed)
+		ps.mu.Unlock()
+	}
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
 	return nil
 }
 
 // RequestTask implements Coordinator: pick the next unit for a donor,
-// round-robin across live problems so concurrent instances keep every donor
-// busy across stage barriers (the paper's Figure 2 usage pattern).
+// round-robin across live problems. The rotation is snapshotted under the
+// registry read lock; each candidate problem is then tried under its own
+// lock, so a slow DataManager only stalls requests for its own problem.
 func (s *Server) RequestTask(donor string) (*Task, time.Duration, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.RLock()
 	if s.closed {
+		s.regMu.RUnlock()
 		return nil, 0, ErrClosed
 	}
-	ds := s.touchDonor(donor)
-	// Snapshot the rotation: dispatch failures inside the loop can retire a
-	// problem, which mutates s.order.
-	ids := append([]string(nil), s.order...)
-	n := len(ids)
-	for i := 0; i < n; i++ {
-		idx := (s.rr + i) % n
-		ps := s.problems[ids[idx]]
-		if ps == nil || ps.done {
-			continue
+	rotation := make([]*problemState, 0, len(s.order))
+	for _, id := range s.order {
+		if ps := s.problems[id]; ps != nil {
+			rotation = append(rotation, ps)
 		}
-		if u, attempts, ok := s.popRequeue(ps, donor); ok {
-			s.lease(ps, u, donor, attempts)
-			s.rr = (idx + 1) % n
-			return &Task{ProblemID: ps.p.ID, Unit: *u}, s.opts.WaitHint, nil
-		}
-		budget := s.opts.Policy.Budget(ds.stats, remainingCost(ps.p.DM), s.liveDonorCount())
-		u, ok, err := ps.p.DM.NextUnit(budget)
-		if err != nil {
-			s.fail(ps, fmt.Errorf("dist: problem %q: NextUnit: %w", ps.p.ID, err))
-			continue
-		}
-		if !ok {
-			if ps.p.DM.Done() {
-				s.finalize(ps)
-			} else if len(ps.inflight) == 0 && len(ps.requeue) == 0 {
-				// Nothing dispatchable, nothing in flight, nothing awaiting
-				// reissue, not done: no future event can unstick this
-				// problem. Fail loudly rather than leaving Wait hanging.
-				s.fail(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.p.ID))
-			}
-			continue
-		}
-		s.lease(ps, u, donor, 0)
-		s.rr = (idx + 1) % n
-		return &Task{ProblemID: ps.p.ID, Unit: *u}, s.opts.WaitHint, nil
 	}
+	s.regMu.RUnlock()
+
+	ds := s.touchDonor(donor)
+	n := len(rotation)
+	if n == 0 {
+		return nil, s.opts.WaitHint, nil
+	}
+	ds.mu.Lock()
+	stats := ds.stats
+	ds.mu.Unlock()
+	live := s.liveDonorCount()
+	// Peer liveness is sampled lazily — the O(donors) scan only runs when
+	// some problem actually has a requeued unit to arbitrate — and at most
+	// once per request. The memoized value can be a poll interval stale;
+	// the consequence is at most one deferred requeue pickup (see
+	// popRequeueLocked), never a lost unit.
+	othersAliveMemo := -1
+	othersAlive := func() bool {
+		if othersAliveMemo < 0 {
+			othersAliveMemo = 0
+			if s.otherDonorAlive(donor) {
+				othersAliveMemo = 1
+			}
+		}
+		return othersAliveMemo == 1
+	}
+
+	start := int(s.rr.Add(1) % uint64(n))
+	var finished []*problemState
+	for i := 0; i < n; i++ {
+		ps := rotation[(start+i)%n]
+		task, done := s.tryDispatch(ps, donor, stats, live, othersAlive)
+		if done {
+			finished = append(finished, ps)
+		}
+		if task != nil {
+			s.pruneRotation(finished)
+			return task, s.opts.WaitHint, nil
+		}
+	}
+	s.pruneRotation(finished)
 	return nil, s.opts.WaitHint, nil
+}
+
+// tryDispatch attempts to hand one of ps's units to donor, entirely under
+// ps's own lock. It returns the dispatched task (nil when the problem has
+// nothing for this donor) and whether the problem is done — finished
+// problems are pruned from the rotation by the caller.
+func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorStats, live int, othersAlive func() bool) (*Task, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.done {
+		return nil, true
+	}
+	if u, attempts, ok := s.popRequeueLocked(ps, donor, othersAlive); ok {
+		s.leaseLocked(ps, u, donor, attempts)
+		return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false
+	}
+	budget := s.opts.Policy.Budget(stats, remainingCost(ps.p.DM), live)
+	u, ok, err := ps.p.DM.NextUnit(budget)
+	if err != nil {
+		s.failLocked(ps, fmt.Errorf("dist: problem %q: NextUnit: %w", ps.id, err))
+		return nil, true
+	}
+	if !ok {
+		if ps.p.DM.Done() {
+			s.finalizeLocked(ps)
+			return nil, true
+		}
+		if len(ps.inflight) == 0 && len(ps.requeue) == 0 {
+			// Nothing dispatchable, nothing in flight, nothing awaiting
+			// reissue, not done: no future event can unstick this
+			// problem. Fail loudly rather than leaving Wait hanging.
+			s.failLocked(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.id))
+			return nil, true
+		}
+		return nil, false
+	}
+	s.leaseLocked(ps, u, donor, 0)
+	return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false
+}
+
+// pruneRotation removes finished problems from the dispatch order. Their
+// states stay addressable for Wait/Status/Stats until Forget. Pointer
+// identity is checked so a forgotten-and-resubmitted ID's fresh problem is
+// never pruned by a stale reference to its predecessor.
+func (s *Server) pruneRotation(finished []*problemState) {
+	if len(finished) == 0 {
+		return
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	for _, ps := range finished {
+		if cur := s.problems[ps.id]; cur != ps {
+			continue
+		}
+		s.removeFromOrderLocked(ps.id)
+	}
 }
 
 // SharedData implements Coordinator.
 func (s *Server) SharedData(problemID string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ps, ok := s.problems[problemID]
-	if !ok {
-		return nil, fmt.Errorf("dist: unknown problem %q", problemID)
+	ps, err := s.lookup(problemID)
+	if err != nil {
+		return nil, err
 	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	return ps.shared, nil
 }
 
@@ -364,36 +668,55 @@ func (s *Server) submitResult(res *Result) (accepted bool, err error) {
 	if res == nil {
 		return false, errors.New("dist: SubmitResult with nil result")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.isClosed() {
 		return false, ErrClosed
 	}
 	ds := s.touchDonor(res.Donor)
-	ps, ok := s.problems[res.ProblemID]
-	if !ok || ps.done {
-		return false, nil // problem finished (or failed) while the unit was out
+	ps, lerr := s.lookup(res.ProblemID)
+	if lerr != nil {
+		return false, nil // problem finished (or was forgotten) while the unit was out
+	}
+	ps.mu.Lock()
+	if ps.done {
+		ps.mu.Unlock()
+		return false, nil
+	}
+	if res.Epoch != 0 && res.Epoch != ps.epoch {
+		// A straggler computed for a forgotten predecessor of this ID:
+		// unit numbering restarts per incarnation, so the IDs can collide
+		// while the payloads mean entirely different work. Drop it; the
+		// current incarnation's unit stays leased and completes normally.
+		ps.mu.Unlock()
+		return false, nil
 	}
 	var cost int64
 	if li, ok := ps.inflight[res.UnitID]; ok {
 		cost = li.unit.Cost
 		delete(ps.inflight, res.UnitID)
-	} else if q, ok := s.takeQueued(ps, res.UnitID); ok {
+	} else if q, ok := s.takeQueuedLocked(ps, res.UnitID); ok {
 		// The donor outlived its lease but finished before the unit was
 		// re-dispatched: the result is perfectly good, and accepting it
 		// saves recomputing the whole unit.
 		cost = q.unit.Cost
 	} else {
+		ps.mu.Unlock()
 		return false, nil // reissued copy already completed; drop the straggler
 	}
-	if err := ps.p.DM.Consume(res.UnitID, res.Payload); err != nil {
-		s.fail(ps, fmt.Errorf("dist: problem %q: Consume unit %d: %w", ps.p.ID, res.UnitID, err))
+	if cerr := ps.p.DM.Consume(res.UnitID, res.Payload); cerr != nil {
+		s.failLocked(ps, fmt.Errorf("dist: problem %q: Consume unit %d: %w", ps.id, res.UnitID, cerr))
+		ps.mu.Unlock()
 		return false, nil
 	}
 	ps.completed++
 	ps.consecFails = 0
 	ps.consecTransport = 0
-	ds.stats.Completed++
+	if ps.p.DM.Done() {
+		s.finalizeLocked(ps)
+	}
+	ps.mu.Unlock()
+
+	// Scheduler feedback happens outside the problem lock: stats are
+	// per-donor state, not per-problem state.
 	// Floor elapsed at 1ms: a sub-millisecond (or bogus donor-reported)
 	// sample would otherwise make the EWMA throughput — and with it the
 	// next adaptive budget, which has no upper clamp by default —
@@ -402,52 +725,73 @@ func (s *Server) submitResult(res *Result) (accepted bool, err error) {
 	if elapsed < 1e-3 {
 		elapsed = 1e-3
 	}
+	ds.mu.Lock()
+	ds.stats.Completed++
 	ds.stats.Throughput = sched.EWMA(ds.stats.Throughput, float64(cost)/elapsed, throughputAlpha)
-	if ps.p.DM.Done() {
-		s.finalize(ps)
-	}
+	ds.mu.Unlock()
 	return true, nil
 }
 
 // ReportFailure implements Coordinator: attribute the failure to the donor
-// and requeue the unit for another donor.
+// and requeue the unit for another donor. The epoch goes unchecked on this
+// legacy path; in-process and RPC donors use the tagged variant.
 func (s *Server) ReportFailure(donor, problemID string, unitID int64, reason string) error {
-	return s.reportFailure(donor, problemID, unitID, reason, failCompute)
+	return s.reportFailure(donor, problemID, unitID, reason, failCompute, 0)
 }
 
-// reportTransportFailure implements transportFailureReporter for in-process
+// reportTaggedFailure implements taggedFailureReporter for in-process
 // donors.
-func (s *Server) reportTransportFailure(donor, problemID string, unitID int64, reason string) error {
-	return s.reportFailure(donor, problemID, unitID, reason, failTransport)
+func (s *Server) reportTaggedFailure(donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error {
+	kind := failCompute
+	if transport {
+		kind = failTransport
+	}
+	return s.reportFailure(donor, problemID, unitID, reason, kind, epoch)
 }
 
 // reportFailure requeues a failed unit. kind is failTransport for failures
 // to *fetch* the payload: those say nothing about the unit itself and must
 // not feed the poisoned-unit caps — half a fleet with a firewalled bulk
 // port would otherwise fail the whole problem while healthy donors remain.
-func (s *Server) reportFailure(donor, problemID string, unitID int64, reason string, kind failureKind) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+// A non-zero epoch that does not match the problem's incarnation marks a
+// straggler report from a forgotten predecessor of a reused ID: dropped,
+// like its submitResult counterpart, so it cannot revoke a live lease of
+// the successor when donor names collide.
+func (s *Server) reportFailure(donor, problemID string, unitID int64, reason string, kind failureKind, epoch int64) error {
+	if s.isClosed() {
 		return ErrClosed
 	}
 	ds := s.touchDonor(donor)
-	ps, ok := s.problems[problemID]
-	if !ok || ps.done {
+	ps, lerr := s.lookup(problemID)
+	if lerr != nil {
+		return nil // problem finished or forgotten; nothing to requeue
+	}
+	ps.mu.Lock()
+	if ps.done {
+		ps.mu.Unlock()
+		return nil
+	}
+	if epoch != 0 && epoch != ps.epoch {
+		ps.mu.Unlock()
 		return nil
 	}
 	li, ok := ps.inflight[unitID]
 	if !ok {
+		ps.mu.Unlock()
 		return nil
 	}
 	if li.donor != donor {
 		// Stale report: the unit's lease already expired and the unit was
 		// re-dispatched to someone else. Results from stragglers are
 		// accepted; their failure reports must not revoke the new lease.
+		ps.mu.Unlock()
 		return nil
 	}
-	ds.stats.Failures++
 	s.requeueLocked(ps, li, reason, kind)
+	ps.mu.Unlock()
+	ds.mu.Lock()
+	ds.stats.Failures++
+	ds.mu.Unlock()
 	return nil
 }
 
@@ -468,7 +812,7 @@ const (
 
 // requeueLocked returns a lost or failed in-flight unit to the dispatch
 // pool: Requeuer DataManagers regenerate it, others get the cached payload
-// re-dispatched (preferring a different donor).
+// re-dispatched (preferring a different donor). Callers hold ps.mu.
 func (s *Server) requeueLocked(ps *problemState, li *leaseInfo, reason string, kind failureKind) {
 	if ps.done {
 		return
@@ -480,38 +824,38 @@ func (s *Server) requeueLocked(ps *problemState, li *leaseInfo, reason string, k
 		ps.consecFails++
 		attempts := li.attempts + 1
 		if attempts >= maxUnitAttempts {
-			s.fail(ps, fmt.Errorf("dist: problem %q: unit %d failed %d times, last: %s",
-				ps.p.ID, li.unit.ID, attempts, reason))
+			s.failLocked(ps, fmt.Errorf("dist: problem %q: unit %d failed %d times, last: %s",
+				ps.id, li.unit.ID, attempts, reason))
 			return
 		}
 		li.attempts = attempts
 		if ps.consecFails >= maxConsecutiveFailures {
-			s.fail(ps, fmt.Errorf("dist: problem %q: %d consecutive failures without a completed unit, last: %s",
-				ps.p.ID, ps.consecFails, reason))
+			s.failLocked(ps, fmt.Errorf("dist: problem %q: %d consecutive failures without a completed unit, last: %s",
+				ps.id, ps.consecFails, reason))
 			return
 		}
 	case failTransport:
 		ps.consecTransport++
 		if ps.consecTransport >= maxConsecutiveTransport {
-			s.fail(ps, fmt.Errorf("dist: problem %q: %d consecutive transport failures without a completed unit (bulk channel unreachable from every donor?), last: %s",
-				ps.p.ID, ps.consecTransport, reason))
+			s.failLocked(ps, fmt.Errorf("dist: problem %q: %d consecutive transport failures without a completed unit (bulk channel unreachable from every donor?), last: %s",
+				ps.id, ps.consecTransport, reason))
 			return
 		}
 	}
 	if rq, ok := ps.p.DM.(Requeuer); ok {
 		rq.Requeue(li.unit.ID)
 		if s.onUnitRetired != nil {
-			s.onUnitRetired(ps.p.ID, li.unit.ID)
+			s.onUnitRetired(ps.id, ps.epoch, li.unit.ID)
 		}
 		return
 	}
 	ps.requeue = append(ps.requeue, queuedUnit{unit: li.unit, lastDonor: li.donor, attempts: li.attempts})
 }
 
-// takeQueued removes and returns the queued unit with the given ID, if the
-// unit is awaiting reissue (its lease expired but it has not been handed
-// out again).
-func (s *Server) takeQueued(ps *problemState, unitID int64) (queuedUnit, bool) {
+// takeQueuedLocked removes and returns the queued unit with the given ID,
+// if the unit is awaiting reissue (its lease expired but it has not been
+// handed out again). Callers hold ps.mu.
+func (s *Server) takeQueuedLocked(ps *problemState, unitID int64) (queuedUnit, bool) {
 	for i, q := range ps.requeue {
 		if q.unit.ID == unitID {
 			ps.requeue = append(ps.requeue[:i], ps.requeue[i+1:]...)
@@ -521,12 +865,16 @@ func (s *Server) takeQueued(ps *problemState, unitID int64) (queuedUnit, bool) {
 	return queuedUnit{}, false
 }
 
-// popRequeue takes a queued unit for the donor, preferring units last held
-// by a different donor so a unit one machine cannot compute migrates. The
-// preference only holds while some *other* donor is actually alive — a
+// popRequeueLocked takes a queued unit for the donor, preferring units last
+// held by a different donor so a unit one machine cannot compute migrates.
+// The preference only holds while some *other* donor is actually alive — a
 // donor that has not polled for a full lease is presumed gone, and waiting
-// for it would starve the unit forever.
-func (s *Server) popRequeue(ps *problemState, donor string) (*Unit, int, bool) {
+// for it would starve the unit forever. othersAlive is memoized per
+// request by the caller; a stale value defers the pickup by at most one
+// poll interval. Evaluating it here acquires donor locks under ps.mu,
+// which the lock order permits: donor locks are leaves — no code path
+// takes a registry or problem lock while holding one. Callers hold ps.mu.
+func (s *Server) popRequeueLocked(ps *problemState, donor string, othersAlive func() bool) (*Unit, int, bool) {
 	pick := -1
 	for i, q := range ps.requeue {
 		if q.lastDonor != donor {
@@ -535,7 +883,7 @@ func (s *Server) popRequeue(ps *problemState, donor string) (*Unit, int, bool) {
 		}
 	}
 	if pick < 0 {
-		if len(ps.requeue) == 0 || s.otherDonorAlive(donor) {
+		if len(ps.requeue) == 0 || othersAlive() {
 			return nil, 0, false // let another donor claim it
 		}
 		pick = 0 // no other live donor: better to retry than to stall
@@ -549,8 +897,16 @@ func (s *Server) popRequeue(ps *problemState, donor string) (*Unit, int, bool) {
 // within the last lease interval.
 func (s *Server) otherDonorAlive(name string) bool {
 	cutoff := time.Now().Add(-s.opts.Lease)
+	s.donorMu.RLock()
+	defer s.donorMu.RUnlock()
 	for n, ds := range s.donors {
-		if n != name && ds.lastSeen.After(cutoff) {
+		if n == name {
+			continue
+		}
+		ds.mu.Lock()
+		alive := ds.lastSeen.After(cutoff)
+		ds.mu.Unlock()
+		if alive {
 			return true
 		}
 	}
@@ -564,19 +920,23 @@ func (s *Server) otherDonorAlive(name string) bool {
 func (s *Server) liveDonorCount() int {
 	cutoff := time.Now().Add(-s.opts.Lease)
 	n := 0
+	s.donorMu.RLock()
 	for _, ds := range s.donors {
+		ds.mu.Lock()
 		if ds.lastSeen.After(cutoff) {
 			n++
 		}
+		ds.mu.Unlock()
 	}
+	s.donorMu.RUnlock()
 	if n < 1 {
 		n = 1
 	}
 	return n
 }
 
-// lease records a dispatched unit.
-func (s *Server) lease(ps *problemState, u *Unit, donor string, attempts int) {
+// leaseLocked records a dispatched unit. Callers hold ps.mu.
+func (s *Server) leaseLocked(ps *problemState, u *Unit, donor string, attempts int) {
 	ps.inflight[u.ID] = &leaseInfo{
 		unit:     u,
 		donor:    donor,
@@ -586,14 +946,40 @@ func (s *Server) lease(ps *problemState, u *Unit, donor string, attempts int) {
 	ps.dispatched++
 }
 
+// touchDonor returns the donor's state, creating it on first contact, and
+// stamps its last-seen time.
 func (s *Server) touchDonor(name string) *donorState {
+	now := time.Now()
+	s.donorMu.RLock()
 	ds, ok := s.donors[name]
+	s.donorMu.RUnlock()
 	if !ok {
-		ds = &donorState{}
-		s.donors[name] = ds
+		s.donorMu.Lock()
+		ds, ok = s.donors[name]
+		if !ok {
+			ds = &donorState{}
+			s.donors[name] = ds
+		}
+		s.donorMu.Unlock()
 	}
-	ds.lastSeen = time.Now()
+	ds.mu.Lock()
+	ds.lastSeen = now
+	ds.mu.Unlock()
 	return ds
+}
+
+// bumpFailures charges one failure to a donor's scheduling statistics, if
+// the donor is still tracked.
+func (s *Server) bumpFailures(name string) {
+	s.donorMu.RLock()
+	ds, ok := s.donors[name]
+	s.donorMu.RUnlock()
+	if !ok {
+		return
+	}
+	ds.mu.Lock()
+	ds.stats.Failures++
+	ds.mu.Unlock()
 }
 
 func remainingCost(dm DataManager) int64 {
@@ -603,9 +989,9 @@ func remainingCost(dm DataManager) int64 {
 	return 0
 }
 
-// finalize marks a problem done with its DataManager's final result.
-// Callers hold s.mu.
-func (s *Server) finalize(ps *problemState) {
+// finalizeLocked marks a problem done with its DataManager's final result.
+// Callers hold ps.mu.
+func (s *Server) finalizeLocked(ps *problemState) {
 	if ps.done {
 		return
 	}
@@ -613,46 +999,33 @@ func (s *Server) finalize(ps *problemState) {
 	ps.done = true
 	ps.result, ps.err = out, err
 	close(ps.doneCh)
-	s.retire(ps)
+	s.releaseLocked(ps)
 }
 
-// fail marks a problem done with an error. Callers hold s.mu.
-func (s *Server) fail(ps *problemState, err error) {
+// failLocked marks a problem done with an error. Callers hold ps.mu.
+func (s *Server) failLocked(ps *problemState, err error) {
 	if ps.done {
 		return
 	}
 	ps.done = true
 	ps.err = err
 	close(ps.doneCh)
-	s.retire(ps)
+	s.releaseLocked(ps)
 }
 
-// retire removes a completed problem from the dispatch rotation (its state
-// stays addressable for Wait/Status/Stats) and releases any network-layer
-// resources. Callers hold s.mu.
-func (s *Server) retire(ps *problemState) {
-	for i, id := range s.order {
-		if id == ps.p.ID {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
-	if len(s.order) > 0 {
-		s.rr %= len(s.order)
-	} else {
-		s.rr = 0
-	}
-	// Drop queued and leased unit payloads and the shared blob: a problem
-	// that finalized early (Done with units still out) must not pin them
-	// for the server's lifetime, and Status should not report in-flight
-	// work for a done problem. (A donor fetching shared data for a retired
-	// problem gets nil, fails Init, and the failure report is ignored —
-	// the problem is done.)
+// releaseLocked drops a finished problem's queued and leased unit payloads
+// and the shared blob: a problem that finalized early (Done with units
+// still out) must not pin them for the server's lifetime, and Status should
+// not report in-flight work for a done problem. (A donor fetching shared
+// data for a finished problem gets nil, fails Init, and the failure report
+// is ignored — the problem is done.) The network layer's cleanup hook runs
+// here too, under the problem lock. Callers hold ps.mu.
+func (s *Server) releaseLocked(ps *problemState) {
 	ps.requeue = nil
 	ps.inflight = nil
 	ps.shared = nil // the server's reference only; the caller's Problem is untouched
 	if s.onProblemDone != nil {
-		s.onProblemDone(ps.p.ID)
+		s.onProblemDone(ps.id)
 	}
 }
 
@@ -676,19 +1049,33 @@ func (s *Server) expiryLoop() {
 // and prunes donors gone long enough that their scheduling statistics are
 // worthless, so the donor map stays bounded on a long-lived server.
 func (s *Server) expireLeases(now time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.isClosed() {
 		return
 	}
 	donorCutoff := now.Add(-10 * s.opts.Lease)
+	s.donorMu.Lock()
 	for name, ds := range s.donors {
-		if ds.lastSeen.Before(donorCutoff) {
+		ds.mu.Lock()
+		gone := ds.lastSeen.Before(donorCutoff)
+		ds.mu.Unlock()
+		if gone {
 			delete(s.donors, name)
 		}
 	}
+	s.donorMu.Unlock()
+
+	s.regMu.RLock()
+	states := make([]*problemState, 0, len(s.problems))
 	for _, ps := range s.problems {
+		states = append(states, ps)
+	}
+	s.regMu.RUnlock()
+
+	for _, ps := range states {
+		var blamed []string
+		ps.mu.Lock()
 		if ps.done {
+			ps.mu.Unlock()
 			continue
 		}
 		for _, li := range ps.inflight {
@@ -696,11 +1083,15 @@ func (s *Server) expireLeases(now time.Time) {
 				break // requeueLocked failed the problem mid-sweep
 			}
 			if now.After(li.deadline) {
-				if ds, ok := s.donors[li.donor]; ok {
-					ds.stats.Failures++
-				}
+				blamed = append(blamed, li.donor)
 				s.requeueLocked(ps, li, "lease expired", failExpiry)
 			}
+		}
+		ps.mu.Unlock()
+		// Donor stats are charged outside the problem lock (lock order:
+		// problem locks never nest around donor state).
+		for _, name := range blamed {
+			s.bumpFailures(name)
 		}
 	}
 }
