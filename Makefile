@@ -1,15 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet test race bench demo
+.PHONY: check build vet fmt test race bench demo
 
 # check is the tier-1 gate: everything CI runs (CI invokes this target).
-check: build vet test race
+check: build vet fmt test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -16,6 +16,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -300,17 +301,18 @@ func BenchmarkCoordinatorSharding(b *testing.B) {
 		hold      = 100 * time.Microsecond
 		benchPool = 16
 	)
+	ctx := context.Background()
 	for _, nProblems := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("problems=%d", nProblems), func(b *testing.B) {
-			srv := dist.NewServer(dist.ServerOptions{
-				Policy:     sched.Fixed{Size: 1},
-				Lease:      time.Hour,
-				ExpiryScan: time.Hour,
-				WaitHint:   time.Microsecond,
-			})
+			srv := dist.NewServer(
+				dist.WithPolicy(sched.Fixed{Size: 1}),
+				dist.WithLeaseTTL(time.Hour),
+				dist.WithExpiryScan(time.Hour),
+				dist.WithWaitHint(time.Microsecond),
+			)
 			defer srv.Close()
 			for i := 0; i < nProblems; i++ {
-				if err := srv.Submit(&dist.Problem{ID: fmt.Sprintf("contend-%d", i), DM: &slowDM{hold: hold}}); err != nil {
+				if err := srv.Submit(ctx, &dist.Problem{ID: fmt.Sprintf("contend-%d", i), DM: &slowDM{hold: hold}}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -324,12 +326,12 @@ func BenchmarkCoordinatorSharding(b *testing.B) {
 				go func(name string) {
 					defer wg.Done()
 					for remaining.Add(-1) >= 0 {
-						task, _, err := srv.RequestTask(name)
+						task, _, err := srv.RequestTask(ctx, name)
 						if err != nil || task == nil {
 							failed.Add(1)
 							continue
 						}
-						if err := srv.SubmitResult(&dist.Result{
+						if err := srv.SubmitResult(ctx, &dist.Result{
 							ProblemID: task.ProblemID,
 							UnitID:    task.Unit.ID,
 							Elapsed:   time.Millisecond,
@@ -350,6 +352,101 @@ func BenchmarkCoordinatorSharding(b *testing.B) {
 	}
 }
 
+// fastDM is an endless DataManager with negligible lock hold time — the
+// "cold" problems of the dispatch-latency benchmark.
+type fastDM struct{ seq int64 }
+
+func (d *fastDM) NextUnit(int64) (*dist.Unit, bool, error) {
+	d.seq++
+	return &dist.Unit{ID: d.seq, Algorithm: "bench/noop", Cost: 1}, true, nil
+}
+
+func (d *fastDM) Consume(int64, []byte) error  { return nil }
+func (d *fastDM) Done() bool                   { return false }
+func (d *fastDM) FinalResult() ([]byte, error) { return nil, nil }
+
+// BenchmarkDispatchSkipsContended measures RequestTask latency on a server
+// with 2 "hot" problems (DataManager holds its shard lock 2ms per call)
+// and 14 cold ones, while two background donors keep the hot shards
+// contended. The TryLock fast path skips the locked hot shards and serves
+// a cold problem immediately; the old blocking rotation would park every
+// donor behind the 2ms holds whenever the round-robin cursor landed on a
+// hot problem first (~1/8 of requests), inflating tail latency by orders
+// of magnitude.
+func BenchmarkDispatchSkipsContended(b *testing.B) {
+	const (
+		hotHold = 2 * time.Millisecond
+		hot     = 2
+		cold    = 14
+		hotPool = 2 // background donors keeping hot shards busy
+	)
+	ctx := context.Background()
+	srv := dist.NewServer(
+		dist.WithPolicy(sched.Fixed{Size: 1}),
+		dist.WithLeaseTTL(time.Hour),
+		dist.WithExpiryScan(time.Hour),
+		dist.WithWaitHint(time.Microsecond),
+	)
+	defer srv.Close()
+	for i := 0; i < hot; i++ {
+		if err := srv.Submit(ctx, &dist.Problem{ID: fmt.Sprintf("hot-%d", i), DM: &slowDM{hold: hotHold}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < cold; i++ {
+		if err := srv.Submit(ctx, &dist.Problem{ID: fmt.Sprintf("cold-%d", i), DM: &fastDM{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Background donors hammer the server so the hot shards are nearly
+	// always mid-NextUnit (their round-trips serialize on the 2ms holds).
+	stop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	for g := 0; g < hotPool; g++ {
+		bgWG.Add(1)
+		go func(name string) {
+			defer bgWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				task, _, err := srv.RequestTask(ctx, name)
+				if err != nil || task == nil {
+					continue
+				}
+				_ = srv.SubmitResult(ctx, &dist.Result{
+					ProblemID: task.ProblemID, UnitID: task.Unit.ID,
+					Elapsed: time.Millisecond, Donor: name, Epoch: task.Epoch,
+				})
+			}
+		}(fmt.Sprintf("bg-%d", g))
+	}
+	var worst time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		task, _, err := srv.RequestTask(ctx, "probe")
+		if d := time.Since(t0); d > worst {
+			worst = d
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if task != nil {
+			_ = srv.SubmitResult(ctx, &dist.Result{
+				ProblemID: task.ProblemID, UnitID: task.Unit.ID,
+				Elapsed: time.Millisecond, Donor: "probe", Epoch: task.Epoch,
+			})
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	bgWG.Wait()
+	b.ReportMetric(float64(worst.Microseconds()), "worst-dispatch-us")
+}
+
 // BenchmarkDSEARCHEndToEnd runs a real (non-simulated) distributed search
 // on in-process workers: FASTA partitioning, gob codecs, scheduling, hit
 // merging — everything but physical network and real donor machines.
@@ -364,7 +461,7 @@ func BenchmarkDSEARCHEndToEnd(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		out, err := dist.RunLocal(p, 4, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 5000, Min: 500})
+		out, err := dist.RunLocal(context.Background(), p, 4, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 5000, Min: 500})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -401,7 +498,7 @@ func BenchmarkDPRmlEndToEnd(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := dist.RunLocal(p, 4, sched.Adaptive{Target: 100 * time.Millisecond, Bootstrap: 4000, Min: 1}); err != nil {
+		if _, err := dist.RunLocal(context.Background(), p, 4, sched.Adaptive{Target: 100 * time.Millisecond, Bootstrap: 4000, Min: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

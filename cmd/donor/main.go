@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,10 +27,11 @@ import (
 
 func main() {
 	var (
-		server   = flag.String("server", "127.0.0.1:7070", "server RPC address")
-		name     = flag.String("name", hostnameOr("donor"), "donor display name")
-		throttle = flag.Duration("throttle", 0, "pause between units (be a polite background service)")
-		retry    = flag.Duration("retry", 30*time.Second, "max backoff while reconnecting to a vanished server (0 = exit instead of retrying)")
+		server     = flag.String("server", "127.0.0.1:7070", "server RPC address")
+		name       = flag.String("name", hostnameOr("donor"), "donor display name")
+		throttle   = flag.Duration("throttle", 0, "pause between units (be a polite background service)")
+		retry      = flag.Duration("retry", 30*time.Second, "max backoff while reconnecting to a vanished server (0 = exit instead of retrying)")
+		cancelPoll = flag.Duration("cancel-poll", 500*time.Millisecond, "how often to poll for server cancel notices mid-unit (<0 disables)")
 	)
 	flag.Parse()
 
@@ -49,27 +51,28 @@ func main() {
 		redial = func() (dist.Coordinator, error) { return dist.Dial(*server, dialTimeout) }
 	}
 
-	d := dist.NewDonor(client, dist.DonorOptions{
-		Name:      *name,
-		Throttle:  *throttle,
-		Logf:      log.Printf,
-		Redial:    redial,
-		RedialMax: *retry,
-	})
+	d := dist.NewDonor(client,
+		dist.WithName(*name),
+		dist.WithThrottle(*throttle),
+		dist.WithLogf(log.Printf),
+		dist.WithRedial(redial),
+		dist.WithRedialBackoff(0, *retry),
+		dist.WithCancelPoll(*cancelPoll),
+	)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	go func() {
-		<-sig
-		log.Printf("donor: interrupt — finishing current unit")
-		d.Stop()
-	}()
+	// First interrupt: finish (or abort, via the cancelled context) the
+	// unit in progress and exit cleanly. Unregistering the handler as soon
+	// as the context cancels restores default SIGINT behaviour, so a
+	// second interrupt kills us outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
 
 	log.Printf("donor %q connecting to %s (algorithms: %v)", *name, *server, dist.RegisteredAlgorithms())
-	if err := d.Run(); err != nil {
+	if err := d.Run(ctx); err != nil {
 		log.Fatalf("donor: %v", err)
 	}
-	fmt.Printf("donor %q processed %d units\n", *name, d.Units())
+	fmt.Printf("donor %q processed %d units (%d aborted on cancel notices)\n", *name, d.Units(), d.Aborted())
 }
 
 func hostnameOr(def string) string {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -275,16 +276,19 @@ func printAncestral(aln *seq.Alignment, best *dprml.TreeResult, opts dprml.Optio
 
 // runInstances submits n DPRml problems (rotated addition orders) to one
 // server and runs them concurrently on the worker pool — Figure 2's usage.
+// Each instance's Watch stream drives a taxa-placed progress display (the
+// v2 replacement for polling Status in a ticker loop).
 func runInstances(aln *seq.Alignment, opts dprml.Options, n, workers int, pol sched.Policy) []*dprml.TreeResult {
 	if n < 1 {
 		n = 1
 	}
-	srv := dist.NewServer(dist.ServerOptions{
-		Policy:     pol,
-		Lease:      time.Hour,
-		ExpiryScan: time.Hour,
-		WaitHint:   time.Millisecond,
-	})
+	ctx := context.Background()
+	srv := dist.NewServer(
+		dist.WithPolicy(pol),
+		dist.WithLeaseTTL(time.Hour),
+		dist.WithExpiryScan(time.Hour),
+		dist.WithWaitHint(time.Millisecond),
+	)
 	defer srv.Close()
 
 	taxa := aln.Taxa()
@@ -302,23 +306,28 @@ func runInstances(aln *seq.Alignment, opts dprml.Options, n, workers int, pol sc
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := srv.Submit(p); err != nil {
+		if err := srv.Submit(ctx, p); err != nil {
 			log.Fatal(err)
 		}
 		ids[i] = p.ID
+		events, err := srv.Watch(ctx, p.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go watchStages(p.ID, events)
 	}
 
 	var wg sync.WaitGroup
 	donors := make([]*dist.Donor, workers)
 	for i := range donors {
-		donors[i] = dist.NewDonor(srv, dist.DonorOptions{Name: fmt.Sprintf("w%d", i)})
+		donors[i] = dist.NewDonor(srv, dist.WithName(fmt.Sprintf("w%d", i)))
 		wg.Add(1)
-		go func(d *dist.Donor) { defer wg.Done(); _ = d.Run() }(donors[i])
+		go func(d *dist.Donor) { defer wg.Done(); _ = d.Run(ctx) }(donors[i])
 	}
 
 	out := make([]*dprml.TreeResult, n)
 	for i, id := range ids {
-		raw, err := srv.Wait(id)
+		raw, err := srv.Wait(ctx, id)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -332,6 +341,18 @@ func runInstances(aln *seq.Alignment, opts dprml.Options, n, workers int, pol sc
 	}
 	wg.Wait()
 	return out
+}
+
+// watchStages prints a line whenever an instance places another taxon
+// (AppDone advances). The event channel closes with the instance.
+func watchStages(id string, events <-chan dist.Event) {
+	placed := -1
+	for ev := range events {
+		if ev.Kind == dist.EventProgress && ev.AppDone > placed && ev.AppTotal > 0 {
+			placed = ev.AppDone
+			fmt.Printf("  %s: %d/%d taxa placed\n", id, placed, ev.AppTotal)
+		}
+	}
 }
 
 // selectModel ranks the model ladder by AIC/BIC on a neighbor-joining tree

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -89,8 +91,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("dsearch: %v", err)
 	}
+	// An interrupt cancels the run context: the problem is forgotten and
+	// the in-process workers abort their in-flight chunks.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	out, err := dist.RunLocal(problem, *workers, pol)
+	out, err := dist.RunLocal(ctx, problem, *workers, pol)
 	if err != nil {
 		log.Fatalf("dsearch: %v", err)
 	}

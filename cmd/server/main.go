@@ -12,13 +12,20 @@
 //	server -app dprml -alignment aln.fasta [-model HKY85:kappa=2] [-gamma 4 -alpha 0.5]
 //
 // Donors then connect with:  donor -server <host>:7070
+//
+// Progress is streamed from the server's Watch event channel (no Status
+// polling). An interrupt forgets the problem, which cancels the donors'
+// in-flight units before the server exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/dist"
@@ -35,6 +42,7 @@ func main() {
 		policy   = flag.String("policy", "adaptive:5s", "scheduling policy (fixed:N | adaptive:DUR | gss[:k] | factoring)")
 		lease    = flag.Duration("lease", 2*time.Minute, "work unit reissue timeout")
 		app      = flag.String("app", "", "application: dsearch | dprml")
+		progress = flag.Duration("progress", 10*time.Second, "minimum interval between progress log lines")
 
 		// DSEARCH flags
 		dbPath    = flag.String("db", "", "dsearch: FASTA database")
@@ -49,14 +57,17 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	pol, err := sched.ByName(*policy)
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
-	ns, err := dist.ListenAndServe(*rpcAddr, *bulkAddr, dist.ServerOptions{
-		Policy: pol,
-		Lease:  *lease,
-	})
+	ns, err := dist.ListenAndServe(*rpcAddr, *bulkAddr,
+		dist.WithPolicy(pol),
+		dist.WithLeaseTTL(*lease),
+	)
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
@@ -75,42 +86,41 @@ func main() {
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
-	if err := ns.Submit(problem); err != nil {
+	if err := ns.Submit(ctx, problem); err != nil {
 		log.Fatalf("server: %v", err)
 	}
 	log.Printf("server: problem %q submitted — waiting for donors", problem.ID)
 
-	start := time.Now()
-	stopProgress := make(chan struct{})
-	go func() {
-		ticker := time.NewTicker(10 * time.Second)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stopProgress:
-				return
-			case <-ticker.C:
-				st, err := ns.Status(problem.ID)
-				if err != nil {
-					return
-				}
-				if st.AppTotal > 0 {
-					log.Printf("server: progress %d/%d, %d units done (%d in flight, %d reissued, %d donors)",
-						st.AppDone, st.AppTotal, st.Completed, st.Inflight, st.Reissued, ns.DonorCount())
-				} else {
-					log.Printf("server: %d units done (%d in flight, %d reissued, %d donors)",
-						st.Completed, st.Inflight, st.Reissued, ns.DonorCount())
-				}
-			}
-		}
-	}()
-	out, err := ns.Wait(problem.ID)
-	close(stopProgress)
+	// Event-stream progress: the Watch channel replaces the old Status
+	// polling ticker. Unit-level events are folded into at most one log
+	// line per -progress interval; terminal events always log.
+	events, err := ns.Watch(ctx, problem.ID)
 	if err != nil {
+		log.Fatalf("server: watch: %v", err)
+	}
+	go logProgress(ns, events, *progress)
+
+	start := time.Now()
+	out, err := ns.Wait(ctx, problem.ID)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Interrupted: forget the problem so donors holding its units
+			// receive cancel notices and abort instead of computing
+			// results nobody will fold.
+			log.Printf("server: interrupted — forgetting %q to cancel donor work", problem.ID)
+			_ = ns.Forget(problem.ID)
+			// Busy donors learn of the cancellation by polling CancelNotices
+			// (default every 500ms); keep the control channel up a couple of
+			// poll periods so they abort their in-flight unit instead of
+			// discovering a dead socket only after finishing it.
+			time.Sleep(1200 * time.Millisecond)
+			_ = ns.Close() // os.Exit skips the deferred Close
+			os.Exit(1)
+		}
 		log.Fatalf("server: problem failed: %v", err)
 	}
 	elapsed := time.Since(start)
-	dispatched, completed, reissued, _ := ns.Stats(problem.ID)
+	dispatched, completed, reissued, _ := ns.Stats(ctx, problem.ID)
 	log.Printf("server: done in %s (%d units dispatched, %d completed, %d reissued, %d donors)",
 		elapsed.Round(time.Millisecond), dispatched, completed, reissued, ns.DonorCount())
 	// Retire the problem now that its stats have been read: a long-lived
@@ -133,6 +143,37 @@ func main() {
 			log.Fatalf("server: %v", err)
 		}
 		fmt.Print(res.String())
+	}
+}
+
+// logProgress consumes one problem's Watch stream, printing a progress
+// line at most every interval (terminal events always print). The channel
+// closes with the stream, ending the goroutine.
+func logProgress(ns *dist.NetworkServer, events <-chan dist.Event, interval time.Duration) {
+	var lastLog time.Time
+	for ev := range events {
+		switch {
+		case ev.Kind.Terminal():
+			switch ev.Kind {
+			case dist.EventFinished:
+				log.Printf("server: %s finished (%d units)", ev.ProblemID, ev.Completed)
+			case dist.EventForgotten:
+				log.Printf("server: %s forgotten", ev.ProblemID)
+			default:
+				if !errors.Is(ev.Err, dist.ErrClosed) {
+					log.Printf("server: %s failed: %v", ev.ProblemID, ev.Err)
+				}
+			}
+		case ev.Kind == dist.EventProgress && time.Since(lastLog) >= interval:
+			lastLog = time.Now()
+			if ev.AppTotal > 0 {
+				log.Printf("server: progress %d/%d, %d units done (%d in flight, %d donors)",
+					ev.AppDone, ev.AppTotal, ev.Completed, ev.Inflight, ns.DonorCount())
+			} else {
+				log.Printf("server: %d units done (%d in flight, %d donors)",
+					ev.Completed, ev.Inflight, ns.DonorCount())
+			}
+		}
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -56,16 +57,17 @@ func main() {
 		rotate(aln.Taxa(), 4),
 		reverse(aln.Taxa()),
 	}
-	srv := dist.NewServer(dist.ServerOptions{
-		Policy:     sched.Adaptive{Target: 200 * time.Millisecond, Bootstrap: 5000, Min: 1},
-		Lease:      time.Hour,
-		ExpiryScan: time.Hour,
-		WaitHint:   time.Millisecond,
+	ctx := context.Background()
+	srv := dist.NewServer(
+		dist.WithPolicy(sched.Adaptive{Target: 200 * time.Millisecond, Bootstrap: 5000, Min: 1}),
+		dist.WithLeaseTTL(time.Hour),
+		dist.WithExpiryScan(time.Hour),
+		dist.WithWaitHint(time.Millisecond),
 		// Each instance's state is evicted as soon as its Wait below
 		// delivers the result — the lifecycle a long-lived multi-problem
 		// server uses to stay bounded.
-		AutoForget: true,
-	})
+		dist.WithAutoForget(true),
+	)
 	defer srv.Close()
 
 	ids := make([]string, len(orders))
@@ -76,7 +78,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := srv.Submit(p); err != nil {
+		if err := srv.Submit(ctx, p); err != nil {
 			log.Fatal(err)
 		}
 		ids[i] = p.ID
@@ -86,15 +88,15 @@ func main() {
 	var wg sync.WaitGroup
 	donors := make([]*dist.Donor, workers)
 	for i := range donors {
-		donors[i] = dist.NewDonor(srv, dist.DonorOptions{Name: fmt.Sprintf("w%d", i)})
+		donors[i] = dist.NewDonor(srv, dist.WithName(fmt.Sprintf("w%d", i)))
 		wg.Add(1)
-		go func(d *dist.Donor) { defer wg.Done(); _ = d.Run() }(donors[i])
+		go func(d *dist.Donor) { defer wg.Done(); _ = d.Run(ctx) }(donors[i])
 	}
 
 	start := time.Now()
 	best := (*dprml.TreeResult)(nil)
 	for _, id := range ids {
-		out, err := srv.Wait(id)
+		out, err := srv.Wait(ctx, id)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -42,7 +43,7 @@ func main() {
 	}
 	workers := runtime.GOMAXPROCS(0)
 	start := time.Now()
-	out, err := dist.RunLocal(problem, workers, sched.Adaptive{Target: 200 * time.Millisecond, Bootstrap: 5000, Min: 500})
+	out, err := dist.RunLocal(context.Background(), problem, workers, sched.Adaptive{Target: 200 * time.Millisecond, Bootstrap: 5000, Min: 500})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,14 @@
 // Keysearch example: the cryptography workload class the paper reports
 // running on the system ("bioinformatics, biomedical engineering, and
 // cryptography applications"). A 3-byte key is recovered by exhaustive
-// search over the keyspace: the DataManager partitions key ranges into
-// dynamically sized units; donors hash candidate keys until one matches
-// the target digest.
+// search over the keyspace: the typed DataManager partitions key ranges
+// into dynamically sized units; donors hash candidate keys until one
+// matches the target digest.
 //
 // This is an authorized toy exercise against a key generated in this very
 // process — it demonstrates the divisible-workload pattern with early
-// termination (once the key is found, remaining units are skipped).
+// termination (once the key is found, remaining units are skipped, and the
+// server's cancel notices abort any donor still scanning a doomed range).
 //
 // Run:
 //
@@ -16,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -34,7 +36,8 @@ type searchUnit struct {
 	Target   []byte
 }
 
-// searchResult reports whether the unit found the key.
+// searchResult reports whether the unit found the key; it doubles as the
+// problem's final result.
 type searchResult struct {
 	Found bool
 	Key   uint64
@@ -43,6 +46,7 @@ type searchResult struct {
 // keyManager partitions the keyspace and stops issuing work once a unit
 // reports success — an early-termination DataManager, a shape the
 // bioinformatics applications don't need but cryptographic search does.
+// It implements core.TypedDM[searchUnit, searchResult].
 type keyManager struct {
 	salt, target []byte
 
@@ -58,8 +62,8 @@ func newKeyManager(salt, target []byte) *keyManager {
 	return &keyManager{salt: salt, target: target, inflight: make(map[int64][2]uint64)}
 }
 
-// NextUnit implements core.DataManager; 1 cost unit = 1024 keys.
-func (m *keyManager) NextUnit(budget int64) (*core.Unit, bool, error) {
+// NextUnit implements core.TypedDM; 1 cost unit = 1024 keys.
+func (m *keyManager) NextUnit(budget int64) (*core.UnitOf[searchUnit], bool, error) {
 	if m.found || m.next >= keyspace {
 		return nil, false, nil
 	}
@@ -73,26 +77,23 @@ func (m *keyManager) NextUnit(budget int64) (*core.Unit, bool, error) {
 	from, to := m.next, m.next+span
 	m.next = to
 	m.seq++
-	payload, err := core.Marshal(searchUnit{From: from, To: to, Salt: m.salt, Target: m.target})
-	if err != nil {
-		return nil, false, err
-	}
 	m.inflight[m.seq] = [2]uint64{from, to}
-	return &core.Unit{ID: m.seq, Algorithm: "crypto/keysearch", Payload: payload, Cost: int64(span / 1024)}, true, nil
+	return &core.UnitOf[searchUnit]{
+		ID:        m.seq,
+		Algorithm: "crypto/keysearch",
+		Payload:   searchUnit{From: from, To: to, Salt: m.salt, Target: m.target},
+		Cost:      int64(span / 1024),
+	}, true, nil
 }
 
-// Consume implements core.DataManager.
-func (m *keyManager) Consume(unitID int64, payload []byte) error {
+// Consume implements core.TypedDM.
+func (m *keyManager) Consume(unitID int64, res searchResult) error {
 	span, ok := m.inflight[unitID]
 	if !ok {
 		return fmt.Errorf("keysearch: result for unknown unit %d", unitID)
 	}
 	delete(m.inflight, unitID)
 	m.completed += span[1] - span[0]
-	var res searchResult
-	if err := core.Unmarshal(payload, &res); err != nil {
-		return err
-	}
 	if res.Found {
 		m.found = true
 		m.key = res.Key
@@ -100,15 +101,15 @@ func (m *keyManager) Consume(unitID int64, payload []byte) error {
 	return nil
 }
 
-// Done implements core.DataManager: finished when the key is found, or the
+// Done implements core.TypedDM: finished when the key is found, or the
 // whole keyspace has been scanned without a match.
 func (m *keyManager) Done() bool {
 	return m.found || (m.completed >= keyspace && len(m.inflight) == 0)
 }
 
-// FinalResult implements core.DataManager.
-func (m *keyManager) FinalResult() ([]byte, error) {
-	return core.Marshal(searchResult{Found: m.found, Key: m.key})
+// FinalResult implements core.TypedDM.
+func (m *keyManager) FinalResult() (any, error) {
+	return searchResult{Found: m.found, Key: m.key}, nil
 }
 
 // RemainingCost implements the optional CostReporter extension.
@@ -119,31 +120,39 @@ func (m *keyManager) RemainingCost() int64 {
 	return int64((keyspace - m.completed) / 1024)
 }
 
-// keySearcher is the donor-side half.
+// keySearcher is the donor-side half. It implements
+// core.TypedAlgorithm[core.NoShared, searchUnit, searchResult]: each unit
+// is self-contained, so there is no shared data.
 type keySearcher struct{}
 
-// Init implements core.Algorithm (no shared data: each unit is self-contained).
-func (keySearcher) Init([]byte) error { return nil }
+// Init implements core.TypedAlgorithm.
+func (keySearcher) Init(core.NoShared) error { return nil }
 
-// Process implements core.Algorithm.
-func (keySearcher) Process(payload []byte) ([]byte, error) {
-	var u searchUnit
-	if err := core.Unmarshal(payload, &u); err != nil {
-		return nil, err
-	}
+// ProcessCtx implements core.TypedAlgorithm. The periodic context check
+// makes the early-termination pattern sharp: when another donor finds the
+// key and the problem finalises, the server's cancel notice aborts this
+// scan instead of letting it hash out its whole doomed range.
+func (keySearcher) ProcessCtx(ctx context.Context, u searchUnit) (searchResult, error) {
 	var buf [8]byte
 	for k := u.From; k < u.To; k++ {
+		if k%16384 == 0 {
+			if err := ctx.Err(); err != nil {
+				return searchResult{}, err
+			}
+		}
 		binary.BigEndian.PutUint64(buf[:], k)
 		h := sha256.Sum256(append(buf[5:], u.Salt...)) // 3 key bytes + salt
 		if bytes.Equal(h[:], u.Target) {
-			return core.Marshal(searchResult{Found: true, Key: k})
+			return searchResult{Found: true, Key: k}, nil
 		}
 	}
-	return core.Marshal(searchResult{Found: false})
+	return searchResult{Found: false}, nil
 }
 
 func main() {
-	core.RegisterAlgorithm("crypto/keysearch", func() core.Algorithm { return keySearcher{} })
+	core.RegisterTypedAlgorithm("crypto/keysearch", func() core.TypedAlgorithm[core.NoShared, searchUnit, searchResult] {
+		return keySearcher{}
+	})
 
 	// Generate the secret this run will recover.
 	const secret uint64 = 0x9a5b17
@@ -152,14 +161,17 @@ func main() {
 	binary.BigEndian.PutUint64(buf[:], secret)
 	target := sha256.Sum256(append(buf[5:], salt...))
 
-	problem := &core.Problem{ID: "keysearch", DM: newKeyManager(salt, target[:])}
-	start := time.Now()
-	out, err := core.RunLocal(problem, 8, core.Adaptive(100*time.Millisecond))
+	problem, err := core.NewTypedProblem[searchUnit, searchResult]("keysearch", newKeyManager(salt, target[:]), core.NoShared{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var res searchResult
-	if err := core.Unmarshal(out, &res); err != nil {
+	start := time.Now()
+	out, err := core.RunLocal(context.Background(), problem, 8, core.Adaptive(100*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Decode[searchResult](out)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if !res.Found {

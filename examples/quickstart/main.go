@@ -1,12 +1,14 @@
-// Quickstart: implement the system's two extension points — a DataManager
-// (server side) and an Algorithm (client side) — for a trivially
-// parallelisable problem, and run it on in-process workers.
+// Quickstart: implement the system's two extension points — a typed
+// DataManager (server side) and a typed Algorithm (client side) — for a
+// trivially parallelisable problem, and run it on in-process workers.
 //
 // The problem here is Monte-Carlo estimation of pi: the DataManager
 // partitions a total sample count into work units, donors count the darts
 // that land inside the unit circle, and the DataManager folds the counts
 // back together. This mirrors the paper's §2.1: "The user is required to
-// extend two classes to create a Problem to run on the system."
+// extend two classes to create a Problem to run on the system." — with the
+// v2 twist that the payloads are typed structs and the gob codec lives in
+// the core adapters, not in application code.
 //
 // Run:
 //
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,7 +39,7 @@ type piResult struct {
 
 // piManager is the server-side half: it partitions TotalSamples into units
 // whose size follows the scheduler's per-donor budget, and accumulates the
-// inside-circle counts.
+// inside-circle counts. It implements core.TypedDM[piUnit, piResult].
 type piManager struct {
 	TotalSamples int64
 
@@ -51,10 +54,10 @@ func newPiManager(total int64) *piManager {
 	return &piManager{TotalSamples: total, inflight: make(map[int64]int64)}
 }
 
-// NextUnit implements core.DataManager. The budget is in cost units; we
+// NextUnit implements core.TypedDM. The budget is in cost units; we
 // declare 1 cost unit = 1000 samples so the adaptive policy's throughput
 // accounting has reasonable magnitudes.
-func (m *piManager) NextUnit(budget int64) (*core.Unit, bool, error) {
+func (m *piManager) NextUnit(budget int64) (*core.UnitOf[piUnit], bool, error) {
 	left := m.TotalSamples - m.dispatched
 	if left <= 0 {
 		return nil, false, nil
@@ -67,85 +70,86 @@ func (m *piManager) NextUnit(budget int64) (*core.Unit, bool, error) {
 		samples = left
 	}
 	m.seq++
-	payload, err := core.Marshal(piUnit{Samples: samples, Seed: m.seq})
-	if err != nil {
-		return nil, false, err
-	}
 	m.dispatched += samples
 	m.inflight[m.seq] = samples
-	return &core.Unit{
+	return &core.UnitOf[piUnit]{
 		ID:        m.seq,
 		Algorithm: "quickstart/pi",
-		Payload:   payload,
+		Payload:   piUnit{Samples: samples, Seed: m.seq},
 		Cost:      samples / 1000,
 	}, true, nil
 }
 
-// Consume implements core.DataManager.
-func (m *piManager) Consume(unitID int64, payload []byte) error {
+// Consume implements core.TypedDM.
+func (m *piManager) Consume(unitID int64, res piResult) error {
 	samples, ok := m.inflight[unitID]
 	if !ok {
 		return fmt.Errorf("pi: result for unknown unit %d", unitID)
 	}
 	delete(m.inflight, unitID)
-	var res piResult
-	if err := core.Unmarshal(payload, &res); err != nil {
-		return err
-	}
 	m.inside += res.Inside
 	m.completed += samples
 	return nil
 }
 
-// Done implements core.DataManager.
+// Done implements core.TypedDM.
 func (m *piManager) Done() bool { return m.completed >= m.TotalSamples }
 
-// FinalResult implements core.DataManager.
-func (m *piManager) FinalResult() ([]byte, error) {
-	return core.Marshal(4 * float64(m.inside) / float64(m.completed))
+// FinalResult implements core.TypedDM.
+func (m *piManager) FinalResult() (any, error) {
+	return 4 * float64(m.inside) / float64(m.completed), nil
 }
 
 // RemainingCost lets remaining-aware policies (GSS, factoring) size units.
 func (m *piManager) RemainingCost() int64 { return (m.TotalSamples - m.completed) / 1000 }
 
-// piAlgorithm is the client-side half: throw darts.
+// piAlgorithm is the client-side half: throw darts. It implements
+// core.TypedAlgorithm[core.NoShared, piUnit, piResult] — this problem has
+// no shared data.
 type piAlgorithm struct{}
 
-// Init implements core.Algorithm (this problem has no shared data).
-func (piAlgorithm) Init(shared []byte) error { return nil }
+// Init implements core.TypedAlgorithm.
+func (piAlgorithm) Init(core.NoShared) error { return nil }
 
-// Process implements core.Algorithm.
-func (piAlgorithm) Process(payload []byte) ([]byte, error) {
-	var u piUnit
-	if err := core.Unmarshal(payload, &u); err != nil {
-		return nil, err
-	}
+// ProcessCtx implements core.TypedAlgorithm; the context check between
+// dart batches lets a cancelled run stop the workers mid-unit.
+func (piAlgorithm) ProcessCtx(ctx context.Context, u piUnit) (piResult, error) {
 	rng := rand.New(rand.NewSource(u.Seed))
 	var inside int64
 	for i := int64(0); i < u.Samples; i++ {
+		if i%100_000 == 0 {
+			if err := ctx.Err(); err != nil {
+				return piResult{}, err
+			}
+		}
 		x, y := rng.Float64(), rng.Float64()
 		if x*x+y*y <= 1 {
 			inside++
 		}
 	}
-	return core.Marshal(piResult{Inside: inside})
+	return piResult{Inside: inside}, nil
 }
 
 func main() {
 	// Donor binaries know algorithms by name (the Go substitute for Java's
 	// runtime class shipping — see DESIGN.md).
-	core.RegisterAlgorithm("quickstart/pi", func() core.Algorithm { return piAlgorithm{} })
+	core.RegisterTypedAlgorithm("quickstart/pi", func() core.TypedAlgorithm[core.NoShared, piUnit, piResult] {
+		return piAlgorithm{}
+	})
 
 	const totalSamples = 50_000_000
-	problem := &core.Problem{ID: "pi", DM: newPiManager(totalSamples)}
-
-	start := time.Now()
-	out, err := core.RunLocal(problem, 8, core.Adaptive(100*time.Millisecond))
+	problem, err := core.NewTypedProblem[piUnit, piResult]("pi", newPiManager(totalSamples), core.NoShared{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var pi float64
-	if err := core.Unmarshal(out, &pi); err != nil {
+
+	start := time.Now()
+	out, err := core.RunLocal(context.Background(), problem, 8, core.Adaptive(100*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, err := core.Decode[float64](out)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pi ≈ %.6f  (%d samples, 8 workers, %s)\n",

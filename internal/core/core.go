@@ -3,10 +3,31 @@
 // distributed system, without having to know how the subsystem packages
 // (dist, sched, wire) divide the work.
 //
-// The programming model is the paper's: a Problem is a DataManager (server
-// side — partitions work, folds results) plus an Algorithm (donor side —
-// computes one unit), plus optional shared data. Three deployment shapes
-// are offered:
+// The programming model is the paper's, in its v2 typed/context form: a
+// Problem is a TypedDM (server side — partitions typed work units, folds
+// typed results) plus a TypedAlgorithm (donor side — computes one typed
+// unit under a cancellable context), plus optional typed shared data. The
+// adapters own the gob codec at the boundary, so application code never
+// marshals payloads by hand:
+//
+//	type dm struct{ ... }            // implements core.TypedDM[unit, result]
+//	type alg struct{ ... }           // implements core.TypedAlgorithm[shared, unit, result]
+//
+//	core.RegisterTypedAlgorithm("app/v1", func() core.TypedAlgorithm[shared, unit, result] {
+//		return &alg{}
+//	})
+//	p, _ := core.NewTypedProblem[unit, result]("job", &dm{...}, shared{...})
+//	out, _ := core.RunLocal(ctx, p, 8, core.Adaptive(time.Second))
+//	res, _ := core.Decode[finalResult](out)
+//
+// Lifecycle calls are context-first: Submit, Wait, Status and donor Run
+// take a context, a server-side Forget (or a cancelled RunLocal context)
+// propagates epoch-tagged cancel notices that abort in-flight ProcessCtx
+// calls on donors, and Server.Watch(ctx, id) streams lifecycle events
+// instead of Status polling. v1 Algorithms (blocking Process, no context)
+// keep working through RegisterLegacyAlgorithm.
+//
+// Three deployment shapes are offered:
 //
 //   - RunLocal: in-process workers; zero configuration (tests, small jobs).
 //   - ListenAndServe + Dial/NewDonor: the paper's real shape — one server,
@@ -17,6 +38,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/dist"
@@ -27,10 +49,23 @@ import (
 type (
 	// Problem bundles a DataManager, optional shared data and an ID.
 	Problem = dist.Problem
-	// DataManager is the server-side extension point.
+	// DataManager is the byte-level server-side extension point; prefer
+	// TypedDM.
 	DataManager = dist.DataManager
-	// Algorithm is the donor-side extension point.
+	// TypedDM is the typed server-side extension point.
+	TypedDM[U, R any] = dist.TypedDM[U, R]
+	// UnitOf is a typed work unit as handed out by a TypedDM.
+	UnitOf[U any] = dist.UnitOf[U]
+	// Algorithm is the byte-level donor-side extension point (context-
+	// aware); prefer TypedAlgorithm.
 	Algorithm = dist.Algorithm
+	// TypedAlgorithm is the typed donor-side extension point.
+	TypedAlgorithm[S, U, R any] = dist.TypedAlgorithm[S, U, R]
+	// LegacyAlgorithm is the v1 donor-side shape (blocking Process, no
+	// context), still runnable through RegisterLegacyAlgorithm.
+	LegacyAlgorithm = dist.LegacyAlgorithm
+	// NoShared marks a problem without shared data (see NewTypedProblem).
+	NoShared = dist.NoShared
 	// Unit is one dispatched piece of work.
 	Unit = dist.Unit
 	// Result is a completed unit's output.
@@ -41,21 +76,44 @@ type (
 	DonorStats = sched.DonorStats
 	// ServerOptions tunes scheduling and fault tolerance.
 	ServerOptions = dist.ServerOptions
+	// ServerOption is a functional server option (WithPolicy, ...).
+	ServerOption = dist.ServerOption
 	// DonorOptions tunes a donor worker.
 	DonorOptions = dist.DonorOptions
+	// DonorOption is a functional donor option (WithName, ...).
+	DonorOption = dist.DonorOption
 	// Server is the coordinating node.
 	Server = dist.Server
 	// NetworkServer is a Server with RPC + bulk listeners attached.
 	NetworkServer = dist.NetworkServer
 	// Donor is one worker's compute loop.
 	Donor = dist.Donor
+	// Coordinator is the donor's view of a server.
+	Coordinator = dist.Coordinator
+	// Event is one entry of a Server.Watch stream.
+	Event = dist.Event
+	// EventKind classifies a Watch event.
+	EventKind = dist.EventKind
+	// CancelNotice is the server's epoch-tagged "abort that unit" message.
+	CancelNotice = dist.CancelNotice
+)
+
+// Watch event kinds (see dist.EventKind).
+const (
+	EventSubmitted      = dist.EventSubmitted
+	EventUnitDispatched = dist.EventUnitDispatched
+	EventUnitDone       = dist.EventUnitDone
+	EventProgress       = dist.EventProgress
+	EventFailed         = dist.EventFailed
+	EventFinished       = dist.EventFinished
+	EventForgotten      = dist.EventForgotten
 )
 
 // Lifecycle and transport sentinels (see package dist). Status, Stats and
 // Wait return ErrForgotten for a problem retired with Forget — distinct
 // from ErrUnknownProblem for an ID never submitted. RPC-backed donors see
 // ErrServerGone when the server's connection drops without an explicit
-// Close, and reconnect when DonorOptions.Redial is set.
+// Close, and reconnect when the WithRedial option is set.
 var (
 	ErrClosed         = dist.ErrClosed
 	ErrUnknownProblem = dist.ErrUnknownProblem
@@ -63,28 +121,86 @@ var (
 	ErrServerGone     = dist.ErrServerGone
 )
 
-// RegisterAlgorithm adds a named Algorithm factory to the donor-side
-// registry (the Go substitute for Java's runtime class shipping).
+// Functional options for servers and donors, re-exported so callers need
+// only this package.
+var (
+	WithPolicy        = dist.WithPolicy
+	WithLeaseTTL      = dist.WithLeaseTTL
+	WithExpiryScan    = dist.WithExpiryScan
+	WithWaitHint      = dist.WithWaitHint
+	WithBulkThreshold = dist.WithBulkThreshold
+	WithAutoForget    = dist.WithAutoForget
+	WithWatchBuffer   = dist.WithWatchBuffer
+	WithServerOptions = dist.WithServerOptions
+
+	WithName          = dist.WithName
+	WithThrottle      = dist.WithThrottle
+	WithLogf          = dist.WithLogf
+	WithRedial        = dist.WithRedial
+	WithRedialBackoff = dist.WithRedialBackoff
+	WithCancelPoll    = dist.WithCancelPoll
+	WithDonorOptions  = dist.WithDonorOptions
+)
+
+// RegisterAlgorithm adds a named context-aware Algorithm factory to the
+// donor-side registry (the Go substitute for Java's runtime class
+// shipping). Prefer RegisterTypedAlgorithm.
 func RegisterAlgorithm(name string, f func() Algorithm) {
 	dist.RegisterAlgorithm(name, func() dist.Algorithm { return f() })
 }
 
-// Marshal gob-encodes a unit payload, shared blob or result.
+// RegisterTypedAlgorithm registers a typed algorithm factory; the adapter
+// owns the gob codec for shared data, unit payloads and results.
+func RegisterTypedAlgorithm[S, U, R any](name string, f func() TypedAlgorithm[S, U, R]) {
+	dist.RegisterTypedAlgorithm(name, f)
+}
+
+// RegisterLegacyAlgorithm registers a v1 (blocking, context-free)
+// Algorithm through the compatibility shim: cancellation is then observed
+// at unit boundaries only.
+func RegisterLegacyAlgorithm(name string, f func() LegacyAlgorithm) {
+	dist.RegisterLegacyAlgorithm(name, f)
+}
+
+// NewTypedProblem assembles a Problem from a typed DataManager and typed
+// shared data (pass NoShared{} for none):
+//
+//	p, err := core.NewTypedProblem[unit, result](id, dm, shared{...})
+func NewTypedProblem[U, R, S any](id string, dm TypedDM[U, R], shared S) (*Problem, error) {
+	return dist.NewTypedProblem[U, R](id, dm, shared)
+}
+
+// AdaptDM wraps a typed DataManager as a byte-level one.
+func AdaptDM[U, R any](dm TypedDM[U, R]) DataManager { return dist.AdaptDM(dm) }
+
+// Encode gob-encodes a typed value (final results, custom blobs).
+func Encode[T any](v T) ([]byte, error) { return dist.Encode(v) }
+
+// Decode gob-decodes data produced by Encode into a T — typically a
+// problem's final result.
+func Decode[T any](data []byte) (T, error) { return dist.Decode[T](data) }
+
+// Marshal gob-encodes a value for the byte-level v1 interfaces. Prefer the
+// typed adapters and Encode.
 func Marshal(v any) ([]byte, error) { return dist.Marshal(v) }
 
-// Unmarshal gob-decodes data produced by Marshal.
+// Unmarshal gob-decodes data produced by Marshal. Prefer Decode.
 func Unmarshal(data []byte, v any) error { return dist.Unmarshal(data, v) }
 
 // RunLocal executes one problem to completion with n in-process workers.
-func RunLocal(p *Problem, n int, policy Policy) ([]byte, error) {
-	return dist.RunLocal(p, n, policy)
+// Cancelling ctx abandons the run and aborts the workers' in-flight units.
+func RunLocal(ctx context.Context, p *Problem, n int, policy Policy) ([]byte, error) {
+	return dist.RunLocal(ctx, p, n, policy)
 }
 
 // ListenAndServe starts a network-facing server (rpcAddr for control,
 // bulkAddr for data; ":0" picks free ports).
-func ListenAndServe(rpcAddr, bulkAddr string, opts ServerOptions) (*NetworkServer, error) {
-	return dist.ListenAndServe(rpcAddr, bulkAddr, opts)
+func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkServer, error) {
+	return dist.ListenAndServe(rpcAddr, bulkAddr, opts...)
 }
+
+// NewServer creates an in-process coordinator.
+func NewServer(opts ...ServerOption) *Server { return dist.NewServer(opts...) }
 
 // Dial connects a donor-side coordinator to a server's control channel.
 func Dial(rpcAddr string, timeout time.Duration) (*dist.RPCClient, error) {
@@ -93,8 +209,8 @@ func Dial(rpcAddr string, timeout time.Duration) (*dist.RPCClient, error) {
 
 // NewDonor creates a donor bound to a coordinator (a *Server for in-process
 // use or an *RPCClient from Dial).
-func NewDonor(coord dist.Coordinator, opts DonorOptions) *Donor {
-	return dist.NewDonor(coord, opts)
+func NewDonor(coord Coordinator, opts ...DonorOption) *Donor {
+	return dist.NewDonor(coord, opts...)
 }
 
 // Adaptive returns the paper's scheduling policy: unit sized so the donor

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,7 +12,24 @@ import (
 )
 
 // The test problem doubles as facade documentation: count the vowels in a
-// shared text, partitioned into index ranges.
+// shared text, partitioned into index ranges. The server side is a
+// core.TypedDM, the donor side a core.TypedAlgorithm — no []byte codecs in
+// sight.
+
+// vowelShared is the typed shared blob.
+type vowelShared struct {
+	Text string
+}
+
+// vowelSpan is one unit's typed payload: a [From, To) index range.
+type vowelSpan struct {
+	From, To int
+}
+
+// vowelCount is one unit's typed result.
+type vowelCount struct {
+	N int64
+}
 
 type vowelDM struct {
 	textLen   int
@@ -22,7 +41,7 @@ type vowelDM struct {
 	total     int64
 }
 
-func (d *vowelDM) NextUnit(budget int64) (*core.Unit, bool, error) {
+func (d *vowelDM) NextUnit(budget int64) (*core.UnitOf[vowelSpan], bool, error) {
 	if d.next >= d.textLen {
 		return nil, false, nil
 	}
@@ -31,60 +50,62 @@ func (d *vowelDM) NextUnit(budget int64) (*core.Unit, bool, error) {
 		n = d.textLen - d.next
 	}
 	d.seq++
-	payload, err := core.Marshal([2]int{d.next, d.next + n})
-	if err != nil {
-		return nil, false, err
+	u := &core.UnitOf[vowelSpan]{
+		ID:        d.seq,
+		Algorithm: "core-test/vowels",
+		Payload:   vowelSpan{From: d.next, To: d.next + n},
+		Cost:      int64(n),
 	}
 	d.next += n
 	d.inflight[d.seq] = n
-	return &core.Unit{ID: d.seq, Algorithm: "core-test/vowels", Payload: payload, Cost: int64(n)}, true, nil
+	return u, true, nil
 }
 
-func (d *vowelDM) Consume(id int64, payload []byte) error {
+func (d *vowelDM) Consume(id int64, res vowelCount) error {
 	n, ok := d.inflight[id]
 	if !ok {
 		return fmt.Errorf("unknown unit %d", id)
 	}
 	delete(d.inflight, id)
-	var part int64
-	if err := core.Unmarshal(payload, &part); err != nil {
-		return err
-	}
-	d.total += part
+	d.total += res.N
 	d.completed += n
 	return nil
 }
 
-func (d *vowelDM) Done() bool                   { return d.completed >= d.textLen }
-func (d *vowelDM) FinalResult() ([]byte, error) { return core.Marshal(d.total) }
+func (d *vowelDM) Done() bool                { return d.completed >= d.textLen }
+func (d *vowelDM) FinalResult() (any, error) { return d.total, nil }
 
 type vowelAlg struct{ text []byte }
 
-func (a *vowelAlg) Init(shared []byte) error {
-	a.text = shared
+func (a *vowelAlg) Init(shared vowelShared) error {
+	a.text = []byte(shared.Text)
 	return nil
 }
 
-func (a *vowelAlg) Process(payload []byte) ([]byte, error) {
-	var span [2]int
-	if err := core.Unmarshal(payload, &span); err != nil {
-		return nil, err
+func (a *vowelAlg) ProcessCtx(ctx context.Context, span vowelSpan) (vowelCount, error) {
+	if err := ctx.Err(); err != nil {
+		return vowelCount{}, err
 	}
 	var count int64
-	for _, b := range a.text[span[0]:span[1]] {
+	for _, b := range a.text[span.From:span.To] {
 		switch b {
 		case 'a', 'e', 'i', 'o', 'u':
 			count++
 		}
 	}
-	return core.Marshal(count)
+	return vowelCount{N: count}, nil
 }
 
 var registerOnce sync.Once
 
 func register() {
 	registerOnce.Do(func() {
-		core.RegisterAlgorithm("core-test/vowels", func() core.Algorithm { return &vowelAlg{} })
+		core.RegisterTypedAlgorithm("core-test/vowels", func() core.TypedAlgorithm[vowelShared, vowelSpan, vowelCount] {
+			return &vowelAlg{}
+		})
+		core.RegisterLegacyAlgorithm("core-test/vowels-legacy", func() core.LegacyAlgorithm {
+			return &legacyVowelAlg{}
+		})
 	})
 }
 
@@ -101,22 +122,25 @@ func countVowels(s string) int64 {
 	return n
 }
 
-func newVowelProblem(id string, chunk int) *core.Problem {
-	return &core.Problem{
-		ID:         id,
-		DM:         &vowelDM{textLen: len(testText), chunk: chunk, inflight: make(map[int64]int)},
-		SharedData: []byte(testText),
+func newVowelProblem(t *testing.T, id string, chunk int) *core.Problem {
+	t.Helper()
+	p, err := core.NewTypedProblem[vowelSpan, vowelCount](id,
+		&vowelDM{textLen: len(testText), chunk: chunk, inflight: make(map[int64]int)},
+		vowelShared{Text: testText})
+	if err != nil {
+		t.Fatal(err)
 	}
+	return p
 }
 
 func TestRunLocalThroughFacade(t *testing.T) {
 	register()
-	out, err := core.RunLocal(newVowelProblem("vowels-local", 7), 3, core.Fixed(7))
+	out, err := core.RunLocal(context.Background(), newVowelProblem(t, "vowels-local", 7), 3, core.Fixed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got int64
-	if err := core.Unmarshal(out, &got); err != nil {
+	got, err := core.Decode[int64](out)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if want := countVowels(testText); got != want {
@@ -126,15 +150,20 @@ func TestRunLocalThroughFacade(t *testing.T) {
 
 func TestNetworkDeploymentThroughFacade(t *testing.T) {
 	register()
-	srv, err := core.ListenAndServe("127.0.0.1:0", "127.0.0.1:0", core.ServerOptions{
-		Lease:    time.Hour,
-		WaitHint: time.Millisecond,
-	})
+	ctx := context.Background()
+	srv, err := core.ListenAndServe("127.0.0.1:0", "127.0.0.1:0",
+		core.WithLeaseTTL(time.Hour),
+		core.WithWaitHint(time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := srv.Submit(newVowelProblem("vowels-net", 5)); err != nil {
+	if err := srv.Submit(ctx, newVowelProblem(t, "vowels-net", 5)); err != nil {
+		t.Fatal(err)
+	}
+	events, err := srv.Watch(ctx, "vowels-net")
+	if err != nil {
 		t.Fatal(err)
 	}
 	cl, err := core.Dial(srv.RPCAddr(), 5*time.Second)
@@ -142,23 +171,118 @@ func TestNetworkDeploymentThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	d := core.NewDonor(cl, core.DonorOptions{Name: "facade-donor"})
+	d := core.NewDonor(cl, core.WithName("facade-donor"))
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = d.Run() }()
-	out, err := srv.Wait("vowels-net")
+	go func() { defer wg.Done(); _ = d.Run(ctx) }()
+	out, err := srv.Wait(ctx, "vowels-net")
 	if err != nil {
 		t.Fatal(err)
 	}
 	d.Stop()
 	wg.Wait()
-	var got int64
-	_ = core.Unmarshal(out, &got)
+	got, err := core.Decode[int64](out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := countVowels(testText); got != want {
 		t.Fatalf("vowels = %d, want %d", got, want)
 	}
 	if d.Units() == 0 {
 		t.Error("donor reports zero completed units")
+	}
+	// The Watch stream re-exported through the facade ends with a
+	// finished event.
+	var last core.Event
+	for ev := range events {
+		last = ev
+	}
+	if last.Kind != core.EventFinished {
+		t.Errorf("last event = %v, want finished", last.Kind)
+	}
+}
+
+// legacyVowelAlg is the v1 shape, run through the compatibility shim.
+type legacyVowelAlg struct{ text []byte }
+
+func (a *legacyVowelAlg) Init(shared []byte) error {
+	sd, err := core.Decode[vowelShared](shared)
+	if err != nil {
+		return err
+	}
+	a.text = []byte(sd.Text)
+	return nil
+}
+
+func (a *legacyVowelAlg) Process(payload []byte) ([]byte, error) {
+	span, err := core.Decode[vowelSpan](payload)
+	if err != nil {
+		return nil, err
+	}
+	var count int64
+	for _, b := range a.text[span.From:span.To] {
+		switch b {
+		case 'a', 'e', 'i', 'o', 'u':
+			count++
+		}
+	}
+	return core.Encode(vowelCount{N: count})
+}
+
+// TestLegacyAlgorithmShimThroughFacade runs the same problem with a v1
+// (blocking, context-free) algorithm registered through the shim; it must
+// interoperate with the typed server side unchanged.
+func TestLegacyAlgorithmShimThroughFacade(t *testing.T) {
+	register()
+	dm := &vowelDM{textLen: len(testText), chunk: 9, inflight: make(map[int64]int)}
+	p, err := core.NewTypedProblem[vowelSpan, vowelCount]("vowels-legacy", dm, vowelShared{Text: testText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the units at the legacy algorithm name.
+	relabel := relabelDM{inner: p.DM, algorithm: "core-test/vowels-legacy"}
+	p.DM = &relabel
+	out, err := core.RunLocal(context.Background(), p, 2, core.Fixed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Decode[int64](out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := countVowels(testText); got != want {
+		t.Fatalf("legacy shim vowels = %d, want %d", got, want)
+	}
+}
+
+// relabelDM rewrites the algorithm name on units of an inner DataManager.
+type relabelDM struct {
+	inner     core.DataManager
+	algorithm string
+}
+
+func (r *relabelDM) NextUnit(budget int64) (*core.Unit, bool, error) {
+	u, ok, err := r.inner.NextUnit(budget)
+	if u != nil {
+		u.Algorithm = r.algorithm
+	}
+	return u, ok, err
+}
+
+func (r *relabelDM) Consume(id int64, payload []byte) error { return r.inner.Consume(id, payload) }
+func (r *relabelDM) Done() bool                             { return r.inner.Done() }
+func (r *relabelDM) FinalResult() ([]byte, error)           { return r.inner.FinalResult() }
+
+// TestRunLocalContextCancel: cancelling the RunLocal context must abort
+// the run promptly with the context's error instead of computing to
+// completion.
+func TestRunLocalContextCancel(t *testing.T) {
+	register()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run even starts
+	_, err := core.RunLocal(ctx, newVowelProblem(t, "vowels-cancel", 3), 2, core.Fixed(3))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunLocal on cancelled ctx = %v, want context.Canceled", err)
 	}
 }
 

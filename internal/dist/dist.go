@@ -13,10 +13,33 @@
 // (server side — partitions work, folds results) with optional shared data
 // every donor fetches once; the donor side is an Algorithm registered under
 // the name the DataManager stamps on each Unit.
+//
+// # The v2 surface
+//
+// The API is context-first and typed:
+//
+//   - Lifecycle calls (Submit, Wait, Status, donor Run, every Coordinator
+//     method) take a context.Context. A server-side Forget — or a cancelled
+//     RunLocal context — propagates an epoch-tagged cancel notice to the
+//     donors holding the problem's in-flight units, whose ProcessCtx
+//     contexts are cancelled so they abort instead of computing straggler
+//     results that would only be dropped.
+//   - TypedDM[U, R] and TypedAlgorithm[S, U, R] (see typed.go) adapt typed
+//     implementations to the byte-level DataManager/Algorithm interfaces,
+//     owning the gob codec at the boundary so applications never marshal by
+//     hand.
+//   - Server.Watch(ctx, id) streams lifecycle events (submitted,
+//     unit-dispatched, unit-done, progress, failed, finished, forgotten)
+//     over a bounded non-blocking fan-out, replacing Status polling.
+//
+// v1 Algorithms (blocking Process with no context) keep working through
+// LegacyShim / RegisterLegacyAlgorithm; their only loss is that a cancel
+// notice takes effect at the next unit boundary rather than mid-unit.
 package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sort"
@@ -29,15 +52,18 @@ import (
 type Problem struct {
 	// ID names the problem; it must be unique within a server.
 	ID string
-	// DM partitions the work and folds results.
+	// DM partitions the work and folds results. Use AdaptDM (or
+	// NewTypedProblem) to derive one from a TypedDM.
 	DM DataManager
 	// SharedData is sent to each donor once per problem (the paper's "data
 	// files over ordinary sockets"); may be nil.
 	SharedData []byte
 }
 
-// DataManager is the server-side extension point: it hands out work units
-// sized to a cost budget and folds completed results.
+// DataManager is the byte-level server-side extension point: it hands out
+// work units sized to a cost budget and folds completed results. Most
+// applications implement the typed TypedDM instead and wrap it with
+// AdaptDM, which owns the gob codec.
 //
 // The server calls all methods under the owning problem's lock, so
 // implementations need no internal synchronisation; different problems'
@@ -65,7 +91,7 @@ type CostReporter interface {
 }
 
 // Progresser is optionally implemented by DataManagers that can report
-// application-level progress for status displays.
+// application-level progress for status displays and Watch events.
 type Progresser interface {
 	Progress() (done, total int)
 }
@@ -81,9 +107,48 @@ type Requeuer interface {
 // of work unit. A fresh instance is created per problem on each donor (via
 // the factory registered under the unit's algorithm name) and initialised
 // once with the problem's shared data.
+//
+// ProcessCtx must honour ctx cancellation promptly: the context is
+// cancelled when the server forgets the problem mid-unit (the work's result
+// would be discarded) and when the donor is shut down. Most applications
+// implement the typed TypedAlgorithm instead and register it with
+// RegisterTypedAlgorithm.
 type Algorithm interface {
 	Init(shared []byte) error
+	ProcessCtx(ctx context.Context, payload []byte) ([]byte, error)
+}
+
+// LegacyAlgorithm is the v1 donor-side shape: a blocking Process with no
+// context. Wrap one with LegacyShim (or register it via
+// RegisterLegacyAlgorithm) to run it on the v2 runtime; cancellation then
+// takes effect at unit boundaries only, since a running Process cannot be
+// interrupted.
+type LegacyAlgorithm interface {
+	Init(shared []byte) error
 	Process(payload []byte) ([]byte, error)
+}
+
+// LegacyShim adapts a v1 LegacyAlgorithm to the context-aware Algorithm
+// interface. A cancellation arriving mid-Process is only observed after the
+// unit finishes: the computed result is then discarded by returning the
+// context's error instead.
+func LegacyShim(a LegacyAlgorithm) Algorithm { return legacyShim{a} }
+
+type legacyShim struct{ a LegacyAlgorithm }
+
+func (s legacyShim) Init(shared []byte) error { return s.a.Init(shared) }
+
+func (s legacyShim) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out, err := s.a.Process(payload)
+	if cerr := ctx.Err(); cerr != nil {
+		// The unit was cancelled while Process ran; its result would be a
+		// straggler for a forgotten problem, so drop it here.
+		return nil, cerr
+	}
+	return out, err
 }
 
 // Unit is one dispatched piece of work.
@@ -92,7 +157,7 @@ type Unit struct {
 	ID int64
 	// Algorithm names the registered donor-side computation.
 	Algorithm string
-	// Payload is the unit's input, typically produced by Marshal.
+	// Payload is the unit's input, typically produced by a typed adapter.
 	Payload []byte
 	// Cost is the unit's size in the problem's cost units (residues for
 	// DSEARCH, candidate topologies for DPRml); the scheduler divides it by
@@ -129,23 +194,48 @@ type Task struct {
 	Epoch int64
 }
 
+// CancelNotice tells a donor that a unit it holds is dead: its problem
+// incarnation was forgotten, failed, or finished early, so any in-flight
+// compute for it is wasted. The donor cancels the matching unit's
+// ProcessCtx context. Epoch-tagged for the same reason Task.Epoch exists —
+// a notice for a forgotten incarnation must never abort a unit of a
+// resubmitted successor under the same ID.
+type CancelNotice struct {
+	ProblemID string
+	Epoch     int64
+	UnitID    int64
+}
+
 // Coordinator is the donor's view of a server: the in-process *Server and
-// the networked *RPCClient both implement it.
+// the networked *RPCClient both implement it. Every call is context-bound;
+// cancelling the context abandons the call (the RPC may still complete
+// server-side).
 type Coordinator interface {
 	// RequestTask returns the next unit for the named donor, or a nil task
 	// when none is currently available together with a hint for how long to
 	// wait before polling again.
-	RequestTask(donor string) (t *Task, wait time.Duration, err error)
+	RequestTask(ctx context.Context, donor string) (t *Task, wait time.Duration, err error)
 	// SharedData fetches a problem's shared blob.
-	SharedData(problemID string) ([]byte, error)
+	SharedData(ctx context.Context, problemID string) ([]byte, error)
 	// SubmitResult returns a completed unit's output.
-	SubmitResult(res *Result) error
+	SubmitResult(ctx context.Context, res *Result) error
 	// ReportFailure tells the server a unit could not be computed so it can
 	// be requeued to another donor.
-	ReportFailure(donor, problemID string, unitID int64, reason string) error
+	ReportFailure(ctx context.Context, donor, problemID string, unitID int64, reason string) error
 }
 
-// Marshal gob-encodes a unit payload, shared blob or result.
+// CancelNotifier is implemented by coordinators that deliver epoch-tagged
+// cancel notices for in-flight units (*Server and *RPCClient both do). The
+// donor polls it while a unit is computing; foreign Coordinators without it
+// simply never abort mid-unit.
+type CancelNotifier interface {
+	// CancelNotices drains and returns the pending notices for the donor.
+	CancelNotices(ctx context.Context, donor string) ([]CancelNotice, error)
+}
+
+// Marshal gob-encodes a unit payload, shared blob or result. Applications
+// should prefer the typed adapters (TypedDM, TypedAlgorithm) or the generic
+// Encode/Decode pair; Marshal remains for the byte-level interfaces.
 func Marshal(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -154,7 +244,7 @@ func Marshal(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Unmarshal gob-decodes data produced by Marshal.
+// Unmarshal gob-decodes data produced by Marshal (or Encode).
 func Unmarshal(data []byte, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
 		return fmt.Errorf("dist: unmarshal %T: %w", v, err)
@@ -193,6 +283,14 @@ func RegisterAlgorithm(name string, f func() Algorithm) {
 		panic(fmt.Sprintf("dist: algorithm %q registered twice", name))
 	}
 	registry[name] = f
+}
+
+// RegisterLegacyAlgorithm registers a v1 Algorithm through LegacyShim.
+func RegisterLegacyAlgorithm(name string, f func() LegacyAlgorithm) {
+	if f == nil {
+		panic("dist: RegisterLegacyAlgorithm with nil factory")
+	}
+	RegisterAlgorithm(name, func() Algorithm { return LegacyShim(f()) })
 }
 
 // RegisteredAlgorithms lists the registry's algorithm names, sorted.

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -12,7 +13,22 @@ import (
 	"repro/internal/sched"
 )
 
+// bg is the background context for test calls with no cancellation story.
+var bg = context.Background()
+
+// newTestServer / newTestDonor adopt a whole options bag, keeping the
+// table-style struct literals in these tests readable; the functional
+// options themselves are covered by TestFunctionalOptions.
+func newTestServer(o ServerOptions) *Server { return NewServer(WithServerOptions(o)) }
+
+func newTestDonor(c Coordinator, o DonorOptions) *Donor {
+	return NewDonor(c, WithDonorOptions(o))
+}
+
 // The test problem: sum the squares of 1..N, partitioned into ranges.
+// sumAlg deliberately stays a v1 LegacyAlgorithm (blocking Process, no
+// context) and is registered through the legacy shim, so the whole suite
+// doubles as shim coverage.
 
 type sumUnit struct {
 	From, To int64 // [From, To)
@@ -105,7 +121,7 @@ var registerSumOnce sync.Once
 func registerSum(t *testing.T) {
 	t.Helper()
 	registerSumOnce.Do(func() {
-		RegisterAlgorithm("dist-test/sum", func() Algorithm { return sumAlg{} })
+		RegisterLegacyAlgorithm("dist-test/sum", func() LegacyAlgorithm { return sumAlg{} })
 	})
 }
 
@@ -164,14 +180,14 @@ var registerDupOnce sync.Once
 func TestRegistryDuplicatePanics(t *testing.T) {
 	// Guarded so the test survives -count=N re-runs in one process.
 	registerDupOnce.Do(func() {
-		RegisterAlgorithm("dist-test/dup", func() Algorithm { return sumAlg{} })
+		RegisterAlgorithm("dist-test/dup", func() Algorithm { return LegacyShim(sumAlg{}) })
 	})
 	if msg := recoverPanic(func() {
-		RegisterAlgorithm("dist-test/dup", func() Algorithm { return sumAlg{} })
+		RegisterAlgorithm("dist-test/dup", func() Algorithm { return LegacyShim(sumAlg{}) })
 	}); !strings.Contains(msg, "registered twice") {
 		t.Errorf("duplicate registration panic = %q", msg)
 	}
-	if msg := recoverPanic(func() { RegisterAlgorithm("", func() Algorithm { return sumAlg{} }) }); msg == "" {
+	if msg := recoverPanic(func() { RegisterAlgorithm("", func() Algorithm { return LegacyShim(sumAlg{}) }) }); msg == "" {
 		t.Error("empty name accepted")
 	}
 	if msg := recoverPanic(func() { RegisterAlgorithm("dist-test/nilf", nil) }); msg == "" {
@@ -198,7 +214,7 @@ func TestRunLocalEndToEnd(t *testing.T) {
 		sched.GSS{K: 1, Min: 1},
 	} {
 		p := &Problem{ID: "sum-" + pol.Name(), DM: newSumDM(n)}
-		out, err := RunLocal(p, 4, pol)
+		out, err := RunLocal(bg, p, 4, pol)
 		if err != nil {
 			t.Fatalf("policy %s: %v", pol.Name(), err)
 		}
@@ -214,7 +230,7 @@ func TestRunLocalRequeuesFailedUnits(t *testing.T) {
 	failNext.Store(failures)
 	defer failNext.Store(0)
 
-	srv := NewServer(ServerOptions{
+	srv := newTestServer(ServerOptions{
 		Policy:     sched.Fixed{Size: 25},
 		Lease:      time.Hour,
 		ExpiryScan: time.Hour,
@@ -222,17 +238,17 @@ func TestRunLocalRequeuesFailedUnits(t *testing.T) {
 	})
 	defer srv.Close()
 	p := &Problem{ID: "sum-fail", DM: newSumDM(n)}
-	if err := srv.Submit(p); err != nil {
+	if err := srv.Submit(bg, p); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
 	donors := make([]*Donor, 2)
 	for i := range donors {
-		donors[i] = NewDonor(srv, DonorOptions{Name: fmt.Sprintf("w%d", i), Logf: t.Logf})
+		donors[i] = newTestDonor(srv, DonorOptions{Name: fmt.Sprintf("w%d", i), Logf: t.Logf})
 		wg.Add(1)
-		go func(d *Donor) { defer wg.Done(); _ = d.Run() }(donors[i])
+		go func(d *Donor) { defer wg.Done(); _ = d.Run(bg) }(donors[i])
 	}
-	out, err := srv.Wait(p.ID)
+	out, err := srv.Wait(bg, p.ID)
 	for _, d := range donors {
 		d.Stop()
 	}
@@ -243,7 +259,7 @@ func TestRunLocalRequeuesFailedUnits(t *testing.T) {
 	if got := decodeSum(t, out); got != sumSquares(n) {
 		t.Errorf("sum = %d, want %d", got, sumSquares(n))
 	}
-	_, completed, reissued, err := srv.Stats(p.ID)
+	_, completed, reissued, err := srv.Stats(bg, p.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +276,7 @@ func TestPoisonedUnitFailsProblemEventually(t *testing.T) {
 	dm := newSumDM(10)
 	dm.poison = true
 	p := &Problem{ID: "sum-poison", DM: dm}
-	_, err := RunLocal(p, 2, sched.Fixed{Size: 1 << 40})
+	_, err := RunLocal(bg, p, 2, sched.Fixed{Size: 1 << 40})
 	if err == nil || !strings.Contains(err.Error(), "failed") {
 		t.Errorf("poisoned problem error = %v, want repeated-failure error", err)
 	}
@@ -268,7 +284,7 @@ func TestPoisonedUnitFailsProblemEventually(t *testing.T) {
 
 func TestLeaseExpiryReissuesToOtherDonor(t *testing.T) {
 	registerSum(t)
-	srv := NewServer(ServerOptions{
+	srv := newTestServer(ServerOptions{
 		Policy:     sched.Fixed{Size: 1 << 40}, // whole problem in one unit
 		Lease:      30 * time.Millisecond,
 		ExpiryScan: 5 * time.Millisecond,
@@ -277,19 +293,19 @@ func TestLeaseExpiryReissuesToOtherDonor(t *testing.T) {
 	defer srv.Close()
 	const n = 100
 	p := &Problem{ID: "sum-expire", DM: newSumDM(n)}
-	if err := srv.Submit(p); err != nil {
+	if err := srv.Submit(bg, p); err != nil {
 		t.Fatal(err)
 	}
 	// A ghost donor claims the only unit and vanishes (a powered-off lab
 	// machine); the lease must expire and the unit go to a live donor.
-	if task, _, err := srv.RequestTask("ghost"); err != nil || task == nil {
+	if task, _, err := srv.RequestTask(bg, "ghost"); err != nil || task == nil {
 		t.Fatalf("ghost got no task: %v", err)
 	}
-	d := NewDonor(srv, DonorOptions{Name: "live"})
+	d := newTestDonor(srv, DonorOptions{Name: "live"})
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = d.Run() }()
-	out, err := srv.Wait(p.ID)
+	go func() { defer wg.Done(); _ = d.Run(bg) }()
+	out, err := srv.Wait(bg, p.ID)
 	d.Stop()
 	wg.Wait()
 	if err != nil {
@@ -298,7 +314,7 @@ func TestLeaseExpiryReissuesToOtherDonor(t *testing.T) {
 	if got := decodeSum(t, out); got != sumSquares(n) {
 		t.Errorf("sum = %d, want %d", got, sumSquares(n))
 	}
-	_, _, reissued, _ := srv.Stats(p.ID)
+	_, _, reissued, _ := srv.Stats(bg, p.ID)
 	if reissued < 1 {
 		t.Errorf("reissued = %d, want >= 1", reissued)
 	}
@@ -309,36 +325,36 @@ func TestLeaseExpiryReissuesToOtherDonor(t *testing.T) {
 
 func TestRequeueFallsBackWhenOtherDonorDead(t *testing.T) {
 	registerSum(t)
-	srv := NewServer(ServerOptions{
+	srv := newTestServer(ServerOptions{
 		Policy:     sched.Fixed{Size: 1 << 40}, // whole problem in one unit
 		Lease:      50 * time.Millisecond,
 		ExpiryScan: time.Hour, // expiry scan out of the picture
 		WaitHint:   time.Millisecond,
 	})
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "fallback", DM: newSumDM(50)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "fallback", DM: newSumDM(50)}); err != nil {
 		t.Fatal(err)
 	}
 	// Donor a claims the only unit; donor b registers, then goes silent.
-	task, _, err := srv.RequestTask("a")
+	task, _, err := srv.RequestTask(bg, "a")
 	if err != nil || task == nil {
 		t.Fatalf("a got no task: %v", err)
 	}
-	if _, _, err := srv.RequestTask("b"); err != nil {
+	if _, _, err := srv.RequestTask(bg, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.ReportFailure("a", "fallback", task.Unit.ID, "transient"); err != nil {
+	if err := srv.ReportFailure(bg, "a", "fallback", task.Unit.ID, "transient"); err != nil {
 		t.Fatal(err)
 	}
 	// While b looks alive, the requeued unit is reserved for it.
-	if task, _, _ := srv.RequestTask("a"); task != nil {
+	if task, _, _ := srv.RequestTask(bg, "a"); task != nil {
 		t.Fatal("a immediately retook its own failed unit despite a live peer")
 	}
 	// Once b has not polled for a full lease, a must get the unit back
 	// rather than starving the problem forever.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		task, _, err := srv.RequestTask("a")
+		task, _, err := srv.RequestTask(bg, "a")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -355,18 +371,23 @@ func TestRequeueFallsBackWhenOtherDonorDead(t *testing.T) {
 // sharedStub serves shared data for any problem ID without a server.
 type sharedStub struct{}
 
-func (sharedStub) RequestTask(string) (*Task, time.Duration, error) { return nil, 0, nil }
-func (sharedStub) SharedData(problemID string) ([]byte, error)      { return []byte(problemID), nil }
-func (sharedStub) SubmitResult(*Result) error                       { return nil }
-func (sharedStub) ReportFailure(string, string, int64, string) error {
+func (sharedStub) RequestTask(context.Context, string) (*Task, time.Duration, error) {
+	return nil, 0, nil
+}
+
+func (sharedStub) SharedData(_ context.Context, problemID string) ([]byte, error) {
+	return []byte(problemID), nil
+}
+func (sharedStub) SubmitResult(context.Context, *Result) error { return nil }
+func (sharedStub) ReportFailure(context.Context, string, string, int64, string) error {
 	return nil
 }
 
 func TestDonorCacheBounded(t *testing.T) {
 	registerSum(t)
-	d := NewDonor(sharedStub{}, DonorOptions{Name: "cache"})
+	d := newTestDonor(sharedStub{}, DonorOptions{Name: "cache"})
 	for i := 0; i < 3*maxCachedProblems; i++ {
-		if _, err := d.algorithm(fmt.Sprintf("p%02d", i), "dist-test/sum", int64(i+1)); err != nil {
+		if _, err := d.algorithm(bg, fmt.Sprintf("p%02d", i), "dist-test/sum", int64(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -390,7 +411,7 @@ type fetchCountingStub struct {
 	fetches int
 }
 
-func (s *fetchCountingStub) SharedData(problemID string) ([]byte, error) {
+func (s *fetchCountingStub) SharedData(_ context.Context, problemID string) ([]byte, error) {
 	s.fetches++
 	return []byte(problemID), nil
 }
@@ -398,11 +419,11 @@ func (s *fetchCountingStub) SharedData(problemID string) ([]byte, error) {
 func TestDonorEvictsCacheOnEpochChange(t *testing.T) {
 	registerSum(t)
 	stub := &fetchCountingStub{}
-	d := NewDonor(stub, DonorOptions{Name: "epoch"})
-	if _, err := d.algorithm("p", "dist-test/sum", 1); err != nil {
+	d := newTestDonor(stub, DonorOptions{Name: "epoch"})
+	if _, err := d.algorithm(bg, "p", "dist-test/sum", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.algorithm("p", "dist-test/sum", 1); err != nil {
+	if _, err := d.algorithm(bg, "p", "dist-test/sum", 1); err != nil {
 		t.Fatal(err)
 	}
 	if stub.fetches != 1 {
@@ -410,7 +431,7 @@ func TestDonorEvictsCacheOnEpochChange(t *testing.T) {
 	}
 	// A new epoch means the ID was forgotten and resubmitted — possibly
 	// with different shared data — so the cache must be refetched.
-	if _, err := d.algorithm("p", "dist-test/sum", 2); err != nil {
+	if _, err := d.algorithm(bg, "p", "dist-test/sum", 2); err != nil {
 		t.Fatal(err)
 	}
 	if stub.fetches != 2 {
@@ -419,38 +440,38 @@ func TestDonorEvictsCacheOnEpochChange(t *testing.T) {
 }
 
 func TestServerValidation(t *testing.T) {
-	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	srv := newTestServer(ServerOptions{WaitHint: time.Millisecond})
 	defer srv.Close()
-	if err := srv.Submit(nil); err == nil {
+	if err := srv.Submit(bg, nil); err == nil {
 		t.Error("nil problem accepted")
 	}
-	if err := srv.Submit(&Problem{ID: "", DM: newSumDM(1)}); err == nil {
+	if err := srv.Submit(bg, &Problem{ID: "", DM: newSumDM(1)}); err == nil {
 		t.Error("empty ID accepted")
 	}
-	if err := srv.Submit(&Problem{ID: "p", DM: newSumDM(1)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "p", DM: newSumDM(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Submit(&Problem{ID: "p", DM: newSumDM(1)}); err == nil {
+	if err := srv.Submit(bg, &Problem{ID: "p", DM: newSumDM(1)}); err == nil {
 		t.Error("duplicate ID accepted")
 	}
-	if _, err := srv.Wait("nope"); !errors.Is(err, ErrUnknownProblem) {
+	if _, err := srv.Wait(bg, "nope"); !errors.Is(err, ErrUnknownProblem) {
 		t.Errorf("Wait on unknown problem = %v, want ErrUnknownProblem", err)
 	}
-	if _, err := srv.Status("nope"); !errors.Is(err, ErrUnknownProblem) {
+	if _, err := srv.Status(bg, "nope"); !errors.Is(err, ErrUnknownProblem) {
 		t.Errorf("Status on unknown problem = %v, want ErrUnknownProblem", err)
 	}
-	if _, _, _, err := srv.Stats("nope"); !errors.Is(err, ErrUnknownProblem) {
+	if _, _, _, err := srv.Stats(bg, "nope"); !errors.Is(err, ErrUnknownProblem) {
 		t.Errorf("Stats on unknown problem = %v, want ErrUnknownProblem", err)
 	}
 }
 
 func TestForgetLifecycle(t *testing.T) {
-	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	srv := newTestServer(ServerOptions{WaitHint: time.Millisecond})
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "gone", DM: newSumDM(0), SharedData: []byte("blob")}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "gone", DM: newSumDM(0), SharedData: []byte("blob")}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Wait("gone"); err != nil {
+	if _, err := srv.Wait(bg, "gone"); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Forget("gone"); err != nil {
@@ -460,13 +481,13 @@ func TestForgetLifecycle(t *testing.T) {
 		t.Errorf("double Forget = %v, want nil (idempotent)", err)
 	}
 	// Completed-and-evicted is distinguishable from never-existed.
-	if _, err := srv.Status("gone"); !errors.Is(err, ErrForgotten) {
+	if _, err := srv.Status(bg, "gone"); !errors.Is(err, ErrForgotten) {
 		t.Errorf("Status after Forget = %v, want ErrForgotten", err)
 	}
-	if _, _, _, err := srv.Stats("gone"); !errors.Is(err, ErrForgotten) {
+	if _, _, _, err := srv.Stats(bg, "gone"); !errors.Is(err, ErrForgotten) {
 		t.Errorf("Stats after Forget = %v, want ErrForgotten", err)
 	}
-	if _, err := srv.SharedData("gone"); !errors.Is(err, ErrForgotten) {
+	if _, err := srv.SharedData(bg, "gone"); !errors.Is(err, ErrForgotten) {
 		t.Errorf("SharedData after Forget = %v, want ErrForgotten", err)
 	}
 	if err := srv.Forget("never"); !errors.Is(err, ErrUnknownProblem) {
@@ -475,7 +496,7 @@ func TestForgetLifecycle(t *testing.T) {
 	// Wait after Forget fails fast instead of blocking forever.
 	waited := make(chan error, 1)
 	go func() {
-		_, err := srv.Wait("gone")
+		_, err := srv.Wait(bg, "gone")
 		waited <- err
 	}()
 	select {
@@ -487,32 +508,32 @@ func TestForgetLifecycle(t *testing.T) {
 		t.Fatal("Wait after Forget blocked")
 	}
 	// A forgotten ID may be reused by a later Submit.
-	if err := srv.Submit(&Problem{ID: "gone", DM: newSumDM(0)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "gone", DM: newSumDM(0)}); err != nil {
 		t.Fatalf("resubmit after Forget: %v", err)
 	}
-	if _, err := srv.Wait("gone"); err != nil {
+	if _, err := srv.Wait(bg, "gone"); err != nil {
 		t.Errorf("Wait on resubmitted ID = %v", err)
 	}
 }
 
 func TestForgetWhileLeased(t *testing.T) {
-	srv := NewServer(ServerOptions{
+	srv := newTestServer(ServerOptions{
 		Policy:     sched.Fixed{Size: 10},
 		Lease:      time.Hour,
 		ExpiryScan: time.Hour,
 		WaitHint:   time.Millisecond,
 	})
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "leased", DM: newSumDM(100)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "leased", DM: newSumDM(100)}); err != nil {
 		t.Fatal(err)
 	}
-	task, _, err := srv.RequestTask("w0")
+	task, _, err := srv.RequestTask(bg, "w0")
 	if err != nil || task == nil {
 		t.Fatalf("no task: %v", err)
 	}
 	waited := make(chan error, 1)
 	go func() {
-		_, err := srv.Wait("leased")
+		_, err := srv.Wait(bg, "leased")
 		waited <- err
 	}()
 	if err := srv.Forget("leased"); err != nil {
@@ -530,13 +551,13 @@ func TestForgetWhileLeased(t *testing.T) {
 	// The leased unit is discarded, not requeued: straggler results and
 	// failure reports are ignored without error, and no donor is handed
 	// the unit again.
-	if err := srv.SubmitResult(&Result{ProblemID: "leased", UnitID: task.Unit.ID, Donor: "w0"}); err != nil {
+	if err := srv.SubmitResult(bg, &Result{ProblemID: "leased", UnitID: task.Unit.ID, Donor: "w0"}); err != nil {
 		t.Errorf("straggler SubmitResult after Forget = %v", err)
 	}
-	if err := srv.ReportFailure("w0", "leased", task.Unit.ID, "late"); err != nil {
+	if err := srv.ReportFailure(bg, "w0", "leased", task.Unit.ID, "late"); err != nil {
 		t.Errorf("straggler ReportFailure after Forget = %v", err)
 	}
-	if task2, _, err := srv.RequestTask("w1"); err != nil || task2 != nil {
+	if task2, _, err := srv.RequestTask(bg, "w1"); err != nil || task2 != nil {
 		t.Errorf("unit re-dispatched after Forget: task=%+v err=%v", task2, err)
 	}
 }
@@ -546,27 +567,27 @@ func TestForgetWhileLeased(t *testing.T) {
 // incarnation can collide with a new unit's ID. The epoch tag must keep it
 // out of the new problem's DataManager.
 func TestStaleResultAfterResubmitRejected(t *testing.T) {
-	srv := NewServer(ServerOptions{
+	srv := newTestServer(ServerOptions{
 		Policy:     sched.Fixed{Size: 10},
 		Lease:      time.Hour,
 		ExpiryScan: time.Hour,
 		WaitHint:   time.Millisecond,
 	})
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "re", DM: newSumDM(100)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "re", DM: newSumDM(100)}); err != nil {
 		t.Fatal(err)
 	}
-	oldTask, _, err := srv.RequestTask("a")
+	oldTask, _, err := srv.RequestTask(bg, "a")
 	if err != nil || oldTask == nil {
 		t.Fatalf("no task from first incarnation: %v", err)
 	}
 	if err := srv.Forget("re"); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Submit(&Problem{ID: "re", DM: newSumDM(100)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "re", DM: newSumDM(100)}); err != nil {
 		t.Fatal(err)
 	}
-	newTask, _, err := srv.RequestTask("b")
+	newTask, _, err := srv.RequestTask(bg, "b")
 	if err != nil || newTask == nil {
 		t.Fatalf("no task from second incarnation: %v", err)
 	}
@@ -577,13 +598,13 @@ func TestStaleResultAfterResubmitRejected(t *testing.T) {
 		t.Fatalf("incarnations share epoch %d", oldTask.Epoch)
 	}
 	// The stale straggler must be dropped, not folded into the new unit.
-	if err := srv.SubmitResult(&Result{
+	if err := srv.SubmitResult(bg, &Result{
 		ProblemID: "re", UnitID: oldTask.Unit.ID, Payload: MustMarshal(int64(1 << 40)),
 		Elapsed: time.Millisecond, Donor: "a", Epoch: oldTask.Epoch,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, completed, _, err := srv.Stats("re"); err != nil || completed != 0 {
+	if _, completed, _, err := srv.Stats(bg, "re"); err != nil || completed != 0 {
 		t.Fatalf("stale result accepted: completed=%d err=%v", completed, err)
 	}
 	// The current incarnation's own result still lands.
@@ -595,23 +616,23 @@ func TestStaleResultAfterResubmitRejected(t *testing.T) {
 	for i := u.From; i < u.To; i++ {
 		sum += i * i
 	}
-	if err := srv.SubmitResult(&Result{
+	if err := srv.SubmitResult(bg, &Result{
 		ProblemID: "re", UnitID: newTask.Unit.ID, Payload: MustMarshal(sum),
 		Elapsed: time.Millisecond, Donor: "b", Epoch: newTask.Epoch,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, completed, _, err := srv.Stats("re"); err != nil || completed != 1 {
+	if _, completed, _, err := srv.Stats(bg, "re"); err != nil || completed != 1 {
 		t.Fatalf("live result rejected: completed=%d err=%v", completed, err)
 	}
 }
 
 func TestForgottenTombstonesBounded(t *testing.T) {
-	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	srv := newTestServer(ServerOptions{WaitHint: time.Millisecond})
 	defer srv.Close()
 	for i := 0; i < maxForgottenTombstones+50; i++ {
 		id := fmt.Sprintf("tomb-%05d", i)
-		if err := srv.Submit(&Problem{ID: id, DM: newSumDM(0)}); err != nil {
+		if err := srv.Submit(bg, &Problem{ID: id, DM: newSumDM(0)}); err != nil {
 			t.Fatal(err)
 		}
 		if err := srv.Forget(id); err != nil {
@@ -626,10 +647,10 @@ func TestForgottenTombstonesBounded(t *testing.T) {
 	}
 	// Recent tombstones still answer ErrForgotten; the oldest aged out to
 	// the unknown-problem error.
-	if _, err := srv.Status(fmt.Sprintf("tomb-%05d", maxForgottenTombstones+49)); !errors.Is(err, ErrForgotten) {
+	if _, err := srv.Status(bg, fmt.Sprintf("tomb-%05d", maxForgottenTombstones+49)); !errors.Is(err, ErrForgotten) {
 		t.Errorf("fresh tombstone = %v, want ErrForgotten", err)
 	}
-	if _, err := srv.Status("tomb-00000"); !errors.Is(err, ErrUnknownProblem) {
+	if _, err := srv.Status(bg, "tomb-00000"); !errors.Is(err, ErrUnknownProblem) {
 		t.Errorf("aged-out tombstone = %v, want ErrUnknownProblem", err)
 	}
 }
@@ -650,15 +671,15 @@ func TestDonorOptionsRedialDefaults(t *testing.T) {
 }
 
 func TestAutoForgetAfterWait(t *testing.T) {
-	srv := NewServer(ServerOptions{WaitHint: time.Millisecond, AutoForget: true})
+	srv := newTestServer(ServerOptions{WaitHint: time.Millisecond, AutoForget: true})
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "auto", DM: newSumDM(0)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "auto", DM: newSumDM(0)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Wait("auto"); err != nil {
+	if _, err := srv.Wait(bg, "auto"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Status("auto"); !errors.Is(err, ErrForgotten) {
+	if _, err := srv.Status(bg, "auto"); !errors.Is(err, ErrForgotten) {
 		t.Errorf("Status after auto-forgetting Wait = %v, want ErrForgotten", err)
 	}
 }
@@ -670,7 +691,7 @@ func TestAutoForgetAfterWait(t *testing.T) {
 // popRequeueLocked concurrently with Wait on the same problem.
 func TestConcurrentSubmitWaitReportFailure(t *testing.T) {
 	registerSum(t)
-	srv := NewServer(ServerOptions{
+	srv := newTestServer(ServerOptions{
 		Policy:     sched.Fixed{Size: 7},
 		Lease:      time.Hour,
 		ExpiryScan: time.Hour,
@@ -695,7 +716,7 @@ func TestConcurrentSubmitWaitReportFailure(t *testing.T) {
 					return
 				default:
 				}
-				task, wait, err := srv.RequestTask(name)
+				task, wait, err := srv.RequestTask(bg, name)
 				if err != nil {
 					return // server closed under us (test tearing down)
 				}
@@ -706,7 +727,7 @@ func TestConcurrentSubmitWaitReportFailure(t *testing.T) {
 				// One worker fails some units; requeue must migrate them
 				// to the others without racing the waiters.
 				if name == "cw0" && task.Unit.ID%5 == 0 {
-					_ = srv.ReportFailure(name, task.ProblemID, task.Unit.ID, "injected")
+					_ = srv.ReportFailure(bg, name, task.ProblemID, task.Unit.ID, "injected")
 					continue
 				}
 				var u sumUnit
@@ -723,7 +744,7 @@ func TestConcurrentSubmitWaitReportFailure(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				_ = srv.SubmitResult(&Result{
+				_ = srv.SubmitResult(bg, &Result{
 					ProblemID: task.ProblemID,
 					UnitID:    task.Unit.ID,
 					Payload:   payload,
@@ -746,11 +767,11 @@ func TestConcurrentSubmitWaitReportFailure(t *testing.T) {
 			// later problems register.
 			time.Sleep(time.Duration(p) * 2 * time.Millisecond)
 			id := fmt.Sprintf("conc-%d", p)
-			if err := srv.Submit(&Problem{ID: id, DM: newSumDM(n)}); err != nil {
+			if err := srv.Submit(bg, &Problem{ID: id, DM: newSumDM(n)}); err != nil {
 				errs[p] = err
 				return
 			}
-			out, err := srv.Wait(id)
+			out, err := srv.Wait(bg, id)
 			if err != nil {
 				errs[p] = err
 				return
@@ -777,17 +798,17 @@ func TestConcurrentSubmitWaitReportFailure(t *testing.T) {
 
 func TestStatusReportsProgress(t *testing.T) {
 	registerSum(t)
-	srv := NewServer(ServerOptions{Policy: sched.Fixed{Size: 10}, WaitHint: time.Millisecond})
+	srv := newTestServer(ServerOptions{Policy: sched.Fixed{Size: 10}, WaitHint: time.Millisecond})
 	defer srv.Close()
 	dm := newSumDM(100)
-	if err := srv.Submit(&Problem{ID: "prog", DM: dm}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "prog", DM: dm}); err != nil {
 		t.Fatal(err)
 	}
-	task, _, err := srv.RequestTask("w0")
+	task, _, err := srv.RequestTask(bg, "w0")
 	if err != nil || task == nil {
 		t.Fatalf("no task: %v", err)
 	}
-	st, err := srv.Status("prog")
+	st, err := srv.Status(bg, "prog")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -809,28 +830,28 @@ func (stallDM) Done() bool                          { return false }
 func (stallDM) FinalResult() ([]byte, error)        { return nil, nil }
 
 func TestStalledProblemFailsLoudly(t *testing.T) {
-	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	srv := newTestServer(ServerOptions{WaitHint: time.Millisecond})
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "stall", DM: stallDM{}}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "stall", DM: stallDM{}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := srv.RequestTask("w0"); err != nil {
+	if _, _, err := srv.RequestTask(bg, "w0"); err != nil {
 		t.Fatal(err)
 	}
-	_, err := srv.Wait("stall")
+	_, err := srv.Wait(bg, "stall")
 	if err == nil || !strings.Contains(err.Error(), "stalled") {
 		t.Errorf("stalled problem error = %v", err)
 	}
 }
 
 func TestDoneAtSubmitFinalizesImmediately(t *testing.T) {
-	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
+	srv := newTestServer(ServerOptions{WaitHint: time.Millisecond})
 	defer srv.Close()
 	dm := newSumDM(0) // completed >= n holds immediately
-	if err := srv.Submit(&Problem{ID: "empty", DM: dm}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "empty", DM: dm}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := srv.Wait("empty")
+	out, err := srv.Wait(bg, "empty")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -840,13 +861,13 @@ func TestDoneAtSubmitFinalizesImmediately(t *testing.T) {
 }
 
 func TestCloseUnblocksWaiters(t *testing.T) {
-	srv := NewServer(ServerOptions{WaitHint: time.Millisecond})
-	if err := srv.Submit(&Problem{ID: "never", DM: newSumDM(1000)}); err != nil {
+	srv := newTestServer(ServerOptions{WaitHint: time.Millisecond})
+	if err := srv.Submit(bg, &Problem{ID: "never", DM: newSumDM(1000)}); err != nil {
 		t.Fatal(err)
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := srv.Wait("never")
+		_, err := srv.Wait(bg, "never")
 		errCh <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -861,7 +882,7 @@ func TestCloseUnblocksWaiters(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Wait still blocked after Close")
 	}
-	if _, _, err := srv.RequestTask("w"); !errors.Is(err, ErrClosed) {
+	if _, _, err := srv.RequestTask(bg, "w"); !errors.Is(err, ErrClosed) {
 		t.Errorf("RequestTask after Close = %v", err)
 	}
 }

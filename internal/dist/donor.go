@@ -1,16 +1,20 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// DonorOptions tunes one donor worker.
+// DonorOptions tunes one donor worker. Construct donors with functional
+// options (WithName, WithThrottle, ...); the struct is the bag they mutate
+// and can be adopted wholesale with WithDonorOptions.
 type DonorOptions struct {
 	// Name identifies the donor in server statistics and logs.
 	Name string
@@ -31,6 +35,13 @@ type DonorOptions struct {
 	// RedialMin and RedialMax bound the exponential backoff between
 	// redial attempts. Zero values default to 250ms and 30s.
 	RedialMin, RedialMax time.Duration
+	// CancelPoll is how often the donor polls the coordinator for cancel
+	// notices while a unit is computing, so a server-side Forget aborts
+	// the in-flight ProcessCtx instead of letting it finish doomed work.
+	// Zero defaults to 500ms; negative disables the poll (cancellation is
+	// then observed at unit boundaries only). Coordinators that do not
+	// implement CancelNotifier are never polled.
+	CancelPoll time.Duration
 }
 
 func (o *DonorOptions) applyDefaults() {
@@ -51,6 +62,23 @@ func (o *DonorOptions) applyDefaults() {
 	if o.RedialMax < o.RedialMin {
 		o.RedialMax = o.RedialMin
 	}
+	if o.CancelPoll == 0 {
+		o.CancelPoll = 500 * time.Millisecond
+	}
+}
+
+// pollJitterFrac spreads each poll-wait uniformly ±20% around the server's
+// hint, so hundreds of donors released by the same stage barrier do not
+// thundering-herd RequestTask in lockstep forever after.
+const pollJitterFrac = 0.2
+
+// jitter returns d perturbed uniformly within ±pollJitterFrac.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	f := 1 - pollJitterFrac + 2*pollJitterFrac*rand.Float64()
+	return time.Duration(float64(d) * f)
 }
 
 // Donor is one worker's compute loop: poll the coordinator for units, run
@@ -64,6 +92,7 @@ type Donor struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	units    atomic.Int64
+	aborted  atomic.Int64
 
 	// Per-problem algorithm instances, initialised once with the problem's
 	// shared data (keyed by problemID + "\x00" + algorithm name).
@@ -90,13 +119,17 @@ const maxCachedProblems = 8
 
 // NewDonor creates a donor bound to a coordinator — a *Server for
 // in-process workers or an *RPCClient from Dial for the real deployment.
-// Set DonorOptions.Redial to make the donor a resilient background service
+// Configure WithRedial to make the donor a resilient background service
 // that reconnects when the server bounces instead of exiting.
-func NewDonor(coord Coordinator, opts DonorOptions) *Donor {
-	opts.applyDefaults()
+func NewDonor(coord Coordinator, opts ...DonorOption) *Donor {
+	var o DonorOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.applyDefaults()
 	return &Donor{
 		coord:  coord,
-		opts:   opts,
+		opts:   o,
 		stop:   make(chan struct{}),
 		algs:   make(map[string]Algorithm),
 		shared: make(map[string][]byte),
@@ -107,38 +140,58 @@ func NewDonor(coord Coordinator, opts DonorOptions) *Donor {
 // Units reports how many work units this donor has completed.
 func (d *Donor) Units() int { return int(d.units.Load()) }
 
+// Aborted reports how many in-flight units this donor abandoned on a
+// server cancel notice (the problem was forgotten or finished early).
+func (d *Donor) Aborted() int { return int(d.aborted.Load()) }
+
 // Stop asks Run to return after the unit in progress (idempotent).
 func (d *Donor) Stop() {
 	d.stopOnce.Do(func() { close(d.stop) })
 }
 
-// Run polls for work until Stop is called or the server tells the donor it
-// is shutting down (ErrClosed). A unit that fails to compute is reported
-// (and thereby requeued to another donor). When the server merely becomes
+// Run polls for work until ctx is cancelled, Stop is called, or the server
+// tells the donor it is shutting down (ErrClosed). A unit that fails to
+// compute is reported (and thereby requeued to another donor); a unit whose
+// problem is forgotten mid-compute is aborted on the server's cancel notice
+// and nothing is submitted for it. When the server merely becomes
 // unreachable (ErrServerGone — a crash, a restart, a partition) and Redial
 // is configured, Run reconnects with capped exponential backoff and keeps
 // going; without Redial it exits cleanly, the pre-reconnect behaviour.
-func (d *Donor) Run() error {
-	for {
+func (d *Donor) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// One context carries both stop signals: the caller's ctx and Stop().
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
 		select {
 		case <-d.stop:
+			cancel()
+		case <-stopWatch:
+		}
+	}()
+
+	for {
+		if runCtx.Err() != nil {
 			return nil
-		default:
 		}
 		var task *Task
 		var wait time.Duration
-		err := d.call(func() error {
+		err := d.call(runCtx, func() error {
 			var err error
-			task, wait, err = d.coord.RequestTask(d.opts.Name)
+			task, wait, err = d.coord.RequestTask(runCtx, d.opts.Name)
 			return err
 		})
 		if err != nil {
-			if d.stopped() || errors.Is(err, ErrClosed) || errors.Is(err, ErrServerGone) {
+			if runCtx.Err() != nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrServerGone) {
 				return nil
 			}
 			if isTransient(err) {
 				d.logf("donor %s: transient: %v", d.opts.Name, err)
-				if !d.sleep(wait) {
+				if !d.sleep(runCtx, jitter(wait)) {
 					return nil
 				}
 				continue
@@ -146,13 +199,24 @@ func (d *Donor) Run() error {
 			return err
 		}
 		if task == nil {
-			if !d.sleep(wait) {
+			if !d.sleep(runCtx, jitter(wait)) {
 				return nil
 			}
 			continue
 		}
-		out, elapsed, perr := d.process(task)
+		out, elapsed, aborted, perr := d.process(runCtx, task)
+		if aborted {
+			// The server cancelled this unit (Forget, early finish): no
+			// result, no failure report — the lease is already discarded.
+			d.aborted.Add(1)
+			d.logf("donor %s: unit %d of %s cancelled by server; dropped mid-compute",
+				d.opts.Name, task.Unit.ID, task.ProblemID)
+			continue
+		}
 		if perr != nil {
+			if runCtx.Err() != nil {
+				return nil // shutting down; the lease will expire and reissue
+			}
 			d.logf("donor %s: unit %d of %s failed: %v", d.opts.Name, task.Unit.ID, task.ProblemID, perr)
 			// A shared-data fetch failure is transport-level, not evidence
 			// the unit is bad: route it past the poisoned-unit caps when
@@ -163,25 +227,25 @@ func (d *Donor) Run() error {
 			transport := errors.As(perr, &sf)
 			var err error
 			if tr, ok := d.coord.(taggedFailureReporter); ok {
-				err = tr.reportTaggedFailure(d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error(), transport, task.Epoch)
+				err = tr.reportTaggedFailure(runCtx, d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error(), transport, task.Epoch)
 			} else {
-				err = d.coord.ReportFailure(d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error())
+				err = d.coord.ReportFailure(runCtx, d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error())
 			}
-			if gone, alive := d.handleGone(err, "failure report for unit", task); gone {
+			if gone, alive := d.handleGone(runCtx, err, "failure report for unit", task); gone {
 				if !alive {
 					return nil
 				}
 				continue
 			}
 			if err != nil {
-				if d.stopped() || errors.Is(err, ErrClosed) {
+				if runCtx.Err() != nil || errors.Is(err, ErrClosed) {
 					return nil
 				}
 				return err
 			}
 			continue
 		}
-		err = d.coord.SubmitResult(&Result{
+		err = d.coord.SubmitResult(runCtx, &Result{
 			ProblemID: task.ProblemID,
 			UnitID:    task.Unit.ID,
 			Payload:   out,
@@ -189,21 +253,21 @@ func (d *Donor) Run() error {
 			Donor:     d.opts.Name,
 			Epoch:     task.Epoch,
 		})
-		if gone, alive := d.handleGone(err, "result of unit", task); gone {
+		if gone, alive := d.handleGone(runCtx, err, "result of unit", task); gone {
 			if !alive {
 				return nil
 			}
 			continue
 		}
 		if err != nil {
-			if d.stopped() || errors.Is(err, ErrClosed) {
+			if runCtx.Err() != nil || errors.Is(err, ErrClosed) {
 				return nil
 			}
 			return err
 		}
 		d.units.Add(1)
 		if d.opts.Throttle > 0 {
-			if !d.sleep(d.opts.Throttle) {
+			if !d.sleep(runCtx, d.opts.Throttle) {
 				return nil
 			}
 		}
@@ -218,14 +282,14 @@ func (d *Donor) Run() error {
 // server may carry a resubmitted problem under the same ID whose unit IDs
 // cover different ranges, and a stale replayed payload would be silently
 // folded into the wrong unit (see handleGone). call returns ErrServerGone
-// only when redialing is not configured or Stop fired mid-backoff.
-func (d *Donor) call(op func() error) error {
+// only when redialing is not configured or ctx was cancelled mid-backoff.
+func (d *Donor) call(ctx context.Context, op func() error) error {
 	for {
 		err := op()
 		if err == nil || !errors.Is(err, ErrServerGone) {
 			return err
 		}
-		if d.opts.Redial == nil || !d.reconnect() {
+		if d.opts.Redial == nil || !d.reconnect(ctx) {
 			return err
 		}
 	}
@@ -238,9 +302,9 @@ func (d *Donor) call(op func() error) error {
 // stale payload could be silently consumed as the wrong unit. Dropping is
 // always safe — the old server's lease expires and the unit reissues.
 // gone reports whether err was a lost-connection error; alive is false
-// when the donor should exit (no Redial configured, or Stop fired during
-// backoff).
-func (d *Donor) handleGone(err error, what string, task *Task) (gone, alive bool) {
+// when the donor should exit (no Redial configured, or the run context was
+// cancelled / Stop fired during backoff).
+func (d *Donor) handleGone(ctx context.Context, err error, what string, task *Task) (gone, alive bool) {
 	if err == nil || !errors.Is(err, ErrServerGone) {
 		return false, true
 	}
@@ -249,22 +313,22 @@ func (d *Donor) handleGone(err error, what string, task *Task) (gone, alive bool
 	}
 	d.logf("donor %s: %s %d of %s lost with the server connection (a lease expiry will reissue it)",
 		d.opts.Name, what, task.Unit.ID, task.ProblemID)
-	return true, d.reconnect()
+	return true, d.reconnect(ctx)
 }
 
 // reconnect closes the dead coordinator and redials — immediately at
 // first (a rolling restart may already be back up), then with exponential
-// backoff between RedialMin and RedialMax — until a dial succeeds or Stop
-// fires (returning false). Problem caches are cleared on success: a
-// restarted server may resubmit an ID with different shared data, and a
-// stale Init would silently corrupt results.
-func (d *Donor) reconnect() bool {
+// backoff between RedialMin and RedialMax — until a dial succeeds or the
+// donor is stopped (returning false). Problem caches are cleared on
+// success: a restarted server may resubmit an ID with different shared
+// data, and a stale Init would silently corrupt results.
+func (d *Donor) reconnect(ctx context.Context) bool {
 	if c, ok := d.coord.(io.Closer); ok {
 		_ = c.Close()
 	}
 	backoff := d.opts.RedialMin
 	for attempt := 1; ; attempt++ {
-		if d.stopped() {
+		if d.stopped() || ctxErr(ctx) != nil {
 			return false
 		}
 		coord, err := d.opts.Redial()
@@ -279,7 +343,7 @@ func (d *Donor) reconnect() bool {
 		}
 		d.logf("donor %s: server unreachable, retrying in %s (attempt %d): %v",
 			d.opts.Name, backoff, attempt, err)
-		if !d.sleep(backoff) {
+		if !d.sleep(ctx, jitter(backoff)) {
 			return false
 		}
 		backoff *= 2
@@ -290,11 +354,15 @@ func (d *Donor) reconnect() bool {
 }
 
 // process computes one unit, lazily creating and initialising the
-// algorithm instance for (problem, algorithm name). elapsed covers only
-// Process — the scheduler's throughput estimate must not absorb one-time
-// shared-data fetch and Init cost, or a donor's first sample would make it
-// look far slower than it is.
-func (d *Donor) process(t *Task) (out []byte, elapsed time.Duration, err error) {
+// algorithm instance for (problem, algorithm name). While ProcessCtx runs,
+// a watcher goroutine polls the coordinator for cancel notices; a notice
+// matching the task's problem incarnation cancels the unit's context, and
+// process reports aborted=true so the loop drops the unit without
+// submitting anything. elapsed covers only ProcessCtx — the scheduler's
+// throughput estimate must not absorb one-time shared-data fetch and Init
+// cost, or a donor's first sample would make it look far slower than it
+// is.
+func (d *Donor) process(ctx context.Context, t *Task) (out []byte, elapsed time.Duration, aborted bool, err error) {
 	defer func() {
 		// A panicking Algorithm must not kill the donor loop: convert it to
 		// a failure so the unit is requeued.
@@ -302,13 +370,56 @@ func (d *Donor) process(t *Task) (out []byte, elapsed time.Duration, err error) 
 			out, err = nil, fmt.Errorf("algorithm panicked: %v", r)
 		}
 	}()
-	alg, err := d.algorithm(t.ProblemID, t.Unit.Algorithm, t.Epoch)
+	unitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var cancelled atomic.Bool
+	if cn, ok := d.coord.(CancelNotifier); ok && d.opts.CancelPoll > 0 {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go d.watchCancels(unitCtx, watchDone, cn, t, &cancelled, cancel)
+	}
+	alg, err := d.algorithm(unitCtx, t.ProblemID, t.Unit.Algorithm, t.Epoch)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, cancelled.Load(), err
 	}
 	start := time.Now()
-	out, err = alg.Process(t.Unit.Payload)
-	return out, time.Since(start), err
+	out, err = alg.ProcessCtx(unitCtx, t.Unit.Payload)
+	if cancelled.Load() {
+		// Whether ProcessCtx aborted with the context error or raced to a
+		// completed result, the unit is dead server-side; drop everything.
+		return nil, 0, true, nil
+	}
+	return out, time.Since(start), false, err
+}
+
+// watchCancels polls the coordinator for cancel notices until the unit
+// finishes, cancelling the unit's context when a notice matches its
+// problem incarnation. Notices for other incarnations (or problems this
+// donor no longer computes) are discarded — their leases are already gone
+// server-side.
+func (d *Donor) watchCancels(ctx context.Context, done <-chan struct{}, cn CancelNotifier, t *Task, cancelled *atomic.Bool, cancel context.CancelFunc) {
+	ticker := time.NewTicker(jitter(d.opts.CancelPoll))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			notices, err := cn.CancelNotices(ctx, d.opts.Name)
+			if err != nil {
+				continue // transport hiccup; the next tick retries
+			}
+			for _, n := range notices {
+				if n.ProblemID == t.ProblemID && n.Epoch == t.Epoch {
+					cancelled.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}
 }
 
 // algorithm returns the cached (problem, algorithm) instance, fetching
@@ -317,7 +428,7 @@ func (d *Donor) process(t *Task) (out []byte, elapsed time.Duration, err error) 
 // forgotten and reused — possibly with different shared data — so the
 // stale entry is evicted and refetched. Epoch zero (a server predating
 // the tag) disables the check.
-func (d *Donor) algorithm(problemID, name string, epoch int64) (Algorithm, error) {
+func (d *Donor) algorithm(ctx context.Context, problemID, name string, epoch int64) (Algorithm, error) {
 	if epoch != 0 {
 		if cached, ok := d.epochs[problemID]; ok && cached != epoch {
 			d.evictProblem(problemID)
@@ -334,7 +445,7 @@ func (d *Donor) algorithm(problemID, name string, epoch int64) (Algorithm, error
 	shared, ok := d.shared[problemID]
 	if !ok {
 		var err error
-		shared, err = d.coord.SharedData(problemID)
+		shared, err = d.coord.SharedData(ctx, problemID)
 		if err != nil {
 			return nil, &sharedFetchError{fmt.Errorf("fetching shared data: %w", err)}
 		}
@@ -370,15 +481,22 @@ func (d *Donor) evictProblem(problemID string) {
 	}
 }
 
-// sleep waits for at most wait, returning false if Stop fired first.
-func (d *Donor) sleep(wait time.Duration) bool {
+// sleep waits for at most wait, returning false if ctx was cancelled or
+// Stop fired first.
+func (d *Donor) sleep(ctx context.Context, wait time.Duration) bool {
 	if wait <= 0 {
 		wait = time.Millisecond
 	}
 	t := time.NewTimer(wait)
 	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	select {
 	case <-d.stop:
+		return false
+	case <-done:
 		return false
 	case <-t.C:
 		return true
@@ -427,5 +545,5 @@ func (e *sharedFetchError) Unwrap() error { return e.err }
 // instead of revoking the successor's lease). *Server and *RPCClient both
 // implement it; foreign Coordinators fall back to plain ReportFailure.
 type taggedFailureReporter interface {
-	reportTaggedFailure(donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error
+	reportTaggedFailure(ctx context.Context, donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error
 }

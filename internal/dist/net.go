@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -33,9 +34,10 @@ func unitKey(problemID string, epoch, unitID int64) string {
 type unitRef struct{ epoch, unitID int64 }
 
 // NetworkServer is a Server with the paper's two network channels attached:
-// control traffic (task handout, results, failures) over net/rpc — Go's
-// analogue of the Java RMI the paper used — and bulk data (shared blobs,
-// large unit payloads) over raw TCP sockets with length-prefixed frames.
+// control traffic (task handout, results, failures, cancel notices) over
+// net/rpc — Go's analogue of the Java RMI the paper used — and bulk data
+// (shared blobs, large unit payloads) over raw TCP sockets with
+// length-prefixed, checksummed frames.
 type NetworkServer struct {
 	*Server
 	rpcLn net.Listener
@@ -59,8 +61,8 @@ type NetworkServer struct {
 
 // ListenAndServe starts a network-facing coordinator. rpcAddr carries
 // control traffic, bulkAddr carries bulk data; ":0" picks free ports.
-func ListenAndServe(rpcAddr, bulkAddr string, opts ServerOptions) (*NetworkServer, error) {
-	srv := NewServer(opts)
+func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkServer, error) {
+	srv := NewServer(opts...)
 	bulk, err := wire.NewBulkServer(bulkAddr)
 	if err != nil {
 		_ = srv.Close()
@@ -125,12 +127,12 @@ func (ns *NetworkServer) BulkAddr() string { return ns.bulk.Addr() }
 // before the problem becomes dispatchable: a donor can never be handed a
 // unit whose shared data is not yet fetchable, and a rejected duplicate
 // Submit never touches the live problem's blob.
-func (ns *NetworkServer) Submit(p *Problem) error {
+func (ns *NetworkServer) Submit(ctx context.Context, p *Problem) error {
 	if p != nil && len(p.SharedData)+1 > wire.MaxFrameSize {
 		return fmt.Errorf("dist: shared data of %d bytes exceeds the bulk frame limit of %d",
 			len(p.SharedData), wire.MaxFrameSize-1)
 	}
-	return ns.Server.submitWith(p, func() {
+	return ns.Server.submitWith(ctx, p, func() {
 		ns.bulk.Put(sharedKey(p.ID), p.SharedData)
 	})
 }
@@ -292,13 +294,23 @@ type FailureArgs struct {
 	Epoch     int64
 }
 
+// CancelArgs identifies the donor draining its cancel-notice queue.
+type CancelArgs struct{ Donor string }
+
+// CancelReply carries the donor's pending epoch-tagged cancel notices —
+// the control verb that lets a server-side Forget abort in-flight donor
+// compute instead of collecting straggler results it would only drop.
+type CancelReply struct{ Notices []CancelNotice }
+
 // HandshakeReply tells a connecting donor where the bulk channel lives.
 type HandshakeReply struct{ BulkAddr string }
 
 // Empty is the placeholder reply for calls with no return value.
 type Empty struct{}
 
-// rpcService adapts the Server's Coordinator interface to net/rpc.
+// rpcService adapts the Server's Coordinator interface to net/rpc. net/rpc
+// carries no caller context, so handlers run under context.Background();
+// cancellation crosses the wire as data (cancel notices), not as context.
 type rpcService struct{ ns *NetworkServer }
 
 // Handshake returns the bulk-channel address.
@@ -309,7 +321,7 @@ func (s *rpcService) Handshake(_ Empty, reply *HandshakeReply) error {
 
 // RequestTask hands the donor its next unit.
 func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
-	task, wait, err := s.ns.Server.RequestTask(args.Donor)
+	task, wait, err := s.ns.Server.RequestTask(context.Background(), args.Donor)
 	if err != nil {
 		return err
 	}
@@ -332,7 +344,7 @@ func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
 // dropped for *accepted* results: a straggler's reissued copy may still
 // need to fetch the same blob.
 func (s *rpcService) SubmitResult(args ResultArgs, _ *Empty) error {
-	accepted, err := s.ns.Server.submitResult(&Result{
+	accepted, err := s.ns.Server.submitResult(context.Background(), &Result{
 		ProblemID: args.ProblemID,
 		UnitID:    args.UnitID,
 		Payload:   args.Payload,
@@ -354,11 +366,23 @@ func (s *rpcService) ReportFailure(args FailureArgs, _ *Empty) error {
 	if args.Transport {
 		kind = failTransport
 	}
-	return s.ns.Server.reportFailure(args.Donor, args.ProblemID, args.UnitID, args.Reason, kind, args.Epoch)
+	return s.ns.Server.reportFailure(context.Background(), args.Donor, args.ProblemID, args.UnitID, args.Reason, kind, args.Epoch)
+}
+
+// CancelNotices drains the donor's pending cancel notices.
+func (s *rpcService) CancelNotices(args CancelArgs, reply *CancelReply) error {
+	notices, err := s.ns.Server.CancelNotices(context.Background(), args.Donor)
+	if err != nil {
+		return err
+	}
+	reply.Notices = notices
+	return nil
 }
 
 // RPCClient is the donor-side coordinator proxy: control calls over
 // net/rpc, payload and shared-blob fetches over the bulk socket channel.
+// Context cancellation abandons a call client-side; the RPC itself may
+// still complete on the server.
 type RPCClient struct {
 	c        *rpc.Client
 	bulkAddr string
@@ -366,6 +390,7 @@ type RPCClient struct {
 }
 
 var _ Coordinator = (*RPCClient)(nil)
+var _ CancelNotifier = (*RPCClient)(nil)
 
 // Dial connects to a server's control channel and learns its bulk address.
 // timeout bounds the dial and every bulk fetch.
@@ -410,14 +435,33 @@ func resolveBulkAddr(rpcAddr, bulkAddr string) string {
 // Close tears down the control connection.
 func (c *RPCClient) Close() error { return c.c.Close() }
 
+// call runs one control-channel RPC under ctx: a cancelled context
+// abandons the wait (the reply, if any, is discarded by net/rpc).
+func (c *RPCClient) call(ctx context.Context, method string, args, reply any) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return rpcErr(c.c.Call(method, args, reply))
+	}
+	done := make(chan *rpc.Call, 1)
+	c.c.Go(method, args, reply, done)
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case res := <-done:
+		return rpcErr(res.Error)
+	}
+}
+
 // RequestTask implements Coordinator. A failure fetching an offloaded
 // payload is reported to the server (so the unit is requeued to another
 // donor, not silently dropped) and surfaced as a transient error the donor
 // loop retries past.
-func (c *RPCClient) RequestTask(donor string) (*Task, time.Duration, error) {
+func (c *RPCClient) RequestTask(ctx context.Context, donor string) (*Task, time.Duration, error) {
 	var r TaskReply
-	if err := c.c.Call(rpcServiceName+".RequestTask", TaskArgs{Donor: donor}, &r); err != nil {
-		return nil, 0, rpcErr(err)
+	if err := c.call(ctx, rpcServiceName+".RequestTask", TaskArgs{Donor: donor}, &r); err != nil {
+		return nil, 0, err
 	}
 	wait := time.Duration(r.WaitHintNs)
 	if !r.HasTask {
@@ -429,7 +473,7 @@ func (c *RPCClient) RequestTask(donor string) (*Task, time.Duration, error) {
 			ferr := fmt.Errorf("dist: fetching bulk payload %s: %w", r.BulkKey, err)
 			args := FailureArgs{Donor: donor, ProblemID: r.ProblemID, UnitID: r.Unit.ID,
 				Reason: ferr.Error(), Transport: true, Epoch: r.Epoch}
-			_ = rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
+			_ = c.call(ctx, rpcServiceName+".ReportFailure", args, &Empty{})
 			return nil, wait, &transientError{ferr}
 		}
 		r.Unit.Payload = payload
@@ -439,12 +483,15 @@ func (c *RPCClient) RequestTask(donor string) (*Task, time.Duration, error) {
 
 // SharedData implements Coordinator: fetch the problem's shared blob over
 // the bulk channel.
-func (c *RPCClient) SharedData(problemID string) ([]byte, error) {
+func (c *RPCClient) SharedData(ctx context.Context, problemID string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	return wire.FetchBlob(c.bulkAddr, sharedKey(problemID), c.timeout)
 }
 
 // SubmitResult implements Coordinator.
-func (c *RPCClient) SubmitResult(res *Result) error {
+func (c *RPCClient) SubmitResult(ctx context.Context, res *Result) error {
 	args := ResultArgs{
 		Donor:     res.Donor,
 		ProblemID: res.ProblemID,
@@ -453,20 +500,29 @@ func (c *RPCClient) SubmitResult(res *Result) error {
 		ElapsedNs: int64(res.Elapsed),
 		Epoch:     res.Epoch,
 	}
-	return rpcErr(c.c.Call(rpcServiceName+".SubmitResult", args, &Empty{}))
+	return c.call(ctx, rpcServiceName+".SubmitResult", args, &Empty{})
 }
 
 // ReportFailure implements Coordinator.
-func (c *RPCClient) ReportFailure(donor, problemID string, unitID int64, reason string) error {
+func (c *RPCClient) ReportFailure(ctx context.Context, donor, problemID string, unitID int64, reason string) error {
 	args := FailureArgs{Donor: donor, ProblemID: problemID, UnitID: unitID, Reason: reason}
-	return rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
+	return c.call(ctx, rpcServiceName+".ReportFailure", args, &Empty{})
 }
 
 // reportTaggedFailure implements taggedFailureReporter.
-func (c *RPCClient) reportTaggedFailure(donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error {
+func (c *RPCClient) reportTaggedFailure(ctx context.Context, donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error {
 	args := FailureArgs{Donor: donor, ProblemID: problemID, UnitID: unitID, Reason: reason,
 		Transport: transport, Epoch: epoch}
-	return rpcErr(c.c.Call(rpcServiceName+".ReportFailure", args, &Empty{}))
+	return c.call(ctx, rpcServiceName+".ReportFailure", args, &Empty{})
+}
+
+// CancelNotices implements CancelNotifier over the control channel.
+func (c *RPCClient) CancelNotices(ctx context.Context, donor string) ([]CancelNotice, error) {
+	var r CancelReply
+	if err := c.call(ctx, rpcServiceName+".CancelNotices", CancelArgs{Donor: donor}, &r); err != nil {
+		return nil, err
+	}
+	return r.Notices, nil
 }
 
 // ErrServerGone is returned by RPC-backed coordinator calls when the

@@ -30,20 +30,20 @@ func netOpts() ServerOptions {
 func TestNetworkMatchesRunLocal(t *testing.T) {
 	registerSum(t)
 	const n = 400
-	ref, err := RunLocal(&Problem{ID: "sum-ref", DM: newSumDM(n)}, 3, sched.Fixed{Size: 17})
+	ref, err := RunLocal(bg, &Problem{ID: "sum-ref", DM: newSumDM(n)}, 3, sched.Fixed{Size: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	opts := netOpts()
 	opts.BulkThreshold = 1 // every payload takes the bulk channel
-	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", WithServerOptions(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 	shared := []byte("shared blob travels the bulk channel too")
-	if err := srv.Submit(&Problem{ID: "sum-net", DM: newSumDM(n), SharedData: shared}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "sum-net", DM: newSumDM(n), SharedData: shared}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -55,16 +55,16 @@ func TestNetworkMatchesRunLocal(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer cl.Close()
-		if got, err := cl.SharedData("sum-net"); err != nil || string(got) != string(shared) {
+		if got, err := cl.SharedData(bg, "sum-net"); err != nil || string(got) != string(shared) {
 			t.Fatalf("shared data over bulk channel = %q, %v", got, err)
 		}
-		d := NewDonor(cl, DonorOptions{Name: fmt.Sprintf("net-%d", i), Logf: t.Logf})
+		d := newTestDonor(cl, DonorOptions{Name: fmt.Sprintf("net-%d", i), Logf: t.Logf})
 		donors = append(donors, d)
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = d.Run() }()
+		go func() { defer wg.Done(); _ = d.Run(bg) }()
 	}
 
-	out, err := srv.Wait("sum-net")
+	out, err := srv.Wait(bg, "sum-net")
 	for _, d := range donors {
 		d.Stop()
 	}
@@ -108,13 +108,15 @@ func evilBulkListener(t *testing.T, mode string) string {
 				if _, err := wire.ReadFrame(c); err != nil {
 					return
 				}
-				var hdr [4]byte
+				// Frame header: 4-byte length + 4-byte CRC (left zero —
+				// these frames never deliver a full body anyway).
+				var hdr [8]byte
 				switch mode {
 				case "oversized":
-					binary.BigEndian.PutUint32(hdr[:], uint32(wire.MaxFrameSize+1))
+					binary.BigEndian.PutUint32(hdr[:4], uint32(wire.MaxFrameSize+1))
 					_, _ = c.Write(hdr[:])
 				case "short":
-					binary.BigEndian.PutUint32(hdr[:], 100)
+					binary.BigEndian.PutUint32(hdr[:4], 100)
 					_, _ = c.Write(hdr[:])
 					_, _ = c.Write([]byte("only ten b")) // then hang up mid-frame
 				}
@@ -145,12 +147,12 @@ func TestBulkFetchFailureRequeuesUnit(t *testing.T) {
 	opts := netOpts()
 	opts.Policy = sched.Fixed{Size: 5} // 40 units
 	opts.BulkThreshold = 1
-	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", WithServerOptions(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "sum-evil", DM: newSumDM(n)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "sum-evil", DM: newSumDM(n)}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -161,7 +163,7 @@ func TestBulkFetchFailureRequeuesUnit(t *testing.T) {
 	defer healthyCl.Close()
 	// Throttle the healthy donor so the evil one is guaranteed to claim (and
 	// fail) at least one unit before the work runs out.
-	healthy := NewDonor(healthyCl, DonorOptions{Name: "healthy", Throttle: 5 * time.Millisecond})
+	healthy := newTestDonor(healthyCl, DonorOptions{Name: "healthy", Throttle: 5 * time.Millisecond})
 
 	evilCl, err := Dial(srv.RPCAddr(), 5*time.Second)
 	if err != nil {
@@ -169,16 +171,16 @@ func TestBulkFetchFailureRequeuesUnit(t *testing.T) {
 	}
 	defer evilCl.Close()
 	evilCl.bulkAddr = evilBulkListener(t, "oversized") // sabotage the data channel
-	evil := NewDonor(evilCl, DonorOptions{Name: "evil", Logf: t.Logf})
+	evil := newTestDonor(evilCl, DonorOptions{Name: "evil", Logf: t.Logf})
 
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); _ = healthy.Run() }()
+	go func() { defer wg.Done(); _ = healthy.Run(bg) }()
 	// Let the healthy donor register first so requeued units prefer it.
 	time.Sleep(20 * time.Millisecond)
-	go func() { defer wg.Done(); _ = evil.Run() }()
+	go func() { defer wg.Done(); _ = evil.Run(bg) }()
 
-	out, err := srv.Wait("sum-evil")
+	out, err := srv.Wait(bg, "sum-evil")
 	healthy.Stop()
 	evil.Stop()
 	wg.Wait()
@@ -194,7 +196,7 @@ func TestBulkFetchFailureRequeuesUnit(t *testing.T) {
 	if healthy.Units() == 0 {
 		t.Error("healthy donor completed nothing")
 	}
-	_, _, reissued, _ := srv.Stats("sum-evil")
+	_, _, reissued, _ := srv.Stats(bg, "sum-evil")
 	if reissued < 1 {
 		t.Errorf("reissued = %d, want >= 1 (failed fetches must requeue)", reissued)
 	}
@@ -245,12 +247,12 @@ func TestDonorReconnectsAcrossServerBounce(t *testing.T) {
 
 	opts := netOpts()
 	opts.Policy = sched.Fixed{Size: 5}
-	srv1, err := ListenAndServe(rpcAddr, bulkAddr, opts)
+	srv1, err := ListenAndServe(rpcAddr, bulkAddr, WithServerOptions(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Far more work than the donor can finish before the bounce.
-	if err := srv1.Submit(&Problem{ID: "bounce-1", DM: newSumDM(1_000_000)}); err != nil {
+	if err := srv1.Submit(bg, &Problem{ID: "bounce-1", DM: newSumDM(1_000_000)}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -258,7 +260,7 @@ func TestDonorReconnectsAcrossServerBounce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := NewDonor(cl, DonorOptions{
+	d := newTestDonor(cl, DonorOptions{
 		Name:      "bouncer",
 		Throttle:  2 * time.Millisecond,
 		Logf:      t.Logf,
@@ -267,7 +269,7 @@ func TestDonorReconnectsAcrossServerBounce(t *testing.T) {
 		RedialMax: 50 * time.Millisecond,
 	})
 	runErr := make(chan error, 1)
-	go func() { runErr <- d.Run() }()
+	go func() { runErr <- d.Run(bg) }()
 
 	deadline := time.Now().Add(10 * time.Second)
 	for d.Units() < 3 {
@@ -290,16 +292,16 @@ func TestDonorReconnectsAcrossServerBounce(t *testing.T) {
 
 	// Restart on the same address with fresh work; the donor must find it
 	// and finish the job.
-	srv2, err := ListenAndServe(rpcAddr, bulkAddr, netOpts())
+	srv2, err := ListenAndServe(rpcAddr, bulkAddr, WithServerOptions(netOpts()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv2.Close()
 	const n = 400
-	if err := srv2.Submit(&Problem{ID: "bounce-2", DM: newSumDM(n), SharedData: []byte("fresh")}); err != nil {
+	if err := srv2.Submit(bg, &Problem{ID: "bounce-2", DM: newSumDM(n), SharedData: []byte("fresh")}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := srv2.Wait("bounce-2")
+	out, err := srv2.Wait(bg, "bounce-2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,12 +337,12 @@ func TestForgetReleasesBulkBlobs(t *testing.T) {
 	opts := netOpts()
 	opts.Policy = sched.Fixed{Size: 50}
 	opts.BulkThreshold = 1 // force every payload onto the bulk channel
-	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", WithServerOptions(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "fgt", DM: newSumDM(500), SharedData: []byte("shared payload")}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "fgt", DM: newSumDM(500), SharedData: []byte("shared payload")}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -349,7 +351,7 @@ func TestForgetReleasesBulkBlobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	task, _, err := cl.RequestTask("w0") // leases a unit, offloading its payload
+	task, _, err := cl.RequestTask(bg, "w0") // leases a unit, offloading its payload
 	if err != nil || task == nil {
 		t.Fatalf("no task: %v", err)
 	}
@@ -371,10 +373,10 @@ func TestForgetReleasesBulkBlobs(t *testing.T) {
 	if _, err := wire.FetchBlob(srv.BulkAddr(), unitKey("fgt", task.Epoch, task.Unit.ID), time.Second); err == nil || !strings.Contains(err.Error(), "not found") {
 		t.Errorf("unit blob after Forget: err = %v, want not found", err)
 	}
-	if task2, _, err := srv.RequestTask("w1"); err != nil || task2 != nil {
+	if task2, _, err := srv.RequestTask(bg, "w1"); err != nil || task2 != nil {
 		t.Errorf("unit re-dispatched after Forget: task=%+v err=%v", task2, err)
 	}
-	if _, err := srv.Wait("fgt"); !errors.Is(err, ErrForgotten) {
+	if _, err := srv.Wait(bg, "fgt"); !errors.Is(err, ErrForgotten) {
 		t.Errorf("Wait after Forget = %v, want ErrForgotten", err)
 	}
 }
@@ -390,24 +392,24 @@ func TestStaleOffloadDoesNotClobberSuccessor(t *testing.T) {
 	opts := netOpts()
 	opts.Policy = sched.Fixed{Size: 50}
 	opts.BulkThreshold = 1
-	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", WithServerOptions(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := srv.Submit(&Problem{ID: "so", DM: newSumDM(500)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "so", DM: newSumDM(500)}); err != nil {
 		t.Fatal(err)
 	}
 	// Lease a unit of incarnation 1 without offloading — the state of an
 	// rpcService goroutine stalled between RequestTask and offloadPayload.
-	stale, _, err := srv.Server.RequestTask("a")
+	stale, _, err := srv.Server.RequestTask(bg, "a")
 	if err != nil || stale == nil {
 		t.Fatalf("no stale task: %v", err)
 	}
 	if err := srv.Forget("so"); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Submit(&Problem{ID: "so", DM: newSumDM(500)}); err != nil {
+	if err := srv.Submit(bg, &Problem{ID: "so", DM: newSumDM(500)}); err != nil {
 		t.Fatal(err)
 	}
 	cl, err := Dial(srv.RPCAddr(), 2*time.Second)
@@ -415,7 +417,7 @@ func TestStaleOffloadDoesNotClobberSuccessor(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	live, _, err := cl.RequestTask("b") // offloads the successor's payload
+	live, _, err := cl.RequestTask(bg, "b") // offloads the successor's payload
 	if err != nil || live == nil {
 		t.Fatalf("no live task: %v", err)
 	}

@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Functional options: NewServer, ListenAndServe and NewDonor take variadic
+// option lists so future knobs never break existing call sites. The
+// ServerOptions/DonorOptions structs remain the documented bags the options
+// mutate; WithServerOptions/WithDonorOptions adopt a whole bag at once.
+
+// ServerOption tunes one ServerOptions knob.
+type ServerOption func(*ServerOptions)
+
+// WithServerOptions replaces the whole option bag — handy when an options
+// struct is built programmatically (config files, tests).
+func WithServerOptions(o ServerOptions) ServerOption {
+	return func(dst *ServerOptions) { *dst = o }
+}
+
+// WithPolicy sets the scheduling policy sizing work units per donor.
+func WithPolicy(p sched.Policy) ServerOption {
+	return func(o *ServerOptions) { o.Policy = p }
+}
+
+// WithLeaseTTL sets how long a dispatched unit may stay out before it is
+// presumed lost and reissued to another donor.
+func WithLeaseTTL(d time.Duration) ServerOption {
+	return func(o *ServerOptions) { o.Lease = d }
+}
+
+// WithExpiryScan sets the interval between lease sweeps.
+func WithExpiryScan(d time.Duration) ServerOption {
+	return func(o *ServerOptions) { o.ExpiryScan = d }
+}
+
+// WithWaitHint sets how long donors are told to wait before polling again
+// when no unit is available.
+func WithWaitHint(d time.Duration) ServerOption {
+	return func(o *ServerOptions) { o.WaitHint = d }
+}
+
+// WithBulkThreshold sets the payload size above which a network server
+// ships unit payloads over the bulk channel (negative disables offloading).
+func WithBulkThreshold(n int) ServerOption {
+	return func(o *ServerOptions) { o.BulkThreshold = n }
+}
+
+// WithAutoForget retires each problem automatically once a Wait call has
+// delivered its final result.
+func WithAutoForget(on bool) ServerOption {
+	return func(o *ServerOptions) { o.AutoForget = on }
+}
+
+// WithWatchBuffer sets the per-subscriber event buffer of Server.Watch; a
+// subscriber that falls more than this many events behind loses the oldest
+// ones (terminal events are always delivered).
+func WithWatchBuffer(n int) ServerOption {
+	return func(o *ServerOptions) { o.WatchBuffer = n }
+}
+
+// DonorOption tunes one DonorOptions knob.
+type DonorOption func(*DonorOptions)
+
+// WithDonorOptions replaces the whole option bag.
+func WithDonorOptions(o DonorOptions) DonorOption {
+	return func(dst *DonorOptions) { *dst = o }
+}
+
+// WithName sets the donor's name in server statistics and logs.
+func WithName(name string) DonorOption {
+	return func(o *DonorOptions) { o.Name = name }
+}
+
+// WithThrottle sets the pause between units (a polite background service).
+func WithThrottle(d time.Duration) DonorOption {
+	return func(o *DonorOptions) { o.Throttle = d }
+}
+
+// WithLogf routes the donor's progress and failure messages.
+func WithLogf(f func(format string, args ...any)) DonorOption {
+	return func(o *DonorOptions) { o.Logf = f }
+}
+
+// WithRedial makes the donor a resilient background service that
+// re-establishes its coordinator connection when the server vanishes.
+func WithRedial(f func() (Coordinator, error)) DonorOption {
+	return func(o *DonorOptions) { o.Redial = f }
+}
+
+// WithRedialBackoff bounds the exponential backoff between redial attempts.
+func WithRedialBackoff(min, max time.Duration) DonorOption {
+	return func(o *DonorOptions) { o.RedialMin, o.RedialMax = min, max }
+}
+
+// WithCancelPoll sets how often a busy donor polls the coordinator for
+// cancel notices while a unit is computing (negative disables the poll, so
+// cancellation is only observed at unit boundaries).
+func WithCancelPoll(d time.Duration) DonorOption {
+	return func(o *DonorOptions) { o.CancelPoll = d }
+}

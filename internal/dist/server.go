@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,7 +15,7 @@ import (
 var ErrClosed = errors.New("dist: server closed")
 
 // ErrUnknownProblem is returned by problem-addressed calls (Wait, Status,
-// Stats, SharedData, Forget) for an ID that was never submitted.
+// Stats, SharedData, Watch, Forget) for an ID that was never submitted.
 var ErrUnknownProblem = errors.New("dist: unknown problem")
 
 // ErrForgotten is returned by problem-addressed calls for an ID that was
@@ -28,7 +29,9 @@ var ErrForgotten = errors.New("dist: problem forgotten")
 // scheduler sizes units from.
 const throughputAlpha = 0.3
 
-// ServerOptions tunes scheduling and fault tolerance.
+// ServerOptions tunes scheduling and fault tolerance. Construct servers
+// with functional options (WithPolicy, WithLeaseTTL, ...); the struct is
+// the bag they mutate and can be adopted wholesale with WithServerOptions.
 type ServerOptions struct {
 	// Policy sizes work units per donor; nil defaults to the paper's
 	// adaptive strategy with a 5s target.
@@ -40,7 +43,8 @@ type ServerOptions struct {
 	// Lease/4 (at least one second).
 	ExpiryScan time.Duration
 	// WaitHint is how long donors are told to wait before polling again
-	// when no unit is available. Zero defaults to 50ms.
+	// when no unit is available. Zero defaults to 50ms. Donors jitter the
+	// hint ±20% so a barrier release does not thundering-herd the server.
 	WaitHint time.Duration
 	// BulkThreshold is the payload size in bytes above which a network
 	// server ships unit payloads over the raw-socket bulk channel instead
@@ -54,6 +58,10 @@ type ServerOptions struct {
 	// problem's state directly); later Status/Stats/Wait calls get
 	// ErrForgotten.
 	AutoForget bool
+	// WatchBuffer is each Watch subscriber's event buffer; a consumer that
+	// falls further behind loses the oldest events (Event.Dropped counts
+	// them). Zero defaults to 64.
+	WatchBuffer int
 }
 
 func (o *ServerOptions) applyDefaults() {
@@ -74,6 +82,9 @@ func (o *ServerOptions) applyDefaults() {
 	}
 	if o.BulkThreshold == 0 {
 		o.BulkThreshold = 64 << 10
+	}
+	if o.WatchBuffer <= 0 {
+		o.WatchBuffer = 64
 	}
 }
 
@@ -99,6 +110,11 @@ const maxForgottenTombstones = 4096
 // (a misconfigured advertised address, a NAT forwarding only the RPC port)
 // from a silent livelock into a diagnosable failure.
 const maxConsecutiveTransport = 1024
+
+// maxPendingCancels bounds one donor's queued cancel notices; a donor that
+// never drains (a v1 binary without the poll) loses the oldest notices,
+// which only costs it some wasted compute on doomed units.
+const maxPendingCancels = 256
 
 // leaseInfo tracks one in-flight unit.
 type leaseInfo struct {
@@ -142,6 +158,8 @@ type problemState struct {
 	shared   []byte
 	inflight map[int64]*leaseInfo
 	requeue  []queuedUnit
+	// watchers are the live Watch subscriptions (see events.go).
+	watchers []*watcher
 
 	dispatched      int
 	completed       int
@@ -180,13 +198,15 @@ type Status struct {
 // wrap it with ListenAndServe for the networked deployment.
 //
 // State is sharded per problem: a small RWMutex-guarded registry maps IDs
-// to problemStates, each of which owns its mutex, lease table and requeue
-// queue. Coordinator calls for different problems proceed in parallel.
+// to problemStates, each of which owns its mutex, lease table, requeue
+// queue and Watch subscriber list. Coordinator calls for different problems
+// proceed in parallel, and RequestTask skips problem shards whose lock is
+// momentarily contended before falling back to a blocking pass.
 //
 // Lock order (outer to inner): registry (regMu) → problemState.mu →
-// donorMu / donorState.mu. A problem lock is never held while acquiring
-// the registry lock, and the donor locks are leaves: no code path takes a
-// registry or problem lock while holding one.
+// donorMu / donorState.mu / cancelMu. A problem lock is never held while
+// acquiring the registry lock, and the donor and cancel locks are leaves:
+// no code path takes a registry or problem lock while holding one.
 type Server struct {
 	opts ServerOptions
 
@@ -216,6 +236,13 @@ type Server struct {
 	donorMu sync.RWMutex
 	donors  map[string]*donorState
 
+	// cancelMu guards cancels, the per-donor queues of epoch-tagged cancel
+	// notices for in-flight units of problems that ended while the unit
+	// was out. Donors drain their queue via CancelNotices while computing
+	// and abort matching units. A leaf lock (taken under ps.mu).
+	cancelMu sync.Mutex
+	cancels  map[string][]CancelNotice
+
 	// onProblemDone, when non-nil, is invoked (under the problem's lock)
 	// each time a problem finalizes, fails, or is forgotten; the network
 	// layer uses it to drop the problem's bulk-channel blobs however the
@@ -233,15 +260,21 @@ type Server struct {
 }
 
 var _ Coordinator = (*Server)(nil)
+var _ CancelNotifier = (*Server)(nil)
 
 // NewServer creates an in-process coordinator.
-func NewServer(opts ServerOptions) *Server {
-	opts.applyDefaults()
+func NewServer(opts ...ServerOption) *Server {
+	var o ServerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.applyDefaults()
 	s := &Server{
-		opts:      opts,
+		opts:      o,
 		problems:  make(map[string]*problemState),
 		forgotten: make(map[string]struct{}),
 		donors:    make(map[string]*donorState),
+		cancels:   make(map[string][]CancelNotice),
 		stop:      make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -251,8 +284,8 @@ func NewServer(opts ServerOptions) *Server {
 
 // Submit registers a problem for dispatch. An ID retired with Forget may be
 // reused; a live or completed-but-unforgotten ID may not.
-func (s *Server) Submit(p *Problem) error {
-	return s.submitWith(p, nil)
+func (s *Server) Submit(ctx context.Context, p *Problem) error {
+	return s.submitWith(ctx, p, nil)
 }
 
 // submitWith registers a problem, invoking publish (when non-nil) under the
@@ -261,7 +294,10 @@ func (s *Server) Submit(p *Problem) error {
 // bulk channel so no donor can be handed a unit whose shared data is not
 // yet fetchable — and a rejected duplicate Submit never touches the live
 // problem's blob.
-func (s *Server) submitWith(p *Problem, publish func()) error {
+func (s *Server) submitWith(ctx context.Context, p *Problem, publish func()) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if p == nil || p.DM == nil {
 		return errors.New("dist: Submit with nil problem or DataManager")
 	}
@@ -269,11 +305,12 @@ func (s *Server) submitWith(p *Problem, publish func()) error {
 		return errors.New("dist: Submit with empty problem ID")
 	}
 	s.regMu.Lock()
-	defer s.regMu.Unlock()
 	if s.closed {
+		s.regMu.Unlock()
 		return ErrClosed
 	}
 	if _, dup := s.problems[p.ID]; dup {
+		s.regMu.Unlock()
 		return fmt.Errorf("dist: problem %q already submitted", p.ID)
 	}
 	if publish != nil {
@@ -290,14 +327,29 @@ func (s *Server) submitWith(p *Problem, publish func()) error {
 	s.problems[p.ID] = ps
 	s.order = append(s.order, p.ID)
 	s.untombstoneLocked(p.ID) // the ID is live again
-	// Holding regMu exclusively means no other goroutine can have seen ps
-	// yet, so taking its lock here cannot deadlock or contend.
+	s.regMu.Unlock()
+
+	// The DataManager calls below (Done, a Progresser snapshot, possibly
+	// FinalResult) run under the problem's own lock only — regMu is never
+	// held across DataManager calls, or one slow implementation would stall
+	// every other problem's lookups. The problem is dispatchable from the
+	// moment regMu drops; a donor racing in merely discovers Done() itself
+	// and finalizeLocked is idempotent.
 	ps.mu.Lock()
+	s.publishLocked(ps, s.snapshotEventLocked(ps))
 	if p.DM.Done() {
 		s.finalizeLocked(ps)
 	}
 	ps.mu.Unlock()
 	return nil
+}
+
+// ctxErr is the nil-tolerant ctx.Err().
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // lookup resolves a problem ID, distinguishing never-submitted from
@@ -337,15 +389,24 @@ func (s *Server) liveEpoch(id string) (int64, bool) {
 	return ps.epoch, true
 }
 
-// Wait blocks until the problem completes and returns its final result.
-// With ServerOptions.AutoForget the problem is retired once the result has
-// been delivered; subsequent calls return ErrForgotten.
-func (s *Server) Wait(id string) ([]byte, error) {
+// Wait blocks until the problem completes (or ctx is cancelled) and returns
+// its final result. With ServerOptions.AutoForget the problem is retired
+// once the result has been delivered; subsequent calls return ErrForgotten.
+// A ctx cancellation only abandons this Wait — pair it with Forget to also
+// stop the donors' in-flight compute (RunLocal does exactly that).
+func (s *Server) Wait(ctx context.Context, id string) ([]byte, error) {
 	ps, err := s.lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	<-ps.doneCh
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-ps.doneCh:
+	}
 	ps.mu.Lock()
 	out, werr := ps.result, ps.err
 	ps.mu.Unlock()
@@ -364,8 +425,10 @@ func (s *Server) Wait(id string) ([]byte, error) {
 // network-layer resources (shared blob, offloaded unit payloads) are
 // released. A problem forgotten before completion fails with ErrForgotten,
 // unblocking any Wait; leased and requeued units are discarded, not
-// reissued. Forgetting an already-forgotten ID is a no-op; forgetting a
-// never-submitted ID returns ErrUnknownProblem.
+// reissued, and every donor holding one of its leases is queued an
+// epoch-tagged cancel notice so it aborts the unit's ProcessCtx instead of
+// finishing doomed work. Forgetting an already-forgotten ID is a no-op;
+// forgetting a never-submitted ID returns ErrUnknownProblem.
 func (s *Server) Forget(id string) error {
 	return s.forgetMatching(id, nil)
 }
@@ -406,9 +469,9 @@ func (s *Server) forgetMatching(id string, only *problemState) error {
 	// other problem's lookups behind regMu would re-serialize the
 	// coordinator).
 	ps.mu.Lock()
-	// A still-running problem fails (releasing its units and blobs, and
-	// unblocking waiters); a completed one already released everything in
-	// finalize/fail, so this is a no-op.
+	// A still-running problem fails (releasing its units and blobs,
+	// cancelling its donors, and unblocking waiters); a completed one
+	// already released everything in finalize/fail, so this is a no-op.
 	s.failLocked(ps, fmt.Errorf("%w: %q evicted before completion", ErrForgotten, id))
 	ps.mu.Unlock()
 
@@ -466,8 +529,12 @@ func (s *Server) removeFromOrderLocked(id string) {
 	}
 }
 
-// Status reports a problem's progress.
-func (s *Server) Status(id string) (Status, error) {
+// Status reports a problem's progress. Prefer Watch for continuous
+// observation; Status remains for one-shot probes.
+func (s *Server) Status(ctx context.Context, id string) (Status, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Status{}, err
+	}
 	ps, err := s.lookup(id)
 	if err != nil {
 		return Status{}, err
@@ -487,7 +554,10 @@ func (s *Server) Status(id string) (Status, error) {
 }
 
 // Stats reports a problem's unit counters.
-func (s *Server) Stats(id string) (dispatched, completed, reissued int, err error) {
+func (s *Server) Stats(ctx context.Context, id string) (dispatched, completed, reissued int, err error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, 0, 0, err
+	}
 	ps, lerr := s.lookup(id)
 	if lerr != nil {
 		return 0, 0, 0, lerr
@@ -529,8 +599,15 @@ func (s *Server) Close() error {
 // RequestTask implements Coordinator: pick the next unit for a donor,
 // round-robin across live problems. The rotation is snapshotted under the
 // registry read lock; each candidate problem is then tried under its own
-// lock, so a slow DataManager only stalls requests for its own problem.
-func (s *Server) RequestTask(donor string) (*Task, time.Duration, error) {
+// lock. The first pass only TryLocks each shard — a problem whose
+// DataManager is busy partitioning or folding under its lock is skipped
+// rather than blocked on, so one slow problem never adds latency to a
+// request that an idle problem could serve. Shards skipped as contended
+// are retried with a blocking lock only if the fast pass found nothing.
+func (s *Server) RequestTask(ctx context.Context, donor string) (*Task, time.Duration, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, 0, err
+	}
 	s.regMu.RLock()
 	if s.closed {
 		s.regMu.RUnlock()
@@ -571,9 +648,27 @@ func (s *Server) RequestTask(donor string) (*Task, time.Duration, error) {
 
 	start := int(s.rr.Add(1) % uint64(n))
 	var finished []*problemState
+	var contended []*problemState
 	for i := 0; i < n; i++ {
 		ps := rotation[(start+i)%n]
-		task, done := s.tryDispatch(ps, donor, stats, live, othersAlive)
+		task, done, tried := s.tryDispatch(ps, donor, stats, live, othersAlive, false)
+		if !tried {
+			contended = append(contended, ps)
+			continue
+		}
+		if done {
+			finished = append(finished, ps)
+		}
+		if task != nil {
+			s.pruneRotation(finished)
+			return task, s.opts.WaitHint, nil
+		}
+	}
+	// Slow pass: everything uncontended came up empty, so waiting on the
+	// busy shards is now worth it (their DataManagers may be mid-partition
+	// with units to give).
+	for _, ps := range contended {
+		task, done, _ := s.tryDispatch(ps, donor, stats, live, othersAlive, true)
 		if done {
 			finished = append(finished, ps)
 		}
@@ -586,42 +681,48 @@ func (s *Server) RequestTask(donor string) (*Task, time.Duration, error) {
 	return nil, s.opts.WaitHint, nil
 }
 
-// tryDispatch attempts to hand one of ps's units to donor, entirely under
-// ps's own lock. It returns the dispatched task (nil when the problem has
-// nothing for this donor) and whether the problem is done — finished
-// problems are pruned from the rotation by the caller.
-func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorStats, live int, othersAlive func() bool) (*Task, bool) {
-	ps.mu.Lock()
+// tryDispatch attempts to hand one of ps's units to donor under ps's own
+// lock — acquired blockingly when block is set, with TryLock otherwise
+// (tried is false when the shard was skipped as contended). It returns the
+// dispatched task (nil when the problem has nothing for this donor) and
+// whether the problem is done — finished problems are pruned from the
+// rotation by the caller.
+func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorStats, live int, othersAlive func() bool, block bool) (task *Task, done, tried bool) {
+	if block {
+		ps.mu.Lock()
+	} else if !ps.mu.TryLock() {
+		return nil, false, false
+	}
 	defer ps.mu.Unlock()
 	if ps.done {
-		return nil, true
+		return nil, true, true
 	}
 	if u, attempts, ok := s.popRequeueLocked(ps, donor, othersAlive); ok {
 		s.leaseLocked(ps, u, donor, attempts)
-		return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false
+		return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false, true
 	}
 	budget := s.opts.Policy.Budget(stats, remainingCost(ps.p.DM), live)
 	u, ok, err := ps.p.DM.NextUnit(budget)
 	if err != nil {
 		s.failLocked(ps, fmt.Errorf("dist: problem %q: NextUnit: %w", ps.id, err))
-		return nil, true
+		return nil, true, true
 	}
 	if !ok {
 		if ps.p.DM.Done() {
 			s.finalizeLocked(ps)
-			return nil, true
+			return nil, true, true
 		}
 		if len(ps.inflight) == 0 && len(ps.requeue) == 0 {
 			// Nothing dispatchable, nothing in flight, nothing awaiting
 			// reissue, not done: no future event can unstick this
 			// problem. Fail loudly rather than leaving Wait hanging.
 			s.failLocked(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.id))
-			return nil, true
+			return nil, true, true
 		}
-		return nil, false
+		return nil, false, true
 	}
 	s.leaseLocked(ps, u, donor, 0)
-	return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false
+	return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false, true
 }
 
 // pruneRotation removes finished problems from the dispatch order. Their
@@ -643,7 +744,10 @@ func (s *Server) pruneRotation(finished []*problemState) {
 }
 
 // SharedData implements Coordinator.
-func (s *Server) SharedData(problemID string) ([]byte, error) {
+func (s *Server) SharedData(ctx context.Context, problemID string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	ps, err := s.lookup(problemID)
 	if err != nil {
 		return nil, err
@@ -655,8 +759,8 @@ func (s *Server) SharedData(problemID string) ([]byte, error) {
 
 // SubmitResult implements Coordinator: fold one completed unit and feed the
 // donor's measured cost/elapsed back into its scheduling statistics.
-func (s *Server) SubmitResult(res *Result) error {
-	_, err := s.submitResult(res)
+func (s *Server) SubmitResult(ctx context.Context, res *Result) error {
+	_, err := s.submitResult(ctx, res)
 	return err
 }
 
@@ -664,7 +768,10 @@ func (s *Server) SubmitResult(res *Result) error {
 // for stragglers whose unit already completed elsewhere or whose problem is
 // done) so the network layer keeps bulk payloads a reissued copy may still
 // need.
-func (s *Server) submitResult(res *Result) (accepted bool, err error) {
+func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, err error) {
+	if err := ctxErr(ctx); err != nil {
+		return false, err
+	}
 	if res == nil {
 		return false, errors.New("dist: SubmitResult with nil result")
 	}
@@ -710,6 +817,8 @@ func (s *Server) submitResult(res *Result) (accepted bool, err error) {
 	ps.completed++
 	ps.consecFails = 0
 	ps.consecTransport = 0
+	s.publishUnitEventLocked(ps, EventUnitDone, res.UnitID, res.Donor)
+	s.publishProgressLocked(ps)
 	if ps.p.DM.Done() {
 		s.finalizeLocked(ps)
 	}
@@ -732,21 +841,59 @@ func (s *Server) submitResult(res *Result) (accepted bool, err error) {
 	return true, nil
 }
 
+// publishUnitEventLocked emits a unit-granularity event. Callers hold
+// ps.mu.
+func (s *Server) publishUnitEventLocked(ps *problemState, kind EventKind, unitID int64, donor string) {
+	if len(ps.watchers) == 0 {
+		return
+	}
+	s.publishLocked(ps, Event{
+		Kind:      kind,
+		ProblemID: ps.id,
+		Epoch:     ps.epoch,
+		Time:      time.Now(),
+		UnitID:    unitID,
+		Donor:     donor,
+		Completed: ps.completed,
+		Inflight:  len(ps.inflight),
+	})
+}
+
+// publishProgressLocked emits an EventProgress with current counters.
+// Callers hold ps.mu.
+func (s *Server) publishProgressLocked(ps *problemState) {
+	if len(ps.watchers) == 0 {
+		return
+	}
+	ev := Event{
+		Kind:      EventProgress,
+		ProblemID: ps.id,
+		Epoch:     ps.epoch,
+		Time:      time.Now(),
+		Completed: ps.completed,
+		Inflight:  len(ps.inflight),
+	}
+	if pr, ok := ps.p.DM.(Progresser); ok {
+		ev.AppDone, ev.AppTotal = pr.Progress()
+	}
+	s.publishLocked(ps, ev)
+}
+
 // ReportFailure implements Coordinator: attribute the failure to the donor
 // and requeue the unit for another donor. The epoch goes unchecked on this
 // legacy path; in-process and RPC donors use the tagged variant.
-func (s *Server) ReportFailure(donor, problemID string, unitID int64, reason string) error {
-	return s.reportFailure(donor, problemID, unitID, reason, failCompute, 0)
+func (s *Server) ReportFailure(ctx context.Context, donor, problemID string, unitID int64, reason string) error {
+	return s.reportFailure(ctx, donor, problemID, unitID, reason, failCompute, 0)
 }
 
 // reportTaggedFailure implements taggedFailureReporter for in-process
 // donors.
-func (s *Server) reportTaggedFailure(donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error {
+func (s *Server) reportTaggedFailure(ctx context.Context, donor, problemID string, unitID int64, reason string, transport bool, epoch int64) error {
 	kind := failCompute
 	if transport {
 		kind = failTransport
 	}
-	return s.reportFailure(donor, problemID, unitID, reason, kind, epoch)
+	return s.reportFailure(ctx, donor, problemID, unitID, reason, kind, epoch)
 }
 
 // reportFailure requeues a failed unit. kind is failTransport for failures
@@ -757,7 +904,10 @@ func (s *Server) reportTaggedFailure(donor, problemID string, unitID int64, reas
 // straggler report from a forgotten predecessor of a reused ID: dropped,
 // like its submitResult counterpart, so it cannot revoke a live lease of
 // the successor when donor names collide.
-func (s *Server) reportFailure(donor, problemID string, unitID int64, reason string, kind failureKind, epoch int64) error {
+func (s *Server) reportFailure(ctx context.Context, donor, problemID string, unitID int64, reason string, kind failureKind, epoch int64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if s.isClosed() {
 		return ErrClosed
 	}
@@ -944,6 +1094,7 @@ func (s *Server) leaseLocked(ps *problemState, u *Unit, donor string, attempts i
 		attempts: attempts,
 	}
 	ps.dispatched++
+	s.publishUnitEventLocked(ps, EventUnitDispatched, u.ID, donor)
 }
 
 // touchDonor returns the donor's state, creating it on first contact, and
@@ -989,6 +1140,48 @@ func remainingCost(dm DataManager) int64 {
 	return 0
 }
 
+// CancelNotices implements CancelNotifier: drain and return the donor's
+// pending epoch-tagged cancel notices. Donors poll this while computing a
+// unit and abort when a notice matches the unit's problem incarnation.
+func (s *Server) CancelNotices(ctx context.Context, donor string) ([]CancelNotice, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	s.cancelMu.Lock()
+	notices := s.cancels[donor]
+	if notices != nil {
+		delete(s.cancels, donor)
+	}
+	s.cancelMu.Unlock()
+	return notices, nil
+}
+
+// queueCancels records a cancel notice for every donor holding one of ps's
+// in-flight leases — called when the problem ends (finalized early, failed,
+// forgotten, closed) with units still out, all compute on which is now
+// wasted. Callers hold ps.mu; cancelMu is a leaf below it.
+func (s *Server) queueCancels(ps *problemState) {
+	if len(ps.inflight) == 0 {
+		return
+	}
+	s.cancelMu.Lock()
+	defer s.cancelMu.Unlock()
+	for _, li := range ps.inflight {
+		q := append(s.cancels[li.donor], CancelNotice{
+			ProblemID: ps.id,
+			Epoch:     ps.epoch,
+			UnitID:    li.unit.ID,
+		})
+		if len(q) > maxPendingCancels {
+			q = q[len(q)-maxPendingCancels:]
+		}
+		s.cancels[li.donor] = q
+	}
+}
+
 // finalizeLocked marks a problem done with its DataManager's final result.
 // Callers hold ps.mu.
 func (s *Server) finalizeLocked(ps *problemState) {
@@ -1016,11 +1209,16 @@ func (s *Server) failLocked(ps *problemState, err error) {
 // releaseLocked drops a finished problem's queued and leased unit payloads
 // and the shared blob: a problem that finalized early (Done with units
 // still out) must not pin them for the server's lifetime, and Status should
-// not report in-flight work for a done problem. (A donor fetching shared
+// not report in-flight work for a done problem. Donors still computing one
+// of the leased units get a cancel notice so they abort instead of
+// finishing work whose result would be dropped. (A donor fetching shared
 // data for a finished problem gets nil, fails Init, and the failure report
-// is ignored — the problem is done.) The network layer's cleanup hook runs
-// here too, under the problem lock. Callers hold ps.mu.
+// is ignored — the problem is done.) The network layer's cleanup hook and
+// the terminal Watch event fire here too, under the problem lock. Callers
+// hold ps.mu; ps.done is already true.
 func (s *Server) releaseLocked(ps *problemState) {
+	s.queueCancels(ps)
+	s.publishLocked(ps, s.terminalEventLocked(ps))
 	ps.requeue = nil
 	ps.inflight = nil
 	ps.shared = nil // the server's reference only; the caller's Problem is untouched
@@ -1054,15 +1252,25 @@ func (s *Server) expireLeases(now time.Time) {
 	}
 	donorCutoff := now.Add(-10 * s.opts.Lease)
 	s.donorMu.Lock()
+	var pruned []string
 	for name, ds := range s.donors {
 		ds.mu.Lock()
 		gone := ds.lastSeen.Before(donorCutoff)
 		ds.mu.Unlock()
 		if gone {
 			delete(s.donors, name)
+			pruned = append(pruned, name)
 		}
 	}
 	s.donorMu.Unlock()
+	if len(pruned) > 0 {
+		// A pruned donor will never drain its cancel queue; drop it.
+		s.cancelMu.Lock()
+		for _, name := range pruned {
+			delete(s.cancels, name)
+		}
+		s.cancelMu.Unlock()
+	}
 
 	s.regMu.RLock()
 	states := make([]*problemState, 0, len(s.problems))

@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+)
+
+// Typed adapters: the v2 programming model. Applications implement
+// TypedDM[U, R] (server side) and TypedAlgorithm[S, U, R] (donor side) in
+// terms of their own payload structs; AdaptDM/AdaptAlgorithm own the gob
+// marshal/unmarshal at the byte boundary, so no application code touches
+// []byte codecs. S is the shared-data type, U the unit-payload type, R the
+// unit-result type.
+
+// Encode gob-encodes a typed value — the typed successor of Marshal.
+func Encode[T any](v T) ([]byte, error) { return Marshal(v) }
+
+// Decode gob-decodes data produced by Encode (or Marshal) into a T.
+func Decode[T any](data []byte) (T, error) {
+	var v T
+	if err := Unmarshal(data, &v); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+// MustEncode is Encode for values that cannot fail (tests, literals).
+func MustEncode[T any](v T) []byte { return MustMarshal(v) }
+
+// NoShared marks a problem without shared data: use it as the S parameter
+// of TypedAlgorithm and pass NoShared{} to NewTypedProblem, which then
+// leaves Problem.SharedData nil.
+type NoShared = struct{}
+
+// UnitOf is a work unit whose payload is still typed — what a TypedDM hands
+// out before the adapter encodes it into a wire Unit.
+type UnitOf[U any] struct {
+	// ID is unique within the problem.
+	ID int64
+	// Algorithm names the registered donor-side computation.
+	Algorithm string
+	// Payload is the unit's typed input.
+	Payload U
+	// Cost is the unit's size in the problem's cost units.
+	Cost int64
+}
+
+// TypedDM is the typed server-side extension point: units carry U payloads
+// and come back as R results. Wrap implementations with AdaptDM (or
+// NewTypedProblem) to obtain the byte-level DataManager the server drives.
+// The optional extensions (CostReporter, Progresser, Requeuer) are probed
+// on the implementation and forwarded by the adapter.
+//
+// As with DataManager, the server serialises all calls per problem, so
+// implementations need no internal locking.
+type TypedDM[U, R any] interface {
+	// NextUnit returns the next typed work unit, sized to approximately
+	// the given cost budget; ok is false at a stage barrier or when the
+	// problem is complete.
+	NextUnit(budget int64) (u *UnitOf[U], ok bool, err error)
+	// Consume folds one completed unit's typed result.
+	Consume(unitID int64, res R) error
+	// Done reports whether the final result is ready.
+	Done() bool
+	// FinalResult returns the completed problem's output. Its concrete
+	// type is the application's choice (often distinct from R); the
+	// adapter gob-encodes it, and callers decode with Decode[F].
+	FinalResult() (any, error)
+}
+
+// AdaptDM wraps a typed DataManager as a byte-level one, owning the gob
+// codec for unit payloads, unit results and the final result. The optional
+// CostReporter/Progresser/Requeuer extensions are forwarded when the typed
+// implementation provides them.
+func AdaptDM[U, R any](impl TypedDM[U, R]) DataManager {
+	base := typedDM[U, R]{impl: impl}
+	if _, ok := impl.(Requeuer); ok {
+		// Requeuer changes server behaviour (regenerate vs re-dispatch
+		// cached payload), so the adapter exposes it only when the typed
+		// implementation actually has it.
+		return &typedRequeueDM[U, R]{base}
+	}
+	return &base
+}
+
+type typedDM[U, R any] struct{ impl TypedDM[U, R] }
+
+var (
+	_ DataManager  = (*typedDM[int, int])(nil)
+	_ CostReporter = (*typedDM[int, int])(nil)
+	_ Progresser   = (*typedDM[int, int])(nil)
+	_ Requeuer     = (*typedRequeueDM[int, int])(nil)
+)
+
+func (a *typedDM[U, R]) NextUnit(budget int64) (*Unit, bool, error) {
+	u, ok, err := a.impl.NextUnit(budget)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if u == nil {
+		return nil, false, fmt.Errorf("dist: typed DataManager %T returned ok with a nil unit", a.impl)
+	}
+	payload, err := Encode(u.Payload)
+	if err != nil {
+		return nil, false, err
+	}
+	return &Unit{ID: u.ID, Algorithm: u.Algorithm, Payload: payload, Cost: u.Cost}, true, nil
+}
+
+func (a *typedDM[U, R]) Consume(unitID int64, payload []byte) error {
+	res, err := Decode[R](payload)
+	if err != nil {
+		return err
+	}
+	return a.impl.Consume(unitID, res)
+}
+
+func (a *typedDM[U, R]) Done() bool { return a.impl.Done() }
+
+func (a *typedDM[U, R]) FinalResult() ([]byte, error) {
+	v, err := a.impl.FinalResult()
+	if err != nil {
+		return nil, err
+	}
+	return Marshal(v)
+}
+
+// RemainingCost forwards to the typed implementation; without the
+// extension it reports 0, the same "unknown" value the server assumes for
+// a DataManager that does not implement CostReporter.
+func (a *typedDM[U, R]) RemainingCost() int64 {
+	if cr, ok := a.impl.(CostReporter); ok {
+		return cr.RemainingCost()
+	}
+	return 0
+}
+
+// Progress forwards to the typed implementation (zeros without it, the
+// same as a DataManager that does not implement Progresser).
+func (a *typedDM[U, R]) Progress() (done, total int) {
+	if p, ok := a.impl.(Progresser); ok {
+		return p.Progress()
+	}
+	return 0, 0
+}
+
+type typedRequeueDM[U, R any] struct{ typedDM[U, R] }
+
+func (a *typedRequeueDM[U, R]) Requeue(unitID int64) { a.impl.(Requeuer).Requeue(unitID) }
+
+// NewTypedProblem assembles a Problem from a typed DataManager and typed
+// shared data, encoding the shared blob at the boundary. Instantiate the
+// unit types explicitly and let shared's type be inferred:
+//
+//	p, err := dist.NewTypedProblem[unitPayload, resultPayload](id, dm, sharedData{...})
+//
+// Pass NoShared{} for problems without shared data; SharedData then stays
+// nil and the donor-side Init receives the zero S.
+func NewTypedProblem[U, R, S any](id string, dm TypedDM[U, R], shared S) (*Problem, error) {
+	p := &Problem{ID: id, DM: AdaptDM(dm)}
+	if _, none := any(shared).(NoShared); !none {
+		blob, err := Encode(shared)
+		if err != nil {
+			return nil, err
+		}
+		p.SharedData = blob
+	}
+	return p, nil
+}
+
+// TypedAlgorithm is the typed donor-side extension point: Init receives the
+// problem's decoded shared data, ProcessCtx one decoded unit. ProcessCtx
+// must honour ctx — it is cancelled when the server forgets the problem
+// mid-unit or the donor shuts down, and an aborted unit should return
+// ctx.Err() promptly instead of finishing doomed work.
+type TypedAlgorithm[S, U, R any] interface {
+	Init(shared S) error
+	ProcessCtx(ctx context.Context, unit U) (R, error)
+}
+
+// AdaptAlgorithm wraps a typed algorithm as a byte-level one, owning the
+// gob codec for shared data, unit payloads and results. An empty shared
+// blob (a problem submitted with no shared data) decodes to the zero S.
+func AdaptAlgorithm[S, U, R any](impl TypedAlgorithm[S, U, R]) Algorithm {
+	return &typedAlgorithm[S, U, R]{impl: impl}
+}
+
+type typedAlgorithm[S, U, R any] struct{ impl TypedAlgorithm[S, U, R] }
+
+var _ Algorithm = (*typedAlgorithm[int, int, int])(nil)
+
+func (a *typedAlgorithm[S, U, R]) Init(shared []byte) error {
+	var s S
+	if len(shared) > 0 {
+		var err error
+		if s, err = Decode[S](shared); err != nil {
+			return err
+		}
+	}
+	return a.impl.Init(s)
+}
+
+func (a *typedAlgorithm[S, U, R]) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	u, err := Decode[U](payload)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.impl.ProcessCtx(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(res)
+}
+
+// RegisterTypedAlgorithm registers a typed algorithm factory under name,
+// adapting each instance with AdaptAlgorithm:
+//
+//	dist.RegisterTypedAlgorithm(name, func() dist.TypedAlgorithm[shared, unit, result] {
+//		return &Algorithm{}
+//	})
+func RegisterTypedAlgorithm[S, U, R any](name string, f func() TypedAlgorithm[S, U, R]) {
+	if f == nil {
+		panic("dist: RegisterTypedAlgorithm with nil factory")
+	}
+	RegisterAlgorithm(name, func() Algorithm { return AdaptAlgorithm(f()) })
+}

@@ -1,6 +1,7 @@
 package dprml
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -39,12 +40,13 @@ func Bootstrap(aln *seq.Alignment, opts Options, b, nWorkers int, policy sched.P
 	if nWorkers < 1 {
 		nWorkers = 1
 	}
-	srv := dist.NewServer(dist.ServerOptions{
-		Policy:     policy,
-		Lease:      time.Hour,
-		ExpiryScan: time.Hour,
-		WaitHint:   time.Millisecond,
-	})
+	ctx := context.Background()
+	srv := dist.NewServer(
+		dist.WithPolicy(policy),
+		dist.WithLeaseTTL(time.Hour),
+		dist.WithExpiryScan(time.Hour),
+		dist.WithWaitHint(time.Millisecond),
+	)
 	defer srv.Close()
 
 	ids := make([]string, b)
@@ -57,7 +59,7 @@ func Bootstrap(aln *seq.Alignment, opts Options, b, nWorkers int, policy sched.P
 		if err != nil {
 			return nil, fmt.Errorf("dprml: replicate %d: %w", i, err)
 		}
-		if err := srv.Submit(p); err != nil {
+		if err := srv.Submit(ctx, p); err != nil {
 			return nil, err
 		}
 		ids[i] = p.ID
@@ -66,9 +68,9 @@ func Bootstrap(aln *seq.Alignment, opts Options, b, nWorkers int, policy sched.P
 	var wg sync.WaitGroup
 	donors := make([]*dist.Donor, nWorkers)
 	for i := range donors {
-		donors[i] = dist.NewDonor(srv, dist.DonorOptions{Name: fmt.Sprintf("bs-w%d", i)})
+		donors[i] = dist.NewDonor(srv, dist.WithName(fmt.Sprintf("bs-w%d", i)))
 		wg.Add(1)
-		go func(d *dist.Donor) { defer wg.Done(); _ = d.Run() }(donors[i])
+		go func(d *dist.Donor) { defer wg.Done(); _ = d.Run(ctx) }(donors[i])
 	}
 	defer func() {
 		for _, d := range donors {
@@ -80,7 +82,7 @@ func Bootstrap(aln *seq.Alignment, opts Options, b, nWorkers int, policy sched.P
 	res := &BootstrapResult{Replicates: make([]*TreeResult, b)}
 	trees := make([]*phylo.Tree, b)
 	for i, id := range ids {
-		out, err := srv.Wait(id)
+		out, err := srv.Wait(ctx, id)
 		if err != nil {
 			return nil, fmt.Errorf("dprml: replicate %d failed: %w", i, err)
 		}

@@ -20,7 +20,8 @@ const (
 // DataManager drives distributed stepwise insertion. All ML computation
 // happens on donors; the server only does tree bookkeeping, which is how
 // the paper's modest Pentium III server coordinates 200 machines. It
-// implements dist.DataManager and dist.CostReporter.
+// implements the typed dist.TypedDM[taskUnit, taskResult] plus the
+// CostReporter, Progresser and Requeuer extensions.
 type DataManager struct {
 	opts  Options
 	order []string
@@ -44,10 +45,10 @@ type DataManager struct {
 }
 
 var (
-	_ dist.DataManager  = (*DataManager)(nil)
-	_ dist.CostReporter = (*DataManager)(nil)
-	_ dist.Requeuer     = (*DataManager)(nil)
-	_ dist.Progresser   = (*DataManager)(nil)
+	_ dist.TypedDM[taskUnit, taskResult] = (*DataManager)(nil)
+	_ dist.CostReporter                  = (*DataManager)(nil)
+	_ dist.Requeuer                      = (*DataManager)(nil)
+	_ dist.Progresser                    = (*DataManager)(nil)
 )
 
 // NewDataManager builds the server-side half of a DPRml problem.
@@ -76,7 +77,8 @@ func NewDataManager(aln *seq.Alignment, opts Options) (*DataManager, error) {
 	return d, nil
 }
 
-// NewProblem assembles a complete dist.Problem for a DPRml run.
+// NewProblem assembles a complete dist.Problem for a DPRml run; the typed
+// adapter owns all payload marshalling.
 func NewProblem(id string, aln *seq.Alignment, opts Options) (*dist.Problem, error) {
 	dm, err := NewDataManager(aln, opts)
 	if err != nil {
@@ -91,11 +93,7 @@ func NewProblem(id string, aln *seq.Alignment, opts Options) (*dist.Problem, err
 		fasta = buf.b
 	}
 	opts.applyDefaults()
-	shared, err := dist.Marshal(sharedData{AlignmentFasta: fasta, Options: opts})
-	if err != nil {
-		return nil, err
-	}
-	return &dist.Problem{ID: id, DM: dm, SharedData: shared}, nil
+	return dist.NewTypedProblem[taskUnit, taskResult](id, dm, sharedData{AlignmentFasta: fasta, Options: opts})
 }
 
 type writerBuf struct{ b []byte }
@@ -115,8 +113,8 @@ func (d *DataManager) taskCost() int64 {
 	return c
 }
 
-// NextUnit implements dist.DataManager.
-func (d *DataManager) NextUnit(budget int64) (*dist.Unit, bool, error) {
+// NextUnit implements dist.TypedDM.
+func (d *DataManager) NextUnit(budget int64) (*dist.UnitOf[taskUnit], bool, error) {
 	switch d.phase {
 	case phaseTriplet:
 		if len(d.pending) > 0 {
@@ -162,17 +160,13 @@ func (d *DataManager) NextUnit(budget int64) (*dist.Unit, bool, error) {
 	}
 }
 
-func (d *DataManager) issue(u *taskUnit, cost int64) (*dist.Unit, bool, error) {
-	payload, err := dist.Marshal(*u)
-	if err != nil {
-		return nil, false, err
-	}
+func (d *DataManager) issue(u *taskUnit, cost int64) (*dist.UnitOf[taskUnit], bool, error) {
 	d.unitSeq++
 	d.pending[d.unitSeq] = u
-	return &dist.Unit{
+	return &dist.UnitOf[taskUnit]{
 		ID:        d.unitSeq,
 		Algorithm: AlgorithmName,
-		Payload:   payload,
+		Payload:   *u,
 		Cost:      cost,
 	}, true, nil
 }
@@ -197,17 +191,13 @@ func (d *DataManager) Requeue(unitID int64) {
 	}
 }
 
-// Consume implements dist.DataManager.
-func (d *DataManager) Consume(unitID int64, payload []byte) error {
+// Consume implements dist.TypedDM.
+func (d *DataManager) Consume(unitID int64, res taskResult) error {
 	u, ok := d.pending[unitID]
 	if !ok {
 		return fmt.Errorf("dprml: result for unknown unit %d", unitID)
 	}
 	delete(d.pending, unitID)
-	var res taskResult
-	if err := dist.Unmarshal(payload, &res); err != nil {
-		return err
-	}
 	switch d.phase {
 	case phaseTriplet:
 		t, err := phylo.ParseNewick(res.BestTree)
@@ -259,15 +249,15 @@ func (d *DataManager) startStage() {
 	d.bestTree = ""
 }
 
-// Done implements dist.DataManager.
+// Done implements dist.TypedDM.
 func (d *DataManager) Done() bool { return d.phase == phaseDone }
 
-// FinalResult implements dist.DataManager.
-func (d *DataManager) FinalResult() ([]byte, error) {
+// FinalResult implements dist.TypedDM; decode with DecodeResult.
+func (d *DataManager) FinalResult() (any, error) {
 	if d.phase != phaseDone {
 		return nil, fmt.Errorf("dprml: FinalResult before completion")
 	}
-	return dist.Marshal(d.final)
+	return d.final, nil
 }
 
 // RemainingCost implements dist.CostReporter: a rough estimate of the

@@ -14,6 +14,7 @@ package dprml
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -177,19 +178,17 @@ func better(ll float64, edge int, bestLL float64, bestEdge int) bool {
 	return edge < bestEdge
 }
 
-// Algorithm is the donor-side computation.
+// Algorithm is the donor-side computation. It implements the typed
+// dist.TypedAlgorithm[sharedData, taskUnit, taskResult]; the adapter owns
+// the gob codec.
 type Algorithm struct {
 	ctx *evalContext
 }
 
-var _ dist.Algorithm = (*Algorithm)(nil)
+var _ dist.TypedAlgorithm[sharedData, taskUnit, taskResult] = (*Algorithm)(nil)
 
-// Init implements dist.Algorithm.
-func (a *Algorithm) Init(shared []byte) error {
-	var sd sharedData
-	if err := dist.Unmarshal(shared, &sd); err != nil {
-		return err
-	}
+// Init implements dist.TypedAlgorithm.
+func (a *Algorithm) Init(sd sharedData) error {
 	aln, err := seq.ReadAlignmentFASTA(bytes.NewReader(sd.AlignmentFasta))
 	if err != nil {
 		return err
@@ -202,52 +201,54 @@ func (a *Algorithm) Init(shared []byte) error {
 	return nil
 }
 
-// Process implements dist.Algorithm.
-func (a *Algorithm) Process(payload []byte) ([]byte, error) {
-	var u taskUnit
-	if err := dist.Unmarshal(payload, &u); err != nil {
-		return nil, err
-	}
+// ProcessCtx implements dist.TypedAlgorithm. Cancellation is checked
+// between candidate evaluations (per edge, per kappa), so a server-side
+// Forget aborts the unit within one likelihood optimisation.
+func (a *Algorithm) ProcessCtx(ctx context.Context, u taskUnit) (taskResult, error) {
 	base, err := phylo.ParseNewick(u.Tree)
 	if err != nil {
-		return nil, fmt.Errorf("dprml: unit tree: %w", err)
+		return taskResult{}, fmt.Errorf("dprml: unit tree: %w", err)
 	}
 	if len(u.Kappas) > 0 {
-		res, err := a.ctx.scanKappas(base, u.Kappas)
-		if err != nil {
-			return nil, err
-		}
-		return dist.Marshal(res)
+		return a.ctx.scanKappas(ctx, base, u.Kappas)
 	}
 	if u.FullOptimize {
+		if err := ctx.Err(); err != nil {
+			return taskResult{}, err
+		}
 		rounds := u.Rounds
 		if rounds <= 0 {
 			rounds = a.ctx.opts.FinalRounds
 		}
 		ll, err := a.ctx.eval.OptimizeBranchLengths(base, rounds, a.ctx.opts.BranchTolerance)
 		if err != nil {
-			return nil, err
+			return taskResult{}, err
 		}
-		return dist.Marshal(taskResult{BestEdge: -1, BestLogL: ll, BestTree: base.String()})
+		return taskResult{BestEdge: -1, BestLogL: ll, BestTree: base.String()}, nil
 	}
 	best := taskResult{BestEdge: -1, BestLogL: math.Inf(-1)}
 	for _, idx := range u.Edges {
+		if err := ctx.Err(); err != nil {
+			return taskResult{}, err
+		}
 		ll, tree, err := a.ctx.scoreInsertion(base, u.Taxon, idx)
 		if err != nil {
-			return nil, err
+			return taskResult{}, err
 		}
 		if best.BestEdge < 0 || better(ll, idx, best.BestLogL, best.BestEdge) {
 			best = taskResult{BestEdge: idx, BestLogL: ll, BestTree: tree.String()}
 		}
 	}
 	if best.BestEdge < 0 {
-		return nil, fmt.Errorf("dprml: unit had no edges")
+		return taskResult{}, fmt.Errorf("dprml: unit had no edges")
 	}
-	return dist.Marshal(best)
+	return best, nil
 }
 
 func init() {
-	dist.RegisterAlgorithm(AlgorithmName, func() dist.Algorithm { return &Algorithm{} })
+	dist.RegisterTypedAlgorithm(AlgorithmName, func() dist.TypedAlgorithm[sharedData, taskUnit, taskResult] {
+		return &Algorithm{}
+	})
 }
 
 // BuildTreeLocal is the sequential reference implementation of the full
@@ -314,8 +315,8 @@ func additionOrder(aln *seq.Alignment, opts Options) ([]string, error) {
 
 // DecodeResult unpacks a completed problem's final payload.
 func DecodeResult(payload []byte) (*TreeResult, error) {
-	var r TreeResult
-	if err := dist.Unmarshal(payload, &r); err != nil {
+	r, err := dist.Decode[TreeResult](payload)
+	if err != nil {
 		return nil, err
 	}
 	return &r, nil

@@ -1,6 +1,7 @@
 package dprml
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -103,7 +104,7 @@ func TestDistributedMatchesLocal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := dist.RunLocal(p, 3, policy)
+		out, err := dist.RunLocal(context.Background(), p, 3, policy)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestDataManagerStageFlow(t *testing.T) {
 	// Feed a plausible triplet result.
 	trip := phylo.Triplet(aln.Taxa()[0], aln.Taxa()[1], aln.Taxa()[2], 0.1)
 	res := taskResult{BestEdge: -1, BestLogL: -100, BestTree: trip.String()}
-	if err := dm.Consume(u1.ID, dist.MustMarshal(res)); err != nil {
+	if err := dm.Consume(u1.ID, res); err != nil {
 		t.Fatal(err)
 	}
 	// Phase 2: stage for taxon 4 has 3 edges; with budget for 1 task we
@@ -151,7 +152,7 @@ func TestDataManagerStageFlow(t *testing.T) {
 	if placed != 3 || total != 5 {
 		t.Fatalf("progress %d/%d", placed, total)
 	}
-	var stageUnits []*dist.Unit
+	var stageUnits []*dist.UnitOf[taskUnit]
 	for {
 		u, ok, err := dm.NextUnit(1)
 		if err != nil {
@@ -181,7 +182,7 @@ func TestDataManagerRequeue(t *testing.T) {
 	}
 	u1, _, _ := dm.NextUnit(1 << 40)
 	trip := phylo.Triplet(aln.Taxa()[0], aln.Taxa()[1], aln.Taxa()[2], 0.1)
-	_ = dm.Consume(u1.ID, dist.MustMarshal(taskResult{BestTree: trip.String(), BestLogL: -1}))
+	_ = dm.Consume(u1.ID, taskResult{BestTree: trip.String(), BestLogL: -1})
 	// Take the whole stage as one unit, then lose it.
 	u2, ok, _ := dm.NextUnit(1 << 40)
 	if !ok {

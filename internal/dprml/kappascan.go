@@ -1,6 +1,7 @@
 package dprml
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,8 +26,9 @@ type KappaScanResult struct {
 	LogL  float64
 }
 
-// KappaScanDM distributes a kappa grid scan. Implements dist.DataManager,
-// dist.CostReporter and dist.Progresser.
+// KappaScanDM distributes a kappa grid scan. Implements the typed
+// dist.TypedDM[taskUnit, taskResult] plus dist.CostReporter and
+// dist.Progresser.
 type KappaScanDM struct {
 	tree string
 	grid []float64
@@ -41,9 +43,9 @@ type KappaScanDM struct {
 }
 
 var (
-	_ dist.DataManager  = (*KappaScanDM)(nil)
-	_ dist.CostReporter = (*KappaScanDM)(nil)
-	_ dist.Progresser   = (*KappaScanDM)(nil)
+	_ dist.TypedDM[taskUnit, taskResult] = (*KappaScanDM)(nil)
+	_ dist.CostReporter                  = (*KappaScanDM)(nil)
+	_ dist.Progresser                    = (*KappaScanDM)(nil)
 )
 
 // KappaGrid builds a log-spaced grid of n kappa candidates in [lo, hi].
@@ -85,10 +87,6 @@ func NewKappaScanProblem(id string, aln *seq.Alignment, tree *phylo.Tree, grid [
 		}
 		fasta = buf.b
 	}
-	shared, err := dist.Marshal(sharedData{AlignmentFasta: fasta, Options: opts})
-	if err != nil {
-		return nil, err
-	}
 	dm := &KappaScanDM{
 		tree:    tree.String(),
 		grid:    append([]float64(nil), grid...),
@@ -96,11 +94,11 @@ func NewKappaScanProblem(id string, aln *seq.Alignment, tree *phylo.Tree, grid [
 		pending: make(map[int64][]float64),
 		bestLL:  math.Inf(-1),
 	}
-	return &dist.Problem{ID: id, DM: dm, SharedData: shared}, nil
+	return dist.NewTypedProblem[taskUnit, taskResult](id, dm, sharedData{AlignmentFasta: fasta, Options: opts})
 }
 
-// NextUnit implements dist.DataManager: batch grid points up to the budget.
-func (d *KappaScanDM) NextUnit(budget int64) (*dist.Unit, bool, error) {
+// NextUnit implements dist.TypedDM: batch grid points up to the budget.
+func (d *KappaScanDM) NextUnit(budget int64) (*dist.UnitOf[taskUnit], bool, error) {
 	remaining := len(d.grid) - d.next
 	if remaining <= 0 {
 		return nil, false, nil
@@ -114,31 +112,23 @@ func (d *KappaScanDM) NextUnit(budget int64) (*dist.Unit, bool, error) {
 	}
 	batch := d.grid[d.next : d.next+n]
 	d.next += n
-	payload, err := dist.Marshal(taskUnit{Tree: d.tree, Kappas: batch})
-	if err != nil {
-		return nil, false, err
-	}
 	d.unitSeq++
 	d.pending[d.unitSeq] = batch
-	return &dist.Unit{
+	return &dist.UnitOf[taskUnit]{
 		ID:        d.unitSeq,
 		Algorithm: AlgorithmName,
-		Payload:   payload,
+		Payload:   taskUnit{Tree: d.tree, Kappas: batch},
 		Cost:      int64(n) * d.cost,
 	}, true, nil
 }
 
-// Consume implements dist.DataManager.
-func (d *KappaScanDM) Consume(unitID int64, payload []byte) error {
+// Consume implements dist.TypedDM.
+func (d *KappaScanDM) Consume(unitID int64, res taskResult) error {
 	batch, ok := d.pending[unitID]
 	if !ok {
 		return fmt.Errorf("dprml: kappa result for unknown unit %d", unitID)
 	}
 	delete(d.pending, unitID)
-	var res taskResult
-	if err := dist.Unmarshal(payload, &res); err != nil {
-		return err
-	}
 	d.consumed += len(batch)
 	// Ties break to the smaller kappa so batching is irrelevant.
 	if res.BestLogL > d.bestLL || (res.BestLogL == d.bestLL && res.BestKappa < d.bestK) {
@@ -147,15 +137,15 @@ func (d *KappaScanDM) Consume(unitID int64, payload []byte) error {
 	return nil
 }
 
-// Done implements dist.DataManager.
+// Done implements dist.TypedDM.
 func (d *KappaScanDM) Done() bool { return d.consumed >= len(d.grid) }
 
-// FinalResult implements dist.DataManager.
-func (d *KappaScanDM) FinalResult() ([]byte, error) {
+// FinalResult implements dist.TypedDM; decode with DecodeKappaScan.
+func (d *KappaScanDM) FinalResult() (any, error) {
 	if !d.Done() {
 		return nil, fmt.Errorf("dprml: kappa scan incomplete")
 	}
-	return dist.Marshal(KappaScanResult{Kappa: d.bestK, LogL: d.bestLL})
+	return KappaScanResult{Kappa: d.bestK, LogL: d.bestLL}, nil
 }
 
 // RemainingCost implements dist.CostReporter.
@@ -168,16 +158,17 @@ func (d *KappaScanDM) Progress() (done, total int) { return d.consumed, len(d.gr
 
 // DecodeKappaScan unpacks a kappa scan's final payload.
 func DecodeKappaScan(payload []byte) (*KappaScanResult, error) {
-	var r KappaScanResult
-	if err := dist.Unmarshal(payload, &r); err != nil {
+	r, err := dist.Decode[KappaScanResult](payload)
+	if err != nil {
 		return nil, err
 	}
 	return &r, nil
 }
 
 // scanKappas is the donor-side half: evaluate each kappa on the unit's
-// fixed tree with empirical base frequencies.
-func (c *evalContext) scanKappas(tree *phylo.Tree, kappas []float64) (taskResult, error) {
+// fixed tree with empirical base frequencies. Cancellation is checked per
+// grid point.
+func (c *evalContext) scanKappas(ctx context.Context, tree *phylo.Tree, kappas []float64) (taskResult, error) {
 	best := taskResult{BestEdge: -1, BestLogL: math.Inf(-1)}
 	pi := likelihood.EmpiricalFrequencies(c.aln)
 	rates := likelihood.UniformRates()
@@ -189,6 +180,9 @@ func (c *evalContext) scanKappas(tree *phylo.Tree, kappas []float64) (taskResult
 		}
 	}
 	for _, kappa := range kappas {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
 		m, err := likelihood.NewHKY85(kappa, pi)
 		if err != nil {
 			return best, err

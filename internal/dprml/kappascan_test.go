@@ -1,6 +1,7 @@
 package dprml
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestDistributedKappaScanMatchesSerialEstimate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := dist.RunLocal(p, 3, pol)
+		out, err := dist.RunLocal(context.Background(), p, 3, pol)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,14 +134,15 @@ func TestKappaScanProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dm := p.DM.(*KappaScanDM)
-	if done, total := dm.Progress(); done != 0 || total != 8 {
+	// p.DM is the typed adapter; the optional extensions must be forwarded
+	// through it to the underlying KappaScanDM.
+	if done, total := p.DM.(dist.Progresser).Progress(); done != 0 || total != 8 {
 		t.Errorf("fresh progress %d/%d", done, total)
 	}
-	if dm.RemainingCost() <= 0 {
+	if p.DM.(dist.CostReporter).RemainingCost() <= 0 {
 		t.Error("no remaining cost on a fresh scan")
 	}
-	if _, err := dm.FinalResult(); err == nil {
+	if _, err := p.DM.FinalResult(); err == nil {
 		t.Error("FinalResult before completion succeeded")
 	}
 }

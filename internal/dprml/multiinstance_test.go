@@ -1,6 +1,7 @@
 package dprml
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -37,12 +38,13 @@ func TestMultiInstanceConcurrent(t *testing.T) {
 		refs[i] = ref
 	}
 
-	srv := dist.NewServer(dist.ServerOptions{
-		Policy:     sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 2000, Min: 1},
-		Lease:      time.Hour,
-		ExpiryScan: time.Hour,
-		WaitHint:   time.Millisecond,
-	})
+	ctx := context.Background()
+	srv := dist.NewServer(
+		dist.WithPolicy(sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 2000, Min: 1}),
+		dist.WithLeaseTTL(time.Hour),
+		dist.WithExpiryScan(time.Hour),
+		dist.WithWaitHint(time.Millisecond),
+	)
 	defer srv.Close()
 	for i, ord := range orders {
 		o := opts
@@ -51,7 +53,7 @@ func TestMultiInstanceConcurrent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := srv.Submit(p); err != nil {
+		if err := srv.Submit(ctx, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -59,14 +61,14 @@ func TestMultiInstanceConcurrent(t *testing.T) {
 	var wg sync.WaitGroup
 	var donors []*dist.Donor
 	for i := 0; i < 4; i++ {
-		d := dist.NewDonor(srv, dist.DonorOptions{Name: fmt.Sprintf("w%d", i)})
+		d := dist.NewDonor(srv, dist.WithName(fmt.Sprintf("w%d", i)))
 		donors = append(donors, d)
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = d.Run() }()
+		go func() { defer wg.Done(); _ = d.Run(ctx) }()
 	}
 
 	for i := range orders {
-		out, err := srv.Wait(fmt.Sprintf("multi-%d", i))
+		out, err := srv.Wait(ctx, fmt.Sprintf("multi-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}

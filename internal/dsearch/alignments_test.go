@@ -1,6 +1,7 @@
 package dsearch
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -79,7 +80,7 @@ func TestReportAlignmentsDistributedMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := dist.RunLocal(p, 3, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 2000, Min: 500})
+	out, err := dist.RunLocal(context.Background(), p, 3, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 2000, Min: 500})
 	if err != nil {
 		t.Fatal(err)
 	}

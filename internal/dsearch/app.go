@@ -1,6 +1,7 @@
 package dsearch
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/align"
@@ -24,15 +25,16 @@ type unitPayload struct {
 	Seqs []*seq.Sequence
 }
 
-// resultPayload is a chunk's top hits.
+// resultPayload is a chunk's top hits (and the problem's final result).
 type resultPayload struct {
 	Hits []Hit
 }
 
 // DataManager partitions the database into dynamically sized chunks
 // (granularity = residues, chosen by the scheduler per donor) and merges
-// per-chunk hit lists. It implements dist.DataManager and
-// dist.CostReporter.
+// per-chunk hit lists. It implements the typed dist.TypedDM[unitPayload,
+// resultPayload] — the adapter owns the gob codec — plus the CostReporter
+// and Progresser extensions.
 type DataManager struct {
 	db     *seq.Database
 	config Config
@@ -45,7 +47,7 @@ type DataManager struct {
 	hits      *HitList
 }
 
-var _ dist.DataManager = (*DataManager)(nil)
+var _ dist.TypedDM[unitPayload, resultPayload] = (*DataManager)(nil)
 var _ dist.CostReporter = (*DataManager)(nil)
 var _ dist.Progresser = (*DataManager)(nil)
 
@@ -66,7 +68,8 @@ func NewDataManager(db *seq.Database, cfg Config) (*DataManager, error) {
 	}, nil
 }
 
-// NewProblem assembles a complete dist.Problem for a search.
+// NewProblem assembles a complete dist.Problem for a search; the typed
+// adapter owns all payload marshalling.
 func NewProblem(id string, db, queries *seq.Database, cfg Config) (*dist.Problem, error) {
 	if queries == nil || queries.Len() == 0 {
 		return nil, fmt.Errorf("dsearch: empty query set")
@@ -82,16 +85,12 @@ func NewProblem(id string, db, queries *seq.Database, cfg Config) (*dist.Problem
 	if err != nil {
 		return nil, err
 	}
-	shared, err := dist.Marshal(sharedData{Queries: queries.Seqs, Config: cfg})
-	if err != nil {
-		return nil, err
-	}
-	return &dist.Problem{ID: id, DM: dm, SharedData: shared}, nil
+	return dist.NewTypedProblem[unitPayload, resultPayload](id, dm, sharedData{Queries: queries.Seqs, Config: cfg})
 }
 
-// NextUnit implements dist.DataManager: it takes sequences from the
-// database until the residue budget is exhausted.
-func (d *DataManager) NextUnit(budget int64) (*dist.Unit, bool, error) {
+// NextUnit implements dist.TypedDM: it takes sequences from the database
+// until the residue budget is exhausted.
+func (d *DataManager) NextUnit(budget int64) (*dist.UnitOf[unitPayload], bool, error) {
 	if d.next >= d.db.Len() {
 		return nil, false, nil
 	}
@@ -110,29 +109,21 @@ func (d *DataManager) NextUnit(budget int64) (*dist.Unit, bool, error) {
 	}
 	d.seq++
 	d.inflight[d.seq] = [2]int{from, d.next}
-	payload, err := dist.Marshal(unitPayload{Seqs: d.db.Seqs[from:d.next]})
-	if err != nil {
-		return nil, false, err
-	}
-	return &dist.Unit{
+	return &dist.UnitOf[unitPayload]{
 		ID:        d.seq,
 		Algorithm: AlgorithmName,
-		Payload:   payload,
+		Payload:   unitPayload{Seqs: d.db.Seqs[from:d.next]},
 		Cost:      cost,
 	}, true, nil
 }
 
-// Consume implements dist.DataManager: merge a chunk's hits.
-func (d *DataManager) Consume(unitID int64, payload []byte) error {
+// Consume implements dist.TypedDM: merge a chunk's hits.
+func (d *DataManager) Consume(unitID int64, res resultPayload) error {
 	span, ok := d.inflight[unitID]
 	if !ok {
 		return fmt.Errorf("dsearch: result for unknown unit %d", unitID)
 	}
 	delete(d.inflight, unitID)
-	var res resultPayload
-	if err := dist.Unmarshal(payload, &res); err != nil {
-		return err
-	}
 	d.hits.Merge(res.Hits)
 	d.consumed += span[1] - span[0]
 	for i := span[0]; i < span[1]; i++ {
@@ -141,12 +132,12 @@ func (d *DataManager) Consume(unitID int64, payload []byte) error {
 	return nil
 }
 
-// Done implements dist.DataManager.
+// Done implements dist.TypedDM.
 func (d *DataManager) Done() bool { return d.consumed == d.db.Len() }
 
-// FinalResult implements dist.DataManager: the merged hit list.
-func (d *DataManager) FinalResult() ([]byte, error) {
-	return dist.Marshal(resultPayload{Hits: d.hits.All()})
+// FinalResult implements dist.TypedDM: the merged hit list.
+func (d *DataManager) FinalResult() (any, error) {
+	return resultPayload{Hits: d.hits.All()}, nil
 }
 
 // RemainingCost implements dist.CostReporter.
@@ -159,21 +150,18 @@ func (d *DataManager) Progress() (done, total int) { return d.consumed, d.db.Len
 func (d *DataManager) Hits() *HitList { return d.hits }
 
 // Algorithm is the donor-side computation: align every query against every
-// sequence in the chunk and return the per-query top hits.
+// sequence in the chunk and return the per-query top hits. It implements
+// dist.TypedAlgorithm[sharedData, unitPayload, resultPayload].
 type Algorithm struct {
 	queries []*seq.Sequence
 	cfg     Config
 	aligner align.Aligner
 }
 
-var _ dist.Algorithm = (*Algorithm)(nil)
+var _ dist.TypedAlgorithm[sharedData, unitPayload, resultPayload] = (*Algorithm)(nil)
 
-// Init implements dist.Algorithm.
-func (a *Algorithm) Init(shared []byte) error {
-	var sd sharedData
-	if err := dist.Unmarshal(shared, &sd); err != nil {
-		return err
-	}
+// Init implements dist.TypedAlgorithm.
+func (a *Algorithm) Init(sd sharedData) error {
 	if len(sd.Queries) == 0 {
 		return fmt.Errorf("dsearch: shared data has no queries")
 	}
@@ -187,14 +175,15 @@ func (a *Algorithm) Init(shared []byte) error {
 	return nil
 }
 
-// Process implements dist.Algorithm.
-func (a *Algorithm) Process(payload []byte) ([]byte, error) {
-	var up unitPayload
-	if err := dist.Unmarshal(payload, &up); err != nil {
-		return nil, err
-	}
+// ProcessCtx implements dist.TypedAlgorithm. Cancellation is checked
+// between query rows, so a server-side Forget aborts the scan within one
+// query's worth of alignments.
+func (a *Algorithm) ProcessCtx(ctx context.Context, up unitPayload) (resultPayload, error) {
 	local := NewHitList(a.cfg.TopK)
 	for _, q := range a.queries {
+		if err := ctx.Err(); err != nil {
+			return resultPayload{}, err
+		}
 		for _, s := range up.Seqs {
 			score := a.aligner.Score(q.Residues, s.Residues)
 			if score < a.cfg.MinScore {
@@ -212,7 +201,7 @@ func (a *Algorithm) Process(payload []byte) ([]byte, error) {
 	if a.cfg.ReportAlignments {
 		a.attachAlignments(hits, up.Seqs)
 	}
-	return dist.Marshal(resultPayload{Hits: hits})
+	return resultPayload{Hits: hits}, nil
 }
 
 // attachAlignments runs the traceback for each kept hit — only the top-K
@@ -241,7 +230,9 @@ func (a *Algorithm) attachAlignments(hits []Hit, chunk []*seq.Sequence) {
 }
 
 func init() {
-	dist.RegisterAlgorithm(AlgorithmName, func() dist.Algorithm { return &Algorithm{} })
+	dist.RegisterTypedAlgorithm(AlgorithmName, func() dist.TypedAlgorithm[sharedData, unitPayload, resultPayload] {
+		return &Algorithm{}
+	})
 }
 
 // SearchLocal runs a search without the distributed machinery — the
@@ -281,8 +272,8 @@ func SearchLocal(db, queries *seq.Database, cfg Config) (*HitList, error) {
 
 // DecodeResult unpacks a completed problem's final payload.
 func DecodeResult(payload []byte, k int) (*HitList, error) {
-	var res resultPayload
-	if err := dist.Unmarshal(payload, &res); err != nil {
+	res, err := dist.Decode[resultPayload](payload)
+	if err != nil {
 		return nil, err
 	}
 	h := NewHitList(k)

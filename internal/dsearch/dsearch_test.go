@@ -1,6 +1,7 @@
 package dsearch
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -153,7 +154,7 @@ func TestDistributedMatchesLocal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := dist.RunLocal(p, 4, policy)
+		out, err := dist.RunLocal(context.Background(), p, 4, policy)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,7 +225,7 @@ func TestDataManagerValidation(t *testing.T) {
 		t.Error("empty query set accepted")
 	}
 	dm, _ := NewDataManager(db, fastConfig())
-	if err := dm.Consume(999, nil); err == nil {
+	if err := dm.Consume(999, resultPayload{}); err == nil {
 		t.Error("unknown unit consumed")
 	}
 }

@@ -2,6 +2,7 @@ package dsearch
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -82,7 +83,7 @@ func TestMaskingDistributedMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := dist.RunLocal(p, 2, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 1000, Min: 100})
+	out, err := dist.RunLocal(context.Background(), p, 2, sched.Adaptive{Target: 50 * time.Millisecond, Bootstrap: 1000, Min: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

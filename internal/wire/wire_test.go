@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -53,11 +54,59 @@ func TestFrameSizeLimit(t *testing.T) {
 	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
 		t.Error("oversized write accepted")
 	}
-	// Forge an oversized header.
+	// Forge an oversized header (length + checksum words).
 	buf.Reset()
-	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, err := ReadFrame(&buf); err == nil {
-		t.Error("oversized read accepted")
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized read err = %v", err)
+	}
+}
+
+// TestFrameRejectsCorruptBody is the checksum regression: any flipped bit
+// in a frame body must surface as ErrCorruptFrame, never as silently wrong
+// data handed to a gob decoder.
+func TestFrameRejectsCorruptBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("the paper's data files travel ordinary sockets")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, at := range []int{frameHeaderSize, len(raw) - 1} { // first and last body byte
+		corrupted := append([]byte(nil), raw...)
+		corrupted[at] ^= 0x40
+		if _, err := ReadFrame(bytes.NewReader(corrupted)); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("flip at %d: err = %v, want ErrCorruptFrame", at, err)
+		}
+	}
+	// A corrupted stored checksum is equally detected.
+	corrupted := append([]byte(nil), raw...)
+	corrupted[5] ^= 0x01
+	if _, err := ReadFrame(bytes.NewReader(corrupted)); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("crc flip: err = %v, want ErrCorruptFrame", err)
+	}
+	// And the untouched frame still reads.
+	if _, err := ReadFrame(bytes.NewReader(raw)); err != nil {
+		t.Errorf("pristine frame rejected: %v", err)
+	}
+}
+
+// TestBulkServerStreamedBlobChecksum covers the streamed (header + status +
+// blob) fast path in serveConn, which assembles its checksum without going
+// through WriteFrame.
+func TestBulkServerStreamedBlobChecksum(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob := bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 50000)
+	s.Put("k", blob)
+	got, err := FetchBlob(s.Addr(), "k", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Error("streamed blob mangled")
 	}
 }
 
