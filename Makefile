@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench demo
+.PHONY: check build vet fmt test race bench demo docs-lint
 
 # check is the tier-1 gate: everything CI runs (CI invokes this target).
+# vet covers every package, including the control-channel codec paths in
+# internal/dist and internal/wire. The docs lint (markdown links/anchors +
+# README block compilation) is gated through `test`, which runs the root
+# package's TestMarkdownDocs and TestREADMECodeBlocksCompile; docs-lint
+# below re-runs just those for fast iteration on documentation.
 check: build vet fmt test race
 
 build:
@@ -25,6 +30,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# docs-lint checks every markdown file's relative links and anchors, and
+# compiles the README's marked code blocks against the real API.
+docs-lint:
+	$(GO) test -run 'TestMarkdownDocs|TestREADMECodeBlocksCompile' -count=1 .
 
 demo:
 	$(GO) run ./cmd/dsearch -demo

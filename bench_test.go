@@ -9,6 +9,8 @@
 //	BenchmarkDSEARCHEndToEnd       real distributed search, in-process workers
 //	BenchmarkDPRmlEndToEnd         real distributed tree build, in-process workers
 //	BenchmarkCoordinatorSharding   RequestTask/SubmitResult throughput vs problem count
+//	BenchmarkDispatchLatencyPushVsPoll  idle-donor wakeup latency and idle control
+//	                               QPS, WaitTask long-poll vs jittered polling
 //
 // Speedup/efficiency numbers are attached to the bench output via
 // b.ReportMetric; run with -v to also print the full series as tables (the
@@ -18,6 +20,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -445,6 +448,155 @@ func BenchmarkDispatchSkipsContended(b *testing.B) {
 	close(stop)
 	bgWG.Wait()
 	b.ReportMetric(float64(worst.Microseconds()), "worst-dispatch-us")
+}
+
+// oneShotDM hands out exactly one unit and is done once its result folds —
+// the smallest possible workload, so the dispatch-latency benchmark
+// measures the control channel and nothing else.
+type oneShotDM struct{ dispatched, consumed bool }
+
+func (d *oneShotDM) NextUnit(int64) (*dist.Unit, bool, error) {
+	if d.dispatched {
+		return nil, false, nil
+	}
+	d.dispatched = true
+	return &dist.Unit{ID: 1, Algorithm: "bench/noop", Cost: 1}, true, nil
+}
+
+func (d *oneShotDM) Consume(int64, []byte) error  { d.consumed = true; return nil }
+func (d *oneShotDM) Done() bool                   { return d.consumed }
+func (d *oneShotDM) FinalResult() ([]byte, error) { return nil, nil }
+
+// BenchmarkDispatchLatencyPushVsPoll measures how long an idle donor fleet
+// takes to pick up freshly submitted work, comparing the two dispatch
+// channels at 1/16/128 donors:
+//
+//   - poll: the legacy loop — RequestTask, then sleep the server's WaitHint
+//     (the production default 50ms, jittered ±20% like the donor loop does)
+//     before asking again. Expected wakeup latency is the first poll
+//     arrival after the Submit: ~WaitHint/2 for one donor, ~WaitHint/(n+1)
+//     for n of them — donors buy latency with idle control traffic.
+//   - push: donors parked in WaitTask; the Submit wakes them. Latency is a
+//     channel close and one dispatch scan, independent of the fleet's poll
+//     phase, and an idle fleet costs ~one control call per donor per park
+//     (1s here) instead of 20/s each.
+//
+// Reported metrics: mean and worst wakeup latency across b.N submits, and
+// the idle control-channel call rate measured over a quiet window after
+// the timed section.
+func BenchmarkDispatchLatencyPushVsPoll(b *testing.B) {
+	ctx := context.Background()
+	const waitHint = 50 * time.Millisecond
+	for _, mode := range []string{"poll", "push"} {
+		for _, donors := range []int{1, 16, 128} {
+			b.Run(fmt.Sprintf("%s/donors=%d", mode, donors), func(b *testing.B) {
+				opts := []dist.ServerOption{
+					dist.WithPolicy(sched.Fixed{Size: 1}),
+					dist.WithLeaseTTL(time.Hour),
+					dist.WithExpiryScan(time.Hour),
+					dist.WithWaitHint(waitHint),
+				}
+				if mode == "poll" {
+					opts = append(opts, dist.WithLongPoll(-1))
+				}
+				srv := dist.NewServer(opts...)
+				defer srv.Close()
+
+				dispatched := make(chan time.Time, 1)
+				var calls atomic.Int64
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for g := 0; g < donors; g++ {
+					wg.Add(1)
+					go func(g int, name string) {
+						defer wg.Done()
+						// Per-donor seed: every poller needs its own jitter
+						// stream or their phases never decorrelate.
+						rng := rand.New(rand.NewSource(int64(g+1) * 7919))
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							calls.Add(1)
+							var task *dist.Task
+							var wait time.Duration
+							var err error
+							if mode == "push" {
+								task, wait, err = srv.WaitTask(ctx, name, time.Second)
+							} else {
+								task, wait, err = srv.RequestTask(ctx, name)
+							}
+							if err != nil {
+								return // ErrClosed at teardown
+							}
+							if task == nil {
+								if mode == "push" {
+									continue // park expired; re-park
+								}
+								// The donor loop's jittered poll sleep.
+								f := 0.8 + 0.4*rng.Float64()
+								t := time.NewTimer(time.Duration(float64(wait) * f))
+								select {
+								case <-stop:
+									t.Stop()
+									return
+								case <-t.C:
+								}
+								continue
+							}
+							select {
+							case dispatched <- time.Now():
+							default:
+							}
+							_ = srv.SubmitResult(ctx, &dist.Result{
+								ProblemID: task.ProblemID, UnitID: task.Unit.ID,
+								Elapsed: time.Millisecond, Donor: name, Epoch: task.Epoch,
+							})
+						}
+					}(g, fmt.Sprintf("%s-%d-%d", mode, donors, g))
+				}
+				// Let the fleet settle into its park/poll rhythm before
+				// measuring.
+				time.Sleep(150 * time.Millisecond)
+
+				var total, worst time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id := fmt.Sprintf("lat-%s-%d-%d", mode, donors, i)
+					t0 := time.Now()
+					if err := srv.Submit(ctx, &dist.Problem{ID: id, DM: &oneShotDM{}}); err != nil {
+						b.Fatal(err)
+					}
+					lat := (<-dispatched).Sub(t0)
+					total += lat
+					if lat > worst {
+						worst = lat
+					}
+					if _, err := srv.Wait(ctx, id); err != nil {
+						b.Fatal(err)
+					}
+					_ = srv.Forget(id)
+				}
+				b.StopTimer()
+
+				// Idle control-channel rate: how hard does a fleet with no
+				// work hammer the server?
+				calls.Store(0)
+				time.Sleep(300 * time.Millisecond)
+				idleQPS := float64(calls.Load()) / 0.3
+
+				close(stop)
+				srv.Close() // unparks push donors so the pool can exit
+				wg.Wait()
+
+				b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "wakeup-ms")
+				b.ReportMetric(float64(worst.Microseconds())/1000, "worst-wakeup-ms")
+				b.ReportMetric(idleQPS, "idle-ctrl-qps")
+			})
+		}
+	}
 }
 
 // BenchmarkDSEARCHEndToEnd runs a real (non-simulated) distributed search

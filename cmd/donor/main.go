@@ -32,6 +32,7 @@ func main() {
 		throttle   = flag.Duration("throttle", 0, "pause between units (be a polite background service)")
 		retry      = flag.Duration("retry", 30*time.Second, "max backoff while reconnecting to a vanished server (0 = exit instead of retrying)")
 		cancelPoll = flag.Duration("cancel-poll", 500*time.Millisecond, "how often to poll for server cancel notices mid-unit (<0 disables)")
+		longPoll   = flag.Duration("long-poll", 45*time.Second, "max park per WaitTask long-poll when the server supports it (<=0 = legacy RequestTask polling)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,14 @@ func main() {
 		redial = func() (dist.Coordinator, error) { return dist.Dial(*server, dialTimeout) }
 	}
 
+	// A donor prefers the long-poll dispatch channel (negotiated at Dial,
+	// so an old server transparently degrades to polling); "-long-poll 0"
+	// forces the legacy jittered poll loop.
+	longPollWait := *longPoll
+	if longPollWait <= 0 {
+		longPollWait = -1
+	}
+
 	d := dist.NewDonor(client,
 		dist.WithName(*name),
 		dist.WithThrottle(*throttle),
@@ -58,6 +67,7 @@ func main() {
 		dist.WithRedial(redial),
 		dist.WithRedialBackoff(0, *retry),
 		dist.WithCancelPoll(*cancelPoll),
+		dist.WithLongPollWait(longPollWait),
 	)
 
 	// First interrupt: finish (or abort, via the cancelled context) the

@@ -41,6 +41,7 @@ func main() {
 		bulkAddr = flag.String("bulk", ":7071", "bulk data listen address")
 		policy   = flag.String("policy", "adaptive:5s", "scheduling policy (fixed:N | adaptive:DUR | gss[:k] | factoring)")
 		lease    = flag.Duration("lease", 2*time.Minute, "work unit reissue timeout")
+		longPoll = flag.Duration("long-poll", 45*time.Second, "max server-side park per WaitTask long-poll (<=0 = disable push dispatch; donors then poll)")
 		app      = flag.String("app", "", "application: dsearch | dprml")
 		progress = flag.Duration("progress", 10*time.Second, "minimum interval between progress log lines")
 
@@ -64,9 +65,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
+	// "-long-poll 0" disables push dispatch (the WaitTask capability is
+	// then not advertised and donors fall back to jittered polling).
+	longPollMax := *longPoll
+	if longPollMax <= 0 {
+		longPollMax = -1
+	}
 	ns, err := dist.ListenAndServe(*rpcAddr, *bulkAddr,
 		dist.WithPolicy(pol),
 		dist.WithLeaseTTL(*lease),
+		dist.WithLongPoll(longPollMax),
 	)
 	if err != nil {
 		log.Fatalf("server: %v", err)

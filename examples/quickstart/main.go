@@ -132,7 +132,7 @@ func (piAlgorithm) ProcessCtx(ctx context.Context, u piUnit) (piResult, error) {
 
 func main() {
 	// Donor binaries know algorithms by name (the Go substitute for Java's
-	// runtime class shipping — see DESIGN.md).
+	// runtime class shipping — see docs/ARCHITECTURE.md).
 	core.RegisterTypedAlgorithm("quickstart/pi", func() core.TypedAlgorithm[core.NoShared, piUnit, piResult] {
 		return piAlgorithm{}
 	})

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -8,6 +9,74 @@ import (
 	"testing"
 	"time"
 )
+
+// readmeCompileBlocks extracts every fenced ```go block that is
+// immediately preceded (blank lines allowed) by a
+// `<!-- readme-check: compile -->` marker. Unmarked blocks are
+// illustrative sketches and stay unchecked.
+func readmeCompileBlocks(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	var blocks []string
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "<!-- readme-check: compile -->" {
+			continue
+		}
+		j := i + 1
+		for j < len(lines) && strings.TrimSpace(lines[j]) == "" {
+			j++
+		}
+		if j >= len(lines) || strings.TrimSpace(lines[j]) != "```go" {
+			t.Fatalf("%s:%d: readme-check marker not followed by a ```go fence", path, i+1)
+		}
+		var b []string
+		for j++; j < len(lines) && strings.TrimSpace(lines[j]) != "```"; j++ {
+			b = append(b, lines[j])
+		}
+		blocks = append(blocks, strings.Join(b, "\n")+"\n")
+		i = j
+	}
+	return blocks
+}
+
+// TestREADMECodeBlocksCompile compiles the README's marked code blocks
+// verbatim against the real module, so the documented API cannot drift
+// from the implemented one. Blocks import internal packages, which only
+// code inside this module may do, so each block is written under
+// testdata/ (invisible to `go build ./...`) and built as an explicit
+// file argument.
+func TestREADMECodeBlocksCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("README compilation skipped in -short mode")
+	}
+	blocks := readmeCompileBlocks(t, "README.md")
+	if len(blocks) == 0 {
+		t.Fatal("no compile-checked code blocks found in README.md (marker lost?)")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, block := range blocks {
+		src := block
+		if !strings.HasPrefix(strings.TrimSpace(src), "package ") {
+			src = "package main\n\n" + src
+		}
+		file := filepath.Join("testdata", fmt.Sprintf("readme_block_%d.go", i+1))
+		if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.Remove(file) })
+		cmd := exec.Command("go", "build", "-o", os.DevNull, file)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("README code block %d does not compile (docs drifted from the API): %v\n%s", i+1, err, out)
+		}
+	}
+}
 
 // TestExamplesRun builds and executes every example program, asserting it
 // exits cleanly and prints its key result line — the examples are part of

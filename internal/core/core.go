@@ -1,41 +1,4 @@
-// Package core is the library's front door: it re-exports the handful of
-// types and functions a user needs to run a computation on the paper's
-// distributed system, without having to know how the subsystem packages
-// (dist, sched, wire) divide the work.
-//
-// The programming model is the paper's, in its v2 typed/context form: a
-// Problem is a TypedDM (server side — partitions typed work units, folds
-// typed results) plus a TypedAlgorithm (donor side — computes one typed
-// unit under a cancellable context), plus optional typed shared data. The
-// adapters own the gob codec at the boundary, so application code never
-// marshals payloads by hand:
-//
-//	type dm struct{ ... }            // implements core.TypedDM[unit, result]
-//	type alg struct{ ... }           // implements core.TypedAlgorithm[shared, unit, result]
-//
-//	core.RegisterTypedAlgorithm("app/v1", func() core.TypedAlgorithm[shared, unit, result] {
-//		return &alg{}
-//	})
-//	p, _ := core.NewTypedProblem[unit, result]("job", &dm{...}, shared{...})
-//	out, _ := core.RunLocal(ctx, p, 8, core.Adaptive(time.Second))
-//	res, _ := core.Decode[finalResult](out)
-//
-// Lifecycle calls are context-first: Submit, Wait, Status and donor Run
-// take a context, a server-side Forget (or a cancelled RunLocal context)
-// propagates epoch-tagged cancel notices that abort in-flight ProcessCtx
-// calls on donors, and Server.Watch(ctx, id) streams lifecycle events
-// instead of Status polling. v1 Algorithms (blocking Process, no context)
-// keep working through RegisterLegacyAlgorithm.
-//
-// Three deployment shapes are offered:
-//
-//   - RunLocal: in-process workers; zero configuration (tests, small jobs).
-//   - ListenAndServe + Dial/NewDonor: the paper's real shape — one server,
-//     many donor processes on other machines, control over net/rpc ("RMI")
-//     and bulk data over raw TCP sockets.
-//   - package simnet: a discrete-event simulation of hundreds of donors,
-//     used to regenerate the paper's figures.
-package core
+package core // package documentation lives in doc.go
 
 import (
 	"context"
@@ -90,6 +53,8 @@ type (
 	Donor = dist.Donor
 	// Coordinator is the donor's view of a server.
 	Coordinator = dist.Coordinator
+	// TaskWaiter is a Coordinator with long-poll dispatch (WaitTask).
+	TaskWaiter = dist.TaskWaiter
 	// Event is one entry of a Server.Watch stream.
 	Event = dist.Event
 	// EventKind classifies a Watch event.
@@ -131,6 +96,7 @@ var (
 	WithBulkThreshold = dist.WithBulkThreshold
 	WithAutoForget    = dist.WithAutoForget
 	WithWatchBuffer   = dist.WithWatchBuffer
+	WithLongPoll      = dist.WithLongPoll
 	WithServerOptions = dist.WithServerOptions
 
 	WithName          = dist.WithName
@@ -139,6 +105,7 @@ var (
 	WithRedial        = dist.WithRedial
 	WithRedialBackoff = dist.WithRedialBackoff
 	WithCancelPoll    = dist.WithCancelPoll
+	WithLongPollWait  = dist.WithLongPollWait
 	WithDonorOptions  = dist.WithDonorOptions
 )
 

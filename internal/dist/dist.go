@@ -1,41 +1,4 @@
-// Package dist implements the paper's server/donor distributed-computing
-// platform (Page, Keane, Naughton): a coordinating server partitions a
-// problem into work units whose size is chosen per donor by an adaptive
-// scheduling policy (package sched), and donor machines fetch units,
-// compute them with a registered Algorithm, and return results. Control
-// traffic travels over net/rpc (Go's analogue of the paper's Java RMI) and
-// bulk data over raw TCP sockets with length-prefixed frames (package
-// wire), matching the paper's two-channel design. Failed or expired units
-// are requeued to other donors, which is how the system tolerates lab
-// machines being switched off mid-run.
-//
-// The programming model is the paper's: a Problem bundles a DataManager
-// (server side — partitions work, folds results) with optional shared data
-// every donor fetches once; the donor side is an Algorithm registered under
-// the name the DataManager stamps on each Unit.
-//
-// # The v2 surface
-//
-// The API is context-first and typed:
-//
-//   - Lifecycle calls (Submit, Wait, Status, donor Run, every Coordinator
-//     method) take a context.Context. A server-side Forget — or a cancelled
-//     RunLocal context — propagates an epoch-tagged cancel notice to the
-//     donors holding the problem's in-flight units, whose ProcessCtx
-//     contexts are cancelled so they abort instead of computing straggler
-//     results that would only be dropped.
-//   - TypedDM[U, R] and TypedAlgorithm[S, U, R] (see typed.go) adapt typed
-//     implementations to the byte-level DataManager/Algorithm interfaces,
-//     owning the gob codec at the boundary so applications never marshal by
-//     hand.
-//   - Server.Watch(ctx, id) streams lifecycle events (submitted,
-//     unit-dispatched, unit-done, progress, failed, finished, forgotten)
-//     over a bounded non-blocking fan-out, replacing Status polling.
-//
-// v1 Algorithms (blocking Process with no context) keep working through
-// LegacyShim / RegisterLegacyAlgorithm; their only loss is that a cancel
-// notice takes effect at the next unit boundary rather than mid-unit.
-package dist
+package dist // package documentation lives in doc.go
 
 import (
 	"bytes"

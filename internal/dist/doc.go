@@ -1,0 +1,88 @@
+// Package dist implements the paper's server/donor distributed-computing
+// platform (Page, Keane, Naughton): a coordinating server partitions a
+// problem into work units whose size is chosen per donor by an adaptive
+// scheduling policy (package sched), and donor machines fetch units,
+// compute them with a registered Algorithm, and return results. Control
+// traffic travels over net/rpc (Go's analogue of the paper's Java RMI) and
+// bulk data over raw TCP sockets with length-prefixed, CRC-32C-checksummed
+// frames (package wire), matching the paper's two-channel design. Failed
+// or expired units are requeued to other donors, which is how the system
+// tolerates lab machines being switched off mid-run. See
+// docs/ARCHITECTURE.md at the repository root for the layer map, the wire
+// protocol specification and the problem lifecycle.
+//
+// # Programming model
+//
+// The model is the paper's: a Problem bundles a DataManager (server side —
+// partitions work, folds results) with optional shared data every donor
+// fetches once; the donor side is an Algorithm registered under the name
+// the DataManager stamps on each Unit. Three deployment shapes run the
+// same Problem unchanged: RunLocal (in-process workers), ListenAndServe +
+// Dial/NewDonor (the paper's networked shape), and package simnet's
+// discrete-event simulation.
+//
+// # The v2 surface
+//
+// The API is context-first and typed:
+//
+//   - Lifecycle calls (Submit, Wait, Status, donor Run, every Coordinator
+//     method) take a context.Context. A server-side Forget — or a cancelled
+//     RunLocal context — propagates an epoch-tagged cancel notice to the
+//     donors holding the problem's in-flight units, whose ProcessCtx
+//     contexts are cancelled so they abort instead of computing straggler
+//     results that would only be dropped.
+//   - TypedDM[U, R] and TypedAlgorithm[S, U, R] (see typed.go) adapt typed
+//     implementations to the byte-level DataManager/Algorithm interfaces,
+//     owning the gob codec at the boundary so applications never marshal by
+//     hand.
+//   - Server.Watch(ctx, id) streams lifecycle events (submitted,
+//     unit-dispatched, unit-done, progress, failed, finished, forgotten)
+//     over a bounded non-blocking fan-out, replacing Status polling.
+//
+// v1 Algorithms (blocking Process with no context) keep working through
+// LegacyShim / RegisterLegacyAlgorithm; their only loss is that a cancel
+// notice takes effect at the next unit boundary rather than mid-unit.
+//
+// # Dispatch: long-poll push vs. polling
+//
+// Donors obtain work over one of two control-channel shapes. The preferred
+// path is WaitTask (see TaskWaiter): the server parks the call until a
+// unit is dispatchable for that donor — a Submit, a failure or
+// lease-expiry requeue, or a fold that can release stage-barrier units
+// all wake parked donors — so idle dispatch latency is a channel
+// wake, not a poll interval, and an idle fleet costs almost no control
+// traffic. The capability is negotiated at Dial (wire.CapWaitTask in the
+// Handshake reply); against a server that predates the verb, or with
+// DonorOptions.LongPollWait negative, donors fall back to the classic
+// RequestTask poll loop, sleeping the server's WaitHint jittered ±20%
+// between empty replies. ServerOptions.LongPoll caps how long one call
+// stays parked (donors re-park on expiry) and disables the verb when
+// negative.
+//
+// # Options
+//
+// Servers and donors are constructed with functional options so new knobs
+// never break call sites: WithPolicy, WithLeaseTTL, WithExpiryScan,
+// WithWaitHint, WithBulkThreshold, WithAutoForget, WithWatchBuffer and
+// WithLongPoll mutate ServerOptions; WithName, WithThrottle, WithLogf,
+// WithRedial, WithRedialBackoff, WithCancelPoll and WithLongPollWait
+// mutate DonorOptions. WithServerOptions/WithDonorOptions adopt a whole
+// bag at once.
+//
+// # Error sentinels
+//
+// Three sentinels partition "the thing you addressed is not there":
+//
+//   - ErrClosed: the server was shut down explicitly — Close ran, and for
+//     networked donors the sentinel travelled back in an RPC reply. A
+//     donor loop treats it as "finish cleanly"; it is never retried.
+//   - ErrServerGone: the control connection died without a goodbye (EOF,
+//     reset, a crashed or restarted server). The server may come back:
+//     donors configured with DonorOptions.Redial reconnect with capped
+//     exponential backoff, all others exit cleanly.
+//   - ErrForgotten: the problem existed but was retired with Forget (or
+//     auto-retired by ServerOptions.AutoForget after Wait). Distinct from
+//     ErrUnknownProblem, which marks an ID that was never submitted; the
+//     tombstone set behind the distinction is bounded, so very old retired
+//     IDs eventually degrade to ErrUnknownProblem.
+package dist

@@ -42,6 +42,15 @@ type DonorOptions struct {
 	// then observed at unit boundaries only). Coordinators that do not
 	// implement CancelNotifier are never polled.
 	CancelPoll time.Duration
+	// LongPollWait is the park duration the donor requests per WaitTask
+	// long-poll when the coordinator supports one (see TaskWaiter): the
+	// server holds the call until a unit is dispatchable or the park
+	// expires, and the donor re-parks immediately on an empty reply — no
+	// idle latency, no poll traffic. Zero defaults to 45s; negative
+	// disables long-polling, restoring the jittered RequestTask poll loop
+	// even against a capable server. Against a server that lacks the
+	// capability the donor falls back to polling automatically.
+	LongPollWait time.Duration
 }
 
 func (o *DonorOptions) applyDefaults() {
@@ -64,6 +73,9 @@ func (o *DonorOptions) applyDefaults() {
 	}
 	if o.CancelPoll == 0 {
 		o.CancelPoll = 500 * time.Millisecond
+	}
+	if o.LongPollWait == 0 {
+		o.LongPollWait = 45 * time.Second
 	}
 }
 
@@ -149,8 +161,12 @@ func (d *Donor) Stop() {
 	d.stopOnce.Do(func() { close(d.stop) })
 }
 
-// Run polls for work until ctx is cancelled, Stop is called, or the server
-// tells the donor it is shutting down (ErrClosed). A unit that fails to
+// Run fetches and computes work until ctx is cancelled, Stop is called, or
+// the server tells the donor it is shutting down (ErrClosed). Against a
+// coordinator that supports long-poll dispatch (TaskWaiter; negotiated at
+// Dial for networked donors) the loop parks in WaitTask between units and
+// is woken the moment work appears; otherwise it polls RequestTask on the
+// server's jittered wait hint. A unit that fails to
 // compute is reported (and thereby requeued to another donor); a unit whose
 // problem is forgotten mid-compute is aborted on the server's cancel notice
 // and nothing is submitted for it. When the server merely becomes
@@ -180,9 +196,11 @@ func (d *Donor) Run(ctx context.Context) error {
 		}
 		var task *Task
 		var wait time.Duration
+		var parked bool
+		fetchStart := time.Now()
 		err := d.call(runCtx, func() error {
 			var err error
-			task, wait, err = d.coord.RequestTask(runCtx, d.opts.Name)
+			task, wait, parked, err = d.nextTask(runCtx)
 			return err
 		})
 		if err != nil {
@@ -199,6 +217,22 @@ func (d *Donor) Run(ctx context.Context) error {
 			return err
 		}
 		if task == nil {
+			if parked && wait <= 0 {
+				// The long-poll park expired with nothing to hand out: the
+				// server already did the waiting, so re-park immediately.
+				// Unless it did no such thing — the hint rides the wire, so
+				// a buggy or hostile server can answer "parked" instantly
+				// with a zero hint forever; an empty reply that came back
+				// faster than any real park gets the poll loop's sleep
+				// floor instead of spinning the control channel hot.
+				if time.Since(fetchStart) >= 5*time.Millisecond {
+					continue
+				}
+				if !d.sleep(runCtx, time.Millisecond) {
+					return nil
+				}
+				continue
+			}
 			if !d.sleep(runCtx, jitter(wait)) {
 				return nil
 			}
@@ -272,6 +306,23 @@ func (d *Donor) Run(ctx context.Context) error {
 			}
 		}
 	}
+}
+
+// nextTask fetches the donor's next unit: a WaitTask long-poll when the
+// coordinator supports one and the option is enabled (the server parks the
+// call until a unit is dispatchable), the classic RequestTask poll
+// otherwise. parked reports that the long-poll path was used — only then
+// may an empty reply with a zero hint mean "re-park immediately" (and Run
+// still floors replies that came back too fast to have parked); a foreign
+// Coordinator returning a zero hint from RequestTask always gets the
+// sleep floor.
+func (d *Donor) nextTask(ctx context.Context) (task *Task, wait time.Duration, parked bool, err error) {
+	if tw, ok := d.coord.(TaskWaiter); ok && d.opts.LongPollWait > 0 {
+		task, wait, err = tw.WaitTask(ctx, d.opts.Name, d.opts.LongPollWait)
+		return task, wait, true, err
+	}
+	task, wait, err = d.coord.RequestTask(ctx, d.opts.Name)
+	return task, wait, false, err
 }
 
 // call runs one coordinator operation, transparently redialing and

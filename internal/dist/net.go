@@ -143,9 +143,11 @@ func (ns *NetworkServer) Submit(ctx context.Context, p *Problem) error {
 // receive the explicit ErrClosed reply that cleanly ends their reconnect
 // loops. Severing the connections first would turn every clean shutdown
 // into an ambiguous EOF that a Redial-configured donor treats as a crash
-// and retries forever. A donor that spends the whole window inside a long
-// unit still misses the sentinel and sees connection-refused on its next
-// call; that residual is inherent to a poll-based control channel.
+// and retries forever. Long-poll donors need no window: closing the
+// coordinator answers every parked WaitTask with ErrClosed immediately.
+// A donor that spends the whole window inside a long unit still misses
+// the sentinel and sees connection-refused on its next call; that
+// residual is inherent to the poll-era control channel.
 func (ns *NetworkServer) Close() error {
 	ns.closeOnce.Do(func() {
 		err := ns.Server.Close()
@@ -255,6 +257,14 @@ func (ns *NetworkServer) dropProblemKeys(problemID string) {
 // TaskArgs identifies the donor requesting work.
 type TaskArgs struct{ Donor string }
 
+// WaitTaskArgs identifies the donor long-polling for work. MaxWaitNs is
+// the longest park the donor wants from this call (<=0 means no
+// preference); the server further clamps it to ServerOptions.LongPoll.
+type WaitTaskArgs struct {
+	Donor     string
+	MaxWaitNs int64
+}
+
 // TaskReply carries one dispatched unit. When the payload was offloaded to
 // the bulk channel, Unit.Payload is nil and BulkKey names the blob.
 type TaskReply struct {
@@ -302,8 +312,15 @@ type CancelArgs struct{ Donor string }
 // compute instead of collecting straggler results it would only drop.
 type CancelReply struct{ Notices []CancelNotice }
 
-// HandshakeReply tells a connecting donor where the bulk channel lives.
-type HandshakeReply struct{ BulkAddr string }
+// HandshakeReply tells a connecting donor where the bulk channel lives and
+// which optional control verbs the server speaks. Caps carries capability
+// tokens (wire.CapWaitTask, ...); gob drops fields unknown to the peer, so
+// an old donor ignores the list and a new donor dialing an old server sees
+// it empty and falls back to the baseline verbs.
+type HandshakeReply struct {
+	BulkAddr string
+	Caps     []string
+}
 
 // Empty is the placeholder reply for calls with no return value.
 type Empty struct{}
@@ -313,21 +330,22 @@ type Empty struct{}
 // cancellation crosses the wire as data (cancel notices), not as context.
 type rpcService struct{ ns *NetworkServer }
 
-// Handshake returns the bulk-channel address.
+// Handshake returns the bulk-channel address and the server's optional
+// control-verb capabilities.
 func (s *rpcService) Handshake(_ Empty, reply *HandshakeReply) error {
 	reply.BulkAddr = s.ns.BulkAddr()
+	if s.ns.opts.LongPoll >= 0 {
+		reply.Caps = append(reply.Caps, wire.CapWaitTask)
+	}
 	return nil
 }
 
-// RequestTask hands the donor its next unit.
-func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
-	task, wait, err := s.ns.Server.RequestTask(context.Background(), args.Donor)
-	if err != nil {
-		return err
-	}
+// fillTaskReply encodes one dispatch outcome, offloading a large payload
+// onto the bulk channel.
+func (s *rpcService) fillTaskReply(reply *TaskReply, task *Task, wait time.Duration) {
 	reply.WaitHintNs = int64(wait)
 	if task == nil {
-		return nil
+		return
 	}
 	reply.HasTask = true
 	reply.ProblemID = task.ProblemID
@@ -337,6 +355,36 @@ func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
 		reply.BulkKey = key
 		reply.Unit.Payload = nil
 	}
+}
+
+// RequestTask hands the donor its next unit.
+func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
+	task, wait, err := s.ns.Server.RequestTask(context.Background(), args.Donor)
+	if err != nil {
+		return err
+	}
+	s.fillTaskReply(reply, task, wait)
+	return nil
+}
+
+// WaitTask is the long-poll dispatch verb: the call parks server-side
+// until a unit is dispatchable for the donor or the park deadline fires
+// (nil task, zero hint: the donor re-parks immediately). net/rpc runs each
+// request in its own goroutine, so a parked call never blocks the
+// connection; a server Close answers every parked call with ErrClosed
+// before the listener goes down, so long-poll donors always receive the
+// clean-shutdown sentinel the legacy drain window only delivers to lucky
+// pollers. net/rpc gives handlers no view of their connection, so a donor
+// that dies mid-park leaves this handler (and its ServeConn goroutine)
+// parked until the deadline — a deliberate, bounded cost: at most
+// ServerOptions.LongPoll per abandoned park, freed early by any wake and
+// entirely by Close.
+func (s *rpcService) WaitTask(args WaitTaskArgs, reply *TaskReply) error {
+	task, wait, err := s.ns.Server.WaitTask(context.Background(), args.Donor, time.Duration(args.MaxWaitNs))
+	if err != nil {
+		return err
+	}
+	s.fillTaskReply(reply, task, wait)
 	return nil
 }
 
@@ -387,10 +435,14 @@ type RPCClient struct {
 	c        *rpc.Client
 	bulkAddr string
 	timeout  time.Duration
+	// caps are the capability tokens the server advertised at Handshake;
+	// optional verbs (WaitTask) are only called when listed.
+	caps map[string]bool
 }
 
 var _ Coordinator = (*RPCClient)(nil)
 var _ CancelNotifier = (*RPCClient)(nil)
+var _ TaskWaiter = (*RPCClient)(nil)
 
 // Dial connects to a server's control channel and learns its bulk address.
 // timeout bounds the dial and every bulk fetch.
@@ -408,12 +460,21 @@ func Dial(rpcAddr string, timeout time.Duration) (*RPCClient, error) {
 		_ = c.Close()
 		return nil, fmt.Errorf("dist: handshake with %s: %w", rpcAddr, err)
 	}
+	caps := make(map[string]bool, len(hr.Caps))
+	for _, token := range hr.Caps {
+		caps[token] = true
+	}
 	return &RPCClient{
 		c:        c,
 		bulkAddr: resolveBulkAddr(rpcAddr, hr.BulkAddr),
 		timeout:  timeout,
+		caps:     caps,
 	}, nil
 }
+
+// Supports reports whether the server advertised a capability token (see
+// package wire's Cap constants) at Dial.
+func (c *RPCClient) Supports(token string) bool { return c.caps[token] }
 
 // resolveBulkAddr fills in the bulk address's host from the RPC address
 // when the server listens on the wildcard interface.
@@ -463,6 +524,31 @@ func (c *RPCClient) RequestTask(ctx context.Context, donor string) (*Task, time.
 	if err := c.call(ctx, rpcServiceName+".RequestTask", TaskArgs{Donor: donor}, &r); err != nil {
 		return nil, 0, err
 	}
+	return c.taskFromReply(ctx, donor, &r)
+}
+
+// WaitTask implements TaskWaiter over the control channel. Against a
+// server that did not advertise wire.CapWaitTask at Dial it falls back to
+// a plain RequestTask — the reply then carries the server's positive poll
+// hint, which is exactly what tells the donor loop to sleep like a legacy
+// poller instead of re-parking immediately.
+func (c *RPCClient) WaitTask(ctx context.Context, donor string, maxWait time.Duration) (*Task, time.Duration, error) {
+	if !c.caps[wire.CapWaitTask] {
+		return c.RequestTask(ctx, donor)
+	}
+	var r TaskReply
+	args := WaitTaskArgs{Donor: donor, MaxWaitNs: int64(maxWait)}
+	if err := c.call(ctx, rpcServiceName+".WaitTask", args, &r); err != nil {
+		return nil, 0, err
+	}
+	return c.taskFromReply(ctx, donor, &r)
+}
+
+// taskFromReply decodes a dispatch reply, fetching an offloaded payload
+// from the bulk channel. A failed fetch is reported to the server as a
+// transport failure (the unit requeues without feeding the poisoned-unit
+// caps) and surfaced as a transient error the donor loop retries past.
+func (c *RPCClient) taskFromReply(ctx context.Context, donor string, r *TaskReply) (*Task, time.Duration, error) {
 	wait := time.Duration(r.WaitHintNs)
 	if !r.HasTask {
 		return nil, wait, nil

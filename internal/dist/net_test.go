@@ -216,9 +216,15 @@ func crashNetworkServer(t *testing.T, ns *NetworkServer) {
 		_ = c.Close()
 	}
 	ns.connsMu.Unlock()
+	// Stop the coordinator BEFORE waiting out the connections: net/rpc's
+	// ServeConn only returns once its in-flight calls do, and a parked
+	// WaitTask handler unparks on Server.Close — waiting first would stall
+	// this helper for the park duration. (A real crash never waits: the
+	// process is simply gone. The donor-visible signature — a severed
+	// conn, no ErrClosed reply — is identical either way.)
+	_ = ns.Server.Close()
 	ns.connWG.Wait()
 	_ = ns.bulk.Close()
-	_ = ns.Server.Close()
 }
 
 // freeLoopbackAddr reserves a loopback port and returns host:port, so a

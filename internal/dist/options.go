@@ -61,6 +61,14 @@ func WithWatchBuffer(n int) ServerOption {
 	return func(o *ServerOptions) { o.WatchBuffer = n }
 }
 
+// WithLongPoll caps how long one WaitTask call may stay parked server-side
+// before replying "no task" (the donor immediately re-parks). Negative
+// disables long-poll dispatch: the capability is not advertised at
+// Handshake and donors fall back to the jittered poll loop.
+func WithLongPoll(d time.Duration) ServerOption {
+	return func(o *ServerOptions) { o.LongPoll = d }
+}
+
 // DonorOption tunes one DonorOptions knob.
 type DonorOption func(*DonorOptions)
 
@@ -100,4 +108,11 @@ func WithRedialBackoff(min, max time.Duration) DonorOption {
 // cancellation is only observed at unit boundaries).
 func WithCancelPoll(d time.Duration) DonorOption {
 	return func(o *DonorOptions) { o.CancelPoll = d }
+}
+
+// WithLongPollWait sets the park duration the donor requests per WaitTask
+// long-poll (negative disables long-polling; the donor then uses the
+// jittered RequestTask poll loop even against a capable server).
+func WithLongPollWait(d time.Duration) DonorOption {
+	return func(o *DonorOptions) { o.LongPollWait = d }
 }

@@ -62,6 +62,13 @@ type ServerOptions struct {
 	// falls further behind loses the oldest events (Event.Dropped counts
 	// them). Zero defaults to 64.
 	WatchBuffer int
+	// LongPoll caps how long one WaitTask call may stay parked server-side
+	// before replying "no task" (the donor immediately re-parks, so the
+	// cap only bounds how long a single RPC is outstanding). Zero defaults
+	// to 45s. Negative disables long-poll dispatch entirely: WaitTask
+	// degrades to RequestTask, the capability is not advertised at
+	// Handshake, and donors fall back to the jittered poll loop.
+	LongPoll time.Duration
 }
 
 func (o *ServerOptions) applyDefaults() {
@@ -85,6 +92,9 @@ func (o *ServerOptions) applyDefaults() {
 	}
 	if o.WatchBuffer <= 0 {
 		o.WatchBuffer = 64
+	}
+	if o.LongPoll == 0 {
+		o.LongPoll = 45 * time.Second
 	}
 }
 
@@ -167,6 +177,14 @@ type problemState struct {
 	consecFails     int // compute failures since the last successful Consume
 	consecTransport int // transport failures since the last successful Consume
 
+	// starved records that a dispatch scan came up empty-handed for this
+	// problem while it was still live (NextUnit said "nothing yet" — a
+	// stage barrier, typically). Only then can folding a result release
+	// new units, so only then does submitResult wake parked WaitTask
+	// donors; gating the wake this way keeps a busy fleet's result stream
+	// from making every parked donor rescan on every fold.
+	starved bool
+
 	done   bool
 	result []byte
 	err    error
@@ -204,9 +222,10 @@ type Status struct {
 // momentarily contended before falling back to a blocking pass.
 //
 // Lock order (outer to inner): registry (regMu) → problemState.mu →
-// donorMu / donorState.mu / cancelMu. A problem lock is never held while
-// acquiring the registry lock, and the donor and cancel locks are leaves:
-// no code path takes a registry or problem lock while holding one.
+// donorMu / donorState.mu / cancelMu / parkMu. A problem lock is never held
+// while acquiring the registry lock, and the donor, cancel and park locks
+// are leaves: no code path takes a registry or problem lock while holding
+// one.
 type Server struct {
 	opts ServerOptions
 
@@ -243,6 +262,16 @@ type Server struct {
 	cancelMu sync.Mutex
 	cancels  map[string][]CancelNotice
 
+	// parkMu guards parkCh, the broadcast channel WaitTask callers park on
+	// while no unit is dispatchable. wakeParked closes and replaces it, so
+	// every parked donor re-runs its dispatch scan; the events that can
+	// make a unit dispatchable — a Submit, a failure or lease-expiry
+	// requeue, and a folded result on a problem some scan starved on
+	// (stage barriers release new units on a fold; see problemState.
+	// starved) — all wake it. A leaf lock.
+	parkMu sync.Mutex
+	parkCh chan struct{}
+
 	// onProblemDone, when non-nil, is invoked (under the problem's lock)
 	// each time a problem finalizes, fails, or is forgotten; the network
 	// layer uses it to drop the problem's bulk-channel blobs however the
@@ -275,6 +304,7 @@ func NewServer(opts ...ServerOption) *Server {
 		forgotten: make(map[string]struct{}),
 		donors:    make(map[string]*donorState),
 		cancels:   make(map[string][]CancelNotice),
+		parkCh:    make(chan struct{}),
 		stop:      make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -341,6 +371,10 @@ func (s *Server) submitWith(ctx context.Context, p *Problem, publish func()) err
 		s.finalizeLocked(ps)
 	}
 	ps.mu.Unlock()
+	// A fresh problem means fresh dispatchable units: wake long-poll
+	// donors parked in WaitTask so they pick them up now instead of at
+	// their next poll tick.
+	s.wakeParked()
 	return nil
 }
 
@@ -719,6 +753,9 @@ func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorSt
 			s.failLocked(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.id))
 			return nil, true, true
 		}
+		// A dispatch scan starved on this problem: the next folded result
+		// may release stage-barrier units, so it must wake parked donors.
+		ps.starved = true
 		return nil, false, true
 	}
 	s.leaseLocked(ps, u, donor, 0)
@@ -817,12 +854,23 @@ func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, 
 	ps.completed++
 	ps.consecFails = 0
 	ps.consecTransport = 0
+	// Folding a result only creates dispatchable work when a dispatch scan
+	// previously starved on this problem (stage-barrier DataManagers
+	// release their next stage on a fold). Wake parked donors exactly
+	// then — an unconditional wake would make every parked donor rescan on
+	// every result a busy fleet folds.
+	wake := ps.starved && !ps.done
+	ps.starved = false
 	s.publishUnitEventLocked(ps, EventUnitDone, res.UnitID, res.Donor)
 	s.publishProgressLocked(ps)
 	if ps.p.DM.Done() {
 		s.finalizeLocked(ps)
+		wake = false // a finished problem releases no new units
 	}
 	ps.mu.Unlock()
+	if wake {
+		s.wakeParked()
+	}
 
 	// Scheduler feedback happens outside the problem lock: stats are
 	// per-donor state, not per-problem state.
@@ -939,6 +987,9 @@ func (s *Server) reportFailure(ctx context.Context, donor, problemID string, uni
 	}
 	s.requeueLocked(ps, li, reason, kind)
 	ps.mu.Unlock()
+	// The requeued unit is dispatchable again (to a different donor by
+	// preference): wake parked WaitTask callers to claim it.
+	s.wakeParked()
 	ds.mu.Lock()
 	ds.stats.Failures++
 	ds.mu.Unlock()
@@ -1279,6 +1330,7 @@ func (s *Server) expireLeases(now time.Time) {
 	}
 	s.regMu.RUnlock()
 
+	requeued := false
 	for _, ps := range states {
 		var blamed []string
 		ps.mu.Lock()
@@ -1293,6 +1345,7 @@ func (s *Server) expireLeases(now time.Time) {
 			if now.After(li.deadline) {
 				blamed = append(blamed, li.donor)
 				s.requeueLocked(ps, li, "lease expired", failExpiry)
+				requeued = true
 			}
 		}
 		ps.mu.Unlock()
@@ -1301,5 +1354,10 @@ func (s *Server) expireLeases(now time.Time) {
 		for _, name := range blamed {
 			s.bumpFailures(name)
 		}
+	}
+	if requeued {
+		// Expired leases put units back in play; one wake after the sweep
+		// lets parked WaitTask callers claim them all.
+		s.wakeParked()
 	}
 }

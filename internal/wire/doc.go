@@ -1,0 +1,42 @@
+// Package wire implements the two communication channels of the paper's
+// system: typed control traffic (carried by net/rpc, Go's analogue of Java
+// RMI) and bulk data transfer over plain TCP sockets with length-prefixed
+// framing (the paper sends large data files over ordinary sockets because
+// that is more efficient than RMI). docs/ARCHITECTURE.md at the repository
+// root holds the full protocol specification; this comment is the summary.
+//
+// # Frame format
+//
+// Every bulk-channel message is one frame:
+//
+//	+--------------+---------------+-----------------+
+//	| length (4B)  | CRC-32C (4B)  | body (length B) |
+//	+--------------+---------------+-----------------+
+//
+// The length is big-endian and capped at MaxFrameSize (64 MiB) so a
+// corrupt or malicious prefix cannot exhaust memory; the checksum is
+// CRC-32C (Castagnoli — hardware-accelerated on amd64/arm64) over the
+// body, verified on receive. A mismatch surfaces as ErrCorruptFrame and is
+// treated like any other transport failure: retried or requeued, never
+// consumed as silently wrong data. The frame format itself is not
+// versioned — server and donors must run compatible builds for the bulk
+// channel, since a peer predating the checksum word would consume it as
+// body bytes.
+//
+// # Bulk blob protocol
+//
+// BulkServer serves named blobs: a client connects, sends one frame
+// containing the blob key, and receives one frame whose body is a status
+// byte (statusOK / statusNotFound) followed by the blob. FetchBlob is the
+// client side. The dist layer stores a problem's shared data under
+// "shared/<problemID>" and offloaded unit payloads under
+// "unit/<problemID>/<epoch>.<unitID>".
+//
+// # Control-channel capabilities
+//
+// The control channel (net/rpc over gob) is versioned by capability
+// advertisement: optional verbs are listed as tokens (CapWaitTask, ...) in
+// the server's Handshake reply, and a donor only calls a verb whose token
+// it saw at Dial. gob ignores unknown struct fields, so old and new
+// binaries interoperate in both directions; see protocol.go.
+package wire

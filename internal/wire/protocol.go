@@ -1,0 +1,21 @@
+package wire
+
+// Control-channel capability tokens.
+//
+// The control channel (net/rpc over gob) is versioned by capability
+// advertisement rather than by a protocol number: the server lists the
+// optional verbs it speaks in its Handshake reply, and a donor uses a verb
+// only after seeing its token. gob ignores struct fields the peer does not
+// know, so a new donor against an old server simply sees an empty list and
+// falls back to the baseline verbs (RequestTask polling), while an old
+// donor against a new server never asks for the list at all — the wire
+// change is negotiated, not flag-day. The bulk channel has no such
+// affordance (see the frame-format note in wire.go): its framing must
+// match on both sides.
+const (
+	// CapWaitTask marks a server that implements the Dist.WaitTask
+	// long-poll dispatch verb: the call parks server-side until a unit is
+	// dispatchable for the donor (or the park deadline passes) instead of
+	// answering "nothing yet, poll again in WaitHint".
+	CapWaitTask = "wait-task"
+)

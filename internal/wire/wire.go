@@ -1,9 +1,4 @@
-// Package wire implements the two communication channels of the paper's
-// system: typed control traffic (carried by net/rpc, Go's analogue of Java
-// RMI) and bulk data transfer over plain TCP sockets with length-prefixed
-// framing (the paper sends large data files over ordinary sockets because
-// that is more efficient than RMI).
-package wire
+package wire // package documentation lives in doc.go
 
 import (
 	"encoding/binary"
