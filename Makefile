@@ -28,8 +28,11 @@ test:
 race:
 	$(GO) test -race ./internal/dist/ ./internal/core/
 
+# bench covers every package carrying benchmarks (the root harness plus
+# internal packages like align), so a bench added in a new file or package
+# is picked up without editing this target again.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # docs-lint checks every markdown file's relative links and anchors, and
 # compiles the README's marked code blocks against the real API.

@@ -11,6 +11,8 @@
 //	BenchmarkCoordinatorSharding   RequestTask/SubmitResult throughput vs problem count
 //	BenchmarkDispatchLatencyPushVsPoll  idle-donor wakeup latency and idle control
 //	                               QPS, WaitTask long-poll vs jittered polling
+//	BenchmarkSharedBlobDedup       bulk bytes stored/fetched for 16 problems sharing
+//	                               one alignment, content-addressed vs per-problem keys
 //
 // Speedup/efficiency numbers are attached to the bench output via
 // b.ReportMetric; run with -v to also print the full series as tables (the
@@ -596,6 +598,142 @@ func BenchmarkDispatchLatencyPushVsPoll(b *testing.B) {
 				b.ReportMetric(idleQPS, "idle-ctrl-qps")
 			})
 		}
+	}
+}
+
+// dedupAlg acknowledges a unit after Init saw the shared alignment — the
+// cheapest donor-side work that still forces every donor through the
+// shared-blob fetch path the dedup benchmark measures.
+type dedupAlg struct{ ok bool }
+
+func (a *dedupAlg) Init(shared []byte) error {
+	a.ok = len(shared) > 0
+	return nil
+}
+
+func (a *dedupAlg) ProcessCtx(context.Context, []byte) ([]byte, error) {
+	if !a.ok {
+		return nil, fmt.Errorf("no shared data")
+	}
+	return []byte{1}, nil
+}
+
+var registerDedupAlgOnce sync.Once
+
+// dedupDM hands out a fixed number of trivial units.
+type dedupDM struct{ units, seq, done int64 }
+
+func (d *dedupDM) NextUnit(int64) (*dist.Unit, bool, error) {
+	if d.seq >= d.units {
+		return nil, false, nil
+	}
+	d.seq++
+	return &dist.Unit{ID: d.seq, Algorithm: "bench/dedup", Cost: 1}, true, nil
+}
+
+func (d *dedupDM) Consume(int64, []byte) error  { d.done++; return nil }
+func (d *dedupDM) Done() bool                   { return d.done >= d.units }
+func (d *dedupDM) FinalResult() ([]byte, error) { return nil, nil }
+
+// BenchmarkSharedBlobDedup measures the cost of the paper's shared data
+// when N problem instances share one alignment — the exact waste the
+// content-addressed bulk store exists to remove. 16 problems carrying the
+// same 1 MiB blob run over a real loopback deployment (4 networked donors
+// per mode); reported per mode:
+//
+//	stored-MB     bulk bytes resident server-side after the submits
+//	fetched-MB/donor  bulk bytes shipped to an average donor
+//	submit-ms     wall time of the 16 Submit calls (content mode pays the
+//	              SHA-256 here — microseconds per shared megabyte — which
+//	              is what buys the wire reduction)
+//	drain-ms      donor launch to last problem folded: the latency the
+//	              dedup actually removes, since per-problem keys make every
+//	              donor refetch the alignment per problem (and thrash its
+//	              bounded problem cache) before computing
+//
+// With per-problem keys every problem stores its own copy and every donor
+// fetches every problem's copy; content-addressed, the server stores one
+// refcounted copy and each donor fetches it once (digest-keyed cache), an
+// ~16x drop on both byte axes. BENCH_pr5.json records the ablation.
+func BenchmarkSharedBlobDedup(b *testing.B) {
+	registerDedupAlgOnce.Do(func() {
+		dist.RegisterAlgorithm("bench/dedup", func() dist.Algorithm { return &dedupAlg{} })
+	})
+	shared := make([]byte, 1<<20)
+	for i := range shared {
+		shared[i] = byte(i * 31)
+	}
+	const (
+		problems = 16
+		units    = 8 // per problem: every donor likely touches every problem
+		donors   = 4
+	)
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		content bool
+	}{{"content-addressed", true}, {"per-problem-keys", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var storedMB, fetchedMBPerDonor, submitMS, drainMS float64
+			for iter := 0; iter < b.N; iter++ {
+				srv, err := dist.ListenAndServe("127.0.0.1:0", "127.0.0.1:0",
+					dist.WithPolicy(sched.Fixed{Size: 1}),
+					dist.WithLeaseTTL(time.Hour),
+					dist.WithExpiryScan(time.Hour),
+					dist.WithWaitHint(time.Millisecond),
+					dist.WithContentBulk(mode.content),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				t0 := time.Now()
+				for i := 0; i < problems; i++ {
+					if err := srv.Submit(ctx, &dist.Problem{
+						ID:         fmt.Sprintf("dedup-%d", i),
+						DM:         &dedupDM{units: units},
+						SharedData: shared,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				submitMS += float64(time.Since(t0).Microseconds()) / 1000
+				storedMB += float64(srv.BulkStats().StoredBytes) / (1 << 20)
+
+				var wg sync.WaitGroup
+				pool := make([]*dist.Donor, donors)
+				clients := make([]*dist.RPCClient, donors)
+				t0 = time.Now()
+				for g := range pool {
+					cl, err := dist.Dial(srv.RPCAddr(), 10*time.Second)
+					if err != nil {
+						b.Fatal(err)
+					}
+					clients[g] = cl
+					pool[g] = dist.NewDonor(cl, dist.WithName(fmt.Sprintf("dedup-%s-%d", mode.name, g)))
+					wg.Add(1)
+					go func(d *dist.Donor) { defer wg.Done(); _ = d.Run(ctx) }(pool[g])
+				}
+				for i := 0; i < problems; i++ {
+					if _, err := srv.Wait(ctx, fmt.Sprintf("dedup-%d", i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				drainMS += float64(time.Since(t0).Microseconds()) / 1000
+				fetchedMBPerDonor += float64(srv.BulkStats().BytesServed) / (1 << 20) / donors
+				for _, d := range pool {
+					d.Stop()
+				}
+				wg.Wait()
+				for _, cl := range clients {
+					_ = cl.Close()
+				}
+				srv.Close()
+			}
+			b.ReportMetric(storedMB/float64(b.N), "stored-MB")
+			b.ReportMetric(fetchedMBPerDonor/float64(b.N), "fetched-MB/donor")
+			b.ReportMetric(submitMS/float64(b.N), "submit-ms")
+			b.ReportMetric(drainMS/float64(b.N), "drain-ms")
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 		retry      = flag.Duration("retry", 30*time.Second, "max backoff while reconnecting to a vanished server (0 = exit instead of retrying)")
 		cancelPoll = flag.Duration("cancel-poll", 500*time.Millisecond, "how often to poll for server cancel notices mid-unit (<0 disables)")
 		longPoll   = flag.Duration("long-poll", 45*time.Second, "max park per WaitTask long-poll when the server supports it (<=0 = legacy RequestTask polling)")
+		blobCache  = flag.Int64("blob-cache", 256<<20, "shared-blob cache budget in bytes (<=0 keeps only the most recent blob); also bounds resident per-problem state")
 	)
 	flag.Parse()
 
@@ -60,6 +61,13 @@ func main() {
 		longPollWait = -1
 	}
 
+	// "-blob-cache 0" means no caching beyond the blob in use; the option
+	// layer treats 0 as "default", so map it to the negative sentinel.
+	blobBudget := *blobCache
+	if blobBudget <= 0 {
+		blobBudget = -1
+	}
+
 	d := dist.NewDonor(client,
 		dist.WithName(*name),
 		dist.WithThrottle(*throttle),
@@ -68,6 +76,7 @@ func main() {
 		dist.WithRedialBackoff(0, *retry),
 		dist.WithCancelPoll(*cancelPoll),
 		dist.WithLongPollWait(longPollWait),
+		dist.WithBlobCacheBytes(blobBudget),
 	)
 
 	// First interrupt: finish (or abort, via the cancelled context) the

@@ -37,13 +37,14 @@ import (
 
 func main() {
 	var (
-		rpcAddr  = flag.String("rpc", ":7070", "control (RPC) listen address")
-		bulkAddr = flag.String("bulk", ":7071", "bulk data listen address")
-		policy   = flag.String("policy", "adaptive:5s", "scheduling policy (fixed:N | adaptive:DUR | gss[:k] | factoring)")
-		lease    = flag.Duration("lease", 2*time.Minute, "work unit reissue timeout")
-		longPoll = flag.Duration("long-poll", 45*time.Second, "max server-side park per WaitTask long-poll (<=0 = disable push dispatch; donors then poll)")
-		app      = flag.String("app", "", "application: dsearch | dprml")
-		progress = flag.Duration("progress", 10*time.Second, "minimum interval between progress log lines")
+		rpcAddr     = flag.String("rpc", ":7070", "control (RPC) listen address")
+		bulkAddr    = flag.String("bulk", ":7071", "bulk data listen address")
+		policy      = flag.String("policy", "adaptive:5s", "scheduling policy (fixed:N | adaptive:DUR | gss[:k] | factoring)")
+		lease       = flag.Duration("lease", 2*time.Minute, "work unit reissue timeout")
+		longPoll    = flag.Duration("long-poll", 45*time.Second, "max server-side park per WaitTask long-poll (<=0 = disable push dispatch; donors then poll)")
+		contentBulk = flag.Bool("content-bulk", true, "content-addressed shared blobs (one stored copy per distinct alignment, digest-verified donor caching); false restores per-problem bulk keys")
+		app         = flag.String("app", "", "application: dsearch | dprml")
+		progress    = flag.Duration("progress", 10*time.Second, "minimum interval between progress log lines")
 
 		// DSEARCH flags
 		dbPath    = flag.String("db", "", "dsearch: FASTA database")
@@ -75,6 +76,7 @@ func main() {
 		dist.WithPolicy(pol),
 		dist.WithLeaseTTL(*lease),
 		dist.WithLongPoll(longPollMax),
+		dist.WithContentBulk(*contentBulk),
 	)
 	if err != nil {
 		log.Fatalf("server: %v", err)

@@ -7,12 +7,60 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/seq"
 )
+
+// buildCmdBinaries compiles cmd/server and cmd/donor once per test run
+// (both multi-process tests share the build) and returns their paths. The
+// build directory outlives any single test, so TestMain — not t.TempDir —
+// owns its cleanup.
+var buildOnce sync.Once
+var buildDir, builtServer, builtDonor string
+var buildErr error
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		_ = os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+func buildCmdBinaries(t *testing.T) (serverBin, donorBin string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "repro-cmd-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildDir = dir
+		builtServer = filepath.Join(dir, "server")
+		builtDonor = filepath.Join(dir, "donor")
+		for _, b := range []struct{ out, pkg string }{
+			{builtServer, "./cmd/server"},
+			{builtDonor, "./cmd/donor"},
+		} {
+			cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+			cmd.Env = os.Environ()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("building %s: %v\n%s", b.pkg, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtServer, builtDonor
+}
 
 // TestServerDonorBinaries is the full multi-process deployment test: it
 // builds the real cmd/server and cmd/donor binaries, starts one server and
@@ -36,18 +84,7 @@ func TestServerDonorBinaries(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	serverBin := filepath.Join(dir, "server")
-	donorBin := filepath.Join(dir, "donor")
-	for _, b := range []struct{ out, pkg string }{
-		{serverBin, "./cmd/server"},
-		{donorBin, "./cmd/donor"},
-	} {
-		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
-		cmd.Env = os.Environ()
-		if out, err := cmd.CombinedOutput(); err != nil {
-			t.Fatalf("building %s: %v\n%s", b.pkg, err, out)
-		}
-	}
+	serverBin, donorBin := buildCmdBinaries(t)
 
 	rpcAddr := freeAddr(t)
 	bulkAddr := freeAddr(t)
@@ -105,6 +142,163 @@ func TestServerDonorBinaries(t *testing.T) {
 			t.Errorf("report missing planted homolog %s for %s", members[0], q)
 		}
 	}
+}
+
+// statsLine extracts (dispatched, completed, reissued) from the server
+// binary's final accounting log line.
+var statsLineRE = regexp.MustCompile(`(\d+) units dispatched, (\d+) completed, (\d+) reissued`)
+
+func parseStatsLine(t *testing.T, out string) (dispatched, completed, reissued int) {
+	t.Helper()
+	m := statsLineRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("server output lacks the stats line:\n%s", out)
+	}
+	dispatched, _ = strconv.Atoi(m[1])
+	completed, _ = strconv.Atoi(m[2])
+	reissued, _ = strconv.Atoi(m[3])
+	return dispatched, completed, reissued
+}
+
+// TestDonorChurnRealNetwork promotes the manual tmux churn probe into the
+// suite: a real cmd/server process on loopback, a first generation of real
+// cmd/donor processes SIGKILLed mid-run (taking their leases with them),
+// and a replacement generation that must drain the remainder. Asserts
+// completion, the reissue accounting the kill must have caused (lease 2s,
+// so the dead donors' units come back quickly), that no unit was folded
+// twice (completed never exceeds dispatched, and the planted homologs
+// appear in the report exactly as a clean run produces them), and that the
+// replacement donors actually worked.
+func TestDonorChurnRealNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process churn test skipped in -short mode")
+	}
+	serverBin, donorBin := buildCmdBinaries(t)
+	dir := t.TempDir()
+
+	// A workload big enough that three donors need several seconds: the
+	// kill at ~2s is guaranteed to land mid-run, with leases in flight
+	// (donors compute ~300ms units back to back; the lease-free gap
+	// between SubmitResult and the next dispatch is microseconds).
+	gen := seq.NewGenerator(seq.Protein, 42)
+	w := gen.NewSearchWorkload(12000, 3, 3, seq.LengthModel{Mean: 150, StdDev: 40, Min: 60, Max: 300})
+	dbPath := filepath.Join(dir, "db.fasta")
+	qPath := filepath.Join(dir, "q.fasta")
+	if err := seq.WriteFASTAFile(dbPath, w.DB); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteFASTAFile(qPath, w.Queries); err != nil {
+		t.Fatal(err)
+	}
+
+	rpcAddr := freeAddr(t)
+	bulkAddr := freeAddr(t)
+	var serverOut syncBuffer
+	server := exec.Command(serverBin,
+		"-app", "dsearch", "-db", dbPath, "-queries", qPath,
+		"-rpc", rpcAddr, "-bulk", bulkAddr,
+		"-policy", "adaptive:300ms", "-lease", "2s")
+	server.Stdout = &serverOut
+	server.Stderr = &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- server.Wait() }()
+	defer func() { _ = server.Process.Kill() }()
+	waitForListener(t, rpcAddr)
+
+	spawnDonor := func(name string) *exec.Cmd {
+		t.Helper()
+		d := exec.Command(donorBin, "-server", rpcAddr, "-name", name)
+		d.Stdout = os.Stderr
+		d.Stderr = os.Stderr
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	var gen1 []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		gen1 = append(gen1, spawnDonor(fmt.Sprintf("churn-gen1-%d", i)))
+	}
+
+	// Let the first generation sink its teeth in, then kill it ungracefully.
+	time.Sleep(2 * time.Second)
+	select {
+	case err := <-serverDone:
+		t.Fatalf("workload finished before the churn (enlarge it): err=%v\n%s", err, serverOut.String())
+	default:
+	}
+	for _, d := range gen1 {
+		_ = d.Process.Kill() // SIGKILL: no goodbye, leases die with the process
+		_ = d.Wait()
+	}
+
+	var gen2 []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		gen2 = append(gen2, spawnDonor(fmt.Sprintf("churn-gen2-%d", i)))
+	}
+	defer func() {
+		for _, d := range gen2 {
+			_ = d.Process.Kill()
+			_ = d.Wait()
+		}
+	}()
+
+	select {
+	case err := <-serverDone:
+		if err != nil {
+			t.Fatalf("server exited with error: %v\n%s", err, serverOut.String())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("server did not finish in 120s after churn; output so far:\n%s", serverOut.String())
+	}
+
+	out := serverOut.String()
+	dispatched, completed, reissued := parseStatsLine(t, out)
+	t.Logf("churn accounting: %d dispatched, %d completed, %d reissued", dispatched, completed, reissued)
+	if completed == 0 {
+		t.Error("no units completed")
+	}
+	if reissued < 1 {
+		t.Errorf("reissued = %d, want >= 1 (three donors were SIGKILLed mid-run)", reissued)
+	}
+	if completed > dispatched {
+		t.Errorf("completed %d > dispatched %d: some unit was folded twice", completed, dispatched)
+	}
+	// The report must be what an unchurned run produces: every planted
+	// homolog found for its query.
+	if !strings.Contains(out, "QUERY") {
+		t.Errorf("server output lacks hit report:\n%s", out)
+	}
+	for q, members := range w.Planted {
+		if !strings.Contains(out, q) {
+			t.Errorf("report missing query %s", q)
+		}
+		if !strings.Contains(out, members[0]) {
+			t.Errorf("report missing planted homolog %s for %s", members[0], q)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the server process writes
+// into it from its own pipe goroutines while the test reads mid-run.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // freeAddr reserves a loopback port and returns host:port.

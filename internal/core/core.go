@@ -55,6 +55,12 @@ type (
 	Coordinator = dist.Coordinator
 	// TaskWaiter is a Coordinator with long-poll dispatch (WaitTask).
 	TaskWaiter = dist.TaskWaiter
+	// ContentFetcher is a Coordinator that fetches shared blobs by content
+	// digest (content-addressed bulk channel).
+	ContentFetcher = dist.ContentFetcher
+	// BlobCache is the donor-side digest-keyed shared-blob cache; share one
+	// across in-process donors with WithBlobCache.
+	BlobCache = dist.BlobCache
 	// Event is one entry of a Server.Watch stream.
 	Event = dist.Event
 	// EventKind classifies a Watch event.
@@ -97,17 +103,24 @@ var (
 	WithAutoForget    = dist.WithAutoForget
 	WithWatchBuffer   = dist.WithWatchBuffer
 	WithLongPoll      = dist.WithLongPoll
+	WithContentBulk   = dist.WithContentBulk
 	WithServerOptions = dist.WithServerOptions
 
-	WithName          = dist.WithName
-	WithThrottle      = dist.WithThrottle
-	WithLogf          = dist.WithLogf
-	WithRedial        = dist.WithRedial
-	WithRedialBackoff = dist.WithRedialBackoff
-	WithCancelPoll    = dist.WithCancelPoll
-	WithLongPollWait  = dist.WithLongPollWait
-	WithDonorOptions  = dist.WithDonorOptions
+	WithName           = dist.WithName
+	WithThrottle       = dist.WithThrottle
+	WithLogf           = dist.WithLogf
+	WithRedial         = dist.WithRedial
+	WithRedialBackoff  = dist.WithRedialBackoff
+	WithCancelPoll     = dist.WithCancelPoll
+	WithLongPollWait   = dist.WithLongPollWait
+	WithBlobCacheBytes = dist.WithBlobCacheBytes
+	WithBlobCache      = dist.WithBlobCache
+	WithDonorOptions   = dist.WithDonorOptions
 )
+
+// NewBlobCache creates a byte-budgeted shared-blob cache to share across
+// in-process donors (see dist.NewBlobCache).
+func NewBlobCache(budget int64) *BlobCache { return dist.NewBlobCache(budget) }
 
 // RegisterAlgorithm adds a named context-aware Algorithm factory to the
 // donor-side registry (the Go substitute for Java's runtime class

@@ -155,6 +155,13 @@ type Task struct {
 	// identically numbered unit of its successor and be silently folded
 	// into the wrong problem. Donors echo it in Result.Epoch.
 	Epoch int64
+	// SharedDigest is the content address (wire.Digest) of the problem's
+	// shared blob. Donors key their blob cache by it — N problems sharing
+	// one alignment cost one fetch — and verify every fetched blob against
+	// it before use. Empty when the server predates (or disabled) content
+	// addressing; donors then fall back to per-problem fetches with no
+	// verification, the legacy behaviour.
+	SharedDigest string
 }
 
 // CancelNotice tells a donor that a unit it holds is dead: its problem
@@ -194,6 +201,18 @@ type Coordinator interface {
 type CancelNotifier interface {
 	// CancelNotices drains and returns the pending notices for the donor.
 	CancelNotices(ctx context.Context, donor string) ([]CancelNotice, error)
+}
+
+// ContentFetcher is implemented by coordinators that can fetch a shared
+// blob by its content digest (Task.SharedDigest). *RPCClient implements it,
+// fetching the digest's bulk key against servers that advertised
+// wire.CapContentBulk at Dial and transparently degrading to the problem's
+// legacy per-problem key otherwise — which is why problemID rides along.
+// Donors verify every digest-addressed blob against the digest regardless
+// of which path delivered it; coordinators without the interface are
+// fetched through Coordinator.SharedData and verified the same way.
+type ContentFetcher interface {
+	FetchContent(ctx context.Context, problemID, digest string) ([]byte, error)
 }
 
 // Marshal gob-encodes a unit payload, shared blob or result. Applications

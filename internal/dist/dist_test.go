@@ -383,24 +383,66 @@ func (sharedStub) ReportFailure(context.Context, string, string, int64, string) 
 	return nil
 }
 
+// algFor drives Donor.algorithm with a synthetic task — the pre-digest
+// call shape the donor cache tests were written against.
+func algFor(d *Donor, problemID, name string, epoch int64) (Algorithm, error) {
+	return d.algorithm(bg, &Task{ProblemID: problemID, Unit: Unit{Algorithm: name}, Epoch: epoch})
+}
+
 func TestDonorCacheBounded(t *testing.T) {
 	registerSum(t)
 	d := newTestDonor(sharedStub{}, DonorOptions{Name: "cache"})
-	for i := 0; i < 3*maxCachedProblems; i++ {
-		if _, err := d.algorithm(bg, fmt.Sprintf("p%02d", i), "dist-test/sum", int64(i+1)); err != nil {
+	// The resident-problem bound is derived from the blob budget; at the
+	// default budget it must reproduce the old hardcoded 8.
+	cap := d.opts.problemCacheCap()
+	if cap != 8 {
+		t.Fatalf("default problemCacheCap = %d, want 8", cap)
+	}
+	for i := 0; i < 3*cap; i++ {
+		if _, err := algFor(d, fmt.Sprintf("p%02d", i), "dist-test/sum", int64(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if len(d.shared) > maxCachedProblems || len(d.problemOrder) > maxCachedProblems {
-		t.Errorf("cache grew unbounded: %d blobs, %d tracked", len(d.shared), len(d.problemOrder))
+	if len(d.epochs) > cap || len(d.problemOrder) > cap {
+		t.Errorf("cache grew unbounded: %d epochs, %d tracked", len(d.epochs), len(d.problemOrder))
 	}
-	if len(d.algs) > maxCachedProblems {
+	if len(d.algs) > cap {
 		t.Errorf("algorithm cache grew unbounded: %d", len(d.algs))
 	}
+	d.opts.BlobCache.mu.Lock()
+	blobEntries := len(d.opts.BlobCache.entries)
+	d.opts.BlobCache.mu.Unlock()
+	if blobEntries > cap {
+		t.Errorf("legacy blob entries grew unbounded: %d", blobEntries)
+	}
 	// The most recent problem must still be cached.
-	last := fmt.Sprintf("p%02d", 3*maxCachedProblems-1)
-	if _, ok := d.shared[last]; !ok {
+	last := fmt.Sprintf("p%02d", 3*cap-1)
+	if _, ok := d.epochs[last]; !ok {
 		t.Errorf("most recent problem %s evicted", last)
+	}
+}
+
+// TestDonorProblemCapDerivedFromBudget pins the budget→bound derivation:
+// proportional above the floor, floored below it so a tiny budget still
+// caches the problem being computed.
+func TestDonorProblemCapDerivedFromBudget(t *testing.T) {
+	cases := []struct {
+		budget int64
+		want   int
+	}{
+		{0, 8},                        // default 256 MiB
+		{256 << 20, 8},                // explicit default
+		{1 << 30, 32},                 // bigger budget, more resident problems
+		{32 << 20, minCachedProblems}, // one quantum still floors
+		{-1, minCachedProblems},       // "no cache" keeps the floor
+		{4 << 10, minCachedProblems},  // tiny budget keeps the floor
+	}
+	for _, c := range cases {
+		o := DonorOptions{BlobCacheBytes: c.budget}
+		o.applyDefaults()
+		if got := o.problemCacheCap(); got != c.want {
+			t.Errorf("problemCacheCap(budget=%d) = %d, want %d", c.budget, got, c.want)
+		}
 	}
 }
 
@@ -420,10 +462,10 @@ func TestDonorEvictsCacheOnEpochChange(t *testing.T) {
 	registerSum(t)
 	stub := &fetchCountingStub{}
 	d := newTestDonor(stub, DonorOptions{Name: "epoch"})
-	if _, err := d.algorithm(bg, "p", "dist-test/sum", 1); err != nil {
+	if _, err := algFor(d, "p", "dist-test/sum", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.algorithm(bg, "p", "dist-test/sum", 1); err != nil {
+	if _, err := algFor(d, "p", "dist-test/sum", 1); err != nil {
 		t.Fatal(err)
 	}
 	if stub.fetches != 1 {
@@ -431,7 +473,7 @@ func TestDonorEvictsCacheOnEpochChange(t *testing.T) {
 	}
 	// A new epoch means the ID was forgotten and resubmitted — possibly
 	// with different shared data — so the cache must be refetched.
-	if _, err := d.algorithm(bg, "p", "dist-test/sum", 2); err != nil {
+	if _, err := algFor(d, "p", "dist-test/sum", 2); err != nil {
 		t.Fatal(err)
 	}
 	if stub.fetches != 2 {

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // DonorOptions tunes one donor worker. Construct donors with functional
@@ -51,6 +53,16 @@ type DonorOptions struct {
 	// even against a capable server. Against a server that lacks the
 	// capability the donor falls back to polling automatically.
 	LongPollWait time.Duration
+	// BlobCacheBytes budgets the donor's shared-blob cache (see BlobCache)
+	// when BlobCache is nil. Zero defaults to 256 MiB; negative keeps only
+	// the single most recently used blob. The budget also derives how many
+	// problems' algorithm state stays resident (problemCacheCap).
+	BlobCacheBytes int64
+	// BlobCache, when non-nil, is the shared-blob cache this donor uses —
+	// set the same instance on several in-process donors to share it, so a
+	// blob every worker needs is fetched once per process. Nil gives the
+	// donor a private cache of BlobCacheBytes.
+	BlobCache *BlobCache
 }
 
 func (o *DonorOptions) applyDefaults() {
@@ -77,6 +89,36 @@ func (o *DonorOptions) applyDefaults() {
 	if o.LongPollWait == 0 {
 		o.LongPollWait = 45 * time.Second
 	}
+	if o.BlobCacheBytes == 0 {
+		o.BlobCacheBytes = defaultBlobCacheBytes
+	}
+	if o.BlobCache == nil {
+		o.BlobCache = NewBlobCache(o.BlobCacheBytes)
+	}
+}
+
+// defaultBlobCacheBytes is the default shared-blob cache budget.
+const defaultBlobCacheBytes = 256 << 20
+
+// problemBytesQuantum is the slice of blob-cache budget one resident
+// problem's algorithm state is assumed to accompany; minCachedProblems
+// floors the derived bound so even a tiny budget keeps the problem being
+// computed (plus one being switched to) resident.
+const (
+	problemBytesQuantum = 32 << 20
+	minCachedProblems   = 2
+)
+
+// problemCacheCap derives how many problems' shared data and algorithm
+// state a donor keeps resident from its blob budget — one problem per
+// problemBytesQuantum, floored. At the 256 MiB default this reproduces the
+// pre-budget hardcoded bound of 8.
+func (o *DonorOptions) problemCacheCap() int {
+	c := int(o.BlobCacheBytes / problemBytesQuantum)
+	if c < minCachedProblems {
+		c = minCachedProblems
+	}
+	return c
 }
 
 // pollJitterFrac spreads each poll-wait uniformly ±20% around the server's
@@ -107,10 +149,10 @@ type Donor struct {
 	aborted  atomic.Int64
 
 	// Per-problem algorithm instances, initialised once with the problem's
-	// shared data (keyed by problemID + "\x00" + algorithm name).
+	// shared data (keyed by problemID + "\x00" + algorithm name). The
+	// shared bytes themselves live in opts.BlobCache, keyed by content
+	// digest (or a per-incarnation pseudo-key against legacy servers).
 	algs map[string]Algorithm
-	// Per-problem shared blobs, fetched once.
-	shared map[string][]byte
 	// epochs records the incarnation tag each cached problem was fetched
 	// under: a forgotten ID may be resubmitted with different shared data,
 	// and serving the successor from the predecessor's cache would
@@ -118,16 +160,13 @@ type Donor struct {
 	// so the server could not catch it). A task whose epoch differs from
 	// the cache's evicts and refetches.
 	epochs map[string]int64
-	// problemOrder tracks shared-blob insertion order so the cache can be
-	// bounded: a donor is a long-lived service, and the server cycles
-	// through many problems over its lifetime.
+	// problemOrder tracks problem first-use order so resident algorithm
+	// state stays bounded (problemCacheCap): a donor is a long-lived
+	// service, and the server cycles through many problems over its
+	// lifetime. Oldest-first eviction; a still-active problem that gets
+	// evicted is simply re-initialised.
 	problemOrder []string
 }
-
-// maxCachedProblems bounds how many problems' shared data and algorithm
-// state a donor keeps resident. Oldest-first eviction; a still-active
-// problem that gets evicted is simply re-fetched and re-initialised.
-const maxCachedProblems = 8
 
 // NewDonor creates a donor bound to a coordinator — a *Server for
 // in-process workers or an *RPCClient from Dial for the real deployment.
@@ -144,7 +183,6 @@ func NewDonor(coord Coordinator, opts ...DonorOption) *Donor {
 		opts:   o,
 		stop:   make(chan struct{}),
 		algs:   make(map[string]Algorithm),
-		shared: make(map[string][]byte),
 		epochs: make(map[string]int64),
 	}
 }
@@ -387,9 +425,13 @@ func (d *Donor) reconnect(ctx context.Context) bool {
 			d.logf("donor %s: reconnected to server (attempt %d)", d.opts.Name, attempt)
 			d.coord = coord
 			d.algs = make(map[string]Algorithm)
-			d.shared = make(map[string][]byte)
 			d.epochs = make(map[string]int64)
 			d.problemOrder = nil
+			// Digest-keyed blobs are content-addressed and survive the
+			// reconnect; legacy per-incarnation entries do not — a restarted
+			// server reuses epochs from 1, so their keys could collide with
+			// different bytes.
+			d.opts.BlobCache.dropNonContent()
 			return true
 		}
 		d.logf("donor %s: server unreachable, retrying in %s (attempt %d): %v",
@@ -429,7 +471,7 @@ func (d *Donor) process(ctx context.Context, t *Task) (out []byte, elapsed time.
 		defer close(watchDone)
 		go d.watchCancels(unitCtx, watchDone, cn, t, &cancelled, cancel)
 	}
-	alg, err := d.algorithm(unitCtx, t.ProblemID, t.Unit.Algorithm, t.Epoch)
+	alg, err := d.algorithm(unitCtx, t)
 	if err != nil {
 		return nil, 0, cancelled.Load(), err
 	}
@@ -474,14 +516,15 @@ func (d *Donor) watchCancels(ctx context.Context, done <-chan struct{}, cn Cance
 }
 
 // algorithm returns the cached (problem, algorithm) instance, fetching
-// shared data and running Init on first use. epoch is the task's
+// shared data and running Init on first use. The task's epoch is its
 // incarnation tag: a mismatch with the cache means the problem ID was
 // forgotten and reused — possibly with different shared data — so the
 // stale entry is evicted and refetched. Epoch zero (a server predating
 // the tag) disables the check.
-func (d *Donor) algorithm(ctx context.Context, problemID, name string, epoch int64) (Algorithm, error) {
-	if epoch != 0 {
-		if cached, ok := d.epochs[problemID]; ok && cached != epoch {
+func (d *Donor) algorithm(ctx context.Context, t *Task) (Algorithm, error) {
+	problemID, name := t.ProblemID, t.Unit.Algorithm
+	if t.Epoch != 0 {
+		if cached, ok := d.epochs[problemID]; ok && cached != t.Epoch {
 			d.evictProblem(problemID)
 		}
 	}
@@ -493,18 +536,15 @@ func (d *Donor) algorithm(ctx context.Context, problemID, name string, epoch int
 	if err != nil {
 		return nil, err
 	}
-	shared, ok := d.shared[problemID]
-	if !ok {
-		var err error
-		shared, err = d.coord.SharedData(ctx, problemID)
-		if err != nil {
-			return nil, &sharedFetchError{fmt.Errorf("fetching shared data: %w", err)}
-		}
-		if len(d.problemOrder) >= maxCachedProblems {
+	shared, err := d.sharedBlob(ctx, t)
+	if err != nil {
+		return nil, &sharedFetchError{fmt.Errorf("fetching shared data: %w", err)}
+	}
+	if _, tracked := d.epochs[problemID]; !tracked {
+		if len(d.problemOrder) >= d.opts.problemCacheCap() {
 			d.evictProblem(d.problemOrder[0])
 		}
-		d.shared[problemID] = shared
-		d.epochs[problemID] = epoch
+		d.epochs[problemID] = t.Epoch
 		d.problemOrder = append(d.problemOrder, problemID)
 	}
 	if err := alg.Init(shared); err != nil {
@@ -514,9 +554,52 @@ func (d *Donor) algorithm(ctx context.Context, problemID, name string, epoch int
 	return alg, nil
 }
 
-// evictProblem drops one problem's shared blob and algorithm instances.
+// sharedBlob returns the task's shared data through the blob cache.
+//
+// With a content digest on the task, the cache key is the digest itself:
+// every problem sharing the bytes hits one entry, an epoch-bumped
+// resubmission with different bytes carries a different digest (so stale
+// bytes are unreachable by construction), and the fetched blob is verified
+// against the digest before use whichever path delivered it — a mismatch
+// is a transport-level failure (wire.ErrDigestMismatch) that requeues the
+// unit without feeding the poisoned-unit caps. Without a digest (a legacy
+// or content-disabled server) the key is a per-incarnation pseudo-key and
+// the bytes are trusted as fetched, the pre-content behaviour.
+func (d *Donor) sharedBlob(ctx context.Context, t *Task) ([]byte, error) {
+	digest := t.SharedDigest
+	if digest == "" {
+		key := fmt.Sprintf("problem\x00%s\x00%d", t.ProblemID, t.Epoch)
+		return d.opts.BlobCache.Get(ctx, key, func(ctx context.Context) ([]byte, error) {
+			return d.coord.SharedData(ctx, t.ProblemID)
+		})
+	}
+	return d.opts.BlobCache.Get(ctx, digest, func(ctx context.Context) ([]byte, error) {
+		var data []byte
+		var err error
+		if cf, ok := d.coord.(ContentFetcher); ok {
+			data, err = cf.FetchContent(ctx, t.ProblemID, digest)
+		} else {
+			data, err = d.coord.SharedData(ctx, t.ProblemID)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if got := wire.Digest(data); got != digest {
+			return nil, fmt.Errorf("%w: shared blob of %s: fetched %d bytes hashing to %s, task says %s",
+				wire.ErrDigestMismatch, t.ProblemID, len(data), got, digest)
+		}
+		return data, nil
+	})
+}
+
+// evictProblem drops one problem's resident state: its algorithm
+// instances, its incarnation tag, and — for legacy per-incarnation cache
+// entries — its shared blob. A digest-keyed blob is left to the cache's
+// own LRU: it may be serving other problems that share the bytes.
 func (d *Donor) evictProblem(problemID string) {
-	delete(d.shared, problemID)
+	if epoch, ok := d.epochs[problemID]; ok {
+		d.opts.BlobCache.drop(fmt.Sprintf("problem\x00%s\x00%d", problemID, epoch))
+	}
 	delete(d.epochs, problemID)
 	for i, id := range d.problemOrder {
 		if id == problemID {

@@ -41,12 +41,16 @@ func RunLocal(ctx context.Context, p *Problem, n int, policy sched.Policy) ([]by
 	}
 	var wg sync.WaitGroup
 	donors := make([]*Donor, n)
+	// One blob cache for the whole pool: the workers singleflight their
+	// shared-data fetch instead of each taking its own copy.
+	blobs := NewBlobCache(defaultBlobCacheBytes)
 	for i := range donors {
 		donors[i] = NewDonor(srv,
 			WithName(fmt.Sprintf("local-%d", i)),
 			// In-process notice delivery is cheap; poll fast so a
 			// cancelled ctx stops worker compute almost immediately.
 			WithCancelPoll(2*time.Millisecond),
+			WithBlobCache(blobs),
 		)
 		wg.Add(1)
 		go func(d *Donor) {

@@ -54,9 +54,12 @@ type NetworkServer struct {
 	connWG  sync.WaitGroup
 
 	// keysMu guards the bulk keys created for offloaded unit payloads, so
-	// they can be dropped once the unit (or the whole problem) completes.
-	keysMu   sync.Mutex
-	unitKeys map[string]map[unitRef]string // problemID -> (epoch, unitID) -> key
+	// they can be dropped once the unit (or the whole problem) completes,
+	// and the per-problem shared-blob digests whose content references
+	// must be released the same way.
+	keysMu        sync.Mutex
+	unitKeys      map[string]map[unitRef]string // problemID -> (epoch, unitID) -> key
+	sharedDigests map[string]string             // problemID -> content digest of its shared blob
 }
 
 // ListenAndServe starts a network-facing coordinator. rpcAddr carries
@@ -75,11 +78,12 @@ func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkSer
 		return nil, fmt.Errorf("dist: rpc listen: %w", err)
 	}
 	ns := &NetworkServer{
-		Server:   srv,
-		rpcLn:    ln,
-		bulk:     bulk,
-		unitKeys: make(map[string]map[unitRef]string),
-		conns:    make(map[net.Conn]struct{}),
+		Server:        srv,
+		rpcLn:         ln,
+		bulk:          bulk,
+		unitKeys:      make(map[string]map[unitRef]string),
+		sharedDigests: make(map[string]string),
+		conns:         make(map[net.Conn]struct{}),
 	}
 	// Release a problem's bulk blobs however it ends — finalized, failed,
 	// stalled, or shut down — not only on a final accepted RPC result; and
@@ -127,15 +131,32 @@ func (ns *NetworkServer) BulkAddr() string { return ns.bulk.Addr() }
 // before the problem becomes dispatchable: a donor can never be handed a
 // unit whose shared data is not yet fetchable, and a rejected duplicate
 // Submit never touches the live problem's blob.
+//
+// The blob is stored content-addressed (refcounted, one copy however many
+// problems share the bytes) with the legacy "shared/<problemID>" key
+// aliased onto it for donors predating wire.CapContentBulk; under
+// ServerOptions.NoContentBulk it is stored under the per-problem key only.
 func (ns *NetworkServer) Submit(ctx context.Context, p *Problem) error {
 	if p != nil && len(p.SharedData)+1 > wire.MaxFrameSize {
 		return fmt.Errorf("dist: shared data of %d bytes exceeds the bulk frame limit of %d",
 			len(p.SharedData), wire.MaxFrameSize-1)
 	}
-	return ns.Server.submitWith(ctx, p, func() {
-		ns.bulk.Put(sharedKey(p.ID), p.SharedData)
+	return ns.Server.submitWith(ctx, p, func(sharedDigest string) {
+		if sharedDigest == "" {
+			ns.bulk.Put(sharedKey(p.ID), p.SharedData)
+			return
+		}
+		ns.bulk.PutContent(sharedDigest, p.SharedData)
+		ns.bulk.Alias(sharedKey(p.ID), sharedDigest)
+		ns.keysMu.Lock()
+		ns.sharedDigests[p.ID] = sharedDigest
+		ns.keysMu.Unlock()
 	})
 }
+
+// BulkStats reports the bulk channel's storage and traffic counters — the
+// observable the dedup benchmark and the blob-cache tests read.
+func (ns *NetworkServer) BulkStats() wire.BulkStats { return ns.bulk.Stats() }
 
 // Close shuts down the coordinator and then both listeners. The
 // coordinator is closed FIRST and the control channel keeps answering for
@@ -241,11 +262,20 @@ func (ns *NetworkServer) dropUnitKey(problemID string, epoch, unitID int64) {
 	}
 }
 
-// dropProblemKeys discards a completed problem's bulk blobs.
+// dropProblemKeys discards a completed problem's bulk blobs: the legacy
+// shared key (a plain blob or an alias onto the content store), one
+// content reference — the bytes themselves survive while other problems
+// still reference them — and every offloaded unit payload.
 func (ns *NetworkServer) dropProblemKeys(problemID string) {
-	ns.bulk.Delete(sharedKey(problemID))
 	ns.keysMu.Lock()
 	defer ns.keysMu.Unlock()
+	if digest, ok := ns.sharedDigests[problemID]; ok {
+		delete(ns.sharedDigests, problemID)
+		ns.bulk.DropAlias(sharedKey(problemID))
+		ns.bulk.Release(digest)
+	} else {
+		ns.bulk.Delete(sharedKey(problemID))
+	}
 	for _, key := range ns.unitKeys[problemID] {
 		ns.bulk.Delete(key)
 	}
@@ -276,6 +306,10 @@ type TaskReply struct {
 	// Epoch is the problem incarnation tag (see Task.Epoch); donors echo
 	// it in ResultArgs.
 	Epoch int64
+	// SharedDigest is the content address of the problem's shared blob
+	// (see Task.SharedDigest). Donors predating the field — or the whole
+	// content-bulk scheme — simply never see it: gob drops unknown fields.
+	SharedDigest string
 }
 
 // ResultArgs carries one completed unit's output back to the server.
@@ -337,6 +371,9 @@ func (s *rpcService) Handshake(_ Empty, reply *HandshakeReply) error {
 	if s.ns.opts.LongPoll >= 0 {
 		reply.Caps = append(reply.Caps, wire.CapWaitTask)
 	}
+	if !s.ns.opts.NoContentBulk {
+		reply.Caps = append(reply.Caps, wire.CapContentBulk)
+	}
 	return nil
 }
 
@@ -351,6 +388,7 @@ func (s *rpcService) fillTaskReply(reply *TaskReply, task *Task, wait time.Durat
 	reply.ProblemID = task.ProblemID
 	reply.Unit = task.Unit
 	reply.Epoch = task.Epoch
+	reply.SharedDigest = task.SharedDigest
 	if key := s.ns.offloadPayload(task); key != "" {
 		reply.BulkKey = key
 		reply.Unit.Payload = nil
@@ -443,6 +481,7 @@ type RPCClient struct {
 var _ Coordinator = (*RPCClient)(nil)
 var _ CancelNotifier = (*RPCClient)(nil)
 var _ TaskWaiter = (*RPCClient)(nil)
+var _ ContentFetcher = (*RPCClient)(nil)
 
 // Dial connects to a server's control channel and learns its bulk address.
 // timeout bounds the dial and every bulk fetch.
@@ -564,7 +603,7 @@ func (c *RPCClient) taskFromReply(ctx context.Context, donor string, r *TaskRepl
 		}
 		r.Unit.Payload = payload
 	}
-	return &Task{ProblemID: r.ProblemID, Unit: r.Unit, Epoch: r.Epoch}, wait, nil
+	return &Task{ProblemID: r.ProblemID, Unit: r.Unit, Epoch: r.Epoch, SharedDigest: r.SharedDigest}, wait, nil
 }
 
 // SharedData implements Coordinator: fetch the problem's shared blob over
@@ -572,6 +611,21 @@ func (c *RPCClient) taskFromReply(ctx context.Context, donor string, r *TaskRepl
 func (c *RPCClient) SharedData(ctx context.Context, problemID string) ([]byte, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
+	}
+	return wire.FetchBlob(c.bulkAddr, sharedKey(problemID), c.timeout)
+}
+
+// FetchContent implements ContentFetcher: fetch a shared blob by content
+// digest from a server that advertised wire.CapContentBulk, degrading to
+// the problem's per-problem key otherwise — the fallback that lets a new
+// donor drain an old (or content-disabled) server. The caller (the donor's
+// blob cache) verifies the bytes against the digest either way.
+func (c *RPCClient) FetchContent(ctx context.Context, problemID, digest string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if digest != "" && c.caps[wire.CapContentBulk] {
+		return wire.FetchBlob(c.bulkAddr, wire.ContentKey(digest), c.timeout)
 	}
 	return wire.FetchBlob(c.bulkAddr, sharedKey(problemID), c.timeout)
 }

@@ -69,6 +69,14 @@ func WithLongPoll(d time.Duration) ServerOption {
 	return func(o *ServerOptions) { o.LongPoll = d }
 }
 
+// WithContentBulk toggles content-addressed shared blobs (on by default):
+// off restores per-problem bulk keys only — no task digests, no
+// wire.CapContentBulk at Handshake — for ablation benchmarks and
+// mixed-fleet debugging.
+func WithContentBulk(on bool) ServerOption {
+	return func(o *ServerOptions) { o.NoContentBulk = !on }
+}
+
 // DonorOption tunes one DonorOptions knob.
 type DonorOption func(*DonorOptions)
 
@@ -115,4 +123,18 @@ func WithCancelPoll(d time.Duration) DonorOption {
 // jittered RequestTask poll loop even against a capable server).
 func WithLongPollWait(d time.Duration) DonorOption {
 	return func(o *DonorOptions) { o.LongPollWait = d }
+}
+
+// WithBlobCacheBytes budgets the donor's shared-blob cache (zero keeps the
+// 256 MiB default, negative caches only the most recent blob). The budget
+// also derives how many problems' algorithm state stays resident.
+func WithBlobCacheBytes(n int64) DonorOption {
+	return func(o *DonorOptions) { o.BlobCacheBytes = n }
+}
+
+// WithBlobCache attaches a specific (typically shared) blob cache to the
+// donor; several in-process donors given the same cache fetch a shared
+// blob once per process instead of once per donor.
+func WithBlobCache(c *BlobCache) DonorOption {
+	return func(o *DonorOptions) { o.BlobCache = c }
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 // ErrClosed is returned by coordinator calls after Close.
@@ -69,6 +70,14 @@ type ServerOptions struct {
 	// degrades to RequestTask, the capability is not advertised at
 	// Handshake, and donors fall back to the jittered poll loop.
 	LongPoll time.Duration
+	// NoContentBulk disables content-addressed shared blobs: tasks carry
+	// no SharedDigest, a network server publishes each problem's shared
+	// data under its per-problem key only, and wire.CapContentBulk is not
+	// advertised at Handshake — the pre-content wire behaviour, kept for
+	// ablation benchmarks and mixed-fleet debugging. Content addressing is
+	// on by default because it is what makes N problems sharing one
+	// alignment ship it once per donor instead of N times.
+	NoContentBulk bool
 }
 
 func (o *ServerOptions) applyDefaults() {
@@ -155,6 +164,10 @@ type problemState struct {
 	// from a forgotten predecessor is never folded into this problem.
 	// Immutable after Submit.
 	epoch int64
+	// sharedDigest is the content address of the problem's shared blob,
+	// stamped on every dispatched Task so donors can cache and verify it.
+	// Empty under ServerOptions.NoContentBulk. Immutable after Submit.
+	sharedDigest string
 
 	// mu guards every field below. DataManager methods are called with mu
 	// held, so DataManager implementations need no internal
@@ -323,8 +336,10 @@ func (s *Server) Submit(ctx context.Context, p *Problem) error {
 // dispatchable. The network server uses this to put the shared blob on the
 // bulk channel so no donor can be handed a unit whose shared data is not
 // yet fetchable — and a rejected duplicate Submit never touches the live
-// problem's blob.
-func (s *Server) submitWith(ctx context.Context, p *Problem, publish func()) error {
+// problem's blob. publish receives the blob's content digest (empty under
+// NoContentBulk) so the network layer stores the blob content-addressed
+// without hashing it a second time.
+func (s *Server) submitWith(ctx context.Context, p *Problem, publish func(sharedDigest string)) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
@@ -333,6 +348,12 @@ func (s *Server) submitWith(ctx context.Context, p *Problem, publish func()) err
 	}
 	if p.ID == "" {
 		return errors.New("dist: Submit with empty problem ID")
+	}
+	// The digest is computed outside the registry lock: hashing a large
+	// alignment must not stall every other problem's lookups.
+	var sharedDigest string
+	if !s.opts.NoContentBulk {
+		sharedDigest = wire.Digest(p.SharedData)
 	}
 	s.regMu.Lock()
 	if s.closed {
@@ -344,15 +365,16 @@ func (s *Server) submitWith(ctx context.Context, p *Problem, publish func()) err
 		return fmt.Errorf("dist: problem %q already submitted", p.ID)
 	}
 	if publish != nil {
-		publish()
+		publish(sharedDigest)
 	}
 	ps := &problemState{
-		id:       p.ID,
-		epoch:    s.epochSeq.Add(1),
-		p:        p,
-		shared:   p.SharedData,
-		inflight: make(map[int64]*leaseInfo),
-		doneCh:   make(chan struct{}),
+		id:           p.ID,
+		epoch:        s.epochSeq.Add(1),
+		sharedDigest: sharedDigest,
+		p:            p,
+		shared:       p.SharedData,
+		inflight:     make(map[int64]*leaseInfo),
+		doneCh:       make(chan struct{}),
 	}
 	s.problems[p.ID] = ps
 	s.order = append(s.order, p.ID)
@@ -733,7 +755,7 @@ func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorSt
 	}
 	if u, attempts, ok := s.popRequeueLocked(ps, donor, othersAlive); ok {
 		s.leaseLocked(ps, u, donor, attempts)
-		return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false, true
+		return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch, SharedDigest: ps.sharedDigest}, false, true
 	}
 	budget := s.opts.Policy.Budget(stats, remainingCost(ps.p.DM), live)
 	u, ok, err := ps.p.DM.NextUnit(budget)
@@ -759,7 +781,7 @@ func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorSt
 		return nil, false, true
 	}
 	s.leaseLocked(ps, u, donor, 0)
-	return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch}, false, true
+	return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch, SharedDigest: ps.sharedDigest}, false, true
 }
 
 // pruneRotation removes finished problems from the dispatch order. Their

@@ -28,15 +28,25 @@
 // BulkServer serves named blobs: a client connects, sends one frame
 // containing the blob key, and receives one frame whose body is a status
 // byte (statusOK / statusNotFound) followed by the blob. FetchBlob is the
-// client side. The dist layer stores a problem's shared data under
-// "shared/<problemID>" and offloaded unit payloads under
-// "unit/<problemID>/<epoch>.<unitID>".
+// client side.
+//
+// Shared blobs are content-addressed: PutContent stores bytes once under
+// ContentKey(Digest(blob)) — "content/sha256:<hex>" — however many
+// problems share them, refcounted so the copy lives exactly until the
+// last referencing problem releases it. Alias lets a legacy per-problem
+// key resolve to the same bytes without a second copy, which is how
+// donors predating the scheme keep working. The dist layer aliases a
+// problem's shared data at "shared/<problemID>" and stores offloaded unit
+// payloads under "unit/<problemID>/<epoch>.<unitID>". Fetchers of a
+// content key verify the bytes hash back to the digest; a mismatch is
+// ErrDigestMismatch, handled like any transport failure.
 //
 // # Control-channel capabilities
 //
 // The control channel (net/rpc over gob) is versioned by capability
-// advertisement: optional verbs are listed as tokens (CapWaitTask, ...) in
-// the server's Handshake reply, and a donor only calls a verb whose token
-// it saw at Dial. gob ignores unknown struct fields, so old and new
-// binaries interoperate in both directions; see protocol.go.
+// advertisement: optional behaviours are listed as tokens (CapWaitTask,
+// CapContentBulk, ...) in the server's Handshake reply, and a donor only
+// calls a verb — or trusts a key scheme — whose token it saw at Dial. gob
+// ignores unknown struct fields, so old and new binaries interoperate in
+// both directions; see protocol.go.
 package wire

@@ -18,4 +18,15 @@ const (
 	// dispatchable for the donor (or the park deadline passes) instead of
 	// answering "nothing yet, poll again in WaitHint".
 	CapWaitTask = "wait-task"
+
+	// CapContentBulk marks a server whose shared blobs are
+	// content-addressed: task metadata carries the blob's SHA-256 digest
+	// and the blob is fetchable under ContentKey(digest), so donors cache
+	// by digest (one fetch for N problems sharing an alignment) and verify
+	// every fetched blob against the digest before use. The server still
+	// aliases each problem's legacy "shared/<problemID>" key to the same
+	// bytes, so a donor that never saw this token — or a new donor against
+	// an old server that never advertised it — falls back to per-problem
+	// fetches and the fleet keeps draining.
+	CapContentBulk = "content-bulk"
 )

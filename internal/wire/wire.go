@@ -1,13 +1,16 @@
 package wire // package documentation lives in doc.go
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,9 +24,30 @@ const MaxFrameSize = 64 << 20
 // or the unit requeued, never consumed as silently wrong data.
 var ErrCorruptFrame = errors.New("wire: corrupt frame (checksum mismatch)")
 
+// ErrDigestMismatch is returned (wrapped) when a content-addressed blob's
+// bytes do not hash to the digest they were requested under — a server
+// bug, a tampered store, or corruption the per-frame CRC happened to miss.
+// Like ErrCorruptFrame it is a transport-level failure: the fetch is
+// retried or the unit requeued, never consumed as silently wrong data.
+var ErrDigestMismatch = errors.New("wire: blob does not match its content digest")
+
 // crcTable is the Castagnoli polynomial table; CRC-32C is hardware
 // accelerated on amd64/arm64, so checksumming adds little to a bulk copy.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Digest returns a blob's content address: "sha256:" followed by the
+// lowercase hex SHA-256 of its bytes. Identical bytes always produce the
+// same digest, which is what lets N problems sharing one alignment store
+// and ship it once.
+func Digest(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// ContentKey maps a content digest to its bulk-channel blob key. The
+// "content/" namespace keeps digests apart from the dist layer's
+// per-problem ("shared/...") and per-unit ("unit/...") keys.
+func ContentKey(digest string) string { return "content/" + digest }
 
 // frameHeaderSize is the fixed per-frame overhead: 4 bytes big-endian body
 // length followed by 4 bytes CRC-32C of the body. Adding the checksum word
@@ -73,16 +97,37 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
+// refBlob is one content-addressed blob and the number of problems still
+// referencing it.
+type refBlob struct {
+	data []byte
+	refs int
+}
+
 // BulkServer serves named blobs over raw TCP: a client connects, sends one
 // frame containing the blob key, and receives one frame with the blob (or
 // an empty frame if unknown, distinguished by a one-byte status prefix).
 // This is the "data files over ordinary sockets" channel.
+//
+// Blobs live in two stores. Put/Delete manage plainly named blobs (unit
+// payload offloads, legacy shared keys). PutContent/Release manage
+// content-addressed blobs: stored under ContentKey(digest), refcounted so
+// N problems sharing identical bytes keep one copy, and freed when the
+// last referencing problem releases. Alias lets a legacy per-problem key
+// resolve to a content blob without storing the bytes twice, which is how
+// old donors keep working against a content-addressed server.
 type BulkServer struct {
-	mu    sync.RWMutex
-	blobs map[string][]byte
-	ln    net.Listener
-	done  chan struct{}
-	wg    sync.WaitGroup
+	mu      sync.RWMutex
+	blobs   map[string][]byte
+	content map[string]*refBlob // ContentKey(digest) -> blob + refcount
+	aliases map[string]string   // legacy key -> ContentKey(digest)
+	ln      net.Listener
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// bytesServed / fetchesServed account traffic for BulkStats.
+	bytesServed   atomic.Int64
+	fetchesServed atomic.Int64
 }
 
 // NewBulkServer starts a bulk server on addr ("host:0" picks a free port).
@@ -92,9 +137,11 @@ func NewBulkServer(addr string) (*BulkServer, error) {
 		return nil, fmt.Errorf("wire: bulk listen: %w", err)
 	}
 	s := &BulkServer{
-		blobs: make(map[string][]byte),
-		ln:    ln,
-		done:  make(chan struct{}),
+		blobs:   make(map[string][]byte),
+		content: make(map[string]*refBlob),
+		aliases: make(map[string]string),
+		ln:      ln,
+		done:    make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -116,6 +163,92 @@ func (s *BulkServer) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.blobs, key)
+}
+
+// PutContent stores (or takes another reference on) a content-addressed
+// blob. digest must be Digest(blob) — the caller has usually computed it
+// already for task metadata, so it is passed rather than re-hashed here.
+// The blob becomes fetchable under ContentKey(digest); each PutContent
+// must be balanced by one Release.
+func (s *BulkServer) PutContent(digest string, blob []byte) {
+	key := ContentKey(digest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rb, ok := s.content[key]; ok {
+		rb.refs++
+		return
+	}
+	s.content[key] = &refBlob{data: blob, refs: 1}
+}
+
+// Release drops one reference on a content-addressed blob, deleting it
+// when the last reference is gone. Releasing an unknown digest is a no-op
+// (the blob may already be fully released by a concurrent cleanup).
+func (s *BulkServer) Release(digest string) {
+	key := ContentKey(digest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rb, ok := s.content[key]
+	if !ok {
+		return
+	}
+	if rb.refs--; rb.refs <= 0 {
+		delete(s.content, key)
+	}
+}
+
+// Alias makes a plainly named key resolve to a content-addressed blob, so
+// a peer fetching the legacy key receives the shared bytes without the
+// server storing them twice. The alias does not hold a reference: it dies
+// with (or before, via DropAlias) the content blob it points at.
+func (s *BulkServer) Alias(key, digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aliases[key] = ContentKey(digest)
+}
+
+// DropAlias removes a legacy-key alias.
+func (s *BulkServer) DropAlias(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.aliases, key)
+}
+
+// BulkStats is a snapshot of a bulk server's storage and traffic. Stored
+// figures count each resident blob once — aliases and extra content
+// references add nothing — which is exactly the dedup the content store
+// buys; served figures accumulate over the server's lifetime.
+type BulkStats struct {
+	// Blobs and StoredBytes cover both stores (plain + content).
+	Blobs       int
+	StoredBytes int64
+	// ContentBlobs/ContentRefs expose the content store's sharing factor.
+	ContentBlobs int
+	ContentRefs  int
+	// Fetches counts answered fetch requests (found or not);
+	// BytesServed sums the blob bytes shipped to clients.
+	Fetches     int64
+	BytesServed int64
+}
+
+// Stats reports the server's current storage and cumulative traffic.
+func (s *BulkServer) Stats() BulkStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := BulkStats{
+		Blobs:        len(s.blobs) + len(s.content),
+		ContentBlobs: len(s.content),
+		Fetches:      s.fetchesServed.Load(),
+		BytesServed:  s.bytesServed.Load(),
+	}
+	for _, b := range s.blobs {
+		st.StoredBytes += int64(len(b))
+	}
+	for _, rb := range s.content {
+		st.StoredBytes += int64(len(rb.data))
+		st.ContentRefs += rb.refs
+	}
+	return st
 }
 
 // Close stops the server and waits for in-flight transfers.
@@ -154,19 +287,36 @@ const (
 	statusNotFound = 0x02
 )
 
+// lookup resolves a fetch key against the plain store, then the alias
+// table, then the content store.
+func (s *BulkServer) lookup(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if blob, ok := s.blobs[key]; ok {
+		return blob, true
+	}
+	if target, ok := s.aliases[key]; ok {
+		key = target
+	}
+	if rb, ok := s.content[key]; ok {
+		return rb.data, true
+	}
+	return nil, false
+}
+
 func (s *BulkServer) serveConn(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
 	key, err := ReadFrame(conn)
 	if err != nil {
 		return
 	}
-	s.mu.RLock()
-	blob, ok := s.blobs[string(key)]
-	s.mu.RUnlock()
+	s.fetchesServed.Add(1)
+	blob, ok := s.lookup(string(key))
 	if !ok {
 		_ = WriteFrame(conn, []byte{statusNotFound})
 		return
 	}
+	s.bytesServed.Add(int64(len(blob)))
 	// Stream header + status + blob without copying the (possibly large)
 	// blob into a combined buffer. The CRC covers the whole frame body
 	// (status byte + blob), exactly what WriteFrame would checksum.

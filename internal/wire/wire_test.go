@@ -189,6 +189,103 @@ func TestBulkServerConcurrentFetches(t *testing.T) {
 	}
 }
 
+func TestDigestFormat(t *testing.T) {
+	d := Digest([]byte("alignment"))
+	if !strings.HasPrefix(d, "sha256:") || len(d) != len("sha256:")+64 {
+		t.Errorf("Digest = %q, want sha256:<64 hex>", d)
+	}
+	if Digest([]byte("alignment")) != d {
+		t.Error("Digest not deterministic")
+	}
+	if Digest([]byte("other")) == d {
+		t.Error("distinct blobs share a digest")
+	}
+}
+
+// TestContentStoreRefcountAndAlias covers the content store's lifecycle:
+// N references to identical bytes keep one stored copy, the legacy alias
+// serves the same bytes, and the blob survives exactly until its last
+// Release.
+func TestContentStoreRefcountAndAlias(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob := bytes.Repeat([]byte("shared alignment"), 4096)
+	digest := Digest(blob)
+	for i := 0; i < 3; i++ {
+		s.PutContent(digest, blob)
+	}
+	s.Alias("shared/p1", digest)
+	s.Alias("shared/p2", digest)
+
+	st := s.Stats()
+	if st.ContentBlobs != 1 || st.ContentRefs != 3 {
+		t.Errorf("content store = %d blobs / %d refs, want 1 / 3", st.ContentBlobs, st.ContentRefs)
+	}
+	if st.StoredBytes != int64(len(blob)) {
+		t.Errorf("StoredBytes = %d, want one copy (%d)", st.StoredBytes, len(blob))
+	}
+
+	for _, key := range []string{ContentKey(digest), "shared/p1", "shared/p2"} {
+		got, err := FetchBlob(s.Addr(), key, 5*time.Second)
+		if err != nil {
+			t.Fatalf("fetch %q: %v", key, err)
+		}
+		if !bytes.Equal(got, blob) {
+			t.Errorf("fetch %q returned different bytes", key)
+		}
+	}
+
+	// Two releases leave the blob alive; the third frees it.
+	s.Release(digest)
+	s.Release(digest)
+	if _, err := FetchBlob(s.Addr(), ContentKey(digest), 2*time.Second); err != nil {
+		t.Errorf("blob gone with a live reference: %v", err)
+	}
+	s.DropAlias("shared/p1")
+	s.Release(digest)
+	if _, err := FetchBlob(s.Addr(), ContentKey(digest), 2*time.Second); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Errorf("fully released blob: err = %v, want not found", err)
+	}
+	// The surviving alias now dangles and answers not-found, not stale bytes.
+	if _, err := FetchBlob(s.Addr(), "shared/p2", 2*time.Second); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Errorf("dangling alias: err = %v, want not found", err)
+	}
+	s.Release(digest) // releasing an unknown digest is a no-op
+}
+
+// TestBulkStatsTraffic checks the fetch/byte accounting the dedup
+// benchmark reads.
+func TestBulkStatsTraffic(t *testing.T) {
+	s, err := NewBulkServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob := bytes.Repeat([]byte{9}, 1000)
+	s.Put("k", blob)
+	for i := 0; i < 3; i++ {
+		if _, err := FetchBlob(s.Addr(), "k", 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _ = FetchBlob(s.Addr(), "missing", 2*time.Second)
+	st := s.Stats()
+	if st.Fetches != 4 {
+		t.Errorf("Fetches = %d, want 4", st.Fetches)
+	}
+	if st.BytesServed != 3*int64(len(blob)) {
+		t.Errorf("BytesServed = %d, want %d", st.BytesServed, 3*len(blob))
+	}
+	if st.Blobs != 1 || st.StoredBytes != int64(len(blob)) {
+		t.Errorf("storage = %d blobs / %d bytes, want 1 / %d", st.Blobs, st.StoredBytes, len(blob))
+	}
+}
+
 func TestFetchBlobConnectionRefused(t *testing.T) {
 	// Grab a port then close it so nothing is listening.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
