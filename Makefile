@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench demo docs-lint
+.PHONY: check build vet fmt lint test race fuzz-smoke bench demo docs-lint
 
 # check is the tier-1 gate: everything CI runs (CI invokes this target).
 # vet covers every package, including the control-channel codec paths in
-# internal/dist and internal/wire. The docs lint (markdown links/anchors +
-# README block compilation) is gated through `test`, which runs the root
-# package's TestMarkdownDocs and TestREADMECodeBlocksCompile; docs-lint
-# below re-runs just those for fast iteration on documentation.
-check: build vet fmt test race
+# internal/dist and internal/wire; lint runs the distlint invariant
+# analyzers (lock/sentinel/context/epoch/codec rules — see
+# docs/ARCHITECTURE.md "Checked invariants"). The docs lint (markdown
+# links/anchors + README block compilation) is gated through `test`, which
+# runs the root package's TestMarkdownDocs and TestREADMECodeBlocksCompile;
+# docs-lint below re-runs just those for fast iteration on documentation.
+check: build vet fmt lint test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,11 +24,22 @@ fmt:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# lint enforces the repository's machine-checked invariants; exit 1 on any
+# finding, 2 if a package fails to load.
+lint:
+	$(GO) run ./cmd/distlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dist/ ./internal/core/
+	$(GO) test -race ./...
+
+# fuzz-smoke gives each wire-protocol fuzzer a few seconds of coverage
+# growth on every check; longer runs are a manual `go test -fuzz` away.
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzHandshake -fuzztime 5s
 
 # bench covers every package carrying benchmarks (the root harness plus
 # internal packages like align), so a bench added in a new file or package

@@ -1,0 +1,43 @@
+// Command distlint runs the repository's invariant analyzers — lockcheck,
+// sentinelcheck, ctxcheck, epochcheck, gobcheck — over the packages named
+// by its arguments (default ./...), printing one line per finding and
+// exiting 1 if any survive //nolint filtering, 2 on load failure.
+//
+// Usage:
+//
+//	distlint [-dir directory] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/distlint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory to resolve package patterns in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: distlint [-dir directory] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := distlint.Check(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -102,7 +102,7 @@ func main() {
 
 	if *bootstrap > 0 {
 		start := time.Now()
-		res, err := dprml.Bootstrap(aln, opts, *bootstrap, *workers, pol, *seed)
+		res, err := dprml.Bootstrap(context.Background(), aln, opts, *bootstrap, *workers, pol, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}

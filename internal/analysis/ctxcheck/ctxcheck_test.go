@@ -1,0 +1,29 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxcheck"
+	"repro/internal/analysis/framework"
+)
+
+func TestFixture(t *testing.T) {
+	framework.RunFixture(t, "../testdata/ctxcheck",
+		framework.FixtureImportPath("repro", "ctxcheck"), ctxcheck.Analyzer)
+}
+
+// TestMainPackageExempt verifies rule 2's main-package carve-out: a
+// program's entry point legitimately owns the root context.
+func TestMainPackageExempt(t *testing.T) {
+	pkg, err := framework.LoadDir("../testdata/ctxmain", "repro/fixtures/ctxmain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Analyzer{ctxcheck.Analyzer}, []*framework.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("main package flagged: %v", diags)
+	}
+}

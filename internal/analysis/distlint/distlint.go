@@ -1,0 +1,34 @@
+// Package distlint assembles the runtime's invariant analyzers into one
+// suite, shared by the cmd/distlint driver and the regression tests so
+// both always run exactly the same checks.
+package distlint
+
+import (
+	"repro/internal/analysis/ctxcheck"
+	"repro/internal/analysis/epochcheck"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/gobcheck"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/sentinelcheck"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		ctxcheck.Analyzer,
+		epochcheck.Analyzer,
+		gobcheck.Analyzer,
+		lockcheck.Analyzer,
+		sentinelcheck.Analyzer,
+	}
+}
+
+// Check loads the packages matched by patterns under dir and runs the
+// suite, returning the surviving (non-suppressed) diagnostics.
+func Check(dir string, patterns ...string) ([]framework.Diagnostic, error) {
+	pkgs, err := framework.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return framework.Run(Analyzers(), pkgs)
+}

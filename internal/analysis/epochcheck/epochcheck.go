@@ -1,0 +1,128 @@
+// Package epochcheck guards the wire protocol's straggler defence and its
+// documentation:
+//
+//  1. Every control-channel envelope struct (name ending in Args or
+//     Reply) that references a work unit — a field named UnitID, or a
+//     field of the dispatch Unit type — must carry an int64 Epoch field.
+//     The epoch is what keeps a straggler result or failure report from a
+//     forgotten-and-resubmitted problem ID out of its successor; a new
+//     verb whose envelope forgets the tag silently reopens that hole.
+//  2. Every exported struct declared in internal/wire must be mentioned
+//     in docs/ARCHITECTURE.md, the protocol specification: the wire
+//     format is versioned by prose + capability tokens, so an undocumented
+//     wire struct is an undocumented protocol change.
+package epochcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the epochcheck pass.
+var Analyzer = &framework.Analyzer{
+	Name: "epochcheck",
+	Doc:  "unit-referencing Args/Reply structs carry an Epoch; internal/wire structs appear in the protocol doc",
+	Run:  run,
+}
+
+// docRelPath is the protocol document checked by the internal/wire rule,
+// relative to the module root (the directory holding go.mod).
+const docRelPath = "docs/ARCHITECTURE.md"
+
+func run(pass *framework.Pass) error {
+	wireDoc := loadWireDoc(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkEnvelope(pass, ts, st)
+				if wireDoc != nil && ts.Name.IsExported() {
+					if !strings.Contains(wireDoc.text, ts.Name.Name) {
+						pass.Reportf(ts.Name.Pos(),
+							"exported wire struct %s is not mentioned in %s; document the protocol change",
+							ts.Name.Name, docRelPath)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkEnvelope enforces rule 1 on one struct declaration.
+func checkEnvelope(pass *framework.Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	name := ts.Name.Name
+	if !strings.HasSuffix(name, "Args") && !strings.HasSuffix(name, "Reply") {
+		return
+	}
+	referencesUnit := false
+	hasEpoch := false
+	for _, field := range st.Fields.List {
+		for _, fname := range field.Names {
+			switch fname.Name {
+			case "UnitID":
+				referencesUnit = true
+			case "Epoch":
+				if tv, ok := pass.TypesInfo.Types[field.Type]; ok {
+					if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.Int64 {
+						hasEpoch = true
+					}
+				}
+			}
+		}
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok {
+			if named, _, ok := framework.NamedStruct(tv.Type); ok && named.Obj().Name() == "Unit" {
+				referencesUnit = true
+			}
+		}
+	}
+	if referencesUnit && !hasEpoch {
+		pass.Reportf(ts.Name.Pos(),
+			"wire envelope %s references a unit but has no int64 Epoch field; stragglers from a forgotten problem incarnation would be accepted",
+			name)
+	}
+}
+
+// wireDoc is the protocol document's contents, loaded only when the pass
+// is over an internal/wire package that sits in a module with the doc.
+type wireDocT struct{ text string }
+
+// loadWireDoc finds docs/ARCHITECTURE.md by walking up from the package
+// directory to the enclosing go.mod. A missing doc (a fixture tree, a
+// vendored copy) disables rule 2 rather than failing the pass.
+func loadWireDoc(pass *framework.Pass) *wireDocT {
+	if pass.Pkg.Path() != "internal/wire" && !strings.HasSuffix(pass.Pkg.Path(), "/internal/wire") {
+		return nil
+	}
+	dir := pass.Dir
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			data, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(docRelPath)))
+			if err != nil {
+				return nil
+			}
+			return &wireDocT{text: string(data)}
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,21 @@
+package epochcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/epochcheck"
+	"repro/internal/analysis/framework"
+)
+
+func TestEnvelopeFixture(t *testing.T) {
+	framework.RunFixture(t, "../testdata/epochcheck",
+		framework.FixtureImportPath("repro", "epochcheck"), epochcheck.Analyzer)
+}
+
+// TestWireDocFixture exercises rule 2 against the hermetic module under
+// testdata/wiredoc: the fixture's own go.mod scopes the protocol-doc
+// lookup to testdata/wiredoc/docs/ARCHITECTURE.md.
+func TestWireDocFixture(t *testing.T) {
+	framework.RunFixture(t, "../testdata/wiredoc/internal/wire",
+		"fixturemod/internal/wire", epochcheck.Analyzer)
+}

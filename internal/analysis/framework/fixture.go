@@ -1,0 +1,89 @@
+package framework
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe parses one expectation comment: `// want "re" "re" ...`. Each
+// quoted regexp must match a diagnostic reported on the comment's line.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunFixture loads the fixture package at dir under importPath, runs the
+// analyzer over it, and compares the diagnostics against the fixture's
+// `// want "regexp"` comments: every want must be matched by a diagnostic
+// on its line, and every diagnostic must be claimed by a want. The nolint
+// filter runs too, so fixtures can assert the escape hatch itself.
+func RunFixture(t *testing.T, dir, importPath string, a *Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := Run([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		claimed := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				claimed = true
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+			}
+		}
+	}
+	if t.Failed() {
+		var all []string
+		for _, d := range diags {
+			all = append(all, "  "+d.String())
+		}
+		t.Logf("all diagnostics:\n%s", strings.Join(all, "\n"))
+	}
+}
+
+// FixtureImportPath builds a stable module-shaped import path for a
+// fixture, so path-scoped analyzer rules (module sentinels, internal/wire
+// suffixes) apply to fixtures the same way they apply to the real tree.
+func FixtureImportPath(module, rel string) string {
+	return fmt.Sprintf("%s/fixtures/%s", module, rel)
+}

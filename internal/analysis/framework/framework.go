@@ -1,0 +1,316 @@
+// Package framework is a self-contained, stdlib-only harness for writing
+// and driving static analyzers over this repository. It mirrors the shape
+// of golang.org/x/tools/go/analysis — an Analyzer runs over a type-checked
+// Pass and reports position-anchored Diagnostics — so the distlint
+// analyzers could migrate to the real framework verbatim if the dependency
+// ever becomes available; until then the loader in load.go type-checks
+// packages from source against compiler export data obtained from
+// `go list -export`, which works offline.
+//
+// The framework also owns the two cross-analyzer conventions:
+//
+//   - the //dist: annotation grammar (//dist:guardedby <field>,
+//     //dist:locked <field>, //dist:allow-background) that turns invariants
+//     previously living in comments into machine-checked facts, and
+//   - the //nolint:distlint/<name> escape hatch, which suppresses a
+//     diagnostic only when followed by a non-empty justification.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named analysis pass. Run inspects a single package via
+// its Pass and reports findings with Pass.Report/Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier: the suffix of its nolint token
+	// (//nolint:distlint/<Name>) and the tag on printed diagnostics.
+	Name string
+	// Doc is a one-line description shown by the driver.
+	Doc string
+	// Run executes the analysis over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources, comments included.
+	Files []*ast.File
+	// Pkg and TypesInfo are the go/types view of the package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dir is the package directory on disk (used by analyzers that consult
+	// repository files, e.g. epochcheck's protocol-doc cross-check).
+	Dir string
+
+	diags *[]Diagnostic
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (distlint/%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics, sorted by position: findings suppressed by a justified
+// //nolint:distlint/<name> comment are dropped, and a nolint directive
+// with no justification becomes a diagnostic itself (attributed to the
+// pseudo-analyzer "nolint"), so the escape hatch cannot be used silently.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Dir:       pkg.Dir,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("distlint/%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		diags = applyNolint(diags, pkg)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// nolintRe matches one escape directive: the analyzer name (or "*" for
+// all), then the mandatory justification text.
+var nolintRe = regexp.MustCompile(`//nolint:distlint/(\*|[a-z]+)(?:[ \t]+(.*))?$`)
+
+// nolintDirective is one parsed //nolint:distlint/<name> comment.
+type nolintDirective struct {
+	analyzer      string // "*" suppresses every analyzer
+	line          int
+	justification string
+	pos           token.Position
+}
+
+// applyNolint filters pkg's diagnostics through its nolint directives. A
+// directive covers findings on its own line and, when it is the only thing
+// on its line, findings on the next line.
+func applyNolint(diags []Diagnostic, pkg *Package) []Diagnostic {
+	directives := collectNolint(pkg)
+	if len(directives) == 0 {
+		return diags
+	}
+	// file -> line -> analyzers suppressed there ("*" key suppresses all).
+	suppressed := make(map[string]map[int]map[string]bool)
+	mark := func(file string, line int, analyzer string) {
+		if suppressed[file] == nil {
+			suppressed[file] = make(map[int]map[string]bool)
+		}
+		if suppressed[file][line] == nil {
+			suppressed[file][line] = make(map[string]bool)
+		}
+		suppressed[file][line][analyzer] = true
+	}
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range directives {
+		if d.justification == "" {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "nolint",
+				Message:  "nolint:distlint directive requires a justification (//nolint:distlint/" + d.analyzer + " <why this site is exempt>)",
+			})
+			continue // an unjustified directive suppresses nothing
+		}
+		mark(d.pos.Filename, d.line, d.analyzer)
+		mark(d.pos.Filename, d.line+1, d.analyzer)
+	}
+	for _, d := range diags {
+		byLine := suppressed[d.Pos.Filename]
+		if byLine != nil {
+			as := byLine[d.Pos.Line]
+			if as != nil && (as[d.Analyzer] || as["*"]) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// collectNolint parses every nolint directive in the package.
+func collectNolint(pkg *Package) []nolintDirective {
+	var out []nolintDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := nolintRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, nolintDirective{
+					analyzer:      m[1],
+					line:          pos.Line,
+					justification: strings.TrimSpace(strings.TrimLeft(m[2], "-— \t")),
+					pos:           pos,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Annotation grammar ---------------------------------------------------
+
+// distDirective extracts the argument of a "//dist:<key>" directive from
+// one comment, reporting ok even when the argument is empty (for marker
+// directives like allow-background).
+func distDirective(c *ast.Comment, key string) (arg string, ok bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	prefix := "dist:" + key
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. dist:lockedX
+	}
+	// Keep only the first word: prose may follow the argument.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", true
+	}
+	return fields[0], true
+}
+
+// groupDirective scans a comment group for a //dist:<key> directive.
+func groupDirective(cg *ast.CommentGroup, key string) (arg string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		if arg, ok := distDirective(c, key); ok {
+			return arg, true
+		}
+	}
+	return "", false
+}
+
+// FieldGuard returns the guard field named by a //dist:guardedby
+// annotation in the struct field's doc or trailing line comment.
+func FieldGuard(field *ast.Field) (guard string, ok bool) {
+	if g, ok := groupDirective(field.Doc, "guardedby"); ok && g != "" {
+		return g, true
+	}
+	if g, ok := groupDirective(field.Comment, "guardedby"); ok && g != "" {
+		return g, true
+	}
+	return "", false
+}
+
+// FuncLocked returns the guard fields a function declares it is called
+// with held, from //dist:locked annotations in its doc comment. A
+// function may declare several guards (one directive each).
+func FuncLocked(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var guards []string
+	for _, c := range fd.Doc.List {
+		if g, ok := distDirective(c, "locked"); ok && g != "" {
+			guards = append(guards, g)
+		}
+	}
+	return guards
+}
+
+// AllowBackground reports whether pos (a context.Background/TODO call
+// site) is exempted by a //dist:allow-background annotation — either in
+// the doc comment of the function declaration enclosing it, or in a
+// comment on the same source line.
+func AllowBackground(pass *Pass, file *ast.File, fd *ast.FuncDecl, pos token.Pos) bool {
+	if fd != nil && fd.Doc != nil {
+		if _, ok := groupDirective(fd.Doc, "allow-background"); ok {
+			return true
+		}
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if pass.Fset.Position(c.Pos()).Line != line {
+				continue
+			}
+			if _, ok := distDirective(c, "allow-background"); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the innermost FuncDecl containing pos in file
+// (nil for package-level positions).
+func EnclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// NamedStruct resolves a type to its named struct form, unwrapping
+// pointers and aliases; ok is false for anything else.
+func NamedStruct(t types.Type) (*types.Named, *types.Struct, bool) {
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			named, isNamed = ptr.Elem().(*types.Named)
+		}
+		if !isNamed {
+			return nil, nil, false
+		}
+	}
+	st, isStruct := named.Underlying().(*types.Struct)
+	if !isStruct {
+		return nil, nil, false
+	}
+	return named, st, true
+}

@@ -1,0 +1,76 @@
+package framework_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// fake reports one diagnostic per function declaration, giving the nolint
+// fixture something uniform to suppress.
+var fake = &framework.Analyzer{
+	Name: "fake",
+	Doc:  "reports every function declaration",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Name.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestNolintSemantics(t *testing.T) {
+	pkg, err := framework.LoadDir("../testdata/nolint", "repro/fixtures/nolint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Analyzer{fake}, []*framework.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	want := []string{
+		// delta's directive has no justification: it suppresses nothing and
+		// is itself reported (sorted after the finding: same line, analyzer
+		// name "fake" < "nolint").
+		"fake: func delta",
+		"nolint: nolint:distlint directive requires a justification (//nolint:distlint/fake <why this site is exempt>)",
+		// echo's directive names a different analyzer.
+		"fake: func echo",
+		// foxtrot has no directive at all.
+		"fake: func foxtrot",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("surviving diagnostics:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestDiagnosticString pins the output format the Makefile and CI grep for.
+func TestDiagnosticString(t *testing.T) {
+	pkg, err := framework.LoadDir("../testdata/nolint", "repro/fixtures/nolint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Analyzer{fake}, []*framework.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	s := diags[len(diags)-1].String()
+	if !strings.Contains(s, "fixture.go:") || !strings.HasSuffix(s, "(distlint/fake)") {
+		t.Errorf("diagnostic format %q lost its position or analyzer tag", s)
+	}
+}

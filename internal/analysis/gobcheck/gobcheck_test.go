@@ -1,0 +1,30 @@
+package gobcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/gobcheck"
+)
+
+func TestFixture(t *testing.T) {
+	framework.RunFixture(t, "../testdata/gobcheck",
+		framework.FixtureImportPath("repro", "gobcheck"), gobcheck.Analyzer)
+}
+
+// TestBoundaryExempt verifies the analyzer's whitelist on the real tree:
+// internal/wire and internal/dist's typed.go construct gob codecs by
+// design and must stay silent.
+func TestBoundaryExempt(t *testing.T) {
+	pkgs, err := framework.Load("../../..", "./internal/wire", "./internal/dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Analyzer{gobcheck.Analyzer}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("boundary packages flagged: %v", diags)
+	}
+}

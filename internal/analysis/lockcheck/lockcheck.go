@@ -1,0 +1,175 @@
+// Package lockcheck enforces the repository's lock-annotation grammar:
+// a struct field annotated
+//
+//	//dist:guardedby mu
+//
+// may only be read or written inside a function that either acquires the
+// named guard on a value of the same struct type (x.mu.Lock / RLock /
+// TryLock / TryRLock somewhere in its body — the flow-insensitive
+// approximation of "holds the lock"), or is itself annotated
+//
+//	//dist:locked mu
+//
+// declaring the invariant the runtime's "Callers hold ps.mu." comments
+// used to state in prose: the caller acquired the guard (or owns the
+// value exclusively, as constructors do before publishing it).
+//
+// Two deliberate approximations keep the check useful rather than noisy:
+// composite literals initialise fields by key, not selector, so
+// construction before publication never needs an annotation; and a
+// function literal inherits its enclosing declaration's evidence, which
+// accepts the runtime's deferred-unlock and under-lock-callback idioms at
+// the cost of not modelling goroutines launched from a locked region.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated //dist:guardedby may only be accessed under their guard or in //dist:locked functions",
+	Run:  run,
+}
+
+// guardKey identifies one guarded field by its types object.
+type guardKey = *types.Var
+
+func run(pass *framework.Pass) error {
+	// Pass 1: collect //dist:guardedby annotations — field object -> guard
+	// field name — and remember each annotated struct's named type.
+	guards := make(map[guardKey]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard, ok := framework.FieldGuard(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// Pass 2: walk every function; for each selector access of a guarded
+	// field, require lock evidence in the enclosing declaration.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// checkFunc validates every guarded-field access in fd's body (function
+// literals included — they inherit fd's evidence).
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guards map[guardKey]string) {
+	locked := make(map[string]bool)
+	for _, g := range framework.FuncLocked(fd) {
+		locked[g] = true
+	}
+	// acquired records (struct type, guard field name) pairs for which the
+	// body contains a lock acquisition; computed lazily on first need.
+	var acquired map[acqKey]bool
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, guarded := guards[field]
+		if !guarded || locked[guard] {
+			return true
+		}
+		owner, _, ok := framework.NamedStruct(selection.Recv())
+		if !ok {
+			return true
+		}
+		if acquired == nil {
+			acquired = collectAcquisitions(pass, fd)
+		}
+		if acquired[acqKey{owner.Obj(), guard}] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %q but %s neither locks it nor is annotated //dist:locked %s",
+			owner.Obj().Name(), field.Name(), guard, fd.Name.Name, guard)
+		return true
+	})
+}
+
+// acqKey is one (struct type, guard field) lock acquisition.
+type acqKey struct {
+	owner *types.TypeName
+	guard string
+}
+
+// lockMethods are the sync.Mutex/RWMutex acquisition methods accepted as
+// evidence. Unlock is deliberately absent: a deferred unlock always pairs
+// with an acquisition, and unlocking alone proves nothing.
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+// collectAcquisitions scans fd's body for guard.Lock()-shaped calls and
+// records which (struct type, guard field) pairs they acquire.
+func collectAcquisitions(pass *framework.Pass, fd *ast.FuncDecl) map[acqKey]bool {
+	out := make(map[acqKey]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockMethods[method.Sel.Name] {
+			return true
+		}
+		// The receiver must itself be a field selection: x.mu in x.mu.Lock().
+		guardSel, ok := method.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[guardSel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		owner, _, ok := framework.NamedStruct(selection.Recv())
+		if !ok {
+			return true
+		}
+		out[acqKey{owner.Obj(), guardSel.Sel.Name}] = true
+		return true
+	})
+	return out
+}

@@ -1,0 +1,13 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/lockcheck"
+)
+
+func TestFixture(t *testing.T) {
+	framework.RunFixture(t, "../testdata/lockcheck",
+		framework.FixtureImportPath("repro", "lockcheck"), lockcheck.Analyzer)
+}

@@ -1,0 +1,13 @@
+package sentinelcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/sentinelcheck"
+)
+
+func TestFixture(t *testing.T) {
+	framework.RunFixture(t, "../testdata/sentinelcheck",
+		framework.FixtureImportPath("repro", "sentinelcheck"), sentinelcheck.Analyzer)
+}

@@ -1,0 +1,35 @@
+// Fixture for ctxcheck: ctx goes first, and library code never mints a
+// root context without an //dist:allow-background annotation.
+package ctxcheck
+
+import "context"
+
+func ctxFirst(ctx context.Context, n int) {}
+
+func ctxSecond(n int, ctx context.Context) {} // want "ctxSecond takes context.Context as parameter 2"
+
+func noCtx(a, b string) {}
+
+func background() {
+	ctx := context.Background() // want "context.Background.. in library code"
+	_ = ctx
+}
+
+func todo() {
+	ctx := context.TODO() // want "context.TODO.. in library code"
+	_ = ctx
+}
+
+// exemptByDoc has no caller context by design.
+//
+//dist:allow-background
+func exemptByDoc() {
+	_ = context.Background()
+}
+
+func exemptByLine(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background() //dist:allow-background nil-ctx normalisation
+	}
+	_ = ctx
+}

@@ -1,0 +1,11 @@
+// Fixture for ctxcheck's main-package exemption: a program entry point
+// owns the root context and may call context.Background freely.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) { _ = ctx }

@@ -1,0 +1,48 @@
+// Fixture for epochcheck rule 1: envelope structs referencing a unit must
+// carry an int64 Epoch. (Rule 2, the protocol-doc cross-check, is scoped
+// to internal/wire import paths and exercised by a separate fixture.)
+package epochcheck
+
+// Unit stands in for the dispatch unit type.
+type Unit struct {
+	ID      int64
+	Payload []byte
+}
+
+type ResultArgs struct { // want "wire envelope ResultArgs references a unit but has no int64 Epoch field"
+	ProblemID string
+	UnitID    int64
+	Result    []byte
+}
+
+type GoodArgs struct {
+	ProblemID string
+	UnitID    int64
+	Epoch     int64
+}
+
+type TaskReply struct { // want "wire envelope TaskReply references a unit but has no int64 Epoch field"
+	Unit Unit
+}
+
+type GoodReply struct {
+	Unit  Unit
+	Epoch int64
+}
+
+// WrongEpochArgs types its Epoch as int, which cannot round-trip the
+// server's int64 incarnation counter.
+type WrongEpochArgs struct { // want "wire envelope WrongEpochArgs references a unit but has no int64 Epoch field"
+	UnitID int64
+	Epoch  int
+}
+
+// CancelReply carries no unit reference, so no epoch is demanded.
+type CancelReply struct {
+	Notices []string
+}
+
+// plain is not an envelope: the name has no Args/Reply suffix.
+type plain struct {
+	UnitID int64
+}

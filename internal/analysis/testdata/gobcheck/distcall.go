@@ -1,0 +1,20 @@
+package gobcheck
+
+import "repro/internal/dist"
+
+func viaDist(v any) ([]byte, error) {
+	return dist.Marshal(v) // want "dist.Marshal outside the codec boundary"
+}
+
+func viaDistMust(v any) []byte {
+	return dist.MustMarshal(v) // want "dist.MustMarshal outside the codec boundary"
+}
+
+// Encode is the typed adapter — the sanctioned entry point.
+func viaTyped(v int) ([]byte, error) {
+	return dist.Encode(v)
+}
+
+func escaped(v any) error {
+	return dist.Unmarshal(nil, v) //nolint:distlint/gobcheck exercising the justified escape hatch
+}

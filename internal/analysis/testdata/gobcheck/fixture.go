@@ -1,0 +1,26 @@
+// Fixture for gobcheck: raw gob codec construction (and the dist byte
+// codec helpers) stays inside internal/dist/typed.go and internal/wire.
+package gobcheck
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+)
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil { // want "gob.NewEncoder outside the codec boundary"
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(r io.Reader, v any) error {
+	return gob.NewDecoder(r).Decode(v) // want "gob.NewDecoder outside the codec boundary"
+}
+
+// Register is part of gob's type registry, not a codec: allowed anywhere.
+func register(v any) {
+	gob.Register(v)
+}

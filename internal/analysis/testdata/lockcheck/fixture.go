@@ -1,0 +1,64 @@
+// Fixture for lockcheck: accesses of //dist:guardedby fields must carry
+// lock evidence or a //dist:locked annotation.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //dist:guardedby mu
+	// free has no guard annotation and is never flagged.
+	free bool
+}
+
+// other has its own guard; locking counter.mu proves nothing about it.
+type other struct {
+	mu sync.Mutex
+	v  int //dist:guardedby mu
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bumpLocked documents its precondition instead of locking.
+//
+//dist:locked mu
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (c *counter) peek() int {
+	return c.n // want "counter.n is guarded by .mu. but peek neither locks it"
+}
+
+func (c *counter) toggle() {
+	c.free = true
+}
+
+func newCounter() *counter {
+	return &counter{n: 1} // composite literals initialise before publication
+}
+
+func (c *counter) viaClosure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() { c.n++ } // inherits the enclosing declaration's evidence
+	f()
+}
+
+func crossType(c *counter, o *other) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o.v++ // want "other.v is guarded by .mu. but crossType neither locks it"
+}
+
+func tryLock(c *counter) int {
+	if c.mu.TryLock() {
+		defer c.mu.Unlock()
+		return c.n
+	}
+	return 0
+}

@@ -1,0 +1,18 @@
+// Fixture for the framework's //nolint escape hatch. The test analyzer
+// reports one diagnostic per function declaration; the directives below
+// exercise same-line suppression, next-line suppression, the wildcard,
+// the mandatory justification, and analyzer-name scoping.
+package nolint
+
+func alpha() {} //nolint:distlint/fake fixture: suppressed with a justification
+
+//nolint:distlint/fake fixture: next-line suppression
+func bravo() {}
+
+func charlie() {} //nolint:distlint/* fixture: wildcard suppresses every analyzer
+
+func delta() {} //nolint:distlint/fake
+
+func echo() {} //nolint:distlint/other justified, but scoped to a different analyzer
+
+func foxtrot() {}

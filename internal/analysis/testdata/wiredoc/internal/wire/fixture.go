@@ -1,0 +1,24 @@
+// Fixture for epochcheck rule 2: exported structs in an internal/wire
+// package must be mentioned in the module's docs/ARCHITECTURE.md (the one
+// in testdata/wiredoc, found via the fixture module's own go.mod).
+package wire
+
+// DocumentedArgs appears in the fixture protocol doc.
+type DocumentedArgs struct {
+	UnitID int64
+	Epoch  int64
+}
+
+// DocumentedReply appears in the fixture protocol doc.
+type DocumentedReply struct {
+	Payload []byte
+}
+
+type StrayStatus struct { // want "exported wire struct StrayStatus is not mentioned in docs/ARCHITECTURE.md"
+	Connections int
+}
+
+// internalDetail is unexported: not part of the protocol surface.
+type internalDetail struct {
+	refs int
+}

@@ -22,11 +22,12 @@ import (
 type BlobCache struct {
 	mu      sync.Mutex
 	budget  int64
-	used    int64
-	entries map[string]*blobEntry
+	used    int64                 //dist:guardedby mu
+	entries map[string]*blobEntry //dist:guardedby mu
 	// order is LRU order, oldest first. Entries still being fetched are in
 	// entries (that is what singleflights followers) but not yet in order,
 	// so eviction can never pick an in-flight fetch.
+	//dist:guardedby mu
 	order []string
 
 	fetches atomic.Int64
@@ -106,6 +107,8 @@ func (c *BlobCache) Get(ctx context.Context, key string, fetch func(context.Cont
 
 // touchLocked moves key to the most-recently-used end. No-op for keys not
 // yet in order (in-flight fetches). Callers hold mu.
+//
+//dist:locked mu
 func (c *BlobCache) touchLocked(key string) {
 	for i, k := range c.order {
 		if k == key {
@@ -119,6 +122,8 @@ func (c *BlobCache) touchLocked(key string) {
 // budget, always keeping the most recent one: the blob a donor just
 // fetched must survive long enough to be used, however small the budget.
 // Callers hold mu.
+//
+//dist:locked mu
 func (c *BlobCache) evictLocked() {
 	for c.used > c.budget && len(c.order) > 1 {
 		c.dropLocked(c.order[0])
@@ -126,6 +131,8 @@ func (c *BlobCache) evictLocked() {
 }
 
 // dropLocked removes one completed entry. Callers hold mu.
+//
+//dist:locked mu
 func (c *BlobCache) dropLocked(key string) {
 	e, ok := c.entries[key]
 	if !ok {

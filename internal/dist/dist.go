@@ -1,9 +1,7 @@
 package dist // package documentation lives in doc.go
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
@@ -213,34 +211,6 @@ type CancelNotifier interface {
 // fetched through Coordinator.SharedData and verified the same way.
 type ContentFetcher interface {
 	FetchContent(ctx context.Context, problemID, digest string) ([]byte, error)
-}
-
-// Marshal gob-encodes a unit payload, shared blob or result. Applications
-// should prefer the typed adapters (TypedDM, TypedAlgorithm) or the generic
-// Encode/Decode pair; Marshal remains for the byte-level interfaces.
-func Marshal(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("dist: marshal %T: %w", v, err)
-	}
-	return buf.Bytes(), nil
-}
-
-// Unmarshal gob-decodes data produced by Marshal (or Encode).
-func Unmarshal(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("dist: unmarshal %T: %w", v, err)
-	}
-	return nil
-}
-
-// MustMarshal is Marshal for values that cannot fail (tests, literals).
-func MustMarshal(v any) []byte {
-	data, err := Marshal(v)
-	if err != nil {
-		panic(err)
-	}
-	return data
 }
 
 var (

@@ -213,7 +213,7 @@ func (d *Donor) Stop() {
 // going; without Redial it exits cleanly, the pre-reconnect behaviour.
 func (d *Donor) Run(ctx context.Context) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //dist:allow-background nil-ctx normalisation in a public entry point
 	}
 	// One context carries both stop signals: the caller's ctx and Stop().
 	runCtx, cancel := context.WithCancel(ctx)

@@ -111,7 +111,7 @@ type watcher struct {
 // ErrUnknownProblem.
 func (s *Server) Watch(ctx context.Context, id string) (<-chan Event, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //dist:allow-background nil-ctx normalisation in a public entry point
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -175,6 +175,8 @@ func (s *Server) detachWatcher(ps *problemState, w *watcher) bool {
 
 // snapshotEventLocked builds the EventSubmitted opening snapshot. Callers
 // hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) snapshotEventLocked(ps *problemState) Event {
 	ev := Event{
 		Kind:      EventSubmitted,
@@ -192,6 +194,8 @@ func (s *Server) snapshotEventLocked(ps *problemState) Event {
 
 // terminalEventLocked builds the event describing how ps ended. Callers
 // hold ps.mu; ps.done must be true.
+//
+//dist:locked mu
 func (s *Server) terminalEventLocked(ps *problemState) Event {
 	ev := Event{
 		Kind:      EventFinished,
@@ -215,6 +219,8 @@ func (s *Server) terminalEventLocked(ps *problemState) Event {
 // subscriber's drop counter. Terminal events instead hand each subscriber
 // to a delivery goroutine that blocks until the event is read (or the
 // watch abandoned) and then closes the channel. Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) publishLocked(ps *problemState, ev Event) {
 	if len(ps.watchers) == 0 {
 		return

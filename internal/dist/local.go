@@ -19,7 +19,7 @@ import (
 // abort promptly, and ctx's error is returned.
 func RunLocal(ctx context.Context, p *Problem, n int, policy sched.Policy) ([]byte, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //dist:allow-background nil-ctx normalisation in a public entry point
 	}
 	if n < 1 {
 		n = 1

@@ -50,16 +50,20 @@ type NetworkServer struct {
 	// connsMu guards the accepted control connections so Close can tear
 	// them down instead of leaving ServeConn goroutines to donors' mercy.
 	connsMu sync.Mutex
-	conns   map[net.Conn]struct{}
+	conns   map[net.Conn]struct{} //dist:guardedby connsMu
 	connWG  sync.WaitGroup
 
 	// keysMu guards the bulk keys created for offloaded unit payloads, so
 	// they can be dropped once the unit (or the whole problem) completes,
 	// and the per-problem shared-blob digests whose content references
 	// must be released the same way.
-	keysMu        sync.Mutex
-	unitKeys      map[string]map[unitRef]string // problemID -> (epoch, unitID) -> key
-	sharedDigests map[string]string             // problemID -> content digest of its shared blob
+	keysMu sync.Mutex
+	// unitKeys maps problemID -> (epoch, unitID) -> key.
+	//dist:guardedby keysMu
+	unitKeys map[string]map[unitRef]string
+	// sharedDigests maps problemID -> content digest of its shared blob.
+	//dist:guardedby keysMu
+	sharedDigests map[string]string
 }
 
 // ListenAndServe starts a network-facing coordinator. rpcAddr carries
@@ -397,7 +401,7 @@ func (s *rpcService) fillTaskReply(reply *TaskReply, task *Task, wait time.Durat
 
 // RequestTask hands the donor its next unit.
 func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
-	task, wait, err := s.ns.Server.RequestTask(context.Background(), args.Donor)
+	task, wait, err := s.ns.Server.RequestTask(context.Background(), args.Donor) //dist:allow-background net/rpc handlers have no caller ctx
 	if err != nil {
 		return err
 	}
@@ -418,7 +422,7 @@ func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
 // ServerOptions.LongPoll per abandoned park, freed early by any wake and
 // entirely by Close.
 func (s *rpcService) WaitTask(args WaitTaskArgs, reply *TaskReply) error {
-	task, wait, err := s.ns.Server.WaitTask(context.Background(), args.Donor, time.Duration(args.MaxWaitNs))
+	task, wait, err := s.ns.Server.WaitTask(context.Background(), args.Donor, time.Duration(args.MaxWaitNs)) //dist:allow-background net/rpc handlers have no caller ctx
 	if err != nil {
 		return err
 	}
@@ -430,7 +434,7 @@ func (s *rpcService) WaitTask(args WaitTaskArgs, reply *TaskReply) error {
 // dropped for *accepted* results: a straggler's reissued copy may still
 // need to fetch the same blob.
 func (s *rpcService) SubmitResult(args ResultArgs, _ *Empty) error {
-	accepted, err := s.ns.Server.submitResult(context.Background(), &Result{
+	accepted, err := s.ns.Server.submitResult(context.Background(), &Result{ //dist:allow-background net/rpc handlers have no caller ctx
 		ProblemID: args.ProblemID,
 		UnitID:    args.UnitID,
 		Payload:   args.Payload,
@@ -452,12 +456,12 @@ func (s *rpcService) ReportFailure(args FailureArgs, _ *Empty) error {
 	if args.Transport {
 		kind = failTransport
 	}
-	return s.ns.Server.reportFailure(context.Background(), args.Donor, args.ProblemID, args.UnitID, args.Reason, kind, args.Epoch)
+	return s.ns.Server.reportFailure(context.Background(), args.Donor, args.ProblemID, args.UnitID, args.Reason, kind, args.Epoch) //dist:allow-background net/rpc handlers have no caller ctx
 }
 
 // CancelNotices drains the donor's pending cancel notices.
 func (s *rpcService) CancelNotices(args CancelArgs, reply *CancelReply) error {
-	notices, err := s.ns.Server.CancelNotices(context.Background(), args.Donor)
+	notices, err := s.ns.Server.CancelNotices(context.Background(), args.Donor) //dist:allow-background net/rpc handlers have no caller ctx
 	if err != nil {
 		return err
 	}
@@ -499,15 +503,11 @@ func Dial(rpcAddr string, timeout time.Duration) (*RPCClient, error) {
 		_ = c.Close()
 		return nil, fmt.Errorf("dist: handshake with %s: %w", rpcAddr, err)
 	}
-	caps := make(map[string]bool, len(hr.Caps))
-	for _, token := range hr.Caps {
-		caps[token] = true
-	}
 	return &RPCClient{
 		c:        c,
 		bulkAddr: resolveBulkAddr(rpcAddr, hr.BulkAddr),
 		timeout:  timeout,
-		caps:     caps,
+		caps:     wire.NegotiateCaps(hr.Caps),
 	}, nil
 }
 
@@ -690,7 +690,7 @@ func rpcErr(err error) error {
 	if err == nil {
 		return nil
 	}
-	if err == rpc.ErrShutdown || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return ErrServerGone
 	}
 	msg := err.Error()

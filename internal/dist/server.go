@@ -174,21 +174,27 @@ type problemState struct {
 	// synchronisation (but must not call back into the server).
 	mu sync.Mutex
 
-	p *Problem
+	p *Problem //dist:guardedby mu
 	// shared is the server's own reference to the problem's shared blob,
 	// so retiring the problem can release it without mutating the
 	// caller-owned Problem struct.
+	//dist:guardedby mu
 	shared   []byte
-	inflight map[int64]*leaseInfo
-	requeue  []queuedUnit
+	inflight map[int64]*leaseInfo //dist:guardedby mu
+	requeue  []queuedUnit         //dist:guardedby mu
 	// watchers are the live Watch subscriptions (see events.go).
+	//dist:guardedby mu
 	watchers []*watcher
 
-	dispatched      int
-	completed       int
-	reissued        int
-	consecFails     int // compute failures since the last successful Consume
-	consecTransport int // transport failures since the last successful Consume
+	dispatched int //dist:guardedby mu
+	completed  int //dist:guardedby mu
+	reissued   int //dist:guardedby mu
+	// consecFails / consecTransport count compute and transport failures
+	// since the last successful Consume.
+	//dist:guardedby mu
+	consecFails int
+	//dist:guardedby mu
+	consecTransport int
 
 	// starved records that a dispatch scan came up empty-handed for this
 	// problem while it was still live (NextUnit said "nothing yet" — a
@@ -196,11 +202,14 @@ type problemState struct {
 	// new units, so only then does submitResult wake parked WaitTask
 	// donors; gating the wake this way keeps a busy fleet's result stream
 	// from making every parked donor rescan on every fold.
+	//dist:guardedby mu
 	starved bool
 
-	done   bool
-	result []byte
-	err    error
+	done   bool   //dist:guardedby mu
+	result []byte //dist:guardedby mu
+	err    error  //dist:guardedby mu
+	// doneCh is created at Submit and closed exactly once on completion;
+	// the channel value itself is immutable, so Wait reads it lock-free.
 	doneCh chan struct{}
 }
 
@@ -208,8 +217,8 @@ type problemState struct {
 // keeps stats updates off both the registry lock and the problem locks.
 type donorState struct {
 	mu       sync.Mutex
-	stats    sched.DonorStats
-	lastSeen time.Time
+	stats    sched.DonorStats //dist:guardedby mu
+	lastSeen time.Time        //dist:guardedby mu
 }
 
 // Status is a point-in-time snapshot of one problem's progress.
@@ -246,16 +255,19 @@ type Server struct {
 	// closed. Held only for lookup and registration — never across
 	// DataManager calls.
 	regMu    sync.RWMutex
-	problems map[string]*problemState
-	order    []string // dispatch rotation; done problems are pruned lazily
+	problems map[string]*problemState //dist:guardedby regMu
+	// order is the dispatch rotation; done problems are pruned lazily.
+	//dist:guardedby regMu
+	order []string
 	// forgotten tombstones retired IDs so Status/Stats/Wait can answer
 	// ErrForgotten instead of ErrUnknownProblem. The set is bounded
 	// (oldest-first eviction) so the eviction feature cannot itself grow
 	// without bound; an ID whose tombstone has aged out degrades to the
 	// unknown-problem error.
+	//dist:guardedby regMu
 	forgotten      map[string]struct{}
-	forgottenOrder []string
-	closed         bool
+	forgottenOrder []string //dist:guardedby regMu
+	closed         bool     //dist:guardedby regMu
 
 	// rr is the round-robin dispatch cursor across live problems, advanced
 	// once per RequestTask so concurrent instances keep every donor busy
@@ -266,14 +278,14 @@ type Server struct {
 	epochSeq atomic.Int64
 
 	donorMu sync.RWMutex
-	donors  map[string]*donorState
+	donors  map[string]*donorState //dist:guardedby donorMu
 
 	// cancelMu guards cancels, the per-donor queues of epoch-tagged cancel
 	// notices for in-flight units of problems that ended while the unit
 	// was out. Donors drain their queue via CancelNotices while computing
 	// and abort matching units. A leaf lock (taken under ps.mu).
 	cancelMu sync.Mutex
-	cancels  map[string][]CancelNotice
+	cancels  map[string][]CancelNotice //dist:guardedby cancelMu
 
 	// parkMu guards parkCh, the broadcast channel WaitTask callers park on
 	// while no unit is dispatchable. wakeParked closes and replaces it, so
@@ -283,7 +295,7 @@ type Server struct {
 	// (stage barriers release new units on a fold; see problemState.
 	// starved) — all wake it. A leaf lock.
 	parkMu sync.Mutex
-	parkCh chan struct{}
+	parkCh chan struct{} //dist:guardedby parkMu
 
 	// onProblemDone, when non-nil, is invoked (under the problem's lock)
 	// each time a problem finalizes, fails, or is forgotten; the network
@@ -456,7 +468,7 @@ func (s *Server) Wait(ctx context.Context, id string) ([]byte, error) {
 		return nil, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //dist:allow-background nil-ctx normalisation in a public entry point
 	}
 	select {
 	case <-ctx.Done():
@@ -547,6 +559,8 @@ func (s *Server) forgetMatching(id string, only *problemState) error {
 // tombstoneLocked records a retired ID, evicting the oldest tombstones
 // past the cap so the set stays bounded on a long-lived server. Callers
 // hold regMu.
+//
+//dist:locked regMu
 func (s *Server) tombstoneLocked(id string) {
 	if _, ok := s.forgotten[id]; !ok {
 		s.forgotten[id] = struct{}{}
@@ -561,6 +575,8 @@ func (s *Server) tombstoneLocked(id string) {
 
 // untombstoneLocked clears a retired ID that is live again, keeping the
 // eviction order in sync with the set. Callers hold regMu.
+//
+//dist:locked regMu
 func (s *Server) untombstoneLocked(id string) {
 	if _, ok := s.forgotten[id]; !ok {
 		return
@@ -576,6 +592,8 @@ func (s *Server) untombstoneLocked(id string) {
 
 // removeFromOrderLocked drops one ID from the dispatch rotation. Callers
 // hold regMu.
+//
+//dist:locked regMu
 func (s *Server) removeFromOrderLocked(id string) {
 	for i, oid := range s.order {
 		if oid == id {
@@ -913,6 +931,8 @@ func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, 
 
 // publishUnitEventLocked emits a unit-granularity event. Callers hold
 // ps.mu.
+//
+//dist:locked mu
 func (s *Server) publishUnitEventLocked(ps *problemState, kind EventKind, unitID int64, donor string) {
 	if len(ps.watchers) == 0 {
 		return
@@ -931,6 +951,8 @@ func (s *Server) publishUnitEventLocked(ps *problemState, kind EventKind, unitID
 
 // publishProgressLocked emits an EventProgress with current counters.
 // Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) publishProgressLocked(ps *problemState) {
 	if len(ps.watchers) == 0 {
 		return
@@ -1036,6 +1058,8 @@ const (
 // requeueLocked returns a lost or failed in-flight unit to the dispatch
 // pool: Requeuer DataManagers regenerate it, others get the cached payload
 // re-dispatched (preferring a different donor). Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) requeueLocked(ps *problemState, li *leaseInfo, reason string, kind failureKind) {
 	if ps.done {
 		return
@@ -1078,6 +1102,8 @@ func (s *Server) requeueLocked(ps *problemState, li *leaseInfo, reason string, k
 // takeQueuedLocked removes and returns the queued unit with the given ID,
 // if the unit is awaiting reissue (its lease expired but it has not been
 // handed out again). Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) takeQueuedLocked(ps *problemState, unitID int64) (queuedUnit, bool) {
 	for i, q := range ps.requeue {
 		if q.unit.ID == unitID {
@@ -1097,6 +1123,8 @@ func (s *Server) takeQueuedLocked(ps *problemState, unitID int64) (queuedUnit, b
 // poll interval. Evaluating it here acquires donor locks under ps.mu,
 // which the lock order permits: donor locks are leaves — no code path
 // takes a registry or problem lock while holding one. Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) popRequeueLocked(ps *problemState, donor string, othersAlive func() bool) (*Unit, int, bool) {
 	pick := -1
 	for i, q := range ps.requeue {
@@ -1159,6 +1187,8 @@ func (s *Server) liveDonorCount() int {
 }
 
 // leaseLocked records a dispatched unit. Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) leaseLocked(ps *problemState, u *Unit, donor string, attempts int) {
 	ps.inflight[u.ID] = &leaseInfo{
 		unit:     u,
@@ -1236,6 +1266,8 @@ func (s *Server) CancelNotices(ctx context.Context, donor string) ([]CancelNotic
 // in-flight leases — called when the problem ends (finalized early, failed,
 // forgotten, closed) with units still out, all compute on which is now
 // wasted. Callers hold ps.mu; cancelMu is a leaf below it.
+//
+//dist:locked mu
 func (s *Server) queueCancels(ps *problemState) {
 	if len(ps.inflight) == 0 {
 		return
@@ -1257,6 +1289,8 @@ func (s *Server) queueCancels(ps *problemState) {
 
 // finalizeLocked marks a problem done with its DataManager's final result.
 // Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) finalizeLocked(ps *problemState) {
 	if ps.done {
 		return
@@ -1269,6 +1303,8 @@ func (s *Server) finalizeLocked(ps *problemState) {
 }
 
 // failLocked marks a problem done with an error. Callers hold ps.mu.
+//
+//dist:locked mu
 func (s *Server) failLocked(ps *problemState, err error) {
 	if ps.done {
 		return
@@ -1289,6 +1325,8 @@ func (s *Server) failLocked(ps *problemState, err error) {
 // is ignored — the problem is done.) The network layer's cleanup hook and
 // the terminal Watch event fire here too, under the problem lock. Callers
 // hold ps.mu; ps.done is already true.
+//
+//dist:locked mu
 func (s *Server) releaseLocked(ps *problemState) {
 	s.queueCancels(ps)
 	s.publishLocked(ps, s.terminalEventLocked(ps))

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 )
 
@@ -11,6 +13,34 @@ import (
 // marshal/unmarshal at the byte boundary, so no application code touches
 // []byte codecs. S is the shared-data type, U the unit-payload type, R the
 // unit-result type.
+
+// Marshal gob-encodes a unit payload, shared blob or result. Applications
+// should prefer the typed adapters (TypedDM, TypedAlgorithm) or the generic
+// Encode/Decode pair; Marshal remains for the byte-level interfaces.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("dist: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes data produced by Marshal (or Encode).
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("dist: unmarshal %T: %w", v, err)
+	}
+	return nil
+}
+
+// MustMarshal is Marshal for values that cannot fail (tests, literals).
+func MustMarshal(v any) []byte {
+	data, err := Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
 
 // Encode gob-encodes a typed value — the typed successor of Marshal.
 func Encode[T any](v T) ([]byte, error) { return Marshal(v) }

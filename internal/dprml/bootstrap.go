@@ -32,15 +32,15 @@ type BootstrapResult struct {
 
 // Bootstrap runs B bootstrap replicates of a DPRml build concurrently on
 // nWorkers in-process workers and returns the consensus. Seeds the column
-// resampling with seed, seed+1, ... so runs are reproducible.
-func Bootstrap(aln *seq.Alignment, opts Options, b, nWorkers int, policy sched.Policy, seed int64) (*BootstrapResult, error) {
+// resampling with seed, seed+1, ... so runs are reproducible. Cancelling
+// ctx abandons the analysis.
+func Bootstrap(ctx context.Context, aln *seq.Alignment, opts Options, b, nWorkers int, policy sched.Policy, seed int64) (*BootstrapResult, error) {
 	if b < 2 {
 		return nil, fmt.Errorf("dprml: bootstrap needs >= 2 replicates, got %d", b)
 	}
 	if nWorkers < 1 {
 		nWorkers = 1
 	}
-	ctx := context.Background()
 	srv := dist.NewServer(
 		dist.WithPolicy(policy),
 		dist.WithLeaseTTL(time.Hour),

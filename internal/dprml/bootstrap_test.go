@@ -67,7 +67,7 @@ func TestBootstrapAnalysis(t *testing.T) {
 	// receive high bootstrap support.
 	aln, truth := simAlignment(t, 6, 900, 42)
 	opts := testOpts()
-	res, err := Bootstrap(aln, opts, 6, 3, sched.Adaptive{Target: 1, Bootstrap: 2000, Min: 1}, 7)
+	res, err := Bootstrap(t.Context(), aln, opts, 6, 3, sched.Adaptive{Target: 1, Bootstrap: 2000, Min: 1}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestBootstrapAnalysis(t *testing.T) {
 			t.Errorf("consensus split %s has support %g outside (0.5, 1]", s, frac)
 		}
 	}
-	if _, err := Bootstrap(aln, opts, 1, 1, sched.Fixed{Size: 1}, 1); err == nil {
+	if _, err := Bootstrap(t.Context(), aln, opts, 1, 1, sched.Fixed{Size: 1}, 1); err == nil {
 		t.Error("1-replicate bootstrap accepted")
 	}
 }

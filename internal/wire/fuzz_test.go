@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzFrameDecode drives ReadFrame with arbitrary bytes (it must fail
+// cleanly, never panic or over-allocate) and, when the input happens to be
+// a frame WriteFrame produced, checks the round-trip and the
+// corruption-detection contract: flipping any body bit must surface
+// ErrCorruptFrame.
+func FuzzFrameDecode(f *testing.F) {
+	seed := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(seed(nil))
+	f.Add(seed([]byte("hello")))
+	f.Add(seed(bytes.Repeat([]byte{0xAB}, 1024)))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // oversized length claim
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected cleanly — that is the contract
+		}
+		// Valid frame: it must re-encode to exactly the bytes consumed.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("re-encoding decoded payload: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatalf("round-trip mismatch:\n got %x\nwant %x", buf.Bytes(), data[:buf.Len()])
+		}
+		// Corrupting any single body byte must trip the checksum.
+		if len(payload) > 0 {
+			bad := append([]byte(nil), buf.Bytes()...)
+			bad[frameHeaderSize+len(payload)/2] ^= 0x01
+			if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("corrupted frame: got %v, want ErrCorruptFrame", err)
+			}
+		}
+	})
+}
+
+// FuzzHandshake drives NegotiateCaps with arbitrary advertised token lists
+// (split from a fuzzed string, mimicking a peer sending anything at all):
+// the set must contain exactly the advertised tokens, tolerate duplicates
+// and unknown tokens, and never report a capability nobody advertised.
+func FuzzHandshake(f *testing.F) {
+	f.Add("")
+	f.Add(CapWaitTask)
+	f.Add(CapWaitTask + "\n" + CapContentBulk)
+	f.Add(CapContentBulk + "\n" + CapContentBulk + "\nfuture-verb")
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		var advertised []string
+		if raw != "" {
+			advertised = strings.Split(raw, "\n")
+		}
+		caps := NegotiateCaps(advertised)
+		if caps == nil {
+			t.Fatal("NegotiateCaps returned nil")
+		}
+		for _, token := range advertised {
+			if !caps[token] {
+				t.Fatalf("advertised token %q missing from negotiated set", token)
+			}
+		}
+		if len(advertised) == 0 && len(caps) != 0 {
+			t.Fatalf("empty advertisement negotiated %d capabilities", len(caps))
+		}
+		for token := range caps {
+			found := false
+			for _, adv := range advertised {
+				if adv == token {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("token %q appeared without being advertised", token)
+			}
+		}
+	})
+}

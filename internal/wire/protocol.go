@@ -30,3 +30,17 @@ const (
 	// fetches and the fleet keeps draining.
 	CapContentBulk = "content-bulk"
 )
+
+// NegotiateCaps folds a Handshake reply's advertised capability tokens
+// into the lookup set a client keys verb selection from. Unknown tokens
+// are kept — a newer server's extra capabilities must not confuse an
+// older client, which simply never looks them up — and duplicates
+// collapse; nil input (an old server that advertises nothing) yields an
+// empty, usable set, never nil panics.
+func NegotiateCaps(advertised []string) map[string]bool {
+	caps := make(map[string]bool, len(advertised))
+	for _, token := range advertised {
+		caps[token] = true
+	}
+	return caps
+}

@@ -117,10 +117,14 @@ type refBlob struct {
 // resolve to a content blob without storing the bytes twice, which is how
 // old donors keep working against a content-addressed server.
 type BulkServer struct {
-	mu      sync.RWMutex
-	blobs   map[string][]byte
-	content map[string]*refBlob // ContentKey(digest) -> blob + refcount
-	aliases map[string]string   // legacy key -> ContentKey(digest)
+	mu    sync.RWMutex
+	blobs map[string][]byte //dist:guardedby mu
+	// content maps ContentKey(digest) -> blob + refcount.
+	//dist:guardedby mu
+	content map[string]*refBlob
+	// aliases maps legacy key -> ContentKey(digest).
+	//dist:guardedby mu
+	aliases map[string]string
 	ln      net.Listener
 	done    chan struct{}
 	wg      sync.WaitGroup
