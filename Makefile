@@ -40,6 +40,7 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzHandshake -fuzztime 5s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzFlatCodec -fuzztime 5s
 
 # bench covers every package carrying benchmarks (the root harness plus
 # internal packages like align), so a bench added in a new file or package

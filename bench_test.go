@@ -13,6 +13,9 @@
 //	                               QPS, WaitTask long-poll vs jittered polling
 //	BenchmarkSharedBlobDedup       bulk bytes stored/fetched for 16 problems sharing
 //	                               one alignment, content-addressed vs per-problem keys
+//	BenchmarkCodecBatchAblation    tiny-unit drain throughput over a real loopback
+//	                               deployment, gob vs flat codec × single vs batched
+//	                               WaitTask dispatch
 //
 // Speedup/efficiency numbers are attached to the bench output via
 // b.ReportMetric; run with -v to also print the full series as tables (the
@@ -203,6 +206,7 @@ func BenchmarkBulkTransfer(b *testing.B) {
 		defer bs.Close()
 		bs.Put("blob", blob)
 		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			got, err := wire.FetchBlob(bs.Addr(), "blob", 30*time.Second)
@@ -242,6 +246,7 @@ func BenchmarkBulkTransfer(b *testing.B) {
 		}
 		defer client.Close()
 		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			var got []byte
@@ -253,6 +258,68 @@ func BenchmarkBulkTransfer(b *testing.B) {
 			}
 		}
 	})
+
+	b.Run("rpc-flat", func(b *testing.B) {
+		// The same rpc tunnel, but over the flat codec: how much of the
+		// rpc-vs-raw gap was gob rather than net/rpc itself.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		srv := rpc.NewServer()
+		if err := srv.Register(&FlatBlobService{blob: blob}); err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeCodec(wire.NewFlatServerCodec(conn))
+			}
+		}()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := rpc.NewClientWithCodec(wire.NewFlatClientCodec(conn))
+		defer client.Close()
+		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var got BlobEnvelope
+			if err := client.Call("FlatBlobService.Fetch", BlobEnvelope{}, &got); err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Data) != len(blob) {
+				b.Fatalf("short blob: %d", len(got.Data))
+			}
+		}
+	})
+}
+
+// BlobEnvelope carries the bulk-transfer bench's blob through the flat
+// codec (the flat methods need a named body type; a bare []byte reply
+// cannot carry them).
+type BlobEnvelope struct{ Data []byte }
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (e BlobEnvelope) MarshalFlat(enc *wire.Encoder) { enc.Bytes(e.Data) }
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (e *BlobEnvelope) UnmarshalFlat(d *wire.Decoder) { e.Data = d.Bytes() }
+
+// FlatBlobService serves the bulk-transfer bench's blob over the flat
+// codec.
+type FlatBlobService struct{ blob []byte }
+
+// Fetch returns the blob.
+func (s *FlatBlobService) Fetch(_ BlobEnvelope, out *BlobEnvelope) error {
+	out.Data = s.blob
+	return nil
 }
 
 // BlobService serves the bulk-transfer bench's blob over net/rpc.
@@ -733,6 +800,124 @@ func BenchmarkSharedBlobDedup(b *testing.B) {
 			b.ReportMetric(fetchedMBPerDonor/float64(b.N), "fetched-MB/donor")
 			b.ReportMetric(submitMS/float64(b.N), "submit-ms")
 			b.ReportMetric(drainMS/float64(b.N), "drain-ms")
+		})
+	}
+}
+
+// tinyDM hands out a fixed number of minimal units with a small payload —
+// the worst case for per-unit control overhead, which is exactly what the
+// flat codec and batched dispatch attack.
+type tinyDM struct {
+	units, seq, done int64
+	payload          []byte
+}
+
+func (d *tinyDM) NextUnit(int64) (*dist.Unit, bool, error) {
+	if d.seq >= d.units {
+		return nil, false, nil
+	}
+	d.seq++
+	return &dist.Unit{ID: d.seq, Algorithm: "bench/tiny", Cost: 1, Payload: d.payload}, true, nil
+}
+
+func (d *tinyDM) Consume(int64, []byte) error  { d.done++; return nil }
+func (d *tinyDM) Done() bool                   { return d.done >= d.units }
+func (d *tinyDM) FinalResult() ([]byte, error) { return nil, nil }
+
+// tinyAlg acknowledges a unit with a one-byte result — no compute, so the
+// drain time is almost pure dispatch/result round-trip cost.
+type tinyAlg struct{}
+
+func (tinyAlg) Init([]byte) error { return nil }
+func (tinyAlg) ProcessCtx(context.Context, []byte) ([]byte, error) {
+	return []byte{1}, nil
+}
+
+var registerTinyAlgOnce sync.Once
+
+// BenchmarkCodecBatchAblation drains one problem of 2000 tiny units
+// through a real loopback deployment (4 networked donors) under each
+// codec × dispatch-batch combination — the PR 7 ablation. With tiny units
+// the drain is dominated by control-channel round trips, so the reported
+// drain-ms/units-per-sec isolate what the flat codec (no per-message
+// reflection) and batched WaitTask replies (fewer round trips) each buy.
+// BENCH_pr7.json records the ablation.
+func BenchmarkCodecBatchAblation(b *testing.B) {
+	registerTinyAlgOnce.Do(func() {
+		dist.RegisterAlgorithm("bench/tiny", func() dist.Algorithm { return tinyAlg{} })
+	})
+	const (
+		units  = 2000
+		donors = 4
+	)
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name  string
+		flat  bool
+		batch int
+	}{
+		{"gob/batch=1", false, -1},
+		{"gob/batch=8", false, 8},
+		{"flat/batch=1", true, -1},
+		{"flat/batch=8", true, 8},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var drainMS float64
+			for iter := 0; iter < b.N; iter++ {
+				srv, err := dist.ListenAndServe("127.0.0.1:0", "127.0.0.1:0",
+					dist.WithPolicy(sched.Fixed{Size: 1}),
+					dist.WithLeaseTTL(time.Hour),
+					dist.WithExpiryScan(time.Hour),
+					dist.WithWaitHint(time.Millisecond),
+					dist.WithFlatCodec(mode.flat),
+					dist.WithDispatchBatch(mode.batch),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := srv.Submit(ctx, &dist.Problem{
+					ID: "codec-ablation",
+					DM: &tinyDM{units: units, payload: payload},
+				}); err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				pool := make([]*dist.Donor, donors)
+				clients := make([]*dist.RPCClient, donors)
+				t0 := time.Now()
+				for g := range pool {
+					cl, err := dist.Dial(srv.RPCAddr(), 10*time.Second, dist.WithDialFlatCodec(mode.flat))
+					if err != nil {
+						b.Fatal(err)
+					}
+					clients[g] = cl
+					pool[g] = dist.NewDonor(cl,
+						dist.WithName(fmt.Sprintf("codec-%s-%d", mode.name, g)),
+						dist.WithTaskBatch(mode.batch),
+					)
+					wg.Add(1)
+					go func(d *dist.Donor) { defer wg.Done(); _ = d.Run(ctx) }(pool[g])
+				}
+				if _, err := srv.Wait(ctx, "codec-ablation"); err != nil {
+					b.Fatal(err)
+				}
+				drainMS += float64(time.Since(t0).Microseconds()) / 1000
+				for _, d := range pool {
+					d.Stop()
+				}
+				wg.Wait()
+				for _, cl := range clients {
+					_ = cl.Close()
+				}
+				srv.Close()
+			}
+			b.ReportMetric(drainMS/float64(b.N), "drain-ms")
+			b.ReportMetric(float64(units)*1000*float64(b.N)/drainMS, "units/s")
 		})
 	}
 }

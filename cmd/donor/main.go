@@ -34,11 +34,14 @@ func main() {
 		cancelPoll = flag.Duration("cancel-poll", 500*time.Millisecond, "how often to poll for server cancel notices mid-unit (<0 disables)")
 		longPoll   = flag.Duration("long-poll", 45*time.Second, "max park per WaitTask long-poll when the server supports it (<=0 = legacy RequestTask polling)")
 		blobCache  = flag.Int64("blob-cache", 256<<20, "shared-blob cache budget in bytes (<=0 keeps only the most recent blob); also bounds resident per-problem state")
+		flatCodec  = flag.Bool("flat-codec", true, "upgrade the control connection to the flat codec when the server offers it (false keeps gob)")
+		batch      = flag.Int("batch", 8, "units requested per WaitTask long-poll against a batch-capable server (<=1 = single-unit)")
 	)
 	flag.Parse()
 
 	const dialTimeout = 30 * time.Second
-	client, err := dist.Dial(*server, dialTimeout)
+	dialOpts := []dist.DialOption{dist.WithDialFlatCodec(*flatCodec)}
+	client, err := dist.Dial(*server, dialTimeout, dialOpts...)
 	if err != nil {
 		log.Fatalf("donor: %v", err)
 	}
@@ -50,7 +53,7 @@ func main() {
 	// interrupt — ends the loop.
 	var redial func() (dist.Coordinator, error)
 	if *retry > 0 {
-		redial = func() (dist.Coordinator, error) { return dist.Dial(*server, dialTimeout) }
+		redial = func() (dist.Coordinator, error) { return dist.Dial(*server, dialTimeout, dialOpts...) }
 	}
 
 	// A donor prefers the long-poll dispatch channel (negotiated at Dial,
@@ -68,6 +71,13 @@ func main() {
 		blobBudget = -1
 	}
 
+	// "-batch 1" (or less) keeps single-unit dispatch; the option layer
+	// treats 0 as "default", so map it to the negative sentinel.
+	taskBatch := *batch
+	if taskBatch <= 1 {
+		taskBatch = -1
+	}
+
 	d := dist.NewDonor(client,
 		dist.WithName(*name),
 		dist.WithThrottle(*throttle),
@@ -77,6 +87,7 @@ func main() {
 		dist.WithCancelPoll(*cancelPoll),
 		dist.WithLongPollWait(longPollWait),
 		dist.WithBlobCacheBytes(blobBudget),
+		dist.WithTaskBatch(taskBatch),
 	)
 
 	// First interrupt: finish (or abort, via the cancelled context) the

@@ -43,6 +43,8 @@ func main() {
 		lease       = flag.Duration("lease", 2*time.Minute, "work unit reissue timeout")
 		longPoll    = flag.Duration("long-poll", 45*time.Second, "max server-side park per WaitTask long-poll (<=0 = disable push dispatch; donors then poll)")
 		contentBulk = flag.Bool("content-bulk", true, "content-addressed shared blobs (one stored copy per distinct alignment, digest-verified donor caching); false restores per-problem bulk keys")
+		flatCodec   = flag.Bool("flat-codec", true, "flat control-channel codec (negotiated per connection; false keeps every donor on gob)")
+		batch       = flag.Int("dispatch-batch", 8, "max units per batched WaitTask reply (<=1 = single-unit dispatch)")
 		app         = flag.String("app", "", "application: dsearch | dprml")
 		progress    = flag.Duration("progress", 10*time.Second, "minimum interval between progress log lines")
 
@@ -72,11 +74,19 @@ func main() {
 	if longPollMax <= 0 {
 		longPollMax = -1
 	}
+	// "-dispatch-batch 1" (or less) disables batching; the option layer
+	// treats 0 as "default", so map it to the negative sentinel.
+	dispatchBatch := *batch
+	if dispatchBatch <= 1 {
+		dispatchBatch = -1
+	}
 	ns, err := dist.ListenAndServe(*rpcAddr, *bulkAddr,
 		dist.WithPolicy(pol),
 		dist.WithLeaseTTL(*lease),
 		dist.WithLongPoll(longPollMax),
 		dist.WithContentBulk(*contentBulk),
+		dist.WithFlatCodec(*flatCodec),
+		dist.WithDispatchBatch(dispatchBatch),
 	)
 	if err != nil {
 		log.Fatalf("server: %v", err)

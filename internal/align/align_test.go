@@ -221,6 +221,81 @@ func TestSWAlignConsistent(t *testing.T) {
 	}
 }
 
+// swScoreReference is the pre-optimization Smith–Waterman score loop
+// (previous-row copies, -infinity-absorbing arithmetic). The production
+// Score carries neighbours in scalars and uses plain +/- on the grounds
+// that a negInf value loses every max before it can drift; this reference
+// pins that equivalence across matrices, gap regimes, and sequence shapes.
+func swScoreReference(p Params, a, b []byte) int {
+	gapO, gapE := p.Gap.Open, p.Gap.Extend
+	mat := p.Matrix
+	la, lb := len(a), len(b)
+	M := make([]int, lb+1)
+	X := make([]int, lb+1)
+	Y := make([]int, lb+1)
+	prevM := make([]int, lb+1)
+	prevX := make([]int, lb+1)
+	prevY := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		X[j], Y[j] = negInf, negInf
+	}
+	best := 0
+	for i := 1; i <= la; i++ {
+		copy(prevM, M)
+		copy(prevX, X)
+		copy(prevY, Y)
+		M[0], X[0], Y[0] = 0, negInf, negInf
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := mat.Score(ai, b[j-1])
+			newM := max2(0, safeAdd(max3(prevM[j-1], prevX[j-1], prevY[j-1]), sub))
+			newX := max3(
+				safeSub(prevM[j], gapO+gapE),
+				safeSub(prevX[j], gapE),
+				safeSub(prevY[j], gapO+gapE),
+			)
+			newY := max3(
+				safeSub(M[j-1], gapO+gapE),
+				safeSub(Y[j-1], gapE),
+				safeSub(X[j-1], gapO+gapE),
+			)
+			M[j], X[j], Y[j] = newM, newX, newY
+			if newM > best {
+				best = newM
+			}
+		}
+	}
+	return best
+}
+
+func TestSWScoreMatchesReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		params Params
+		alpha  *seq.Alphabet
+	}{
+		{"protein-affine", protParams, seq.Protein},
+		{"dna-linear", dnaParams, seq.DNA},
+		{"dna-affine", dnaAffine, seq.DNA},
+		{"zero-extend", Params{Matrix: seq.BLOSUM62, Gap: Gap{Open: 12, Extend: 0}}, seq.Protein},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sw := mustNew(t, "sw", c.params, 0)
+			g := seq.NewGenerator(c.alpha, 77)
+			rng := rand.New(rand.NewSource(77))
+			for k := 0; k < 40; k++ {
+				a := g.Random("a", rng.Intn(80)).Residues // 0 length included
+				b := g.Random("b", rng.Intn(80)).Residues
+				want := swScoreReference(c.params, a, b)
+				if got := sw.Score(a, b); got != want {
+					t.Fatalf("case %d (la=%d lb=%d): Score %d != reference %d", k, len(a), len(b), got, want)
+				}
+			}
+		})
+	}
+}
+
 func TestSWFindsPlantedHomology(t *testing.T) {
 	g := seq.NewGenerator(seq.Protein, 41)
 	core := g.Random("core", 50)

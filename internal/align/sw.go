@@ -9,40 +9,50 @@ type swAligner struct{ p Params }
 func (s *swAligner) Name() string { return AlgSmithWaterman }
 
 // Score computes the optimal local alignment score in O(lb) memory.
+//
+// This is dsearch's per-(query, chunk) hot loop, so unlike the traceback
+// path it avoids the safeAdd/safeSub branches and the previous-row copies:
+//
+//   - One rolling row per DP matrix. The diagonal and left neighbours ride
+//     in scalars (diag* carries M/X/Y of (i-1, j-1), left* of (i, j-1)), so
+//     each cell touches three slice loads, three stores, and one score
+//     lookup.
+//   - Plain +/- instead of the -infinity-absorbing helpers. M is floored at
+//     zero, so the gap recurrences always see one candidate >= -(gapO+gapE)
+//     (newX >= M[j]-gapO-gapE, newY >= leftM-gapO-gapE) and a negInf value
+//     survives at most one subtraction before losing every max. The worst
+//     transient is negInf minus one gap penalty, nowhere near int overflow
+//     (negInf is -2^40).
+//   - The substitution row for a[i-1] is hoisted out of the inner loop
+//     (Matrix.Row), making the per-cell score a byte-indexed load from a
+//     256-entry slice.
 func (s *swAligner) Score(a, b []byte) int {
-	gapO, gapE := s.p.Gap.Open, s.p.Gap.Extend
+	gapE := s.p.Gap.Extend
+	gapOE := s.p.Gap.Open + gapE
 	mat := s.p.Matrix
 	la, lb := len(a), len(b)
-	M := make([]int, lb+1)
-	X := make([]int, lb+1)
-	Y := make([]int, lb+1)
-	prevM := make([]int, lb+1)
-	prevX := make([]int, lb+1)
-	prevY := make([]int, lb+1)
+	buf := make([]int, 3*(lb+1))
+	M, X, Y := buf[:lb+1], buf[lb+1:2*(lb+1)], buf[2*(lb+1):]
 	for j := 0; j <= lb; j++ {
 		X[j], Y[j] = negInf, negInf
 	}
 	best := 0
 	for i := 1; i <= la; i++ {
-		copy(prevM, M)
-		copy(prevX, X)
-		copy(prevY, Y)
-		M[0], X[0], Y[0] = 0, negInf, negInf
-		ai := a[i-1]
+		row := mat.Row(a[i-1])
+		// Column 0 of rows i-1 and i: M=0, X=Y=-inf.
+		diagM, diagX, diagY := 0, negInf, negInf
+		leftM, leftX, leftY := 0, negInf, negInf
 		for j := 1; j <= lb; j++ {
-			sub := mat.Score(ai, b[j-1])
-			newM := max2(0, safeAdd(max3(prevM[j-1], prevX[j-1], prevY[j-1]), sub))
-			newX := max3(
-				safeSub(prevM[j], gapO+gapE),
-				safeSub(prevX[j], gapE),
-				safeSub(prevY[j], gapO+gapE),
-			)
-			newY := max3(
-				safeSub(M[j-1], gapO+gapE),
-				safeSub(Y[j-1], gapE),
-				safeSub(X[j-1], gapO+gapE),
-			)
+			upM, upX, upY := M[j], X[j], Y[j]
+			newM := max3(diagM, diagX, diagY) + int(row[b[j-1]])
+			if newM < 0 {
+				newM = 0
+			}
+			newX := max3(upM-gapOE, upX-gapE, upY-gapOE)
+			newY := max3(leftM-gapOE, leftY-gapE, leftX-gapOE)
 			M[j], X[j], Y[j] = newM, newX, newY
+			diagM, diagX, diagY = upM, upX, upY
+			leftM, leftX, leftY = newM, newX, newY
 			if newM > best {
 				best = newM
 			}

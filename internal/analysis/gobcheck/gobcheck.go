@@ -1,10 +1,15 @@
-// Package gobcheck fences the codec boundary PR 3 established: all gob
-// encoding — raw encoding/gob encoder/decoder construction and the
-// byte-level dist.Marshal/Unmarshal/MustMarshal helpers — lives in
-// internal/dist/typed.go (the typed-adapter boundary) and internal/wire.
-// Application and runtime code everywhere else works with typed values
-// and lets the adapters own the bytes; a stray gob call outside the
-// boundary is how payload formats drift apart between server and donor.
+// Package gobcheck fences the codec boundary PR 3 established and PR 7
+// extended: all gob encoding — raw encoding/gob encoder/decoder
+// construction and the byte-level dist.Marshal/Unmarshal/MustMarshal
+// helpers — lives in internal/dist/typed.go (the typed-adapter boundary)
+// and internal/wire; and the flat control-channel codec's rpc codec
+// constructors (wire.NewFlatClientCodec/NewFlatServerCodec) live in
+// internal/dist/net.go and internal/wire, where the codec is negotiated
+// per connection. Application and runtime code everywhere else works with
+// typed values and lets the adapters own the bytes; a stray codec call
+// outside the boundary is how payload formats drift apart between server
+// and donor — doubly so for the flat codec, whose encoding is versioned
+// only by its capability token.
 package gobcheck
 
 import (
@@ -20,7 +25,7 @@ import (
 // Analyzer is the gobcheck pass.
 var Analyzer = &framework.Analyzer{
 	Name: "gobcheck",
-	Doc:  "no gob.NewEncoder/NewDecoder or dist.Marshal outside internal/dist/typed.go and internal/wire",
+	Doc:  "no gob.NewEncoder/NewDecoder or dist.Marshal outside internal/dist/typed.go and internal/wire; no wire.NewFlat*Codec outside internal/dist/net.go and internal/wire",
 	Run:  run,
 }
 
@@ -30,15 +35,23 @@ var distCodecFuncs = map[string]bool{
 	"Marshal": true, "Unmarshal": true, "MustMarshal": true,
 }
 
+// flatCodecFuncs are wire's flat-codec constructors — the only way to put
+// the flat encoding on a connection — confined to the negotiation site.
+var flatCodecFuncs = map[string]bool{
+	"NewFlatClientCodec": true, "NewFlatServerCodec": true,
+}
+
 func run(pass *framework.Pass) error {
 	if strings.HasSuffix(pass.Pkg.Path(), "internal/wire") {
 		return nil // inside the boundary
 	}
 	inDist := strings.HasSuffix(pass.Pkg.Path(), "internal/dist")
 	for _, file := range pass.Files {
-		if inDist && filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "typed.go" {
-			continue // the typed-adapter boundary file itself
-		}
+		base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		// typed.go is the gob boundary file; net.go is where the flat
+		// codec is negotiated onto connections.
+		gobExempt := inDist && base == "typed.go"
+		flatExempt := inDist && base == "net.go"
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -48,10 +61,10 @@ func run(pass *framework.Pass) error {
 			if !ok || fn.Pkg() == nil {
 				return true
 			}
-			report(pass, sel.Sel.Pos(), fn)
+			report(pass, sel.Sel.Pos(), fn, gobExempt, flatExempt)
 			return true
 		})
-		if inDist {
+		if inDist && !gobExempt {
 			// Within the dist package the codec helpers are called
 			// unqualified; catch those references too.
 			ast.Inspect(file, func(n ast.Node) bool {
@@ -63,7 +76,7 @@ func run(pass *framework.Pass) error {
 				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
 					return true
 				}
-				report(pass, ident.Pos(), fn)
+				report(pass, ident.Pos(), fn, gobExempt, flatExempt)
 				return true
 			})
 		}
@@ -72,16 +85,24 @@ func run(pass *framework.Pass) error {
 }
 
 // report flags one reference to a fenced codec function.
-func report(pass *framework.Pass, pos token.Pos, fn *types.Func) {
+func report(pass *framework.Pass, pos token.Pos, fn *types.Func, gobExempt, flatExempt bool) {
 	path := fn.Pkg().Path()
 	switch {
+	case gobExempt:
 	case path == "encoding/gob" && (fn.Name() == "NewEncoder" || fn.Name() == "NewDecoder"):
 		pass.Reportf(pos,
 			"gob.%s outside the codec boundary (internal/dist/typed.go, internal/wire); use the typed adapters or Encode/Decode",
 			fn.Name())
+		return
 	case strings.HasSuffix(path, "internal/dist") && distCodecFuncs[fn.Name()]:
 		pass.Reportf(pos,
 			"dist.%s outside the codec boundary (internal/dist/typed.go, internal/wire); use the typed adapters or Encode/Decode",
+			fn.Name())
+		return
+	}
+	if !flatExempt && strings.HasSuffix(path, "internal/wire") && flatCodecFuncs[fn.Name()] {
+		pass.Reportf(pos,
+			"wire.%s outside the flat-codec boundary (internal/dist/net.go, internal/wire); the flat codec is negotiated per connection there",
 			fn.Name())
 	}
 }

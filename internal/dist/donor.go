@@ -63,6 +63,19 @@ type DonorOptions struct {
 	// blob every worker needs is fetched once per process. Nil gives the
 	// donor a private cache of BlobCacheBytes.
 	BlobCache *BlobCache
+	// DispatchBatch caps how many units the donor asks for per WaitTask
+	// long-poll when the coordinator supports batched dispatch
+	// (TaskBatchWaiter). The actual request adapts to measured compute
+	// time (see batchSize): a batch is only worth its load-balance cost
+	// when units are so small that control round trips dominate, so the
+	// donor asks for a tail of at most ~batchLatencyTarget of queued work
+	// and a fleet on coarse units degrades to single-unit dispatch by
+	// itself. The batch is drained locally before the donor re-parks,
+	// amortizing one frame and one park wakeup across the units; the
+	// server clamps the request to its own ServerOptions.DispatchBatch.
+	// Zero defaults to 8; negative (or 1) keeps single-unit dispatch. Only
+	// the long-poll path batches — the legacy poll loop stays single-unit.
+	DispatchBatch int
 }
 
 func (o *DonorOptions) applyDefaults() {
@@ -88,6 +101,9 @@ func (o *DonorOptions) applyDefaults() {
 	}
 	if o.LongPollWait == 0 {
 		o.LongPollWait = 45 * time.Second
+	}
+	if o.DispatchBatch == 0 {
+		o.DispatchBatch = 8
 	}
 	if o.BlobCacheBytes == 0 {
 		o.BlobCacheBytes = defaultBlobCacheBytes
@@ -166,6 +182,60 @@ type Donor struct {
 	// lifetime. Oldest-first eviction; a still-active problem that gets
 	// evicted is simply re-initialised.
 	problemOrder []string
+
+	// unitEWMA tracks this donor's recent per-unit compute time
+	// (exponential moving average), feeding batchSize's adaptive dispatch
+	// sizing. Only Run's goroutine touches it.
+	unitEWMA time.Duration
+
+	// cancelMu guards cancelledIncs.
+	cancelMu sync.Mutex
+	// cancelledIncs records the problem incarnations cancel notices named
+	// while the current batch drains. With batched dispatch a Forget can
+	// arrive (via the watcher polling during unit 1) for units 2..N still
+	// queued locally; checking this set before each pending unit drops
+	// them without wasted compute. Cleared at every batch refill — stale
+	// incarnations can never be re-dispatched, so old entries are dead
+	// weight.
+	//dist:guardedby cancelMu
+	cancelledIncs map[string]struct{}
+}
+
+// incKey is the cancelledIncs map key for one problem incarnation.
+func incKey(problemID string, epoch int64) string {
+	return fmt.Sprintf("%s\x00%d", problemID, epoch)
+}
+
+// noteCancelled records cancel notices' problem incarnations.
+func (d *Donor) noteCancelled(notices []CancelNotice) {
+	if len(notices) == 0 {
+		return
+	}
+	d.cancelMu.Lock()
+	if d.cancelledIncs == nil {
+		d.cancelledIncs = make(map[string]struct{})
+	}
+	for _, n := range notices {
+		d.cancelledIncs[incKey(n.ProblemID, n.Epoch)] = struct{}{}
+	}
+	d.cancelMu.Unlock()
+}
+
+// incCancelled reports whether a cancel notice named this incarnation
+// since the last batch refill.
+func (d *Donor) incCancelled(problemID string, epoch int64) bool {
+	d.cancelMu.Lock()
+	defer d.cancelMu.Unlock()
+	_, ok := d.cancelledIncs[incKey(problemID, epoch)]
+	return ok
+}
+
+// resetCancelled clears the recorded incarnations (called before each
+// batch fetch; notices only matter for units already in hand).
+func (d *Donor) resetCancelled() {
+	d.cancelMu.Lock()
+	clear(d.cancelledIncs)
+	d.cancelMu.Unlock()
 }
 
 // NewDonor creates a donor bound to a coordinator — a *Server for
@@ -203,7 +273,10 @@ func (d *Donor) Stop() {
 // the server tells the donor it is shutting down (ErrClosed). Against a
 // coordinator that supports long-poll dispatch (TaskWaiter; negotiated at
 // Dial for networked donors) the loop parks in WaitTask between units and
-// is woken the moment work appears; otherwise it polls RequestTask on the
+// is woken the moment work appears; with batched dispatch (TaskBatchWaiter
+// and DispatchBatch > 1) a park may return several units when measured
+// compute times make batching worthwhile (see batchSize), which the
+// loop drains before parking again; otherwise it polls RequestTask on the
 // server's jittered wait hint. A unit that fails to
 // compute is reported (and thereby requeued to another donor); a unit whose
 // problem is forgotten mid-compute is aborted on the server's cancel notice
@@ -228,55 +301,75 @@ func (d *Donor) Run(ctx context.Context) error {
 		}
 	}()
 
+	// pending holds the not-yet-computed tail of the last dispatch batch.
+	// It is drained before the donor re-parks, and dropped on reconnect:
+	// the old server's leases died with it, and a restarted server may
+	// carry different work under the same unit IDs.
+	var pending []*Task
 	for {
 		if runCtx.Err() != nil {
 			return nil
 		}
-		var task *Task
-		var wait time.Duration
-		var parked bool
-		fetchStart := time.Now()
-		err := d.call(runCtx, func() error {
-			var err error
-			task, wait, parked, err = d.nextTask(runCtx)
-			return err
-		})
-		if err != nil {
-			if runCtx.Err() != nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrServerGone) {
-				return nil
+		if len(pending) == 0 {
+			d.resetCancelled()
+			var tasks []*Task
+			var wait time.Duration
+			var parked bool
+			fetchStart := time.Now()
+			err := d.call(runCtx, func() error {
+				var err error
+				tasks, wait, parked, err = d.nextTasks(runCtx)
+				return err
+			})
+			if err != nil {
+				if runCtx.Err() != nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrServerGone) {
+					return nil
+				}
+				if isTransient(err) {
+					d.logf("donor %s: transient: %v", d.opts.Name, err)
+					if !d.sleep(runCtx, jitter(wait)) {
+						return nil
+					}
+					continue
+				}
+				return err
 			}
-			if isTransient(err) {
-				d.logf("donor %s: transient: %v", d.opts.Name, err)
+			if len(tasks) == 0 {
+				if parked && wait <= 0 {
+					// The long-poll park expired with nothing to hand out: the
+					// server already did the waiting, so re-park immediately.
+					// Unless it did no such thing — the hint rides the wire, so
+					// a buggy or hostile server can answer "parked" instantly
+					// with a zero hint forever; an empty reply that came back
+					// faster than any real park gets the poll loop's sleep
+					// floor instead of spinning the control channel hot.
+					if time.Since(fetchStart) >= 5*time.Millisecond {
+						continue
+					}
+					if !d.sleep(runCtx, time.Millisecond) {
+						return nil
+					}
+					continue
+				}
 				if !d.sleep(runCtx, jitter(wait)) {
 					return nil
 				}
 				continue
 			}
-			return err
+			pending = tasks
 		}
-		if task == nil {
-			if parked && wait <= 0 {
-				// The long-poll park expired with nothing to hand out: the
-				// server already did the waiting, so re-park immediately.
-				// Unless it did no such thing — the hint rides the wire, so
-				// a buggy or hostile server can answer "parked" instantly
-				// with a zero hint forever; an empty reply that came back
-				// faster than any real park gets the poll loop's sleep
-				// floor instead of spinning the control channel hot.
-				if time.Since(fetchStart) >= 5*time.Millisecond {
-					continue
-				}
-				if !d.sleep(runCtx, time.Millisecond) {
-					return nil
-				}
-				continue
-			}
-			if !d.sleep(runCtx, jitter(wait)) {
-				return nil
-			}
+		task := pending[0]
+		pending = pending[1:]
+		if d.incCancelled(task.ProblemID, task.Epoch) {
+			// A notice during an earlier unit of this batch already killed
+			// the incarnation; its queued siblings die unstarted.
+			d.aborted.Add(1)
+			d.logf("donor %s: unit %d of %s cancelled by server; dropped before compute",
+				d.opts.Name, task.Unit.ID, task.ProblemID)
 			continue
 		}
 		out, elapsed, aborted, perr := d.process(runCtx, task)
+		d.observeUnitTime(elapsed)
 		if aborted {
 			// The server cancelled this unit (Forget, early finish): no
 			// result, no failure report — the lease is already discarded.
@@ -304,6 +397,7 @@ func (d *Donor) Run(ctx context.Context) error {
 				err = d.coord.ReportFailure(runCtx, d.opts.Name, task.ProblemID, task.Unit.ID, perr.Error())
 			}
 			if gone, alive := d.handleGone(runCtx, err, "failure report for unit", task); gone {
+				pending = nil // leases died with the connection; don't compute the batch tail
 				if !alive {
 					return nil
 				}
@@ -317,7 +411,7 @@ func (d *Donor) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		err = d.coord.SubmitResult(runCtx, &Result{
+		err := d.coord.SubmitResult(runCtx, &Result{
 			ProblemID: task.ProblemID,
 			UnitID:    task.Unit.ID,
 			Payload:   out,
@@ -326,6 +420,7 @@ func (d *Donor) Run(ctx context.Context) error {
 			Epoch:     task.Epoch,
 		})
 		if gone, alive := d.handleGone(runCtx, err, "result of unit", task); gone {
+			pending = nil // leases died with the connection; don't compute the batch tail
 			if !alive {
 				return nil
 			}
@@ -346,21 +441,73 @@ func (d *Donor) Run(ctx context.Context) error {
 	}
 }
 
-// nextTask fetches the donor's next unit: a WaitTask long-poll when the
-// coordinator supports one and the option is enabled (the server parks the
-// call until a unit is dispatchable), the classic RequestTask poll
-// otherwise. parked reports that the long-poll path was used — only then
-// may an empty reply with a zero hint mean "re-park immediately" (and Run
-// still floors replies that came back too fast to have parked); a foreign
-// Coordinator returning a zero hint from RequestTask always gets the
-// sleep floor.
-func (d *Donor) nextTask(ctx context.Context) (task *Task, wait time.Duration, parked bool, err error) {
-	if tw, ok := d.coord.(TaskWaiter); ok && d.opts.LongPollWait > 0 {
-		task, wait, err = tw.WaitTask(ctx, d.opts.Name, d.opts.LongPollWait)
-		return task, wait, true, err
+// batchLatencyTarget bounds the compute time a donor queues behind its
+// current unit via batched dispatch: small enough that a batch tail never
+// meaningfully delays redistribution to an idle donor, large enough to
+// amortize many control round trips when units are tiny.
+const batchLatencyTarget = 10 * time.Millisecond
+
+// batchSize adaptively sizes the next dispatch request. Batching trades
+// load balance for fewer control round trips, and that trade only pays
+// when units are so small that the round trip dominates: a donor hoarding
+// eight 50ms units serializes 400ms of work an idle neighbour could have
+// shared. The request is therefore sized so the batch tail represents at
+// most ~batchLatencyTarget of compute at this donor's measured per-unit
+// time, capped by DispatchBatch. Before the first measurement the donor
+// asks for a single unit — the conservative start costs one round trip
+// and keeps a fresh fleet from carving an evenly divisible workload into
+// lumpy batches.
+func (d *Donor) batchSize() int {
+	limit := d.opts.DispatchBatch
+	if limit <= 1 || d.unitEWMA <= 0 {
+		return 1
 	}
-	task, wait, err = d.coord.RequestTask(ctx, d.opts.Name)
-	return task, wait, false, err
+	return min(1+int(batchLatencyTarget/d.unitEWMA), limit)
+}
+
+// observeUnitTime folds one unit's compute time into the donor's EWMA.
+func (d *Donor) observeUnitTime(elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	if d.unitEWMA == 0 {
+		d.unitEWMA = elapsed
+		return
+	}
+	d.unitEWMA += (elapsed - d.unitEWMA) * 3 / 10
+}
+
+// nextTasks fetches the donor's next batch of units: a batched WaitTask
+// long-poll when the coordinator supports it and batchSize asks for
+// more than one unit, a single-unit WaitTask park when it only supports
+// that, and the classic RequestTask poll otherwise. parked reports that a
+// long-poll path was used — only then may an empty reply with a zero hint
+// mean "re-park immediately" (and Run still floors replies that came back
+// too fast to have parked); a foreign Coordinator returning a zero hint
+// from RequestTask always gets the sleep floor.
+func (d *Donor) nextTasks(ctx context.Context) (tasks []*Task, wait time.Duration, parked bool, err error) {
+	if d.opts.LongPollWait > 0 {
+		if batch := d.batchSize(); batch > 1 {
+			if tbw, ok := d.coord.(TaskBatchWaiter); ok {
+				tasks, wait, err = tbw.WaitTasks(ctx, d.opts.Name, d.opts.LongPollWait, batch)
+				return tasks, wait, true, err
+			}
+		}
+		if tw, ok := d.coord.(TaskWaiter); ok {
+			task, wait, err := tw.WaitTask(ctx, d.opts.Name, d.opts.LongPollWait)
+			return taskSlice(task), wait, true, err
+		}
+	}
+	task, wait, err := d.coord.RequestTask(ctx, d.opts.Name)
+	return taskSlice(task), wait, false, err
+}
+
+// taskSlice lifts a single dispatch into batch shape.
+func taskSlice(t *Task) []*Task {
+	if t == nil {
+		return nil
+	}
+	return []*Task{t}
 }
 
 // call runs one coordinator operation, transparently redialing and
@@ -504,12 +651,14 @@ func (d *Donor) watchCancels(ctx context.Context, done <-chan struct{}, cn Cance
 			if err != nil {
 				continue // transport hiccup; the next tick retries
 			}
-			for _, n := range notices {
-				if n.ProblemID == t.ProblemID && n.Epoch == t.Epoch {
-					cancelled.Store(true)
-					cancel()
-					return
-				}
+			// Record every named incarnation — with batched dispatch the
+			// notices may cover units still queued locally, and the drain
+			// loop checks the set before starting each one.
+			d.noteCancelled(notices)
+			if d.incCancelled(t.ProblemID, t.Epoch) {
+				cancelled.Store(true)
+				cancel()
+				return
 			}
 		}
 	}

@@ -1,0 +1,234 @@
+package dist
+
+// Flat-codec seam for the control-channel envelopes. Each hot message type
+// implements wire.FlatMarshaler/FlatUnmarshaler by hand; together with the
+// gob construction confined to typed.go this is the whole codec boundary —
+// RPCClient and the server serve the same envelopes through flat-or-gob
+// chosen per connection at handshake, and gob stays the versioned fallback
+// and the only reflection path.
+//
+// Field order is the encoding: MarshalFlat and UnmarshalFlat must touch
+// the same fields in the same order, and that order is frozen in
+// docs/ARCHITECTURE.md. The flat encoding has no field tags, so it cannot
+// evolve in place the way gob does — any incompatible change must ship
+// under a new capability token (see wire.CapFlatCodec).
+//
+// Marshal methods take value receivers: net/rpc hands the codec args
+// structs by value and replies by pointer, and a value receiver satisfies
+// the interface for both. Unmarshal methods need pointer receivers.
+
+import "repro/internal/wire"
+
+var (
+	_ wire.FlatMarshaler   = TaskArgs{}
+	_ wire.FlatUnmarshaler = (*TaskArgs)(nil)
+	_ wire.FlatMarshaler   = WaitTaskArgs{}
+	_ wire.FlatUnmarshaler = (*WaitTaskArgs)(nil)
+	_ wire.FlatMarshaler   = TaskReply{}
+	_ wire.FlatUnmarshaler = (*TaskReply)(nil)
+	_ wire.FlatMarshaler   = ResultArgs{}
+	_ wire.FlatUnmarshaler = (*ResultArgs)(nil)
+	_ wire.FlatMarshaler   = FailureArgs{}
+	_ wire.FlatUnmarshaler = (*FailureArgs)(nil)
+	_ wire.FlatMarshaler   = CancelArgs{}
+	_ wire.FlatUnmarshaler = (*CancelArgs)(nil)
+	_ wire.FlatMarshaler   = CancelReply{}
+	_ wire.FlatUnmarshaler = (*CancelReply)(nil)
+	_ wire.FlatMarshaler   = HandshakeReply{}
+	_ wire.FlatUnmarshaler = (*HandshakeReply)(nil)
+	_ wire.FlatMarshaler   = Empty{}
+	_ wire.FlatUnmarshaler = (*Empty)(nil)
+)
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (a TaskArgs) MarshalFlat(e *wire.Encoder) { e.String(a.Donor) }
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (a *TaskArgs) UnmarshalFlat(d *wire.Decoder) { a.Donor = d.String() }
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (a WaitTaskArgs) MarshalFlat(e *wire.Encoder) {
+	e.String(a.Donor)
+	e.Varint(a.MaxWaitNs)
+	e.Varint(int64(a.MaxBatch))
+}
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (a *WaitTaskArgs) UnmarshalFlat(d *wire.Decoder) {
+	a.Donor = d.String()
+	a.MaxWaitNs = d.Varint()
+	a.MaxBatch = int(d.Varint())
+}
+
+// marshalUnitFlat / unmarshalUnitFlat encode the embedded Unit wherever an
+// envelope carries one; Unit is not an envelope itself, so the helpers
+// stay off its method set.
+func marshalUnitFlat(e *wire.Encoder, u *Unit) {
+	e.Varint(u.ID)
+	e.String(u.Algorithm)
+	e.Bytes(u.Payload)
+	e.Varint(u.Cost)
+}
+
+func unmarshalUnitFlat(d *wire.Decoder, u *Unit) {
+	u.ID = d.Varint()
+	u.Algorithm = d.String()
+	u.Payload = d.Bytes()
+	u.Cost = d.Varint()
+}
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (r TaskReply) MarshalFlat(e *wire.Encoder) {
+	e.Bool(r.HasTask)
+	e.String(r.ProblemID)
+	marshalUnitFlat(e, &r.Unit)
+	e.String(r.BulkKey)
+	e.Varint(r.WaitHintNs)
+	e.Varint(r.Epoch)
+	e.String(r.SharedDigest)
+	e.Uvarint(uint64(len(r.Batch)))
+	for i := range r.Batch {
+		r.Batch[i].marshalFlat(e)
+	}
+}
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (r *TaskReply) UnmarshalFlat(d *wire.Decoder) {
+	r.HasTask = d.Bool()
+	r.ProblemID = d.String()
+	unmarshalUnitFlat(d, &r.Unit)
+	r.BulkKey = d.String()
+	r.WaitHintNs = d.Varint()
+	r.Epoch = d.Varint()
+	r.SharedDigest = d.String()
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	r.Batch = make([]BatchTask, 0, min(int(n), 1024))
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		var bt BatchTask
+		bt.unmarshalFlat(d)
+		r.Batch = append(r.Batch, bt)
+	}
+}
+
+func (t *BatchTask) marshalFlat(e *wire.Encoder) {
+	e.String(t.ProblemID)
+	marshalUnitFlat(e, &t.Unit)
+	e.String(t.BulkKey)
+	e.Varint(t.Epoch)
+	e.String(t.SharedDigest)
+}
+
+func (t *BatchTask) unmarshalFlat(d *wire.Decoder) {
+	t.ProblemID = d.String()
+	unmarshalUnitFlat(d, &t.Unit)
+	t.BulkKey = d.String()
+	t.Epoch = d.Varint()
+	t.SharedDigest = d.String()
+}
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (a ResultArgs) MarshalFlat(e *wire.Encoder) {
+	e.String(a.Donor)
+	e.String(a.ProblemID)
+	e.Varint(a.UnitID)
+	e.Bytes(a.Payload)
+	e.Varint(a.ElapsedNs)
+	e.Varint(a.Epoch)
+}
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (a *ResultArgs) UnmarshalFlat(d *wire.Decoder) {
+	a.Donor = d.String()
+	a.ProblemID = d.String()
+	a.UnitID = d.Varint()
+	a.Payload = d.Bytes()
+	a.ElapsedNs = d.Varint()
+	a.Epoch = d.Varint()
+}
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (a FailureArgs) MarshalFlat(e *wire.Encoder) {
+	e.String(a.Donor)
+	e.String(a.ProblemID)
+	e.Varint(a.UnitID)
+	e.String(a.Reason)
+	e.Bool(a.Transport)
+	e.Varint(a.Epoch)
+}
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (a *FailureArgs) UnmarshalFlat(d *wire.Decoder) {
+	a.Donor = d.String()
+	a.ProblemID = d.String()
+	a.UnitID = d.Varint()
+	a.Reason = d.String()
+	a.Transport = d.Bool()
+	a.Epoch = d.Varint()
+}
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (a CancelArgs) MarshalFlat(e *wire.Encoder) { e.String(a.Donor) }
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (a *CancelArgs) UnmarshalFlat(d *wire.Decoder) { a.Donor = d.String() }
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (r CancelReply) MarshalFlat(e *wire.Encoder) {
+	e.Uvarint(uint64(len(r.Notices)))
+	for i := range r.Notices {
+		n := &r.Notices[i]
+		e.String(n.ProblemID)
+		e.Varint(n.Epoch)
+		e.Varint(n.UnitID)
+	}
+}
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (r *CancelReply) UnmarshalFlat(d *wire.Decoder) {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	r.Notices = make([]CancelNotice, 0, min(int(n), 1024))
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		r.Notices = append(r.Notices, CancelNotice{
+			ProblemID: d.String(),
+			Epoch:     d.Varint(),
+			UnitID:    d.Varint(),
+		})
+	}
+}
+
+// MarshalFlat implements wire.FlatMarshaler. Handshake itself always runs
+// over gob (it is what negotiates the codec), but a fully flat client may
+// re-handshake on the upgraded connection, so the envelope round-trips
+// under both codecs.
+func (r HandshakeReply) MarshalFlat(e *wire.Encoder) {
+	e.String(r.BulkAddr)
+	e.Uvarint(uint64(len(r.Caps)))
+	for _, c := range r.Caps {
+		e.String(c)
+	}
+}
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (r *HandshakeReply) UnmarshalFlat(d *wire.Decoder) {
+	r.BulkAddr = d.String()
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	r.Caps = make([]string, 0, min(int(n), 64))
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		r.Caps = append(r.Caps, d.String())
+	}
+}
+
+// MarshalFlat implements wire.FlatMarshaler.
+func (Empty) MarshalFlat(*wire.Encoder) {}
+
+// UnmarshalFlat implements wire.FlatUnmarshaler.
+func (*Empty) UnmarshalFlat(*wire.Decoder) {}

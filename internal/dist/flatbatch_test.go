@@ -1,0 +1,298 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// TestFlatEnvelopeRoundTrip pins the frozen field order of every flat
+// envelope: a fully populated value must decode back DeepEqual. A field
+// added to an envelope without extending its Marshal/UnmarshalFlat pair
+// shows up here as a mismatch.
+func TestFlatEnvelopeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   wire.FlatMarshaler
+		out  wire.FlatUnmarshaler
+	}{
+		{"TaskArgs", TaskArgs{Donor: "d-1"}, &TaskArgs{}},
+		{"WaitTaskArgs", WaitTaskArgs{Donor: "d-1", MaxWaitNs: int64(45 * time.Second), MaxBatch: 8}, &WaitTaskArgs{}},
+		{"TaskReply", TaskReply{
+			HasTask:      true,
+			ProblemID:    "p-1",
+			Unit:         Unit{ID: 7, Algorithm: "sum/v1", Payload: []byte("range"), Cost: 3},
+			BulkKey:      "p-1/7",
+			WaitHintNs:   int64(time.Millisecond),
+			Epoch:        2,
+			SharedDigest: "sha256:aa",
+			Batch: []BatchTask{
+				{ProblemID: "p-1", Unit: Unit{ID: 8, Algorithm: "sum/v1", Payload: []byte("next"), Cost: 1}, Epoch: 2, SharedDigest: "sha256:aa"},
+				{ProblemID: "p-1", Unit: Unit{ID: 9, Algorithm: "sum/v1", Cost: 1}, BulkKey: "p-1/9", Epoch: 2},
+			},
+		}, &TaskReply{}},
+		{"TaskReply/empty", TaskReply{WaitHintNs: 5}, &TaskReply{}},
+		{"ResultArgs", ResultArgs{Donor: "d-1", ProblemID: "p-1", UnitID: 7, Payload: []byte("out"), ElapsedNs: 12345, Epoch: 2}, &ResultArgs{}},
+		{"FailureArgs", FailureArgs{Donor: "d-1", ProblemID: "p-1", UnitID: 7, Reason: "injected", Transport: true, Epoch: 2}, &FailureArgs{}},
+		{"CancelArgs", CancelArgs{Donor: "d-1"}, &CancelArgs{}},
+		{"CancelReply", CancelReply{Notices: []CancelNotice{
+			{ProblemID: "p-1", Epoch: 2, UnitID: 7},
+			{ProblemID: "p-2", Epoch: 1, UnitID: -1},
+		}}, &CancelReply{}},
+		{"HandshakeReply", HandshakeReply{BulkAddr: "127.0.0.1:7071", Caps: []string{wire.CapWaitTask, wire.CapFlatCodec}}, &HandshakeReply{}},
+		{"Empty", Empty{}, &Empty{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			frame := wire.MarshalFlatMessage(c.in)
+			d := wire.NewDecoder(frame)
+			c.out.UnmarshalFlat(d)
+			if err := d.Err(); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			got := reflect.ValueOf(c.out).Elem().Interface()
+			if !reflect.DeepEqual(got, c.in) {
+				t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, c.in)
+			}
+		})
+	}
+}
+
+// drainEcho submits one echo problem, runs the given client under a donor
+// until the problem completes, and checks the echoed shared blob.
+func drainEcho(t *testing.T, srv *NetworkServer, cl *RPCClient, id string, units int, shared []byte) {
+	t.Helper()
+	if err := srv.Submit(bg, &Problem{ID: id, DM: newEchoDM(units), SharedData: shared}); err != nil {
+		t.Fatal(err)
+	}
+	d := newTestDonor(cl, DonorOptions{Name: id + "-donor", Logf: t.Logf})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = d.Run(bg) }()
+	out, err := srv.Wait(bg, id)
+	d.Stop()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, shared) {
+		t.Errorf("echoed result = %q, want the shared blob (%d bytes)", out, len(shared))
+	}
+}
+
+// TestFlatCodecNegotiated: a default server and a default Dial settle on
+// the flat codec, and the upgraded connection drains a real problem.
+func TestFlatCodecNegotiated(t *testing.T) {
+	registerEcho(t)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", WithServerOptions(netOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.RPCAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if !cl.Supports(wire.CapFlatCodec) {
+		t.Fatal("server did not advertise CapFlatCodec")
+	}
+	if !cl.flat {
+		t.Fatal("client did not upgrade to the flat codec")
+	}
+	drainEcho(t, srv, cl, "flat-neg", 6, []byte("flat codec blob"))
+}
+
+// TestFlatDonorGobOnlyServer: a flat-capable donor against a server with
+// the flat codec disabled must stay on gob and still drain — the mixed
+// fleet degrades per connection via the missing capability token.
+func TestFlatDonorGobOnlyServer(t *testing.T) {
+	registerEcho(t)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0",
+		WithServerOptions(netOpts()), WithFlatCodec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.RPCAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Supports(wire.CapFlatCodec) {
+		t.Fatal("gob-only server advertised CapFlatCodec")
+	}
+	if cl.flat {
+		t.Fatal("client upgraded to flat against a gob-only server")
+	}
+	drainEcho(t, srv, cl, "flat-gobsrv", 6, []byte("gob-only server blob"))
+}
+
+// TestGobDonorFlatServer: the reverse fleet mix — a legacy (gob-only)
+// donor against a flat-capable server keeps its gob connection and drains.
+func TestGobDonorFlatServer(t *testing.T) {
+	registerEcho(t)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", WithServerOptions(netOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.RPCAddr(), 5*time.Second, WithDialFlatCodec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if !cl.Supports(wire.CapFlatCodec) {
+		t.Fatal("server stopped advertising CapFlatCodec")
+	}
+	if cl.flat {
+		t.Fatal("client upgraded to flat despite WithDialFlatCodec(false)")
+	}
+	drainEcho(t, srv, cl, "flat-gobcli", 6, []byte("gob donor blob"))
+}
+
+// TestBatchedWaitTasksOverWire proves multi-unit batches actually cross
+// the wire: one WaitTasks call against a stocked server returns several
+// units, each individually lease-accounted; failing them back requeues
+// every one, and a batching donor then drains the problem.
+func TestBatchedWaitTasksOverWire(t *testing.T) {
+	registerEcho(t)
+	srv, err := ListenAndServe("127.0.0.1:0", "127.0.0.1:0", WithServerOptions(netOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Submit(bg, &Problem{ID: "batch-wire", DM: newEchoDM(12), SharedData: []byte("batch blob")}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.RPCAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tasks, _, err := cl.WaitTasks(bg, "batcher", time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 8 {
+		t.Fatalf("WaitTasks returned %d units, want a full batch of 8", len(tasks))
+	}
+	seen := map[int64]bool{}
+	for _, task := range tasks {
+		if task.ProblemID != "batch-wire" || seen[task.Unit.ID] {
+			t.Fatalf("bad batch entry %+v (duplicate or wrong problem)", task)
+		}
+		seen[task.Unit.ID] = true
+	}
+	if dispatched, _, _, _ := srv.Stats(bg, "batch-wire"); dispatched != 8 {
+		t.Errorf("dispatched = %d after one batched WaitTasks, want 8 (every entry lease-accounted)", dispatched)
+	}
+	// Hand every leased unit back so the draining donor below does not
+	// have to wait out the (hour-long) test lease.
+	for _, task := range tasks {
+		if err := cl.ReportFailure(bg, "batcher", task.ProblemID, task.Unit.ID, "handed back"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d := newTestDonor(cl, DonorOptions{Name: "batch-drain", Logf: t.Logf})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = d.Run(bg) }()
+	out, err := srv.Wait(bg, "batch-wire")
+	d.Stop()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte("batch blob")) {
+		t.Errorf("batched drain result = %q", out)
+	}
+}
+
+// TestWaitTasksManyParkedDonorsOneUnit is the batched variant of the
+// 16-donor herd test: with batching enabled a single unit must still be
+// dispatched exactly once across every parked WaitTasks call.
+func TestWaitTasksManyParkedDonorsOneUnit(t *testing.T) {
+	srv := newTestServer(ServerOptions{Policy: sched.Fixed{Size: 1000}, Lease: time.Hour, ExpiryScan: time.Hour, WaitHint: time.Millisecond})
+	defer srv.Close()
+
+	const parked = 16
+	type batchResult struct {
+		tasks []*Task
+		err   error
+	}
+	got := make(chan batchResult, parked)
+	for i := 0; i < parked; i++ {
+		name := fmt.Sprintf("bherd-%d", i)
+		go func() {
+			tasks, _, err := srv.WaitTasks(bg, name, 400*time.Millisecond, 8)
+			got <- batchResult{tasks, err}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Submit(bg, &Problem{ID: "bherd", DM: newSumDM(100)}); err != nil {
+		t.Fatal(err)
+	}
+
+	units := 0
+	for i := 0; i < parked; i++ {
+		r := <-got
+		if r.err != nil {
+			t.Fatalf("herd WaitTasks err = %v", r.err)
+		}
+		units += len(r.tasks)
+	}
+	if units != 1 {
+		t.Errorf("single unit dispatched %d times across the batched herd, want exactly 1", units)
+	}
+}
+
+// TestWaitTasksWakesOnLeaseExpiry is the batched variant of the
+// lease-expiry wake test: donor A leases the only unit and goes silent;
+// the expiry sweep requeues it and must wake a donor parked in the
+// batched WaitTasks path.
+func TestWaitTasksWakesOnLeaseExpiry(t *testing.T) {
+	srv := newTestServer(ServerOptions{
+		Policy:     sched.Fixed{Size: 1000},
+		Lease:      50 * time.Millisecond,
+		ExpiryScan: 20 * time.Millisecond,
+		WaitHint:   time.Millisecond,
+	})
+	defer srv.Close()
+	if err := srv.Submit(bg, &Problem{ID: "bwake-expiry", DM: newSumDM(100)}); err != nil {
+		t.Fatal(err)
+	}
+	task, _, err := srv.RequestTask(bg, "a")
+	if err != nil || task == nil {
+		t.Fatalf("no task for donor a: %v", err)
+	}
+
+	type batchResult struct {
+		tasks []*Task
+		err   error
+	}
+	got := make(chan batchResult, 1)
+	go func() {
+		tasks, _, err := srv.WaitTasks(bg, "b", 10*time.Second, 8)
+		got <- batchResult{tasks, err}
+	}()
+	select {
+	case r := <-got:
+		if r.err != nil || len(r.tasks) != 1 {
+			t.Fatalf("batched WaitTasks after lease expiry = %d tasks, err %v; want the one requeued unit", len(r.tasks), r.err)
+		}
+		if r.tasks[0].Unit.ID != task.Unit.ID {
+			t.Errorf("woke with unit %d, want requeued unit %d", r.tasks[0].Unit.ID, task.Unit.ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batched WaitTasks still parked 5s after the lease expired")
+	}
+}

@@ -23,6 +23,68 @@ type TaskWaiter interface {
 
 var _ TaskWaiter = (*Server)(nil)
 
+// TaskBatchWaiter is implemented by coordinators that can hand a donor
+// several units per long-poll, amortizing one frame and one park wakeup
+// across the batch. Every unit is leased and epoch-tagged individually —
+// batching changes transport granularity, never lease accounting. *Server
+// implements it directly (which is how in-process donors batch);
+// *RPCClient implements it over the batched WaitTask verb.
+type TaskBatchWaiter interface {
+	// WaitTasks is WaitTask returning up to max units: the first obtained
+	// by parking exactly like WaitTask, the rest by immediate re-scans
+	// that stop as soon as nothing more is dispatchable. A nil/empty slice
+	// follows WaitTask's nil-task conventions for the wait hint.
+	WaitTasks(ctx context.Context, donor string, maxWait time.Duration, max int) (tasks []*Task, wait time.Duration, err error)
+}
+
+var _ TaskBatchWaiter = (*Server)(nil)
+
+// batchByteBudget caps the cumulative inline payload bytes one batch may
+// carry, so batching many "small" units never snowballs into a frame-sized
+// reply. Offloaded (bulk-channel) payloads don't count against it — the
+// reply holds only their keys.
+const batchByteBudget = 1 << 20
+
+// WaitTasks implements TaskBatchWaiter. The park semantics are WaitTask's;
+// once a first unit arrives, up to limit-1 extras are collected with
+// non-parking dispatch scans. Extras stop early when the scan comes up
+// empty (leave the rest for other donors' parks), when the inline byte
+// budget is spent, or on error (whatever was already leased is returned —
+// the donor computes it; its leases are live either way).
+func (s *Server) WaitTasks(ctx context.Context, donor string, maxWait time.Duration, max int) ([]*Task, time.Duration, error) {
+	limit := s.batchLimit(max)
+	task, wait, err := s.WaitTask(ctx, donor, maxWait)
+	if err != nil || task == nil {
+		return nil, wait, err
+	}
+	tasks := []*Task{task}
+	inline := len(task.Unit.Payload)
+	for len(tasks) < limit && inline < batchByteBudget {
+		extra, _, err := s.RequestTask(ctx, donor)
+		if err != nil || extra == nil {
+			break
+		}
+		tasks = append(tasks, extra)
+		if len(extra.Unit.Payload) <= s.opts.BulkThreshold || s.opts.BulkThreshold < 0 {
+			inline += len(extra.Unit.Payload)
+		}
+	}
+	return tasks, wait, nil
+}
+
+// batchLimit clamps a donor's requested batch size to the server's
+// DispatchBatch cap (always at least one unit).
+func (s *Server) batchLimit(requested int) int {
+	limit := s.opts.DispatchBatch
+	if limit < 1 {
+		limit = 1
+	}
+	if requested >= 1 && requested < limit {
+		limit = requested
+	}
+	return limit
+}
+
 // parkChan returns the current park broadcast channel. Callers must grab
 // it BEFORE scanning for dispatchable work: a wake that fires between the
 // grab and the scan closes the grabbed channel, so the subsequent park

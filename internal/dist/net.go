@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -114,7 +115,7 @@ func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkSer
 			ns.connWG.Add(1)
 			go func(c net.Conn) {
 				defer ns.connWG.Done()
-				rsrv.ServeConn(c)
+				ns.serveControlConn(rsrv, c)
 				ns.connsMu.Lock()
 				delete(ns.conns, c)
 				ns.connsMu.Unlock()
@@ -123,6 +124,33 @@ func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkSer
 	}()
 	return ns, nil
 }
+
+// serveControlConn sniffs which codec a freshly accepted control
+// connection speaks and serves it accordingly. A new donor that negotiated
+// wire.CapFlatCodec opens its upgraded connection with wire.FlatPreamble;
+// anything else — every legacy donor — is a gob-rpc stream, which can
+// never begin with the preamble's leading zero byte. Under NoFlatCodec the
+// sniff is skipped entirely so an ablation server is truly gob-only.
+func (ns *NetworkServer) serveControlConn(rsrv *rpc.Server, conn net.Conn) {
+	br := bufio.NewReader(conn)
+	if !ns.opts.NoFlatCodec {
+		if peek, err := br.Peek(len(wire.FlatPreamble)); err == nil && string(peek) == wire.FlatPreamble {
+			_, _ = br.Discard(len(wire.FlatPreamble))
+			rsrv.ServeCodec(wire.NewFlatServerCodec(&bufferedConn{r: br, Conn: conn}))
+			return
+		}
+	}
+	rsrv.ServeConn(&bufferedConn{r: br, Conn: conn})
+}
+
+// bufferedConn rejoins a sniffed bufio.Reader with its connection's write
+// and close halves.
+type bufferedConn struct {
+	r *bufio.Reader
+	net.Conn
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
 
 // RPCAddr returns the control-channel listen address.
 func (ns *NetworkServer) RPCAddr() string { return ns.rpcLn.Addr().String() }
@@ -297,6 +325,13 @@ type TaskArgs struct{ Donor string }
 type WaitTaskArgs struct {
 	Donor     string
 	MaxWaitNs int64
+	// MaxBatch asks for up to this many units in one reply (extras ride in
+	// TaskReply.Batch). Zero or one requests single-unit dispatch; the
+	// server further clamps to ServerOptions.DispatchBatch. Legacy donors
+	// never set the field and legacy servers never read it — gob drops
+	// unknown fields — so batching degrades to singles across a mixed
+	// fleet without negotiation.
+	MaxBatch int
 }
 
 // TaskReply carries one dispatched unit. When the payload was offloaded to
@@ -313,6 +348,23 @@ type TaskReply struct {
 	// SharedDigest is the content address of the problem's shared blob
 	// (see Task.SharedDigest). Donors predating the field — or the whole
 	// content-bulk scheme — simply never see it: gob drops unknown fields.
+	SharedDigest string
+	// Batch carries the extra units of a batched WaitTask dispatch (the
+	// first unit stays in the legacy fields above). Only present when the
+	// donor asked via WaitTaskArgs.MaxBatch; every entry is leased and
+	// epoch-tagged individually, exactly as if dispatched alone.
+	Batch []BatchTask
+}
+
+// BatchTask is one extra unit in a batched TaskReply, carrying the same
+// per-unit dispatch fields as the reply's legacy head unit.
+type BatchTask struct {
+	ProblemID string
+	Unit      Unit
+	BulkKey   string
+	Epoch     int64
+	// SharedDigest mirrors TaskReply.SharedDigest for this entry's problem
+	// (batches may span problems under round-robin sharing).
 	SharedDigest string
 }
 
@@ -378,6 +430,9 @@ func (s *rpcService) Handshake(_ Empty, reply *HandshakeReply) error {
 	if !s.ns.opts.NoContentBulk {
 		reply.Caps = append(reply.Caps, wire.CapContentBulk)
 	}
+	if !s.ns.opts.NoFlatCodec {
+		reply.Caps = append(reply.Caps, wire.CapFlatCodec)
+	}
 	return nil
 }
 
@@ -422,12 +477,44 @@ func (s *rpcService) RequestTask(args TaskArgs, reply *TaskReply) error {
 // ServerOptions.LongPoll per abandoned park, freed early by any wake and
 // entirely by Close.
 func (s *rpcService) WaitTask(args WaitTaskArgs, reply *TaskReply) error {
+	if args.MaxBatch > 1 {
+		tasks, wait, err := s.ns.Server.WaitTasks(context.Background(), args.Donor, time.Duration(args.MaxWaitNs), args.MaxBatch) //dist:allow-background net/rpc handlers have no caller ctx
+		if err != nil {
+			return err
+		}
+		s.fillTaskReplyBatch(reply, tasks, wait)
+		return nil
+	}
 	task, wait, err := s.ns.Server.WaitTask(context.Background(), args.Donor, time.Duration(args.MaxWaitNs)) //dist:allow-background net/rpc handlers have no caller ctx
 	if err != nil {
 		return err
 	}
 	s.fillTaskReply(reply, task, wait)
 	return nil
+}
+
+// fillTaskReplyBatch encodes a batched dispatch: the first unit in the
+// reply's legacy fields, extras as Batch entries, each offloaded to the
+// bulk channel independently when large.
+func (s *rpcService) fillTaskReplyBatch(reply *TaskReply, tasks []*Task, wait time.Duration) {
+	if len(tasks) == 0 {
+		s.fillTaskReply(reply, nil, wait)
+		return
+	}
+	s.fillTaskReply(reply, tasks[0], wait)
+	for _, task := range tasks[1:] {
+		bt := BatchTask{
+			ProblemID:    task.ProblemID,
+			Unit:         task.Unit,
+			Epoch:        task.Epoch,
+			SharedDigest: task.SharedDigest,
+		}
+		if key := s.ns.offloadPayload(task); key != "" {
+			bt.BulkKey = key
+			bt.Unit.Payload = nil
+		}
+		reply.Batch = append(reply.Batch, bt)
+	}
 }
 
 // SubmitResult folds one completed unit. Offloaded payloads are only
@@ -480,18 +567,33 @@ type RPCClient struct {
 	// caps are the capability tokens the server advertised at Handshake;
 	// optional verbs (WaitTask) are only called when listed.
 	caps map[string]bool
+	// flat records whether the control connection was upgraded to the flat
+	// codec after negotiation (false: gob, the versioned fallback).
+	flat bool
 }
 
 var _ Coordinator = (*RPCClient)(nil)
 var _ CancelNotifier = (*RPCClient)(nil)
 var _ TaskWaiter = (*RPCClient)(nil)
+var _ TaskBatchWaiter = (*RPCClient)(nil)
 var _ ContentFetcher = (*RPCClient)(nil)
 
 // Dial connects to a server's control channel and learns its bulk address.
 // timeout bounds the dial and every bulk fetch.
-func Dial(rpcAddr string, timeout time.Duration) (*RPCClient, error) {
+//
+// The handshake always runs over gob — it is what discovers whether the
+// peer speaks anything else. When the server advertises wire.CapFlatCodec
+// (and no DialOption disables it), Dial opens a second connection with the
+// flat preamble and retires the gob one; if that upgrade dial fails the
+// gob connection is kept, so a flat-capable donor still drains a server it
+// can only reach over the baseline codec.
+func Dial(rpcAddr string, timeout time.Duration, opts ...DialOption) (*RPCClient, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
+	}
+	var dopts dialOptions
+	for _, o := range opts {
+		o(&dopts)
 	}
 	conn, err := net.DialTimeout("tcp", rpcAddr, timeout)
 	if err != nil {
@@ -503,12 +605,34 @@ func Dial(rpcAddr string, timeout time.Duration) (*RPCClient, error) {
 		_ = c.Close()
 		return nil, fmt.Errorf("dist: handshake with %s: %w", rpcAddr, err)
 	}
-	return &RPCClient{
+	cl := &RPCClient{
 		c:        c,
 		bulkAddr: resolveBulkAddr(rpcAddr, hr.BulkAddr),
 		timeout:  timeout,
 		caps:     wire.NegotiateCaps(hr.Caps),
-	}, nil
+	}
+	if cl.caps[wire.CapFlatCodec] && !dopts.noFlat {
+		if fc, err := dialFlat(rpcAddr, timeout); err == nil {
+			_ = c.Close()
+			cl.c = fc
+			cl.flat = true
+		}
+	}
+	return cl, nil
+}
+
+// dialFlat opens a flat-codec control connection: the preamble first, then
+// net/rpc over the flat codec.
+func dialFlat(rpcAddr string, timeout time.Duration) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", rpcAddr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write([]byte(wire.FlatPreamble)); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return rpc.NewClientWithCodec(wire.NewFlatClientCodec(conn)), nil
 }
 
 // Supports reports whether the server advertised a capability token (see
@@ -581,6 +705,65 @@ func (c *RPCClient) WaitTask(ctx context.Context, donor string, maxWait time.Dur
 		return nil, 0, err
 	}
 	return c.taskFromReply(ctx, donor, &r)
+}
+
+// WaitTasks implements TaskBatchWaiter over the control channel: one
+// long-poll carrying MaxBatch, extras decoded from TaskReply.Batch. The
+// same legacy fallbacks as WaitTask apply — a server without
+// wire.CapWaitTask degrades to single-unit polling, and a server that
+// ignores MaxBatch simply replies with an empty Batch.
+func (c *RPCClient) WaitTasks(ctx context.Context, donor string, maxWait time.Duration, max int) ([]*Task, time.Duration, error) {
+	if !c.caps[wire.CapWaitTask] {
+		task, wait, err := c.RequestTask(ctx, donor)
+		if task == nil {
+			return nil, wait, err
+		}
+		return []*Task{task}, wait, nil
+	}
+	var r TaskReply
+	args := WaitTaskArgs{Donor: donor, MaxWaitNs: int64(maxWait), MaxBatch: max}
+	if err := c.call(ctx, rpcServiceName+".WaitTask", args, &r); err != nil {
+		return nil, 0, err
+	}
+	return c.tasksFromReply(ctx, donor, &r)
+}
+
+// tasksFromReply decodes a batched dispatch reply. Entries whose offloaded
+// payload cannot be fetched are reported to the server as transport
+// failures (requeued elsewhere, not dropped) and skipped; only when the
+// whole batch is lost that way does the call surface a transient error for
+// the donor loop to retry past.
+func (c *RPCClient) tasksFromReply(ctx context.Context, donor string, r *TaskReply) ([]*Task, time.Duration, error) {
+	wait := time.Duration(r.WaitHintNs)
+	if !r.HasTask {
+		return nil, wait, nil
+	}
+	entries := make([]BatchTask, 0, 1+len(r.Batch))
+	entries = append(entries, BatchTask{ProblemID: r.ProblemID, Unit: r.Unit, BulkKey: r.BulkKey,
+		Epoch: r.Epoch, SharedDigest: r.SharedDigest})
+	entries = append(entries, r.Batch...)
+	tasks := make([]*Task, 0, len(entries))
+	var lastErr error
+	for i := range entries {
+		ent := &entries[i]
+		if ent.BulkKey != "" {
+			payload, err := wire.FetchBlob(c.bulkAddr, ent.BulkKey, c.timeout)
+			if err != nil {
+				ferr := fmt.Errorf("dist: fetching bulk payload %s: %w", ent.BulkKey, err)
+				fargs := FailureArgs{Donor: donor, ProblemID: ent.ProblemID, UnitID: ent.Unit.ID,
+					Reason: ferr.Error(), Transport: true, Epoch: ent.Epoch}
+				_ = c.call(ctx, rpcServiceName+".ReportFailure", fargs, &Empty{})
+				lastErr = ferr
+				continue
+			}
+			ent.Unit.Payload = payload
+		}
+		tasks = append(tasks, &Task{ProblemID: ent.ProblemID, Unit: ent.Unit, Epoch: ent.Epoch, SharedDigest: ent.SharedDigest})
+	}
+	if len(tasks) == 0 && lastErr != nil {
+		return nil, wait, &transientError{lastErr}
+	}
+	return tasks, wait, nil
 }
 
 // taskFromReply decodes a dispatch reply, fetching an offloaded payload

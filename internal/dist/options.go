@@ -77,6 +77,21 @@ func WithContentBulk(on bool) ServerOption {
 	return func(o *ServerOptions) { o.NoContentBulk = !on }
 }
 
+// WithDispatchBatch caps how many units one batched WaitTask reply may
+// carry (zero keeps the default of 8; negative or 1 disables batching —
+// the pre-batch single-unit replies, kept for ablation).
+func WithDispatchBatch(n int) ServerOption {
+	return func(o *ServerOptions) { o.DispatchBatch = n }
+}
+
+// WithFlatCodec toggles the flat control-channel codec (on by default):
+// off stops advertising wire.CapFlatCodec and sniffing for the flat
+// preamble, so every connection speaks gob — the pre-flat behaviour, kept
+// for ablation benchmarks and mixed-fleet debugging.
+func WithFlatCodec(on bool) ServerOption {
+	return func(o *ServerOptions) { o.NoFlatCodec = !on }
+}
+
 // DonorOption tunes one DonorOptions knob.
 type DonorOption func(*DonorOptions)
 
@@ -137,4 +152,29 @@ func WithBlobCacheBytes(n int64) DonorOption {
 // blob once per process instead of once per donor.
 func WithBlobCache(c *BlobCache) DonorOption {
 	return func(o *DonorOptions) { o.BlobCache = c }
+}
+
+// WithTaskBatch sets how many units the donor asks for per WaitTask
+// long-poll against a batch-capable coordinator (zero keeps the default of
+// 8; negative or 1 keeps single-unit dispatch).
+func WithTaskBatch(n int) DonorOption {
+	return func(o *DonorOptions) { o.DispatchBatch = n }
+}
+
+// DialOption tunes one Dial.
+type DialOption func(*dialOptions)
+
+// dialOptions is the bag DialOption mutates.
+type dialOptions struct {
+	// noFlat keeps the control connection on gob even against a server
+	// advertising wire.CapFlatCodec — the donor half of a codec ablation.
+	noFlat bool
+}
+
+// WithDialFlatCodec toggles upgrading the control connection to the flat
+// codec when the server advertises wire.CapFlatCodec (on by default): off
+// keeps gob, simulating a pre-flat donor for ablations and mixed-fleet
+// tests.
+func WithDialFlatCodec(on bool) DialOption {
+	return func(o *dialOptions) { o.noFlat = !on }
 }

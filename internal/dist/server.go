@@ -78,6 +78,19 @@ type ServerOptions struct {
 	// on by default because it is what makes N problems sharing one
 	// alignment ship it once per donor instead of N times.
 	NoContentBulk bool
+	// DispatchBatch caps how many units one batched WaitTask reply may
+	// carry (see TaskBatchWaiter); the effective batch is the smaller of
+	// this cap and what the donor asked for, and every unit is leased
+	// individually. Zero defaults to 8. Negative (or 1) disables batching:
+	// replies carry a single unit, the pre-batch behaviour, kept for
+	// ablation benchmarks.
+	DispatchBatch int
+	// NoFlatCodec disables the flat control-channel codec:
+	// wire.CapFlatCodec is not advertised at Handshake and the accept loop
+	// stops sniffing for the flat preamble, so every connection speaks
+	// gob — the pre-flat wire behaviour, kept for ablation benchmarks and
+	// mixed-fleet debugging.
+	NoFlatCodec bool
 }
 
 func (o *ServerOptions) applyDefaults() {
@@ -104,6 +117,9 @@ func (o *ServerOptions) applyDefaults() {
 	}
 	if o.LongPoll == 0 {
 		o.LongPoll = 45 * time.Second
+	}
+	if o.DispatchBatch == 0 {
+		o.DispatchBatch = 8
 	}
 }
 

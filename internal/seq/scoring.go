@@ -61,6 +61,12 @@ func (m *Matrix) buildLUT() {
 // Score returns the substitution score for the residue pair (x, y).
 func (m *Matrix) Score(x, y byte) int { return int(m.lut[int(x)<<8|int(y)]) }
 
+// Row returns the 256-entry score row for residue x: Row(x)[y] equals
+// Score(x, y) for every y. Aligner inner loops hoist the row lookup so the
+// per-cell score is a single fixed-length-slice index whose bounds check
+// the compiler can drop.
+func (m *Matrix) Row(x byte) []int16 { return m.lut[int(x)<<8 : int(x)<<8+256 : int(x)<<8+256] }
+
 // Max returns the largest score in the matrix (usually the best self-match),
 // used for normalised-score statistics.
 func (m *Matrix) Max() int {

@@ -76,8 +76,16 @@ func WriteFrame(w io.Writer, payload []byte) error {
 }
 
 // ReadFrame reads one length-prefixed frame from r and verifies its
-// checksum, returning ErrCorruptFrame on a mismatch.
+// checksum, returning ErrCorruptFrame on a mismatch. The returned buffer
+// is freshly allocated and owned by the caller.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto is ReadFrame decoding into buf when its capacity suffices,
+// allocating only for larger frames. Callers that recycle buf must not let
+// the returned slice escape past the recycle point.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("wire: reading frame header: %w", err)
@@ -87,7 +95,11 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
 	}
 	want := binary.BigEndian.Uint32(hdr[4:])
-	buf := make([]byte, n)
+	if uint32(cap(buf)) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("wire: reading frame body: %w", err)
 	}
@@ -95,6 +107,19 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("%w: crc %08x, frame claims %08x", ErrCorruptFrame, got, want)
 	}
 	return buf, nil
+}
+
+// keyBufPool recycles the small per-fetch buffers serveConn reads blob
+// keys into; keys are copied out (string conversion) before the buffer is
+// returned, so pooling them is safe. maxPooledKeyBuf keeps an oversized
+// key frame from pinning a large buffer in the pool.
+const maxPooledKeyBuf = 64 << 10
+
+var keyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
 }
 
 // refBlob is one content-addressed blob and the number of problems still
@@ -310,12 +335,21 @@ func (s *BulkServer) lookup(key string) ([]byte, bool) {
 
 func (s *BulkServer) serveConn(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	key, err := ReadFrame(conn)
+	bp := keyBufPool.Get().(*[]byte)
+	key, err := readFrameInto(conn, (*bp)[:0])
 	if err != nil {
+		keyBufPool.Put(bp)
 		return
 	}
+	lookupKey := string(key)
+	if cap(key) > cap(*bp) {
+		*bp = key[:0]
+	}
+	if cap(*bp) <= maxPooledKeyBuf {
+		keyBufPool.Put(bp)
+	}
 	s.fetchesServed.Add(1)
-	blob, ok := s.lookup(string(key))
+	blob, ok := s.lookup(lookupKey)
 	if !ok {
 		_ = WriteFrame(conn, []byte{statusNotFound})
 		return
