@@ -35,12 +35,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# fuzz-smoke gives each wire-protocol fuzzer a few seconds of coverage
-# growth on every check; longer runs are a manual `go test -fuzz` away.
+# fuzz-smoke gives each wire-protocol and journal-recovery fuzzer a few
+# seconds of coverage growth on every check; longer runs are a manual
+# `go test -fuzz` away.
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzHandshake -fuzztime 5s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzFlatCodec -fuzztime 5s
+	$(GO) test ./internal/journal/ -run '^$$' -fuzz FuzzJournalReplay -fuzztime 5s
 
 # bench covers every package carrying benchmarks (the root harness plus
 # internal packages like align), so a bench added in a new file or package

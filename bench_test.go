@@ -978,3 +978,80 @@ func BenchmarkDPRmlEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkJournalOverhead is the PR 8 durability-cost ablation: the same
+// tiny-unit DSEARCH drain with the journal off, on (the production
+// group-commit configuration), and on with an fsync per record (the
+// worst-case configuration the group commit exists to avoid). Units are
+// one database sequence each, so the drain is dominated by
+// dispatch/fold traffic and the per-fold journal append is the variable
+// under test. The timer covers only the drain — server open, problem
+// submission and the shutdown checkpoint happen with the clock stopped,
+// because those are one-time latencies a deployment amortises over hours,
+// not drain throughput. BENCH_pr8.json records the ablation; the contract
+// is that journal-on stays within 10% of journal-off.
+func BenchmarkJournalOverhead(b *testing.B) {
+	gen := seq.NewGenerator(seq.Protein, 77)
+	w := gen.NewSearchWorkload(2000, 1, 2, seq.LengthModel{Mean: 60, StdDev: 10, Min: 40, Max: 90})
+	cfg := dsearch.DefaultConfig()
+	cfg.TopK = 5
+	const donors = 4
+
+	drain := func(b *testing.B, durable, fsyncEvery bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			opts := []dist.ServerOption{
+				dist.WithPolicy(sched.Fixed{Size: 1}), // one sequence per unit
+				dist.WithLeaseTTL(time.Hour),
+				dist.WithExpiryScan(time.Hour),
+				dist.WithWaitHint(time.Millisecond),
+				dist.WithAutoForget(true),
+			}
+			if durable {
+				opts = append(opts,
+					dist.WithDataDir(b.TempDir()),
+					dist.WithJournalFsync(fsyncEvery))
+			}
+			srv, err := dist.OpenServer(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := dsearch.NewProblem("bench-journal", w.DB, w.Queries, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			if err := srv.Submit(ctx, p); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			var wg sync.WaitGroup
+			for d := 0; d < donors; d++ {
+				don := dist.NewDonor(srv,
+					dist.WithName(fmt.Sprintf("bench-%d", d)),
+					dist.WithCancelPoll(2*time.Millisecond))
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = don.Run(ctx)
+				}()
+			}
+			if _, err := srv.Wait(ctx, "bench-journal"); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			cancel()
+			wg.Wait()
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(w.DB.Len())*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+	}
+
+	b.Run("journal-off", func(b *testing.B) { drain(b, false, false) })
+	b.Run("journal-on", func(b *testing.B) { drain(b, true, false) })
+	b.Run("journal-fsync-every-record", func(b *testing.B) { drain(b, true, true) })
+}

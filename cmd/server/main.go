@@ -14,8 +14,11 @@
 // Donors then connect with:  donor -server <host>:7070
 //
 // Progress is streamed from the server's Watch event channel (no Status
-// polling). An interrupt forgets the problem, which cancels the donors'
-// in-flight units before the server exits.
+// polling). An interrupt (SIGINT) forgets the problem, which cancels the
+// donors' in-flight units before the server exits. With -data-dir the
+// coordinator is durable: mutations are journaled, SIGTERM checkpoints and
+// exits cleanly instead of forgetting, and a restart on the same directory
+// resumes the problem where it left off — donors redial and keep working.
 package main
 
 import (
@@ -26,6 +29,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/dist"
@@ -45,6 +50,8 @@ func main() {
 		contentBulk = flag.Bool("content-bulk", true, "content-addressed shared blobs (one stored copy per distinct alignment, digest-verified donor caching); false restores per-problem bulk keys")
 		flatCodec   = flag.Bool("flat-codec", true, "flat control-channel codec (negotiated per connection; false keeps every donor on gob)")
 		batch       = flag.Int("dispatch-batch", 8, "max units per batched WaitTask reply (<=1 = single-unit dispatch)")
+		dataDir     = flag.String("data-dir", "", "durability directory: journal mutations and resume the problem after a crash or SIGTERM (empty = in-memory only)")
+		snapRecords = flag.Int("snapshot-records", 0, "journal records that trigger a background checkpoint (0 = default; needs -data-dir)")
 		app         = flag.String("app", "", "application: dsearch | dprml")
 		progress    = flag.Duration("progress", 10*time.Second, "minimum interval between progress log lines")
 
@@ -61,8 +68,26 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM both cancel ctx, but they mean different things at
+	// shutdown: SIGINT abandons the problem (forget + cancel donor work),
+	// SIGTERM asks for a graceful stop — with -data-dir that is "checkpoint
+	// and exit so a restart resumes". Remember which one fired.
+	ctx, stop := context.WithCancel(context.Background())
 	defer stop()
+	var gotTerm atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigCh
+		if !ok {
+			return
+		}
+		if sig == syscall.SIGTERM {
+			gotTerm.Store(true)
+		}
+		stop()
+	}()
+	defer signal.Stop(sigCh)
 
 	pol, err := sched.ByName(*policy)
 	if err != nil {
@@ -80,6 +105,9 @@ func main() {
 	if dispatchBatch <= 1 {
 		dispatchBatch = -1
 	}
+	if *app != "dsearch" && *app != "dprml" {
+		log.Fatalf("server: -app must be dsearch or dprml")
+	}
 	ns, err := dist.ListenAndServe(*rpcAddr, *bulkAddr,
 		dist.WithPolicy(pol),
 		dist.WithLeaseTTL(*lease),
@@ -87,6 +115,8 @@ func main() {
 		dist.WithContentBulk(*contentBulk),
 		dist.WithFlatCodec(*flatCodec),
 		dist.WithDispatchBatch(dispatchBatch),
+		dist.WithDataDir(*dataDir),
+		dist.WithSnapshotBudget(0, *snapRecords),
 	)
 	if err != nil {
 		log.Fatalf("server: %v", err)
@@ -94,41 +124,77 @@ func main() {
 	defer ns.Close()
 	log.Printf("server: control on %s, bulk data on %s, policy %s", ns.RPCAddr(), ns.BulkAddr(), pol.Name())
 
-	var problem *dist.Problem
-	switch *app {
-	case "dsearch":
-		problem, err = buildDSearch(*dbPath, *queryPath, *confPath)
-	case "dprml":
-		problem, err = buildDPRml(*alnPath, *model, *gamma, *alpha)
-	default:
-		log.Fatalf("server: -app must be dsearch or dprml")
+	// Both applications register their problem under the app name, so that
+	// is the ID a restarted durable server finds in its journal.
+	problemID := *app
+	resumed := false
+	if rec := ns.Recovery(); rec != nil {
+		for _, rp := range rec.Problems {
+			log.Printf("server: recovered problem %q from journal (epoch %d, %d units completed, %d requeued)",
+				rp.ProblemID, rp.Epoch, rp.Completed, rp.Requeued)
+			if rp.ProblemID == problemID {
+				resumed = true
+			}
+		}
+		if rec.FoldsReplayed > 0 || rec.FoldsSkipped > 0 {
+			log.Printf("server: replayed %d journaled results (%d skipped)", rec.FoldsReplayed, rec.FoldsSkipped)
+		}
+		if rec.Truncated {
+			log.Printf("server: journal tail was torn; recovered to the last intact record")
+		}
+		for _, skipped := range rec.Skipped {
+			log.Printf("server: could not restore problem %s", skipped)
+		}
 	}
-	if err != nil {
-		log.Fatalf("server: %v", err)
+
+	if resumed {
+		log.Printf("server: resuming recovered problem %q — waiting for donors to redial", problemID)
+	} else {
+		var problem *dist.Problem
+		switch *app {
+		case "dsearch":
+			problem, err = buildDSearch(*dbPath, *queryPath, *confPath)
+		case "dprml":
+			problem, err = buildDPRml(*alnPath, *model, *gamma, *alpha)
+		}
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		if err := ns.Submit(ctx, problem); err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		log.Printf("server: problem %q submitted — waiting for donors", problem.ID)
 	}
-	if err := ns.Submit(ctx, problem); err != nil {
-		log.Fatalf("server: %v", err)
-	}
-	log.Printf("server: problem %q submitted — waiting for donors", problem.ID)
 
 	// Event-stream progress: the Watch channel replaces the old Status
 	// polling ticker. Unit-level events are folded into at most one log
 	// line per -progress interval; terminal events always log.
-	events, err := ns.Watch(ctx, problem.ID)
+	events, err := ns.Watch(ctx, problemID)
 	if err != nil {
 		log.Fatalf("server: watch: %v", err)
 	}
 	go logProgress(ns, events, *progress)
 
 	start := time.Now()
-	out, err := ns.Wait(ctx, problem.ID)
+	out, err := ns.Wait(ctx, problemID)
 	if err != nil {
 		if ctx.Err() != nil {
+			if gotTerm.Load() && *dataDir != "" {
+				// SIGTERM on a durable server: checkpoint and exit without
+				// forgetting, so a restart on the same -data-dir resumes the
+				// problem. Close writes the final snapshot.
+				log.Printf("server: SIGTERM — checkpointing %q to %s for resumption", problemID, *dataDir)
+				if cerr := ns.Close(); cerr != nil {
+					log.Printf("server: checkpoint: %v", cerr)
+					os.Exit(1)
+				}
+				os.Exit(0)
+			}
 			// Interrupted: forget the problem so donors holding its units
 			// receive cancel notices and abort instead of computing
 			// results nobody will fold.
-			log.Printf("server: interrupted — forgetting %q to cancel donor work", problem.ID)
-			_ = ns.Forget(problem.ID)
+			log.Printf("server: interrupted — forgetting %q to cancel donor work", problemID)
+			_ = ns.Forget(problemID)
 			// Busy donors learn of the cancellation by polling CancelNotices
 			// (default every 500ms); keep the control channel up a couple of
 			// poll periods so they abort their in-flight unit instead of
@@ -140,13 +206,13 @@ func main() {
 		log.Fatalf("server: problem failed: %v", err)
 	}
 	elapsed := time.Since(start)
-	dispatched, completed, reissued, _ := ns.Stats(ctx, problem.ID)
+	st, _ := ns.Stats(ctx, problemID)
 	log.Printf("server: done in %s (%d units dispatched, %d completed, %d reissued, %d donors)",
-		elapsed.Round(time.Millisecond), dispatched, completed, reissued, ns.DonorCount())
+		elapsed.Round(time.Millisecond), st.Dispatched, st.Completed, st.Reissued, ns.DonorCount())
 	// Retire the problem now that its stats have been read: a long-lived
 	// server submitting job after job evicts each one's state and bulk
 	// blobs this way instead of growing without bound.
-	if err := ns.Forget(problem.ID); err != nil {
+	if err := ns.Forget(problemID); err != nil {
 		log.Printf("server: forget: %v", err)
 	}
 

@@ -282,6 +282,143 @@ func TestDonorChurnRealNetwork(t *testing.T) {
 	}
 }
 
+// TestCoordinatorCrashRecoveryRealNetwork is the durability counterpart of
+// the donor-churn test: this time the COORDINATOR dies. A real cmd/server
+// with -data-dir is SIGKILLed mid-problem (no goodbye, no final
+// checkpoint), then restarted on the same directory and the same control
+// address — WITHOUT the -db/-queries inputs, so the run can only continue
+// if the journal actually restored the problem. The surviving donors
+// redial on their own (PR 2 machinery), any straggler results they carry
+// from the first incarnation are fenced by epoch, and the problem
+// completes without being resubmitted, producing exactly the report a
+// crash-free run produces.
+func TestCoordinatorCrashRecoveryRealNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash-recovery test skipped in -short mode")
+	}
+	serverBin, donorBin := buildCmdBinaries(t)
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "journal")
+
+	// Sized like the churn workload: several seconds of work for three
+	// donors, so the kill lands mid-problem with units in flight.
+	gen := seq.NewGenerator(seq.Protein, 1234)
+	w := gen.NewSearchWorkload(12000, 3, 3, seq.LengthModel{Mean: 150, StdDev: 40, Min: 60, Max: 300})
+	dbPath := filepath.Join(dir, "db.fasta")
+	qPath := filepath.Join(dir, "q.fasta")
+	if err := seq.WriteFASTAFile(dbPath, w.DB); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteFASTAFile(qPath, w.Queries); err != nil {
+		t.Fatal(err)
+	}
+
+	rpcAddr := freeAddr(t)
+	bulkAddr := freeAddr(t)
+	startServer := func(out *syncBuffer, withInputs bool) *exec.Cmd {
+		t.Helper()
+		args := []string{
+			"-app", "dsearch", "-rpc", rpcAddr, "-bulk", bulkAddr,
+			"-policy", "adaptive:300ms", "-lease", "2s",
+			"-data-dir", dataDir, "-snapshot-records", "20",
+		}
+		if withInputs {
+			args = append(args, "-db", dbPath, "-queries", qPath)
+		}
+		s := exec.Command(serverBin, args...)
+		s.Stdout = out
+		s.Stderr = out
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	var out1 syncBuffer
+	server1 := startServer(&out1, true)
+	done1 := make(chan error, 1)
+	go func() { done1 <- server1.Wait() }()
+	defer func() { _ = server1.Process.Kill() }()
+	waitForListener(t, rpcAddr)
+
+	// Donors with a fast redial loop: they must survive the coordinator's
+	// death and reattach to its successor unassisted.
+	var donors []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		d := exec.Command(donorBin, "-server", rpcAddr,
+			"-name", fmt.Sprintf("crash-donor-%d", i), "-retry", "500ms")
+		d.Stdout = os.Stderr
+		d.Stderr = os.Stderr
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		donors = append(donors, d)
+	}
+	defer func() {
+		for _, d := range donors {
+			_ = d.Process.Kill()
+			_ = d.Wait()
+		}
+	}()
+
+	// Let the fleet work past at least one checkpoint scan (2s ticks, 20
+	// records per checkpoint), then kill the coordinator without ceremony.
+	time.Sleep(4 * time.Second)
+	select {
+	case err := <-done1:
+		t.Fatalf("workload finished before the crash (enlarge it): err=%v\n%s", err, out1.String())
+	default:
+	}
+	_ = server1.Process.Kill() // SIGKILL: journal tail stays as-is on disk
+	<-done1                    // reap via the goroutine already in Wait
+
+	var out2 syncBuffer
+	server2 := startServer(&out2, false) // no -db/-queries: only the journal can resume this
+	done2 := make(chan error, 1)
+	go func() { done2 <- server2.Wait() }()
+	defer func() { _ = server2.Process.Kill() }()
+	waitForListener(t, rpcAddr)
+
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("restarted server exited with error: %v\n%s", err, out2.String())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("restarted server did not finish in 120s; output so far:\n%s", out2.String())
+	}
+
+	restarted := out2.String()
+	if !strings.Contains(restarted, "recovered problem \"dsearch\"") {
+		t.Errorf("restart log lacks the recovery summary:\n%s", restarted)
+	}
+	if !strings.Contains(restarted, "resuming recovered problem") {
+		t.Errorf("restarted server did not resume from the journal:\n%s", restarted)
+	}
+	dispatched, completed, reissued := parseStatsLine(t, restarted)
+	t.Logf("post-recovery accounting: %d dispatched, %d completed, %d reissued", dispatched, completed, reissued)
+	if completed == 0 {
+		t.Error("no units completed")
+	}
+	if completed > dispatched {
+		t.Errorf("completed %d > dispatched %d: some unit was folded twice across the restart", completed, dispatched)
+	}
+	// The report must be exactly what a crash-free run produces: every
+	// planted homolog found, nothing lost to the crash, nothing double
+	// counted by replay or by fenced stragglers.
+	if !strings.Contains(restarted, "QUERY") {
+		t.Errorf("server output lacks hit report:\n%s", restarted)
+	}
+	for q, members := range w.Planted {
+		if !strings.Contains(restarted, q) {
+			t.Errorf("report missing query %s", q)
+		}
+		if !strings.Contains(restarted, members[0]) {
+			t.Errorf("report missing planted homolog %s for %s", members[0], q)
+		}
+	}
+}
+
 // syncBuffer is a mutex-guarded bytes.Buffer: the server process writes
 // into it from its own pipe goroutines while the test reads mid-run.
 type syncBuffer struct {

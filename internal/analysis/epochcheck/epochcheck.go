@@ -10,7 +10,10 @@
 //  2. Every exported struct declared in internal/wire must be mentioned
 //     in docs/ARCHITECTURE.md, the protocol specification: the wire
 //     format is versioned by prose + capability tokens, so an undocumented
-//     wire struct is an undocumented protocol change.
+//     wire struct is an undocumented protocol change. The same rule covers
+//     internal/journal: its exported record structs ARE the durability
+//     format a restarted coordinator must parse, so each one must appear
+//     in the doc's Durability section.
 package epochcheck
 
 import (
@@ -26,7 +29,7 @@ import (
 // Analyzer is the epochcheck pass.
 var Analyzer = &framework.Analyzer{
 	Name: "epochcheck",
-	Doc:  "unit-referencing Args/Reply structs carry an Epoch; internal/wire structs appear in the protocol doc",
+	Doc:  "unit-referencing Args/Reply structs carry an Epoch; internal/wire and internal/journal structs appear in the protocol doc",
 	Run:  run,
 }
 
@@ -55,8 +58,8 @@ func run(pass *framework.Pass) error {
 				if wireDoc != nil && ts.Name.IsExported() {
 					if !strings.Contains(wireDoc.text, ts.Name.Name) {
 						pass.Reportf(ts.Name.Pos(),
-							"exported wire struct %s is not mentioned in %s; document the protocol change",
-							ts.Name.Name, docRelPath)
+							"exported %s struct %s is not mentioned in %s; document the %s change",
+							wireDoc.noun, ts.Name.Name, docRelPath, wireDoc.change)
 					}
 				}
 			}
@@ -99,15 +102,37 @@ func checkEnvelope(pass *framework.Pass, ts *ast.TypeSpec, st *ast.StructType) {
 	}
 }
 
-// wireDoc is the protocol document's contents, loaded only when the pass
-// is over an internal/wire package that sits in a module with the doc.
-type wireDocT struct{ text string }
+// wireDocT is the protocol document's contents, loaded only when the pass
+// is over a documented-format package (internal/wire or internal/journal)
+// that sits in a module with the doc. noun and change parameterise the
+// diagnostic: "wire … protocol change" vs "journal record … durability
+// format change".
+type wireDocT struct {
+	text   string
+	noun   string
+	change string
+}
+
+// docRulePackages maps the package paths rule 2 covers to the diagnostic
+// wording used when one of their exported structs is undocumented.
+var docRulePackages = map[string]wireDocT{
+	"internal/wire":    {noun: "wire", change: "protocol"},
+	"internal/journal": {noun: "journal record", change: "durability format"},
+}
 
 // loadWireDoc finds docs/ARCHITECTURE.md by walking up from the package
 // directory to the enclosing go.mod. A missing doc (a fixture tree, a
 // vendored copy) disables rule 2 rather than failing the pass.
 func loadWireDoc(pass *framework.Pass) *wireDocT {
-	if pass.Pkg.Path() != "internal/wire" && !strings.HasSuffix(pass.Pkg.Path(), "/internal/wire") {
+	var doc wireDocT
+	found := false
+	for suffix, d := range docRulePackages {
+		if pass.Pkg.Path() == suffix || strings.HasSuffix(pass.Pkg.Path(), "/"+suffix) {
+			doc, found = d, true
+			break
+		}
+	}
+	if !found {
 		return nil
 	}
 	dir := pass.Dir
@@ -117,7 +142,8 @@ func loadWireDoc(pass *framework.Pass) *wireDocT {
 			if err != nil {
 				return nil
 			}
-			return &wireDocT{text: string(data)}
+			doc.text = string(data)
+			return &doc
 		}
 		parent := filepath.Dir(dir)
 		if parent == dir {

@@ -19,3 +19,11 @@ func TestWireDocFixture(t *testing.T) {
 	framework.RunFixture(t, "../testdata/wiredoc/internal/wire",
 		"fixturemod/internal/wire", epochcheck.Analyzer)
 }
+
+// TestJournalDocFixture exercises rule 2's journal arm: exported structs
+// in an internal/journal package are durable record formats and must
+// appear in the same protocol doc.
+func TestJournalDocFixture(t *testing.T) {
+	framework.RunFixture(t, "../testdata/journaldoc/internal/journal",
+		"fixturemod/internal/journal", epochcheck.Analyzer)
+}

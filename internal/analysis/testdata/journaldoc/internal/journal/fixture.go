@@ -1,0 +1,25 @@
+// Fixture for epochcheck rule 2's journal arm: exported structs in an
+// internal/journal package are durable record formats and must be
+// mentioned in the module's docs/ARCHITECTURE.md (the one in
+// testdata/journaldoc, found via the fixture module's own go.mod).
+package journal
+
+// DocumentedSubmit appears in the fixture durability doc.
+type DocumentedSubmit struct {
+	ProblemID string
+	Epoch     int64
+}
+
+// DocumentedMeta appears in the fixture durability doc.
+type DocumentedMeta struct {
+	EpochSeq int64
+}
+
+type StrayRecord struct { // want "exported journal record struct StrayRecord is not mentioned in docs/ARCHITECTURE.md"
+	Payload []byte
+}
+
+// cursor is unexported: not part of the durable format surface.
+type cursor struct {
+	off int64
+}

@@ -67,6 +67,16 @@ type (
 	EventKind = dist.EventKind
 	// CancelNotice is the server's epoch-tagged "abort that unit" message.
 	CancelNotice = dist.CancelNotice
+	// ProblemStats are a problem's lifetime unit counters plus recovery
+	// provenance (see Server.Stats).
+	ProblemStats = dist.ProblemStats
+	// DurableDM marks a DataManager whose state survives coordinator
+	// restarts (see dist.DurableDM and WithDataDir).
+	DurableDM = dist.DurableDM
+	// Recovery summarises what a durable server restored at startup.
+	Recovery = dist.Recovery
+	// RecoveredProblem describes one problem restored from the journal.
+	RecoveredProblem = dist.RecoveredProblem
 )
 
 // Watch event kinds (see dist.EventKind).
@@ -78,6 +88,7 @@ const (
 	EventFailed         = dist.EventFailed
 	EventFinished       = dist.EventFinished
 	EventForgotten      = dist.EventForgotten
+	EventRecovered      = dist.EventRecovered
 )
 
 // Lifecycle and transport sentinels (see package dist). Status, Stats and
@@ -104,6 +115,8 @@ var (
 	WithWatchBuffer   = dist.WithWatchBuffer
 	WithLongPoll      = dist.WithLongPoll
 	WithContentBulk   = dist.WithContentBulk
+	WithDataDir       = dist.WithDataDir
+	WithJournalFsync  = dist.WithJournalFsync
 	WithServerOptions = dist.WithServerOptions
 
 	WithName           = dist.WithName
@@ -185,6 +198,17 @@ func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkSer
 
 // NewServer creates an in-process coordinator.
 func NewServer(opts ...ServerOption) *Server { return dist.NewServer(opts...) }
+
+// OpenServer creates an in-process coordinator, surfacing journal-recovery
+// errors instead of panicking — required when WithDataDir is set.
+func OpenServer(opts ...ServerOption) (*Server, error) { return dist.OpenServer(opts...) }
+
+// RegisterDurableDM adds a named DataManager restore factory to the
+// server-side registry so journaled problems can be rebuilt after a crash
+// (see dist.RegisterDurableDM).
+func RegisterDurableDM(kind string, f func(state []byte) (DataManager, error)) {
+	dist.RegisterDurableDM(kind, f)
+}
 
 // Dial connects a donor-side coordinator to a server's control channel.
 func Dial(rpcAddr string, timeout time.Duration) (*dist.RPCClient, error) {

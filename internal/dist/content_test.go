@@ -247,15 +247,15 @@ func TestDigestMismatchIsTransportFailure(t *testing.T) {
 	// were charged as compute failures the problem would be dead by now.
 	deadline := time.Now().Add(20 * time.Second)
 	for {
-		_, _, reissued, err := srv.Stats(bg, "tamper")
+		st, err := srv.Stats(bg, "tamper")
 		if err != nil {
 			t.Fatalf("problem died while tampered (mismatch fed the compute caps?): %v", err)
 		}
-		if reissued > maxUnitAttempts+2 {
+		if st.Reissued > maxUnitAttempts+2 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d reissues before deadline", reissued)
+			t.Fatalf("only %d reissues before deadline", st.Reissued)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -364,13 +364,13 @@ func TestMixedFleetDrains(t *testing.T) {
 	// Stop racing the final in-flight SubmitResult abandons the call
 	// client-side after the server already folded it.)
 	for i := 0; i < problems; i++ {
-		dispatched, completed, reissued, err := srv.Stats(bg, fmt.Sprintf("mix-%d", i))
+		st, err := srv.Stats(bg, fmt.Sprintf("mix-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if dispatched != units || completed != units || reissued != 0 {
+		if st.Dispatched != units || st.Completed != units || st.Reissued != 0 {
 			t.Errorf("mix-%d: dispatched/completed/reissued = %d/%d/%d, want %d/%d/0",
-				i, dispatched, completed, reissued, units, units)
+				i, st.Dispatched, st.Completed, st.Reissued, units, units)
 		}
 	}
 	for _, d := range donors {

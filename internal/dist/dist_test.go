@@ -259,14 +259,14 @@ func TestRunLocalRequeuesFailedUnits(t *testing.T) {
 	if got := decodeSum(t, out); got != sumSquares(n) {
 		t.Errorf("sum = %d, want %d", got, sumSquares(n))
 	}
-	_, completed, reissued, err := srv.Stats(bg, p.ID)
+	st, err := srv.Stats(bg, p.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reissued != failures {
-		t.Errorf("reissued = %d, want %d", reissued, failures)
+	if st.Reissued != failures {
+		t.Errorf("reissued = %d, want %d", st.Reissued, failures)
 	}
-	if completed == 0 {
+	if st.Completed == 0 {
 		t.Error("no units completed")
 	}
 }
@@ -314,9 +314,9 @@ func TestLeaseExpiryReissuesToOtherDonor(t *testing.T) {
 	if got := decodeSum(t, out); got != sumSquares(n) {
 		t.Errorf("sum = %d, want %d", got, sumSquares(n))
 	}
-	_, _, reissued, _ := srv.Stats(bg, p.ID)
-	if reissued < 1 {
-		t.Errorf("reissued = %d, want >= 1", reissued)
+	st, _ := srv.Stats(bg, p.ID)
+	if st.Reissued < 1 {
+		t.Errorf("reissued = %d, want >= 1", st.Reissued)
 	}
 	if d.Units() == 0 {
 		t.Error("live donor completed nothing")
@@ -502,7 +502,7 @@ func TestServerValidation(t *testing.T) {
 	if _, err := srv.Status(bg, "nope"); !errors.Is(err, ErrUnknownProblem) {
 		t.Errorf("Status on unknown problem = %v, want ErrUnknownProblem", err)
 	}
-	if _, _, _, err := srv.Stats(bg, "nope"); !errors.Is(err, ErrUnknownProblem) {
+	if _, err := srv.Stats(bg, "nope"); !errors.Is(err, ErrUnknownProblem) {
 		t.Errorf("Stats on unknown problem = %v, want ErrUnknownProblem", err)
 	}
 }
@@ -526,7 +526,7 @@ func TestForgetLifecycle(t *testing.T) {
 	if _, err := srv.Status(bg, "gone"); !errors.Is(err, ErrForgotten) {
 		t.Errorf("Status after Forget = %v, want ErrForgotten", err)
 	}
-	if _, _, _, err := srv.Stats(bg, "gone"); !errors.Is(err, ErrForgotten) {
+	if _, err := srv.Stats(bg, "gone"); !errors.Is(err, ErrForgotten) {
 		t.Errorf("Stats after Forget = %v, want ErrForgotten", err)
 	}
 	if _, err := srv.SharedData(bg, "gone"); !errors.Is(err, ErrForgotten) {
@@ -646,8 +646,8 @@ func TestStaleResultAfterResubmitRejected(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, completed, _, err := srv.Stats(bg, "re"); err != nil || completed != 0 {
-		t.Fatalf("stale result accepted: completed=%d err=%v", completed, err)
+	if st, err := srv.Stats(bg, "re"); err != nil || st.Completed != 0 {
+		t.Fatalf("stale result accepted: completed=%d err=%v", st.Completed, err)
 	}
 	// The current incarnation's own result still lands.
 	var u sumUnit
@@ -664,8 +664,8 @@ func TestStaleResultAfterResubmitRejected(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, completed, _, err := srv.Stats(bg, "re"); err != nil || completed != 1 {
-		t.Fatalf("live result rejected: completed=%d err=%v", completed, err)
+	if st, err := srv.Stats(bg, "re"); err != nil || st.Completed != 1 {
+		t.Fatalf("live result rejected: completed=%d err=%v", st.Completed, err)
 	}
 }
 

@@ -26,6 +26,11 @@ const (
 	// EventForgotten is terminal: the problem was evicted with Forget (or
 	// auto-forgotten) before this watch saw it finish.
 	EventForgotten
+	// EventRecovered opens a watch on a problem that was restored from the
+	// journal after a coordinator restart: same snapshot payload as
+	// EventSubmitted, but the kind tells the subscriber the problem
+	// predates this server process.
+	EventRecovered
 )
 
 // String names the kind for logs.
@@ -45,6 +50,8 @@ func (k EventKind) String() string {
 		return "finished"
 	case EventForgotten:
 		return "forgotten"
+	case EventRecovered:
+		return "recovered"
 	default:
 		return "unknown"
 	}
@@ -185,6 +192,9 @@ func (s *Server) snapshotEventLocked(ps *problemState) Event {
 		Time:      time.Now(),
 		Completed: ps.completed,
 		Inflight:  len(ps.inflight),
+	}
+	if ps.recovered {
+		ev.Kind = EventRecovered
 	}
 	if pr, ok := ps.p.DM.(Progresser); ok {
 		ev.AppDone, ev.AppTotal = pr.Progress()

@@ -191,8 +191,8 @@ func TestBatchedWaitTasksOverWire(t *testing.T) {
 		}
 		seen[task.Unit.ID] = true
 	}
-	if dispatched, _, _, _ := srv.Stats(bg, "batch-wire"); dispatched != 8 {
-		t.Errorf("dispatched = %d after one batched WaitTasks, want 8 (every entry lease-accounted)", dispatched)
+	if st, _ := srv.Stats(bg, "batch-wire"); st.Dispatched != 8 {
+		t.Errorf("dispatched = %d after one batched WaitTasks, want 8 (every entry lease-accounted)", st.Dispatched)
 	}
 	// Hand every leased unit back so the draining donor below does not
 	// have to wait out the (hour-long) test lease.

@@ -69,8 +69,15 @@ type NetworkServer struct {
 
 // ListenAndServe starts a network-facing coordinator. rpcAddr carries
 // control traffic, bulkAddr carries bulk data; ":0" picks free ports.
+// Under ServerOptions.DataDir the coordinator first recovers journaled
+// problems (see OpenServer) and republishes their shared blobs on the
+// bulk channel before accepting connections, so a redialling donor never
+// races an unpublished blob.
 func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkServer, error) {
-	srv := NewServer(opts...)
+	srv, err := OpenServer(opts...)
+	if err != nil {
+		return nil, err
+	}
 	bulk, err := wire.NewBulkServer(bulkAddr)
 	if err != nil {
 		_ = srv.Close()
@@ -96,6 +103,7 @@ func ListenAndServe(rpcAddr, bulkAddr string, opts ...ServerOption) (*NetworkSer
 	// is retired.
 	srv.onProblemDone = ns.dropProblemKeys
 	srv.onUnitRetired = ns.dropUnitKey
+	ns.republishRecovered()
 	rsrv := rpc.NewServer()
 	if err := rsrv.RegisterName(rpcServiceName, &rpcService{ns: ns}); err != nil {
 		_ = ns.Close()
@@ -184,6 +192,40 @@ func (ns *NetworkServer) Submit(ctx context.Context, p *Problem) error {
 		ns.sharedDigests[p.ID] = sharedDigest
 		ns.keysMu.Unlock()
 	})
+}
+
+// republishRecovered puts the shared blobs of journal-recovered problems
+// back on the bulk channel. Submit published them in the coordinator's
+// previous life; the blobs themselves live only in memory, so a restart
+// must re-derive them from the recovered problem state before any donor
+// is allowed to fetch. Runs once, before the control listener accepts.
+func (ns *NetworkServer) republishRecovered() {
+	ns.regMu.RLock()
+	var recovered []*problemState
+	for _, ps := range ns.problems {
+		recovered = append(recovered, ps)
+	}
+	ns.regMu.RUnlock()
+	for _, ps := range recovered {
+		ps.mu.Lock()
+		skip := ps.done || !ps.recovered
+		shared := ps.p.SharedData
+		digest := ps.sharedDigest
+		id := ps.id
+		ps.mu.Unlock()
+		if skip {
+			continue
+		}
+		if digest == "" {
+			ns.bulk.Put(sharedKey(id), shared)
+			continue
+		}
+		ns.bulk.PutContent(digest, shared)
+		ns.bulk.Alias(sharedKey(id), digest)
+		ns.keysMu.Lock()
+		ns.sharedDigests[id] = digest
+		ns.keysMu.Unlock()
+	}
 }
 
 // BulkStats reports the bulk channel's storage and traffic counters — the

@@ -196,9 +196,9 @@ func TestBulkFetchFailureRequeuesUnit(t *testing.T) {
 	if healthy.Units() == 0 {
 		t.Error("healthy donor completed nothing")
 	}
-	_, _, reissued, _ := srv.Stats(bg, "sum-evil")
-	if reissued < 1 {
-		t.Errorf("reissued = %d, want >= 1 (failed fetches must requeue)", reissued)
+	st, _ := srv.Stats(bg, "sum-evil")
+	if st.Reissued < 1 {
+		t.Errorf("reissued = %d, want >= 1 (failed fetches must requeue)", st.Reissued)
 	}
 }
 

@@ -92,6 +92,29 @@ func WithFlatCodec(on bool) ServerOption {
 	return func(o *ServerOptions) { o.NoFlatCodec = !on }
 }
 
+// WithDataDir makes the coordinator durable: mutations are journaled to a
+// write-ahead log under dir, compacted into periodic snapshots, and
+// replayed on the next start so registered durable problems survive a
+// crash. Empty keeps today's in-memory coordinator.
+func WithDataDir(dir string) ServerOption {
+	return func(o *ServerOptions) { o.DataDir = dir }
+}
+
+// WithJournalFsync makes every journal append fsync before returning
+// instead of riding the batched group commit — the durability ablation
+// knob (see BenchmarkJournalOverhead). Meaningless without WithDataDir.
+func WithJournalFsync(everyRecord bool) ServerOption {
+	return func(o *ServerOptions) { o.JournalFsyncEveryRecord = everyRecord }
+}
+
+// WithSnapshotBudget sets when the background snapshotter compacts the
+// write-ahead log: whenever the live segment exceeds bytes or records
+// (zero keeps a default; negative disables that trigger). Meaningless
+// without WithDataDir.
+func WithSnapshotBudget(bytes int64, records int) ServerOption {
+	return func(o *ServerOptions) { o.SnapshotBytes, o.SnapshotRecords = bytes, records }
+}
+
 // DonorOption tunes one DonorOptions knob.
 type DonorOption func(*DonorOptions)
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
@@ -91,6 +92,27 @@ type ServerOptions struct {
 	// gob — the pre-flat wire behaviour, kept for ablation benchmarks and
 	// mixed-fleet debugging.
 	NoFlatCodec bool
+	// DataDir enables the durable coordinator: submits, folds and forgets
+	// of DurableDM-backed problems are journaled under this directory and
+	// a restarted server recovers them (see durable.go). Empty — the
+	// default — keeps the in-memory behaviour. Construct servers with a
+	// DataDir via OpenServer, which surfaces the journal's I/O errors.
+	DataDir string
+	// JournalFsyncEveryRecord makes every journaled record durable before
+	// its mutation is acknowledged, instead of the default group-commit
+	// batching (folds become durable within one sync interval; submits and
+	// forgets always wait for the fsync). Kept for the durability-cost
+	// ablation benchmark.
+	JournalFsyncEveryRecord bool
+	// SnapshotBytes/SnapshotRecords bound the live WAL segment: when
+	// either is exceeded the background snapshotter checkpoints every
+	// problem and prunes the log. Zero defaults to 8 MiB / 4096 records;
+	// negative disables that trigger (tests drive snapshots directly).
+	SnapshotBytes   int64
+	SnapshotRecords int
+	// SnapshotScan is the interval between compaction-budget checks. Zero
+	// defaults to 2s.
+	SnapshotScan time.Duration
 }
 
 func (o *ServerOptions) applyDefaults() {
@@ -120,6 +142,15 @@ func (o *ServerOptions) applyDefaults() {
 	}
 	if o.DispatchBatch == 0 {
 		o.DispatchBatch = 8
+	}
+	if o.SnapshotBytes == 0 {
+		o.SnapshotBytes = 8 << 20
+	}
+	if o.SnapshotRecords == 0 {
+		o.SnapshotRecords = 4096
+	}
+	if o.SnapshotScan <= 0 {
+		o.SnapshotScan = 2 * time.Second
 	}
 }
 
@@ -184,6 +215,13 @@ type problemState struct {
 	// stamped on every dispatched Task so donors can cache and verify it.
 	// Empty under ServerOptions.NoContentBulk. Immutable after Submit.
 	sharedDigest string
+	// durable marks a problem whose mutations are journaled; kind names
+	// its registered restorer. recovered marks a problem this process
+	// rebuilt from the journal rather than accepted via Submit. All three
+	// are immutable after registration.
+	durable   bool
+	kind      string
+	recovered bool
 
 	// mu guards every field below. DataManager methods are called with mu
 	// held, so DataManager implementations need no internal
@@ -246,6 +284,9 @@ type Status struct {
 	AppDone, AppTotal int
 	// Done reports whether the final result is ready.
 	Done bool
+	// Recovered reports the problem was restored from the journal after a
+	// coordinator restart rather than submitted to this process.
+	Recovered bool
 }
 
 // Server is the coordinating node: it owns the submitted problems, sizes
@@ -324,6 +365,17 @@ type Server struct {
 	// ID's offloaded payload immediately instead of at problem end.
 	onUnitRetired func(problemID string, epoch, unitID int64)
 
+	// journal is the durable coordinator's write-ahead store (nil without
+	// ServerOptions.DataDir); recovery holds what was rebuilt from it at
+	// startup. Both are set before start() and immutable afterwards. The
+	// store's internal locks are leaves under ps.mu (fold appends);
+	// snapMu serialises whole snapshots (the background loop racing a
+	// final Close checkpoint) and is only ever taken first, before any
+	// registry or problem lock.
+	journal  *journal.Store
+	recovery *Recovery
+	snapMu   sync.Mutex
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -332,14 +384,21 @@ type Server struct {
 var _ Coordinator = (*Server)(nil)
 var _ CancelNotifier = (*Server)(nil)
 
-// NewServer creates an in-process coordinator.
+// NewServer creates an in-process coordinator. With ServerOptions.DataDir
+// set it panics if the journal cannot be opened — use OpenServer when the
+// durable path's I/O errors should be handled instead.
 func NewServer(opts ...ServerOption) *Server {
-	var o ServerOptions
-	for _, opt := range opts {
-		opt(&o)
+	s, err := OpenServer(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("dist: NewServer: %v (use OpenServer to handle journal errors)", err))
 	}
-	o.applyDefaults()
-	s := &Server{
+	return s
+}
+
+// newServer builds the coordinator without starting its background loops,
+// so OpenServer can replay a journal into a quiescent server first.
+func newServer(o ServerOptions) *Server {
+	return &Server{
 		opts:      o,
 		problems:  make(map[string]*problemState),
 		forgotten: make(map[string]struct{}),
@@ -348,9 +407,17 @@ func NewServer(opts ...ServerOption) *Server {
 		parkCh:    make(chan struct{}),
 		stop:      make(chan struct{}),
 	}
+}
+
+// start launches the background loops once construction (and any journal
+// recovery) is complete.
+func (s *Server) start() {
 	s.wg.Add(1)
 	go s.expiryLoop()
-	return s
+	if s.journal != nil {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
 }
 
 // Submit registers a problem for dispatch. An ID retired with Forget may be
@@ -383,6 +450,21 @@ func (s *Server) submitWith(ctx context.Context, p *Problem, publish func(shared
 	if !s.opts.NoContentBulk {
 		sharedDigest = wire.Digest(p.SharedData)
 	}
+	// Durable problems marshal their submit record before registration —
+	// the DataManager is still caller-owned here, so no lock is needed —
+	// and a state that cannot be marshalled is rejected up front rather
+	// than discovered at the first checkpoint.
+	var jrec *journal.Submit
+	var kind string
+	if s.journal != nil {
+		if kind = durableKind(p.DM); kind != "" {
+			state, merr := p.DM.(DurableDM).MarshalState()
+			if merr != nil {
+				return fmt.Errorf("dist: problem %q: marshal durable state: %w", p.ID, merr)
+			}
+			jrec = &journal.Submit{ProblemID: p.ID, Kind: kind, State: state, Shared: p.SharedData}
+		}
+	}
 	s.regMu.Lock()
 	if s.closed {
 		s.regMu.Unlock()
@@ -399,6 +481,8 @@ func (s *Server) submitWith(ctx context.Context, p *Problem, publish func(shared
 		id:           p.ID,
 		epoch:        s.epochSeq.Add(1),
 		sharedDigest: sharedDigest,
+		durable:      jrec != nil,
+		kind:         kind,
 		p:            p,
 		shared:       p.SharedData,
 		inflight:     make(map[int64]*leaseInfo),
@@ -408,6 +492,30 @@ func (s *Server) submitWith(ctx context.Context, p *Problem, publish func(shared
 	s.order = append(s.order, p.ID)
 	s.untombstoneLocked(p.ID) // the ID is live again
 	s.regMu.Unlock()
+
+	if jrec != nil {
+		// The submit record is fsynced before Submit returns: an
+		// acknowledged problem survives a crash. The problem is already
+		// dispatchable during the append — a crash inside that window
+		// merely loses work donors recompute — but a journal that cannot
+		// accept the record rolls the registration back and fails the
+		// Submit, because an unjournaled "durable" problem would silently
+		// vanish on restart.
+		jrec.Epoch = ps.epoch
+		if jerr := s.journal.AppendSync(jrec); jerr != nil {
+			jerr = fmt.Errorf("dist: problem %q: journal submit: %w", p.ID, jerr)
+			ps.mu.Lock()
+			s.failLocked(ps, jerr)
+			ps.mu.Unlock()
+			s.regMu.Lock()
+			if cur := s.problems[p.ID]; cur == ps {
+				delete(s.problems, p.ID)
+				s.removeFromOrderLocked(p.ID)
+			}
+			s.regMu.Unlock()
+			return jerr
+		}
+	}
 
 	// The DataManager calls below (Done, a Progresser snapshot, possibly
 	// FinalResult) run under the problem's own lock only — regMu is never
@@ -563,12 +671,21 @@ func (s *Server) forgetMatching(id string, only *problemState) error {
 	// Identity-checked removal: a concurrent Forget of the same ID may
 	// have completed (and the ID may even have been resubmitted) while the
 	// release above ran; never unregister a successor.
+	removed := false
 	if cur := s.problems[id]; cur == ps {
 		delete(s.problems, id)
 		s.tombstoneLocked(id)
 		s.removeFromOrderLocked(id)
+		removed = true
 	}
 	s.regMu.Unlock()
+	if removed && ps.durable && s.journal != nil {
+		// Fsynced before Forget acknowledges: a forgotten problem must not
+		// resurrect on restart. An I/O error cannot un-forget the
+		// in-memory eviction above; it sticks in the store and surfaces at
+		// Close.
+		_ = s.journal.AppendSync(&journal.Forget{ProblemID: id, Epoch: ps.epoch})
+	}
 	return nil
 }
 
@@ -636,6 +753,7 @@ func (s *Server) Status(ctx context.Context, id string) (Status, error) {
 		Inflight:  len(ps.inflight),
 		Reissued:  ps.reissued,
 		Done:      ps.done,
+		Recovered: ps.recovered,
 	}
 	if pr, ok := ps.p.DM.(Progresser); ok {
 		st.AppDone, st.AppTotal = pr.Progress()
@@ -643,18 +761,35 @@ func (s *Server) Status(ctx context.Context, id string) (Status, error) {
 	return st, nil
 }
 
+// ProblemStats are a problem's lifetime unit counters plus its recovery
+// provenance.
+type ProblemStats struct {
+	// Dispatched, Completed and Reissued count work units over the
+	// problem's lifetime, surviving coordinator restarts for durable
+	// problems (the snapshot carries them).
+	Dispatched, Completed, Reissued int
+	// Recovered reports the problem was restored from the journal after a
+	// coordinator restart rather than submitted to this process.
+	Recovered bool
+}
+
 // Stats reports a problem's unit counters.
-func (s *Server) Stats(ctx context.Context, id string) (dispatched, completed, reissued int, err error) {
+func (s *Server) Stats(ctx context.Context, id string) (ProblemStats, error) {
 	if err := ctxErr(ctx); err != nil {
-		return 0, 0, 0, err
+		return ProblemStats{}, err
 	}
 	ps, lerr := s.lookup(id)
 	if lerr != nil {
-		return 0, 0, 0, lerr
+		return ProblemStats{}, lerr
 	}
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	return ps.dispatched, ps.completed, ps.reissued, nil
+	return ProblemStats{
+		Dispatched: ps.dispatched,
+		Completed:  ps.completed,
+		Reissued:   ps.reissued,
+		Recovered:  ps.recovered,
+	}, nil
 }
 
 // DonorCount reports how many distinct donors have contacted the server.
@@ -665,8 +800,19 @@ func (s *Server) DonorCount() int {
 }
 
 // Close stops the server. Problems still running fail with ErrClosed so
-// concurrent Wait calls return.
+// concurrent Wait calls return. A durable server writes a final
+// checkpoint first — before the problems are marked failed, so their live
+// state is what persists — making a deliberate Close a clean shutdown the
+// next Open resumes from.
 func (s *Server) Close() error {
+	s.regMu.Lock()
+	first := !s.closed
+	s.regMu.Unlock()
+	var jerr error
+	if first && s.journal != nil {
+		jerr = s.snapshotNow()
+	}
+
 	s.regMu.Lock()
 	var toFail []*problemState
 	if !s.closed {
@@ -683,7 +829,12 @@ func (s *Server) Close() error {
 	}
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
-	return nil
+	if s.journal != nil {
+		if cerr := s.journal.Close(); jerr == nil {
+			jerr = cerr
+		}
+	}
+	return jerr
 }
 
 // RequestTask implements Coordinator: pick the next unit for a donor,
@@ -906,6 +1057,17 @@ func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, 
 		s.failLocked(ps, fmt.Errorf("dist: problem %q: Consume unit %d: %w", ps.id, res.UnitID, cerr))
 		ps.mu.Unlock()
 		return false, nil
+	}
+	if ps.durable {
+		// Folds are journaled with a buffered write before the ack; the
+		// group commit makes them durable within one sync interval (or
+		// before this append returns, under JournalFsyncEveryRecord). A
+		// crash inside that window loses at most an interval's folds,
+		// which recovery regenerates and the fleet recomputes. An I/O
+		// error here sticks in the store and surfaces at the next
+		// checkpoint or Close; the fold itself proceeds — durability
+		// degrades rather than aborting a healthy run.
+		_ = s.journal.Append(&journal.Fold{ProblemID: ps.id, Epoch: ps.epoch, UnitID: res.UnitID, Payload: res.Payload})
 	}
 	ps.completed++
 	ps.consecFails = 0

@@ -119,6 +119,7 @@ var (
 	_ DataManager  = (*typedDM[int, int])(nil)
 	_ CostReporter = (*typedDM[int, int])(nil)
 	_ Progresser   = (*typedDM[int, int])(nil)
+	_ DurableDM    = (*typedDM[int, int])(nil)
 	_ Requeuer     = (*typedRequeueDM[int, int])(nil)
 )
 
@@ -172,6 +173,24 @@ func (a *typedDM[U, R]) Progress() (done, total int) {
 		return p.Progress()
 	}
 	return 0, 0
+}
+
+// DurableKind forwards to the typed implementation; without the extension
+// it reports "", the same "not durable" value the server assumes for a
+// DataManager that does not implement DurableDM.
+func (a *typedDM[U, R]) DurableKind() string {
+	if d, ok := a.impl.(DurableDM); ok {
+		return d.DurableKind()
+	}
+	return ""
+}
+
+// MarshalState forwards to the typed implementation.
+func (a *typedDM[U, R]) MarshalState() ([]byte, error) {
+	if d, ok := a.impl.(DurableDM); ok {
+		return d.MarshalState()
+	}
+	return nil, fmt.Errorf("dist: typed DataManager %T does not implement DurableDM", a.impl)
 }
 
 type typedRequeueDM[U, R any] struct{ typedDM[U, R] }

@@ -45,6 +45,11 @@ type DataManager struct {
 	remaining int64
 	consumed  int
 	hits      *HitList
+	// resume holds unit IDs recovered from a journal snapshot whose spans
+	// were dispatched but never folded; NextUnit re-emits them (under their
+	// original IDs) before cutting new chunks. Empty except right after
+	// restoreDataManager.
+	resume []int64
 }
 
 var _ dist.TypedDM[unitPayload, resultPayload] = (*DataManager)(nil)
@@ -89,8 +94,13 @@ func NewProblem(id string, db, queries *seq.Database, cfg Config) (*dist.Problem
 }
 
 // NextUnit implements dist.TypedDM: it takes sequences from the database
-// until the residue budget is exhausted.
+// until the residue budget is exhausted. Spans recovered from a journal
+// snapshot are re-emitted first, whatever the budget — their extent was
+// fixed when they were first dispatched.
 func (d *DataManager) NextUnit(budget int64) (*dist.UnitOf[unitPayload], bool, error) {
+	if u := d.nextResumedUnit(); u != nil {
+		return u, true, nil
+	}
 	if d.next >= d.db.Len() {
 		return nil, false, nil
 	}

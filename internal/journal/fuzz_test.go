@@ -1,0 +1,103 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzJournalReplay feeds arbitrary bytes to the WAL reader as a segment
+// file. Whatever the corruption — truncation, bit flips, garbage lengths,
+// hostile uvarints — Open must never panic, must recover a clean prefix of
+// good records, and must leave the directory in a state a second Open
+// reads back identically (recovery is deterministic and never half-applies
+// a torn record).
+func FuzzJournalReplay(f *testing.F) {
+	// Seed with a well-formed segment so mutations explore the framing.
+	valid := []byte(walHeader)
+	for _, r := range sampleFuzzRecords() {
+		valid = append(valid, encodeFrame(r)...)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte(walHeader))
+	f.Add([]byte{})
+	f.Add([]byte("DJWAL001\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName(1)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		opts := Options{SyncInterval: time.Millisecond, MaxRecordBytes: 1 << 20}
+		s, rec, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("Open must tolerate any segment content, got %v", err)
+		}
+		// Re-encoding what was recovered must reproduce a decodable
+		// prefix: every surviving record round-trips.
+		for i, r := range rec.Tail {
+			body := encodeRecord(r)
+			back, derr := decodeRecord(body)
+			if derr != nil {
+				t.Fatalf("record %d does not round-trip: %v", i, derr)
+			}
+			if !reflect.DeepEqual(normalize(back), normalize(r)) {
+				t.Fatalf("record %d changed across re-encode:\n got %+v\nwant %+v", i, back, r)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// Determinism: a second recovery over the same directory sees the
+		// same records (the fuzzed segment is untouched by recovery).
+		s2, rec2, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("second Open: %v", err)
+		}
+		defer s2.Close()
+		if len(rec2.Tail) != len(rec.Tail) || rec2.Truncated != rec.Truncated {
+			t.Fatalf("recovery is not deterministic: %d/%v then %d/%v",
+				len(rec.Tail), rec.Truncated, len(rec2.Tail), rec2.Truncated)
+		}
+	})
+}
+
+func sampleFuzzRecords() []Record {
+	return []Record{
+		&Submit{ProblemID: "fuzz", Epoch: 1, Kind: "k/v1", State: []byte{1, 2, 3}, Shared: []byte("shared")},
+		&Fold{ProblemID: "fuzz", Epoch: 1, UnitID: 42, Payload: []byte("payload")},
+		&Forget{ProblemID: "fuzz", Epoch: 1},
+		&Meta{EpochSeq: 9},
+		&Snapshot{ProblemID: "fuzz", Epoch: 1, Kind: "k/v1", State: []byte{4}, Dispatched: 2, Completed: 1},
+	}
+}
+
+// normalize maps empty and nil byte fields onto one representation: the
+// codec does not distinguish them, so round-trip comparison must not
+// either.
+func normalize(r Record) Record {
+	nz := func(b []byte) []byte {
+		if len(b) == 0 {
+			return nil
+		}
+		return b
+	}
+	switch r := r.(type) {
+	case *Submit:
+		c := *r
+		c.State, c.Shared = nz(c.State), nz(c.Shared)
+		return &c
+	case *Fold:
+		c := *r
+		c.Payload = nz(c.Payload)
+		return &c
+	case *Snapshot:
+		c := *r
+		c.State, c.Shared = nz(c.State), nz(c.Shared)
+		return &c
+	}
+	return r
+}
