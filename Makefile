@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt lint test race fuzz-smoke bench demo docs-lint
+.PHONY: check build vet fmt lint test race fuzz-smoke bench demo docs-lint swarm
 
 # check is the tier-1 gate: everything CI runs (CI invokes this target).
 # vet covers every package, including the control-channel codec paths in
@@ -49,6 +49,15 @@ fuzz-smoke:
 # is picked up without editing this target again.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# swarm runs the full-scale donor-swarm soak under the race detector: 1024
+# shaped donors, 8 problems across three priority tiers, 10% abrupt churn,
+# speculation on — asserting zero double-folds, completed <= dispatched and
+# empty lease tables at exit. The 256-donor smoke rides the normal test and
+# race targets (so `make check` covers the swarm path); this is the long
+# one, kept opt-in behind SWARM_SOAK.
+swarm:
+	SWARM_SOAK=1 $(GO) test -race -run TestSwarmSoak1024 -v ./internal/swarm/
 
 # docs-lint checks every markdown file's relative links and anchors, and
 # compiles the README's marked code blocks against the real API.

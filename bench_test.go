@@ -16,6 +16,8 @@
 //	BenchmarkCodecBatchAblation    tiny-unit drain throughput over a real loopback
 //	                               deployment, gob vs flat codec × single vs batched
 //	                               WaitTask dispatch
+//	BenchmarkSwarmMakespan         1024-donor swarm drain on a straggler-heavy
+//	                               fleet, Fixed vs Adaptive vs Adaptive+speculation
 //
 // Speedup/efficiency numbers are attached to the bench output via
 // b.ReportMetric; run with -v to also print the full series as tables (the
@@ -24,6 +26,7 @@ package repro
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"os"
@@ -44,6 +47,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/seq"
 	"repro/internal/simnet"
+	"repro/internal/swarm"
 	"repro/internal/wire"
 )
 
@@ -538,7 +542,7 @@ func (d *oneShotDM) FinalResult() ([]byte, error) { return nil, nil }
 
 // BenchmarkDispatchLatencyPushVsPoll measures how long an idle donor fleet
 // takes to pick up freshly submitted work, comparing the two dispatch
-// channels at 1/16/128 donors:
+// channels at 1/16/128/256/1024 donors:
 //
 //   - poll: the legacy loop — RequestTask, then sleep the server's WaitHint
 //     (the production default 50ms, jittered ±20% like the donor loop does)
@@ -557,7 +561,7 @@ func BenchmarkDispatchLatencyPushVsPoll(b *testing.B) {
 	ctx := context.Background()
 	const waitHint = 50 * time.Millisecond
 	for _, mode := range []string{"poll", "push"} {
-		for _, donors := range []int{1, 16, 128} {
+		for _, donors := range []int{1, 16, 128, 256, 1024} {
 			b.Run(fmt.Sprintf("%s/donors=%d", mode, donors), func(b *testing.B) {
 				opts := []dist.ServerOption{
 					dist.WithPolicy(sched.Fixed{Size: 1}),
@@ -665,6 +669,163 @@ func BenchmarkDispatchLatencyPushVsPoll(b *testing.B) {
 				b.ReportMetric(idleQPS, "idle-ctrl-qps")
 			})
 		}
+	}
+}
+
+// costAlg sleeps proportionally to the unit's encoded cost — the
+// synthetic workload for the swarm makespan benchmark, where the swarm's
+// throttle wrapper then stretches that sleep per the donor's profile.
+type costAlg struct{}
+
+func (costAlg) Init([]byte) error { return nil }
+
+func (costAlg) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	cost := int64(binary.LittleEndian.Uint32(payload))
+	t := time.NewTimer(time.Duration(cost) * costGrain)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return []byte{1}, nil
+}
+
+// costGrain is the full-speed compute time per unit of cost.
+const costGrain = 500 * time.Microsecond
+
+var registerCostAlgOnce sync.Once
+
+// costDM partitions a total cost budget into units sized to whatever the
+// policy asks for — the DM shape the adaptive policies need to show a
+// makespan difference.
+type costDM struct {
+	remaining int64
+	seq       int64
+	folded    map[int64]bool
+}
+
+func newCostDM(total int64) *costDM {
+	return &costDM{remaining: total, folded: make(map[int64]bool)}
+}
+
+func (d *costDM) NextUnit(budget int64) (*dist.Unit, bool, error) {
+	if d.remaining <= 0 {
+		return nil, false, nil
+	}
+	take := budget
+	if take < 1 {
+		take = 1
+	}
+	if take > d.remaining {
+		take = d.remaining
+	}
+	d.remaining -= take
+	d.seq++
+	payload := make([]byte, 4)
+	binary.LittleEndian.PutUint32(payload, uint32(take))
+	return &dist.Unit{ID: d.seq, Algorithm: "bench/cost", Cost: take, Payload: payload}, true, nil
+}
+
+func (d *costDM) Consume(unitID int64, _ []byte) error { d.folded[unitID] = true; return nil }
+func (d *costDM) Done() bool                           { return d.remaining <= 0 && int64(len(d.folded)) >= d.seq }
+func (d *costDM) FinalResult() ([]byte, error)         { return nil, nil }
+func (d *costDM) RemainingCost() int64                 { return d.remaining }
+
+// BenchmarkSwarmMakespan drains one cost-partitioned problem through a
+// real 1024-donor swarm (internal/swarm: live loopback server, shaped
+// connections, throttled algorithms) on a straggler-heavy fleet — 5% of
+// donors at 2% speed — under three schedulers:
+//
+//   - fixed64: the non-adaptive baseline. Stragglers receive the same
+//     64-cost units as everyone else and sit on them ~50x longer; the
+//     makespan is their tail.
+//   - adaptive: per-donor throughput sizing (the paper's policy).
+//     Stragglers bootstrap small and stay small, shrinking the tail.
+//   - adaptive+spec: adaptive plus WithSpeculation(0.85) — once the
+//     problem is 85% complete, idle fast donors re-execute straggler
+//     leases and the first result wins. The lease is an hour, so
+//     speculation (not expiry) is the only rescue; this is the PR 9
+//     acceptance comparison.
+//
+// Reported per variant: wall-clock makespan, units speculated, and
+// dispatched/completed totals. Run with -benchtime 1x; each iteration
+// builds and drains a fresh fleet.
+func BenchmarkSwarmMakespan(b *testing.B) {
+	registerCostAlgOnce.Do(func() {
+		dist.RegisterAlgorithm("bench/cost", func() dist.Algorithm { return costAlg{} })
+	})
+	const (
+		donors    = 1024
+		totalCost = 96 * 1024 // ~1.5 full-speed units of 64 per donor
+	)
+	adaptive := func() sched.Policy {
+		return sched.Adaptive{Target: 25 * time.Millisecond, Bootstrap: 16, Min: 4, Max: 1024}
+	}
+	for _, v := range []struct {
+		name      string
+		policy    sched.Policy
+		speculate float64
+	}{
+		{"fixed64", sched.Fixed{Size: 64}, 0},
+		{"adaptive", adaptive(), 0},
+		{"adaptive+spec", adaptive(), 0.85},
+	} {
+		b.Run(fmt.Sprintf("%s/donors=%d", v.name, donors), func(b *testing.B) {
+			ctx := context.Background()
+			var makespanMS, speculated, dispatched, completed float64
+			for iter := 0; iter < b.N; iter++ {
+				opts := []dist.ServerOption{
+					dist.WithPolicy(v.policy),
+					dist.WithLeaseTTL(time.Hour), // expiry must never rescue the tail
+					dist.WithExpiryScan(time.Hour),
+					dist.WithWaitHint(20 * time.Millisecond),
+					dist.WithDispatchBatch(-1), // single-unit leases: makespan isolates sizing+speculation
+				}
+				if v.speculate > 0 {
+					opts = append(opts, dist.WithSpeculation(v.speculate))
+				}
+				srv, err := dist.ListenAndServe("127.0.0.1:0", "127.0.0.1:0", opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sw, err := swarm.New(swarm.Config{
+					RPCAddr: srv.RPCAddr(),
+					Specs:   simnet.StragglerLab(donors, 0.05, 0.02, 7),
+					Seed:    7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sw.Start(ctx); err != nil {
+					b.Fatal(err)
+				}
+				dm := newCostDM(totalCost)
+				start := time.Now()
+				if err := srv.Submit(ctx, &dist.Problem{ID: "makespan", DM: dm}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := srv.Wait(ctx, "makespan"); err != nil {
+					b.Fatal(err)
+				}
+				makespan := time.Since(start)
+				st, _ := srv.Stats(ctx, "makespan")
+				sw.Stop()
+				srv.Close()
+				makespanMS += float64(makespan.Milliseconds())
+				speculated += float64(st.Speculated)
+				dispatched += float64(st.Dispatched)
+				completed += float64(st.Completed)
+				if st.Completed > st.Dispatched {
+					b.Fatalf("completed %d > dispatched %d", st.Completed, st.Dispatched)
+				}
+			}
+			n := float64(b.N)
+			b.ReportMetric(makespanMS/n, "makespan-ms")
+			b.ReportMetric(speculated/n, "speculated")
+			b.ReportMetric(dispatched/n, "dispatched")
+			b.ReportMetric(completed/n, "completed")
+		})
 	}
 }
 

@@ -50,6 +50,7 @@ func main() {
 		contentBulk = flag.Bool("content-bulk", true, "content-addressed shared blobs (one stored copy per distinct alignment, digest-verified donor caching); false restores per-problem bulk keys")
 		flatCodec   = flag.Bool("flat-codec", true, "flat control-channel codec (negotiated per connection; false keeps every donor on gob)")
 		batch       = flag.Int("dispatch-batch", 8, "max units per batched WaitTask reply (<=1 = single-unit dispatch)")
+		speculate   = flag.Float64("speculate-after", 0, "re-dispatch straggler units to idle donors once this fraction of the problem is complete, first result wins (0 = off; 0.9 is a reasonable start)")
 		dataDir     = flag.String("data-dir", "", "durability directory: journal mutations and resume the problem after a crash or SIGTERM (empty = in-memory only)")
 		snapRecords = flag.Int("snapshot-records", 0, "journal records that trigger a background checkpoint (0 = default; needs -data-dir)")
 		app         = flag.String("app", "", "application: dsearch | dprml")
@@ -117,6 +118,7 @@ func main() {
 		dist.WithDispatchBatch(dispatchBatch),
 		dist.WithDataDir(*dataDir),
 		dist.WithSnapshotBudget(0, *snapRecords),
+		dist.WithSpeculation(*speculate),
 	)
 	if err != nil {
 		log.Fatalf("server: %v", err)

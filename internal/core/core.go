@@ -89,6 +89,7 @@ const (
 	EventFinished       = dist.EventFinished
 	EventForgotten      = dist.EventForgotten
 	EventRecovered      = dist.EventRecovered
+	EventUnitSpeculated = dist.EventUnitSpeculated
 )
 
 // Lifecycle and transport sentinels (see package dist). Status, Stats and
@@ -117,18 +118,20 @@ var (
 	WithContentBulk   = dist.WithContentBulk
 	WithDataDir       = dist.WithDataDir
 	WithJournalFsync  = dist.WithJournalFsync
+	WithSpeculation   = dist.WithSpeculation
 	WithServerOptions = dist.WithServerOptions
 
-	WithName           = dist.WithName
-	WithThrottle       = dist.WithThrottle
-	WithLogf           = dist.WithLogf
-	WithRedial         = dist.WithRedial
-	WithRedialBackoff  = dist.WithRedialBackoff
-	WithCancelPoll     = dist.WithCancelPoll
-	WithLongPollWait   = dist.WithLongPollWait
-	WithBlobCacheBytes = dist.WithBlobCacheBytes
-	WithBlobCache      = dist.WithBlobCache
-	WithDonorOptions   = dist.WithDonorOptions
+	WithName             = dist.WithName
+	WithThrottle         = dist.WithThrottle
+	WithLogf             = dist.WithLogf
+	WithRedial           = dist.WithRedial
+	WithRedialBackoff    = dist.WithRedialBackoff
+	WithCancelPoll       = dist.WithCancelPoll
+	WithLongPollWait     = dist.WithLongPollWait
+	WithBlobCacheBytes   = dist.WithBlobCacheBytes
+	WithBlobCache        = dist.WithBlobCache
+	WithAlgorithmWrapper = dist.WithAlgorithmWrapper
+	WithDonorOptions     = dist.WithDonorOptions
 )
 
 // NewBlobCache creates a byte-budgeted shared-blob cache to share across

@@ -19,6 +19,15 @@ type Problem struct {
 	// SharedData is sent to each donor once per problem (the paper's "data
 	// files over ordinary sockets"); may be nil.
 	SharedData []byte
+	// Priority orders this problem in the dispatch scan: higher-priority
+	// problems are offered free donors first. Zero is the default tier;
+	// negative values yield to everything else. Immutable after Submit.
+	Priority int
+	// Deadline is an optional completion target used to break priority
+	// ties in the dispatch scan (earlier deadlines first; the zero time
+	// means none). Advisory only — the server never fails a problem for
+	// missing it. Immutable after Submit.
+	Deadline time.Time
 }
 
 // DataManager is the byte-level server-side extension point: it hands out
@@ -160,6 +169,11 @@ type Task struct {
 	// addressing; donors then fall back to per-problem fetches with no
 	// verification, the legacy behaviour.
 	SharedDigest string
+	// Priority echoes the owning problem's Submit-time priority so a donor
+	// holding a batch can compute urgent units first. Zero for servers
+	// predating the field (gob drops it; the flat codec carries it under
+	// its own capability token).
+	Priority int
 }
 
 // CancelNotice tells a donor that a unit it holds is dead: its problem

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,13 @@ type DonorOptions struct {
 	// Zero defaults to 8; negative (or 1) keeps single-unit dispatch. Only
 	// the long-poll path batches — the legacy poll loop stays single-unit.
 	DispatchBatch int
+	// WrapAlgorithm, when non-nil, interposes on every algorithm instance
+	// the donor creates: it receives the registered name and the fresh
+	// instance and returns the Algorithm actually run. The swarm harness
+	// throttles simulated slow machines through it; metering and fault
+	// injection fit the same seam. Returning the argument unchanged is
+	// allowed; returning nil is not.
+	WrapAlgorithm func(name string, a Algorithm) Algorithm
 }
 
 func (o *DonorOptions) applyDefaults() {
@@ -356,6 +364,12 @@ func (d *Donor) Run(ctx context.Context) error {
 				}
 				continue
 			}
+			// Within one batch, urgent units run first: tasks echo their
+			// problem's Submit-time priority, and the stable sort keeps the
+			// server's dispatch order among equals.
+			sort.SliceStable(tasks, func(i, j int) bool {
+				return tasks[i].Priority > tasks[j].Priority
+			})
 			pending = tasks
 		}
 		task := pending[0]
@@ -684,6 +698,9 @@ func (d *Donor) algorithm(ctx context.Context, t *Task) (Algorithm, error) {
 	alg, err := newAlgorithm(name)
 	if err != nil {
 		return nil, err
+	}
+	if d.opts.WrapAlgorithm != nil {
+		alg = d.opts.WrapAlgorithm(name, alg)
 	}
 	shared, err := d.sharedBlob(ctx, t)
 	if err != nil {

@@ -31,6 +31,10 @@ const (
 	// EventSubmitted, but the kind tells the subscriber the problem
 	// predates this server process.
 	EventRecovered
+	// EventUnitSpeculated marks a straggler unit's lease re-dispatched to a
+	// second donor (ServerOptions.SpeculateAfter); Donor names the
+	// speculating donor the lease moved to.
+	EventUnitSpeculated
 )
 
 // String names the kind for logs.
@@ -52,6 +56,8 @@ func (k EventKind) String() string {
 		return "forgotten"
 	case EventRecovered:
 		return "recovered"
+	case EventUnitSpeculated:
+		return "unit-speculated"
 	default:
 		return "unknown"
 	}

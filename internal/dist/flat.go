@@ -86,6 +86,7 @@ func (r TaskReply) MarshalFlat(e *wire.Encoder) {
 	e.Varint(r.WaitHintNs)
 	e.Varint(r.Epoch)
 	e.String(r.SharedDigest)
+	e.Varint(r.Priority)
 	e.Uvarint(uint64(len(r.Batch)))
 	for i := range r.Batch {
 		r.Batch[i].marshalFlat(e)
@@ -101,6 +102,7 @@ func (r *TaskReply) UnmarshalFlat(d *wire.Decoder) {
 	r.WaitHintNs = d.Varint()
 	r.Epoch = d.Varint()
 	r.SharedDigest = d.String()
+	r.Priority = d.Varint()
 	n := d.Uvarint()
 	if d.Err() != nil || n == 0 {
 		return
@@ -119,6 +121,7 @@ func (t *BatchTask) marshalFlat(e *wire.Encoder) {
 	e.String(t.BulkKey)
 	e.Varint(t.Epoch)
 	e.String(t.SharedDigest)
+	e.Varint(t.Priority)
 }
 
 func (t *BatchTask) unmarshalFlat(d *wire.Decoder) {
@@ -127,6 +130,7 @@ func (t *BatchTask) unmarshalFlat(d *wire.Decoder) {
 	t.BulkKey = d.String()
 	t.Epoch = d.Varint()
 	t.SharedDigest = d.String()
+	t.Priority = d.Varint()
 }
 
 // MarshalFlat implements wire.FlatMarshaler.

@@ -391,6 +391,11 @@ type TaskReply struct {
 	// (see Task.SharedDigest). Donors predating the field — or the whole
 	// content-bulk scheme — simply never see it: gob drops unknown fields.
 	SharedDigest string
+	// Priority echoes the problem's Submit-time priority (see
+	// Task.Priority) so donors order batched units. Donors predating the
+	// field ignore it: gob drops unknown fields, and the flat codec carries
+	// it only under the bumped wire.CapFlatCodec token.
+	Priority int64
 	// Batch carries the extra units of a batched WaitTask dispatch (the
 	// first unit stays in the legacy fields above). Only present when the
 	// donor asked via WaitTaskArgs.MaxBatch; every entry is leased and
@@ -408,6 +413,8 @@ type BatchTask struct {
 	// SharedDigest mirrors TaskReply.SharedDigest for this entry's problem
 	// (batches may span problems under round-robin sharing).
 	SharedDigest string
+	// Priority mirrors TaskReply.Priority for this entry's problem.
+	Priority int64
 }
 
 // ResultArgs carries one completed unit's output back to the server.
@@ -490,6 +497,7 @@ func (s *rpcService) fillTaskReply(reply *TaskReply, task *Task, wait time.Durat
 	reply.Unit = task.Unit
 	reply.Epoch = task.Epoch
 	reply.SharedDigest = task.SharedDigest
+	reply.Priority = int64(task.Priority)
 	if key := s.ns.offloadPayload(task); key != "" {
 		reply.BulkKey = key
 		reply.Unit.Payload = nil
@@ -550,6 +558,7 @@ func (s *rpcService) fillTaskReplyBatch(reply *TaskReply, tasks []*Task, wait ti
 			Unit:         task.Unit,
 			Epoch:        task.Epoch,
 			SharedDigest: task.SharedDigest,
+			Priority:     int64(task.Priority),
 		}
 		if key := s.ns.offloadPayload(task); key != "" {
 			bt.BulkKey = key
@@ -641,6 +650,9 @@ func Dial(rpcAddr string, timeout time.Duration, opts ...DialOption) (*RPCClient
 	if err != nil {
 		return nil, fmt.Errorf("dist: dialing %s: %w", rpcAddr, err)
 	}
+	if dopts.wrapConn != nil {
+		conn = dopts.wrapConn(conn)
+	}
 	c := rpc.NewClient(conn)
 	var hr HandshakeReply
 	if err := c.Call(rpcServiceName+".Handshake", Empty{}, &hr); err != nil {
@@ -654,7 +666,7 @@ func Dial(rpcAddr string, timeout time.Duration, opts ...DialOption) (*RPCClient
 		caps:     wire.NegotiateCaps(hr.Caps),
 	}
 	if cl.caps[wire.CapFlatCodec] && !dopts.noFlat {
-		if fc, err := dialFlat(rpcAddr, timeout); err == nil {
+		if fc, err := dialFlat(rpcAddr, timeout, dopts.wrapConn); err == nil {
 			_ = c.Close()
 			cl.c = fc
 			cl.flat = true
@@ -664,11 +676,15 @@ func Dial(rpcAddr string, timeout time.Duration, opts ...DialOption) (*RPCClient
 }
 
 // dialFlat opens a flat-codec control connection: the preamble first, then
-// net/rpc over the flat codec.
-func dialFlat(rpcAddr string, timeout time.Duration) (*rpc.Client, error) {
+// net/rpc over the flat codec. wrapConn (when non-nil) wraps the socket
+// before any bytes flow — the preamble itself rides the shaped connection.
+func dialFlat(rpcAddr string, timeout time.Duration, wrapConn func(net.Conn) net.Conn) (*rpc.Client, error) {
 	conn, err := net.DialTimeout("tcp", rpcAddr, timeout)
 	if err != nil {
 		return nil, err
+	}
+	if wrapConn != nil {
+		conn = wrapConn(conn)
 	}
 	if _, err := conn.Write([]byte(wire.FlatPreamble)); err != nil {
 		_ = conn.Close()
@@ -782,7 +798,7 @@ func (c *RPCClient) tasksFromReply(ctx context.Context, donor string, r *TaskRep
 	}
 	entries := make([]BatchTask, 0, 1+len(r.Batch))
 	entries = append(entries, BatchTask{ProblemID: r.ProblemID, Unit: r.Unit, BulkKey: r.BulkKey,
-		Epoch: r.Epoch, SharedDigest: r.SharedDigest})
+		Epoch: r.Epoch, SharedDigest: r.SharedDigest, Priority: r.Priority})
 	entries = append(entries, r.Batch...)
 	tasks := make([]*Task, 0, len(entries))
 	var lastErr error
@@ -800,7 +816,8 @@ func (c *RPCClient) tasksFromReply(ctx context.Context, donor string, r *TaskRep
 			}
 			ent.Unit.Payload = payload
 		}
-		tasks = append(tasks, &Task{ProblemID: ent.ProblemID, Unit: ent.Unit, Epoch: ent.Epoch, SharedDigest: ent.SharedDigest})
+		tasks = append(tasks, &Task{ProblemID: ent.ProblemID, Unit: ent.Unit, Epoch: ent.Epoch,
+			SharedDigest: ent.SharedDigest, Priority: int(ent.Priority)})
 	}
 	if len(tasks) == 0 && lastErr != nil {
 		return nil, wait, &transientError{lastErr}
@@ -828,7 +845,8 @@ func (c *RPCClient) taskFromReply(ctx context.Context, donor string, r *TaskRepl
 		}
 		r.Unit.Payload = payload
 	}
-	return &Task{ProblemID: r.ProblemID, Unit: r.Unit, Epoch: r.Epoch, SharedDigest: r.SharedDigest}, wait, nil
+	return &Task{ProblemID: r.ProblemID, Unit: r.Unit, Epoch: r.Epoch,
+		SharedDigest: r.SharedDigest, Priority: int(r.Priority)}, wait, nil
 }
 
 // SharedData implements Coordinator: fetch the problem's shared blob over

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"net"
 	"time"
 
 	"repro/internal/sched"
@@ -115,6 +116,13 @@ func WithSnapshotBudget(bytes int64, records int) ServerOption {
 	return func(o *ServerOptions) { o.SnapshotBytes, o.SnapshotRecords = bytes, records }
 }
 
+// WithSpeculation enables speculative re-dispatch of straggler units once
+// a problem is at least frac complete (see ServerOptions.SpeculateAfter).
+// Zero — the default — disables speculation.
+func WithSpeculation(frac float64) ServerOption {
+	return func(o *ServerOptions) { o.SpeculateAfter = frac }
+}
+
 // DonorOption tunes one DonorOptions knob.
 type DonorOption func(*DonorOptions)
 
@@ -184,6 +192,15 @@ func WithTaskBatch(n int) DonorOption {
 	return func(o *DonorOptions) { o.DispatchBatch = n }
 }
 
+// WithAlgorithmWrapper interposes on every algorithm instance the donor
+// creates: wrap receives the registered algorithm name and the fresh
+// instance and returns the Algorithm the donor actually runs. The swarm
+// harness uses it to throttle per-donor throughput (simulated slow
+// machines); it also suits metering and fault injection in tests.
+func WithAlgorithmWrapper(wrap func(name string, a Algorithm) Algorithm) DonorOption {
+	return func(o *DonorOptions) { o.WrapAlgorithm = wrap }
+}
+
 // DialOption tunes one Dial.
 type DialOption func(*dialOptions)
 
@@ -192,6 +209,20 @@ type dialOptions struct {
 	// noFlat keeps the control connection on gob even against a server
 	// advertising wire.CapFlatCodec — the donor half of a codec ablation.
 	noFlat bool
+	// wrapConn, when non-nil, wraps the control connection the dial opens
+	// before any protocol bytes flow — the seam the swarm harness shapes
+	// latency and bandwidth through.
+	wrapConn func(net.Conn) net.Conn
+}
+
+// WithConnWrapper wraps the control connection a Dial opens (both the
+// handshake connection and the flat-codec upgrade) before any protocol
+// bytes flow, so tests and the swarm harness can inject latency, bandwidth
+// shaping or abrupt drops at the socket seam. Bulk-channel fetches open
+// their own short-lived sockets and are not wrapped. The wrapper must
+// return a usable net.Conn; returning its argument unchanged is allowed.
+func WithConnWrapper(wrap func(net.Conn) net.Conn) DialOption {
+	return func(o *dialOptions) { o.wrapConn = wrap }
 }
 
 // WithDialFlatCodec toggles upgrading the control connection to the flat

@@ -48,6 +48,16 @@ type ServerOptions struct {
 	// when no unit is available. Zero defaults to 50ms. Donors jitter the
 	// hint ±20% so a barrier release does not thundering-herd the server.
 	WaitHint time.Duration
+	// SpeculateAfter enables speculative re-dispatch of straggler units: a
+	// free donor with nothing fresh to compute is handed a copy of a unit
+	// that is already leased elsewhere, but only once the owning problem
+	// is at least this fraction complete (completed over completed plus
+	// in-flight). The lease moves to the speculating donor — first result
+	// wins by the existing straggler rule (the server accepts whichever
+	// copy folds first and drops the other), so a unit can never be folded
+	// twice. Zero (the default) disables speculation; values outside
+	// (0, 1] are ignored. 0.9 is a reasonable tail-chasing setting.
+	SpeculateAfter float64
 	// BulkThreshold is the payload size in bytes above which a network
 	// server ships unit payloads over the raw-socket bulk channel instead
 	// of inline in the RPC reply (the paper's §2.2 rationale). Zero
@@ -188,6 +198,10 @@ type leaseInfo struct {
 	donor    string
 	deadline time.Time
 	attempts int
+	// speculated marks a lease re-dispatched to a second donor under
+	// SpeculateAfter, so the tail-chasing scan never stacks a third copy on
+	// the same unit. Reset when the unit leaves the lease table.
+	speculated bool
 }
 
 // queuedUnit is a cached unit awaiting reissue (DataManagers implementing
@@ -222,6 +236,16 @@ type problemState struct {
 	durable   bool
 	kind      string
 	recovered bool
+	// priority and deadline order this problem in the dispatch scan (see
+	// sched.DispatchKey); copied from the Problem at Submit and immutable
+	// afterwards, so RequestTask reads them without taking mu.
+	priority int
+	deadline time.Time
+	// inflightN mirrors len(inflight) as an atomic, so the dispatch scan
+	// can rank problems by outstanding leases (the work-stealing key)
+	// without locking shards it will not visit. Updated wherever the lease
+	// table grows or shrinks, always under mu.
+	inflightN atomic.Int64
 
 	// mu guards every field below. DataManager methods are called with mu
 	// held, so DataManager implementations need no internal
@@ -243,6 +267,10 @@ type problemState struct {
 	dispatched int //dist:guardedby mu
 	completed  int //dist:guardedby mu
 	reissued   int //dist:guardedby mu
+	// speculated counts units re-dispatched by the straggler-speculation
+	// scan; each also counts once more in dispatched.
+	//dist:guardedby mu
+	speculated int
 	// consecFails / consecTransport count compute and transport failures
 	// since the last successful Consume.
 	//dist:guardedby mu
@@ -483,6 +511,8 @@ func (s *Server) submitWith(ctx context.Context, p *Problem, publish func(shared
 		sharedDigest: sharedDigest,
 		durable:      jrec != nil,
 		kind:         kind,
+		priority:     p.Priority,
+		deadline:     p.Deadline,
 		p:            p,
 		shared:       p.SharedData,
 		inflight:     make(map[int64]*leaseInfo),
@@ -768,6 +798,9 @@ type ProblemStats struct {
 	// problem's lifetime, surviving coordinator restarts for durable
 	// problems (the snapshot carries them).
 	Dispatched, Completed, Reissued int
+	// Speculated counts straggler units re-dispatched to a second donor
+	// under ServerOptions.SpeculateAfter (each also counts in Dispatched).
+	Speculated int
 	// Recovered reports the problem was restored from the journal after a
 	// coordinator restart rather than submitted to this process.
 	Recovered bool
@@ -788,6 +821,7 @@ func (s *Server) Stats(ctx context.Context, id string) (ProblemStats, error) {
 		Dispatched: ps.dispatched,
 		Completed:  ps.completed,
 		Reissued:   ps.reissued,
+		Speculated: ps.speculated,
 		Recovered:  ps.recovered,
 	}, nil
 }
@@ -887,11 +921,23 @@ func (s *Server) RequestTask(ctx context.Context, donor string) (*Task, time.Dur
 		return othersAliveMemo == 1
 	}
 
+	// The visit order starts from the round-robin cursor (the fairness
+	// tiebreak) and is then reordered by urgency: priority descending,
+	// deadline, then fewest leases first. The lease rank is the
+	// work-stealing rule — a starved problem outranks a hot one, so the hot
+	// problem's surplus donors drain toward it. Keys are built from
+	// immutable Submit-time fields plus an atomic lease counter; no problem
+	// lock is taken for problems the scan never reaches.
 	start := int(s.rr.Add(1) % uint64(n))
+	keys := make([]sched.DispatchKey, n)
+	for i, ps := range rotation {
+		keys[i] = sched.DispatchKey{Priority: ps.priority, Deadline: ps.deadline, Inflight: ps.inflightN.Load()}
+	}
+	scan := sched.ScanOrder(keys, start)
 	var finished []*problemState
 	var contended []*problemState
-	for i := 0; i < n; i++ {
-		ps := rotation[(start+i)%n]
+	for _, idx := range scan {
+		ps := rotation[idx]
 		task, done, tried := s.tryDispatch(ps, donor, stats, live, othersAlive, false)
 		if !tried {
 			contended = append(contended, ps)
@@ -940,7 +986,7 @@ func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorSt
 	}
 	if u, attempts, ok := s.popRequeueLocked(ps, donor, othersAlive); ok {
 		s.leaseLocked(ps, u, donor, attempts)
-		return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch, SharedDigest: ps.sharedDigest}, false, true
+		return s.taskLocked(ps, u), false, true
 	}
 	budget := s.opts.Policy.Budget(stats, remainingCost(ps.p.DM), live)
 	u, ok, err := ps.p.DM.NextUnit(budget)
@@ -960,13 +1006,74 @@ func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorSt
 			s.failLocked(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.id))
 			return nil, true, true
 		}
+		// Nothing fresh, but the problem is close to done with leases
+		// still out: offer this free donor a speculative copy of the
+		// oldest straggler before parking it.
+		if t := s.speculateLocked(ps, donor); t != nil {
+			return t, false, true
+		}
 		// A dispatch scan starved on this problem: the next folded result
 		// may release stage-barrier units, so it must wake parked donors.
 		ps.starved = true
 		return nil, false, true
 	}
 	s.leaseLocked(ps, u, donor, 0)
-	return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch, SharedDigest: ps.sharedDigest}, false, true
+	return s.taskLocked(ps, u), false, true
+}
+
+// taskLocked builds the dispatched Task for one of ps's units. Callers
+// hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) taskLocked(ps *problemState, u *Unit) *Task {
+	return &Task{ProblemID: ps.id, Unit: *u, Epoch: ps.epoch, SharedDigest: ps.sharedDigest, Priority: ps.priority}
+}
+
+// speculateLocked implements straggler speculation (ServerOptions.
+// SpeculateAfter): when a problem has no fresh units but is at least the
+// configured fraction complete, a free donor is handed a copy of the
+// oldest outstanding lease instead of parking. The lease itself moves to
+// the speculating donor — the original holder becomes the straggler, and
+// whichever copy reports first is folded by submitResult's existing
+// unit-ID accept rule while the other is dropped, so no unit can fold
+// twice. The moved lease also redirects failure reports: the original
+// donor's are dropped as stale (li.donor no longer matches), the
+// speculator's requeue normally. Each lease is speculated at most once
+// per time through the lease table, and a donor is never handed a copy
+// of a unit it already holds. Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) speculateLocked(ps *problemState, donor string) *Task {
+	frac := s.opts.SpeculateAfter
+	if frac <= 0 || frac > 1 {
+		return nil
+	}
+	if len(ps.inflight) == 0 || len(ps.requeue) > 0 {
+		return nil
+	}
+	total := ps.completed + len(ps.inflight)
+	if float64(ps.completed) < frac*float64(total) {
+		return nil
+	}
+	var pick *leaseInfo
+	for _, li := range ps.inflight {
+		if li.speculated || li.donor == donor {
+			continue
+		}
+		if pick == nil || li.deadline.Before(pick.deadline) {
+			pick = li
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	pick.donor = donor
+	pick.deadline = time.Now().Add(s.opts.Lease)
+	pick.speculated = true
+	ps.dispatched++
+	ps.speculated++
+	s.publishUnitEventLocked(ps, EventUnitSpeculated, pick.unit.ID, donor)
+	return s.taskLocked(ps, pick.unit)
 }
 
 // pruneRotation removes finished problems from the dispatch order. Their
@@ -1044,6 +1151,7 @@ func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, 
 	if li, ok := ps.inflight[res.UnitID]; ok {
 		cost = li.unit.Cost
 		delete(ps.inflight, res.UnitID)
+		ps.inflightN.Add(-1)
 	} else if q, ok := s.takeQueuedLocked(ps, res.UnitID); ok {
 		// The donor outlived its lease but finished before the unit was
 		// re-dispatched: the result is perfectly good, and accepting it
@@ -1243,6 +1351,7 @@ func (s *Server) requeueLocked(ps *problemState, li *leaseInfo, reason string, k
 		return
 	}
 	delete(ps.inflight, li.unit.ID)
+	ps.inflightN.Add(-1)
 	ps.reissued++
 	switch kind {
 	case failCompute:
@@ -1374,6 +1483,7 @@ func (s *Server) leaseLocked(ps *problemState, u *Unit, donor string, attempts i
 		deadline: time.Now().Add(s.opts.Lease),
 		attempts: attempts,
 	}
+	ps.inflightN.Add(1)
 	ps.dispatched++
 	s.publishUnitEventLocked(ps, EventUnitDispatched, u.ID, donor)
 }
@@ -1509,6 +1619,7 @@ func (s *Server) releaseLocked(ps *problemState) {
 	s.queueCancels(ps)
 	s.publishLocked(ps, s.terminalEventLocked(ps))
 	ps.requeue = nil
+	ps.inflightN.Add(-int64(len(ps.inflight)))
 	ps.inflight = nil
 	ps.shared = nil // the server's reference only; the caller's Problem is untouched
 	if s.onProblemDone != nil {

@@ -8,6 +8,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -207,6 +208,68 @@ func (t TSS) Budget(d DonorStats, remaining int64, donors int) int64 {
 
 // Name implements Policy.
 func (t TSS) Name() string { return "tss" }
+
+// DispatchKey summarises one problem's urgency for the dispatch scan:
+// which problem a free donor should be offered first. The server builds
+// one key per registered problem from fields it can read without taking
+// the problem's lock (priority and deadline are immutable after Submit;
+// inflight is an atomic counter), so ordering the scan costs no lock
+// acquisitions on problems that will not be visited.
+type DispatchKey struct {
+	// Priority orders problems explicitly; higher is served first.
+	Priority int
+	// Deadline is the problem's completion target; the zero time means
+	// none. Among equal priorities, a problem with a deadline outranks one
+	// without, and earlier deadlines outrank later ones.
+	Deadline time.Time
+	// Inflight counts the problem's currently leased units. Among problems
+	// tied on priority and deadline, fewer leases ranks first — that is the
+	// work-stealing rule: a starved problem (few or no donors working it)
+	// borrows the next free donor from a hot one.
+	Inflight int64
+}
+
+// Less reports whether the problem keyed a is more urgent than b:
+// priority descending, then deadline (set before unset, earlier before
+// later), then inflight ascending. Ties leave the scan's rotation order
+// intact, which is what keeps equal problems fairly rotated.
+func Less(a, b DispatchKey) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	aHas, bHas := !a.Deadline.IsZero(), !b.Deadline.IsZero()
+	if aHas != bHas {
+		return aHas
+	}
+	if aHas && !a.Deadline.Equal(b.Deadline) {
+		return a.Deadline.Before(b.Deadline)
+	}
+	return a.Inflight < b.Inflight
+}
+
+// ScanOrder returns the order in which a dispatch scan should visit the
+// problems described by keys: indices 0..len(keys)-1 rotated to begin at
+// start (the fairness tiebreak a round-robin scan would use on its own),
+// then stably sorted by Less. Problems with equal keys are therefore
+// visited in rotation order, while an urgent problem is pulled to the
+// front of every donor's scan regardless of where the rotation points.
+func ScanOrder(keys []DispatchKey, start int) []int {
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	if start < 0 || start >= n {
+		start = 0
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = (start + i) % n
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return Less(keys[order[i]], keys[order[j]])
+	})
+	return order
+}
 
 // EWMA updates a throughput moving average with a new observation, using
 // weight alpha for the new sample (alpha in (0, 1]).

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -119,6 +121,241 @@ func TestPolicyBudgetsAlwaysPositive(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// propPolicies is the exhaustive policy grid the property suites sweep:
+// every implemented policy, with both default-ish and adversarial
+// parameters.
+func propPolicies() []Policy {
+	return []Policy{
+		Fixed{Size: 1}, Fixed{Size: 1000}, Fixed{Size: -7}, Fixed{},
+		Adaptive{Target: time.Second, Bootstrap: 100, Min: 1},
+		Adaptive{Target: 5 * time.Second, Bootstrap: 1000, Min: 10, Max: 1 << 20},
+		Adaptive{},
+		GSS{K: 1, Min: 1}, GSS{K: 4, Min: 1}, GSS{},
+		Factoring{Min: 1}, Factoring{},
+		TSS{Min: 1}, TSS{First: 1000, Last: 10, Min: 1}, TSS{},
+	}
+}
+
+func randStats(rng *rand.Rand) DonorStats {
+	return DonorStats{
+		Throughput: rng.Float64() * float64(int64(1)<<rng.Intn(40)),
+		Completed:  rng.Intn(1 << 20),
+		Failures:   rng.Intn(100),
+	}
+}
+
+// TestPolicyBudgetAtLeastOneProperty: under any donor history and any
+// remaining/donor-count inputs — including nonsense negatives — every
+// policy returns a budget of at least 1, the invariant the server's
+// dispatch loop relies on to make progress.
+func TestPolicyBudgetAtLeastOneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, p := range propPolicies() {
+		for trial := 0; trial < 500; trial++ {
+			d := randStats(rng)
+			rem := rng.Int63n(1<<41) - 10
+			n := rng.Intn(2050) - 2
+			if got := p.Budget(d, rem, n); got < 1 {
+				t.Fatalf("%s.Budget(%+v, %d, %d) = %d, want >= 1", p.Name(), d, rem, n, got)
+			}
+		}
+	}
+}
+
+// TestDecreasingPoliciesMonotone: the self-scheduling family (GSS,
+// Factoring, TSS) hands out non-increasing budgets as the remaining work
+// drains, for any fixed donor population — the taper that bounds the
+// finish-line imbalance.
+func TestDecreasingPoliciesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	decreasing := []Policy{
+		GSS{K: 1, Min: 1}, GSS{K: 4, Min: 1},
+		Factoring{Min: 1},
+		TSS{Min: 1}, TSS{First: 1000, Last: 10, Min: 1},
+	}
+	for _, p := range decreasing {
+		for trial := 0; trial < 100; trial++ {
+			donors := 1 + rng.Intn(64)
+			d := randStats(rng)
+			rem := int64(1 << (10 + rng.Intn(20)))
+			prev := p.Budget(d, rem, donors)
+			for rem > 0 {
+				rem -= rem/3 + 1
+				b := p.Budget(d, rem, donors)
+				if b > prev {
+					t.Fatalf("%s grew as work drained: %d -> %d at remaining=%d donors=%d",
+						p.Name(), prev, b, rem, donors)
+				}
+				prev = b
+			}
+		}
+	}
+}
+
+// TestPolicyTermination: repeatedly drawing a budget and subtracting it
+// from the remaining work reaches zero in at most `remaining` draws for
+// every policy — i.e. budgets both cover the workload and never stall.
+// This is the policy-level half of the server's liveness argument.
+func TestPolicyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range propPolicies() {
+		for trial := 0; trial < 20; trial++ {
+			donors := 1 + rng.Intn(32)
+			d := randStats(rng)
+			rem := int64(1 + rng.Intn(1<<16))
+			steps := int64(0)
+			for rem > 0 {
+				b := p.Budget(d, rem, donors)
+				if b < 1 {
+					t.Fatalf("%s stalled: budget %d at remaining=%d", p.Name(), b, rem)
+				}
+				rem -= b
+				if steps++; steps > 1<<17 {
+					t.Fatalf("%s did not terminate: %d steps, remaining=%d", p.Name(), steps, rem)
+				}
+			}
+		}
+	}
+}
+
+// nameToSpec maps a policy's Name() rendering back to the ByName spec
+// grammar: "fixed(2000)" -> "fixed:2000", "gss(k=4)" -> "gss:4".
+func nameToSpec(name string) string {
+	open := strings.IndexByte(name, '(')
+	if open < 0 {
+		return name
+	}
+	arg := strings.TrimSuffix(name[open+1:], ")")
+	if eq := strings.IndexByte(arg, '='); eq >= 0 {
+		arg = arg[eq+1:]
+	}
+	return name[:open] + ":" + arg
+}
+
+// TestByNameRoundTrip: parsing a spec, rendering its Name, mapping that
+// back to a spec and reparsing yields the same policy — Name() is a
+// faithful, re-ingestible description of every ByName-reachable policy.
+func TestByNameRoundTrip(t *testing.T) {
+	specs := []string{
+		"fixed", "fixed:1", "fixed:2000", "fixed:1000000",
+		"adaptive", "adaptive:1s", "adaptive:250ms", "adaptive:2m",
+		"gss", "gss:1", "gss:4", "gss:16",
+		"factoring", "tss",
+	}
+	for _, spec := range specs {
+		p1, err := ByName(spec)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", spec, err)
+		}
+		back := nameToSpec(p1.Name())
+		p2, err := ByName(back)
+		if err != nil {
+			t.Fatalf("ByName(%q) (round-tripped from %q via %q): %v", back, spec, p1.Name(), err)
+		}
+		if p1.Name() != p2.Name() {
+			t.Errorf("round trip drifted: %q -> %q -> %q -> %q", spec, p1.Name(), back, p2.Name())
+		}
+	}
+}
+
+// randKeys draws a random dispatch-key slice: a few priority tiers, a
+// mix of set/unset deadlines, small inflight counts — the shapes the
+// server's scan actually sees.
+func randKeys(rng *rand.Rand, n int) []DispatchKey {
+	base := time.Unix(1700000000, 0)
+	keys := make([]DispatchKey, n)
+	for i := range keys {
+		k := DispatchKey{Priority: rng.Intn(5) - 2, Inflight: int64(rng.Intn(8))}
+		if rng.Intn(2) == 0 {
+			k.Deadline = base.Add(time.Duration(rng.Intn(1000)) * time.Second)
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+// TestLessProperties: Less is irreflexive and asymmetric over random key
+// pairs, and orders by the documented hierarchy — priority descending,
+// then set-before-unset / earlier-first deadlines, then fewest inflight.
+func TestLessProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randKeys(rng, 2)[0], randKeys(rng, 2)[1]
+		if Less(a, a) {
+			t.Fatalf("Less(%+v, same) = true; must be irreflexive", a)
+		}
+		if Less(a, b) && Less(b, a) {
+			t.Fatalf("Less not asymmetric for %+v / %+v", a, b)
+		}
+		if a.Priority > b.Priority && !Less(a, b) {
+			t.Fatalf("higher priority not fronted: %+v vs %+v", a, b)
+		}
+	}
+	base := time.Unix(1700000000, 0)
+	withDL := DispatchKey{Deadline: base}
+	noDL := DispatchKey{}
+	if !Less(withDL, noDL) || Less(noDL, withDL) {
+		t.Error("deadline-bearing key must sort before deadline-free peer")
+	}
+	early := DispatchKey{Deadline: base}
+	late := DispatchKey{Deadline: base.Add(time.Hour)}
+	if !Less(early, late) {
+		t.Error("earlier deadline must sort first")
+	}
+	idle := DispatchKey{Inflight: 0}
+	busy := DispatchKey{Inflight: 9}
+	if !Less(idle, busy) {
+		t.Error("fewer inflight must sort first among equals (work stealing)")
+	}
+}
+
+// TestScanOrderProperties: ScanOrder returns a permutation, never
+// inverts the Less order, and — when every key is equal — degenerates to
+// the pure round-robin rotation, preserving the pre-PR 9 fairness.
+func TestScanOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		keys := randKeys(rng, n)
+		start := rng.Intn(n)
+		order := ScanOrder(keys, start)
+		if len(order) != n {
+			t.Fatalf("ScanOrder returned %d indices for %d keys", len(order), n)
+		}
+		seen := make(map[int]bool, n)
+		for _, idx := range order {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("not a permutation: %v", order)
+			}
+			seen[idx] = true
+		}
+		for j := 0; j+1 < n; j++ {
+			if Less(keys[order[j+1]], keys[order[j]]) {
+				t.Fatalf("scan order inverts Less at %d: %v (keys %+v)", j, order, keys)
+			}
+		}
+	}
+	// All-equal keys: rotation is preserved exactly (stable sort).
+	for _, n := range []int{1, 2, 5, 8} {
+		keys := make([]DispatchKey, n)
+		for start := 0; start < n; start++ {
+			order := ScanOrder(keys, start)
+			for i, idx := range order {
+				if idx != (start+i)%n {
+					t.Fatalf("equal keys broke rotation: n=%d start=%d order=%v", n, start, order)
+				}
+			}
+		}
+	}
+	if ScanOrder(nil, 0) != nil {
+		t.Error("empty key set should scan nothing")
+	}
+	// Out-of-range start clamps rather than panicking.
+	if got := ScanOrder(make([]DispatchKey, 3), 99); len(got) != 3 {
+		t.Errorf("out-of-range start: %v", got)
 	}
 }
 

@@ -129,6 +129,60 @@ func HeterogeneousLab(n int, seed int64) []DonorSpec {
 	return out
 }
 
+// StragglerLab returns n donor specs in which roughly the given fraction
+// are severe stragglers running at slowSpeed while the rest run at full
+// speed. The profile isolates the tail-latency pathology speculation is
+// built for: a handful of near-dead machines each holding one last unit
+// hostage while the healthy majority idles. At least one straggler is
+// produced whenever fraction > 0 and n > 1.
+func StragglerLab(n int, fraction, slowSpeed float64, seed int64) []DonorSpec {
+	rng := rand.New(rand.NewSource(seed))
+	slow := int(float64(n) * fraction)
+	if slow < 1 && fraction > 0 && n > 1 {
+		slow = 1
+	}
+	out := make([]DonorSpec, n)
+	perm := rng.Perm(n)
+	for i := range out {
+		out[i] = DonorSpec{
+			Name:      fmt.Sprintf("fast%03d", i),
+			Speed:     1.0,
+			Latency:   time.Millisecond,
+			Bandwidth: 100e6 / 8,
+		}
+	}
+	for _, idx := range perm[:slow] {
+		out[idx].Name = fmt.Sprintf("slow%03d", idx)
+		out[idx].Speed = slowSpeed
+	}
+	return out
+}
+
+// Compress scales every schedule field of the specs — JoinAt, LeaveAt and
+// Offline windows — by the given factor, so a profile authored in virtual
+// hours (DiurnalLab days, say) can drive a wall-clock harness run lasting
+// seconds. Speeds, loads, latency and bandwidth are left untouched; only
+// the calendar shrinks. The input slice is not modified.
+func Compress(specs []DonorSpec, factor float64) []DonorSpec {
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * factor)
+	}
+	out := make([]DonorSpec, len(specs))
+	for i, s := range specs {
+		c := s
+		c.JoinAt = scale(s.JoinAt)
+		c.LeaveAt = scale(s.LeaveAt)
+		if len(s.Offline) > 0 {
+			c.Offline = make([]Window, len(s.Offline))
+			for j, w := range s.Offline {
+				c.Offline[j] = Window{From: scale(w.From), To: scale(w.To)}
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
 // Config parameterises one simulation run.
 type Config struct {
 	Donors []DonorSpec

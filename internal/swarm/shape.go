@@ -1,0 +1,99 @@
+package swarm
+
+// Heterogeneity shaping: the two seams through which a simnet.DonorSpec
+// becomes observable behaviour on the real runtime. Network shape rides
+// the control connection (shapedConn, installed via dist.WithConnWrapper);
+// compute shape rides the algorithm (throttled, installed via
+// dist.WithAlgorithmWrapper). Neither touches dist itself — both are
+// pure wrappers over the seams PR 9 opened.
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/simnet"
+)
+
+// shapedConn injects one-way latency and bandwidth cost into every
+// write of the control connection. Shaping the write side only models a
+// symmetric link at half fidelity — each RPC round trip pays the
+// latency once, on the request leg — which is enough to spread a
+// thousand donors' dispatch requests the way a real LAN would.
+type shapedConn struct {
+	net.Conn
+	latency   time.Duration
+	bandwidth float64 // bytes per second; 0 = infinite
+}
+
+func (c *shapedConn) Write(p []byte) (int, error) {
+	d := c.latency
+	if c.bandwidth > 0 && len(p) > 0 {
+		d += time.Duration(float64(len(p)) / c.bandwidth * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// throttleWrapper returns an algorithm wrapper realising the spec's
+// Speed and Load, or nil when the spec is a full-speed unloaded machine.
+// Speeds above 1 cannot make the real algorithm faster and are treated
+// as 1.
+func throttleWrapper(spec simnet.DonorSpec, rng *lockedRand) func(string, dist.Algorithm) dist.Algorithm {
+	if spec.Speed >= 1 && spec.Load <= 0 {
+		return nil
+	}
+	return func(_ string, a dist.Algorithm) dist.Algorithm {
+		return &throttled{inner: a, speed: spec.Speed, load: spec.Load, rng: rng}
+	}
+}
+
+// throttled stretches each unit's compute time so the donor's effective
+// throughput matches its spec: a unit the real algorithm finishes in t
+// takes t/eff wall-clock, with eff = Speed * (1 - l) and l drawn per
+// unit from [0, 2*Load] clamped to 0.95 — the same model simnet's
+// virtual donors use, so harness runs and simulations are comparable.
+type throttled struct {
+	inner dist.Algorithm
+	speed float64
+	load  float64
+	rng   *lockedRand
+}
+
+func (t *throttled) Init(shared []byte) error { return t.inner.Init(shared) }
+
+func (t *throttled) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	start := time.Now()
+	out, err := t.inner.ProcessCtx(ctx, payload)
+	if err != nil {
+		return out, err
+	}
+	if eff := t.eff(); eff < 1 {
+		extra := time.Duration(float64(time.Since(start)) * (1/eff - 1))
+		if !sleepCtx(ctx, extra) {
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+func (t *throttled) eff() float64 {
+	load := t.load * 2 * t.rng.Float64()
+	if load > 0.95 {
+		load = 0.95
+	}
+	speed := t.speed
+	if speed > 1 {
+		speed = 1
+	}
+	eff := speed * (1 - load)
+	// Floor the stretch at 1000x so a mis-specified donor cannot wedge a
+	// wall-clock test.
+	if eff < 0.001 {
+		eff = 0.001
+	}
+	return eff
+}

@@ -33,16 +33,22 @@ import (
 // on connections opened with the FlatPreamble. Negotiated at Dial exactly
 // like CapWaitTask/CapContentBulk: a donor that never sees the token — or
 // a server that never advertises it — stays on gob for that connection,
-// so mixed fleets keep draining. The token names the encoding version;
-// an incompatible flat-format change must introduce a new token.
-const CapFlatCodec = "flat-codec"
+// so mixed fleets keep draining. The token names the encoding version; an
+// incompatible flat-format change must introduce a new token. Version 2
+// added the Priority field to the dispatch envelopes: a v1 peer never
+// matches the v2 token (or preamble), so mixed v1/v2 fleets negotiate
+// down to gob — which tolerates the new field — rather than misframing.
+const CapFlatCodec = "flat-codec/2"
 
 // FlatPreamble is written by a client as the very first bytes of a
 // connection that will speak the flat codec; the server sniffs it before
 // handing the connection to either RPC codec. The leading zero byte can
 // never begin a gob-rpc stream (gob frames a message with its non-zero
 // byte count first), so a legacy gob connection is never misread as flat.
-const FlatPreamble = "\x00dflt1\r\n"
+// The version digit tracks CapFlatCodec (a client only writes the
+// preamble after seeing the matching token), and every version keeps the
+// same byte length so the server's sniff window never changes.
+const FlatPreamble = "\x00dflt2\r\n"
 
 // Encoder appends flat-encoded fields to a frame buffer. Encoders come
 // from a sync.Pool (the codecs recycle them per message) and never fail:
