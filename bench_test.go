@@ -1216,3 +1216,80 @@ func BenchmarkJournalOverhead(b *testing.B) {
 	b.Run("journal-on", func(b *testing.B) { drain(b, true, false) })
 	b.Run("journal-fsync-every-record", func(b *testing.B) { drain(b, true, true) })
 }
+
+// BenchmarkVerifyOverhead is the PR 10 defense-cost ablation: the same
+// tiny-unit DSEARCH drain on an all-honest in-process fleet with quorum
+// spot-checking off, at the recommended production fraction (0.05), and
+// at an aggressive fraction (0.25), all at quorum 2. Each verified unit
+// is computed twice and held until the replicas agree, so the fraction
+// bounds the duplicate-compute cost directly; probation rides the
+// default (4 agreements per donor) because a deployment pays it too.
+// The contract is that fraction 0 is within noise of a build without the
+// subsystem and fraction 0.05 stays within 10% of fraction 0.
+// BENCH_pr10.json records the ablation.
+func BenchmarkVerifyOverhead(b *testing.B) {
+	gen := seq.NewGenerator(seq.Protein, 99)
+	w := gen.NewSearchWorkload(2000, 1, 2, seq.LengthModel{Mean: 60, StdDev: 10, Min: 40, Max: 90})
+	cfg := dsearch.DefaultConfig()
+	cfg.TopK = 5
+	const donors = 4
+
+	drain := func(b *testing.B, fraction float64) {
+		b.Helper()
+		var verified float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv, err := dist.OpenServer(
+				dist.WithPolicy(sched.Fixed{Size: 1}), // one sequence per unit
+				dist.WithLeaseTTL(time.Hour),
+				dist.WithExpiryScan(time.Hour),
+				dist.WithWaitHint(time.Millisecond),
+				dist.WithVerify(fraction, 2),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := dsearch.NewProblem("bench-verify", w.DB, w.Queries, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			if err := srv.Submit(ctx, p); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			var wg sync.WaitGroup
+			for d := 0; d < donors; d++ {
+				don := dist.NewDonor(srv,
+					dist.WithName(fmt.Sprintf("bench-%d", d)),
+					dist.WithCancelPoll(2*time.Millisecond))
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = don.Run(ctx)
+				}()
+			}
+			if _, err := srv.Wait(ctx, "bench-verify"); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st, err := srv.Stats(ctx, "bench-verify")
+			if err != nil {
+				b.Fatal(err)
+			}
+			verified += float64(st.Verified)
+			cancel()
+			wg.Wait()
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(w.DB.Len())*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+		b.ReportMetric(verified/float64(b.N), "verified-units")
+	}
+
+	b.Run("verify-off", func(b *testing.B) { drain(b, 0) })
+	b.Run("verify-fraction-0.05", func(b *testing.B) { drain(b, 0.05) })
+	b.Run("verify-fraction-0.25", func(b *testing.B) { drain(b, 0.25) })
+}

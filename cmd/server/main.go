@@ -51,6 +51,9 @@ func main() {
 		flatCodec   = flag.Bool("flat-codec", true, "flat control-channel codec (negotiated per connection; false keeps every donor on gob)")
 		batch       = flag.Int("dispatch-batch", 8, "max units per batched WaitTask reply (<=1 = single-unit dispatch)")
 		speculate   = flag.Float64("speculate-after", 0, "re-dispatch straggler units to idle donors once this fraction of the problem is complete, first result wins (0 = off; 0.9 is a reasonable start)")
+		verifyFrac  = flag.Float64("verify-fraction", 0, "spot-check this fraction of units by redundant dispatch to distinct donors, folding only quorum-agreed results (0 = trust every donor; 0.05 is a reasonable start)")
+		verifyQuo   = flag.Int("verify-quorum", 2, "replica results that must agree before a spot-checked unit folds (min 2; needs -verify-fraction)")
+		quarBelow   = flag.Float64("quarantine-below", 0, "trust floor under which a donor stops receiving work and its results are rejected (0 = default 0.3, negative = never quarantine; needs -verify-fraction)")
 		dataDir     = flag.String("data-dir", "", "durability directory: journal mutations and resume the problem after a crash or SIGTERM (empty = in-memory only)")
 		snapRecords = flag.Int("snapshot-records", 0, "journal records that trigger a background checkpoint (0 = default; needs -data-dir)")
 		app         = flag.String("app", "", "application: dsearch | dprml")
@@ -119,6 +122,8 @@ func main() {
 		dist.WithDataDir(*dataDir),
 		dist.WithSnapshotBudget(0, *snapRecords),
 		dist.WithSpeculation(*speculate),
+		dist.WithVerify(*verifyFrac, *verifyQuo),
+		dist.WithQuarantineBelow(*quarBelow),
 	)
 	if err != nil {
 		log.Fatalf("server: %v", err)
@@ -252,6 +257,10 @@ func logProgress(ns *dist.NetworkServer, events <-chan dist.Event, interval time
 					log.Printf("server: %s failed: %v", ev.ProblemID, ev.Err)
 				}
 			}
+		case ev.Kind == dist.EventDonorQuarantined:
+			log.Printf("server: donor %s quarantined — trust fell below the floor; its leases on %s were requeued", ev.Donor, ev.ProblemID)
+		case ev.Kind == dist.EventQuorumConflict:
+			log.Printf("server: quorum conflict on %s unit %d — discarded a disagreeing result from donor %s", ev.ProblemID, ev.UnitID, ev.Donor)
 		case ev.Kind == dist.EventProgress && time.Since(lastLog) >= interval:
 			lastLog = time.Now()
 			if ev.AppTotal > 0 {

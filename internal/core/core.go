@@ -90,6 +90,11 @@ const (
 	EventForgotten      = dist.EventForgotten
 	EventRecovered      = dist.EventRecovered
 	EventUnitSpeculated = dist.EventUnitSpeculated
+
+	EventUnitReplicaDispatched = dist.EventUnitReplicaDispatched
+	EventQuorumAgreed          = dist.EventQuorumAgreed
+	EventQuorumConflict        = dist.EventQuorumConflict
+	EventDonorQuarantined      = dist.EventDonorQuarantined
 )
 
 // Lifecycle and transport sentinels (see package dist). Status, Stats and
@@ -107,19 +112,23 @@ var (
 // Functional options for servers and donors, re-exported so callers need
 // only this package.
 var (
-	WithPolicy        = dist.WithPolicy
-	WithLeaseTTL      = dist.WithLeaseTTL
-	WithExpiryScan    = dist.WithExpiryScan
-	WithWaitHint      = dist.WithWaitHint
-	WithBulkThreshold = dist.WithBulkThreshold
-	WithAutoForget    = dist.WithAutoForget
-	WithWatchBuffer   = dist.WithWatchBuffer
-	WithLongPoll      = dist.WithLongPoll
-	WithContentBulk   = dist.WithContentBulk
-	WithDataDir       = dist.WithDataDir
-	WithJournalFsync  = dist.WithJournalFsync
-	WithSpeculation   = dist.WithSpeculation
-	WithServerOptions = dist.WithServerOptions
+	WithPolicy          = dist.WithPolicy
+	WithLeaseTTL        = dist.WithLeaseTTL
+	WithExpiryScan      = dist.WithExpiryScan
+	WithWaitHint        = dist.WithWaitHint
+	WithBulkThreshold   = dist.WithBulkThreshold
+	WithAutoForget      = dist.WithAutoForget
+	WithWatchBuffer     = dist.WithWatchBuffer
+	WithLongPoll        = dist.WithLongPoll
+	WithContentBulk     = dist.WithContentBulk
+	WithDataDir         = dist.WithDataDir
+	WithJournalFsync    = dist.WithJournalFsync
+	WithSpeculation     = dist.WithSpeculation
+	WithVerify          = dist.WithVerify
+	WithProbation       = dist.WithProbation
+	WithQuarantineBelow = dist.WithQuarantineBelow
+	WithReadmitAfter    = dist.WithReadmitAfter
+	WithServerOptions   = dist.WithServerOptions
 
 	WithName             = dist.WithName
 	WithThrottle         = dist.WithThrottle

@@ -73,6 +73,17 @@ type Requeuer interface {
 	Requeue(unitID int64)
 }
 
+// ResultEquivaler is optionally implemented by DataManagers whose results
+// are not byte-deterministic (floating-point reductions, unordered
+// collections): quorum verification (ServerOptions.VerifyFraction) then
+// groups replica results by EquivalentResults instead of byte equality.
+// Like every DataManager method it is called under the owning problem's
+// lock; it must be reflexive, symmetric and transitive over the payloads
+// one unit can produce.
+type ResultEquivaler interface {
+	EquivalentResults(unitID int64, a, b []byte) bool
+}
+
 // Algorithm is the donor-side extension point: the computation for one kind
 // of work unit. A fresh instance is created per problem on each donor (via
 // the factory registered under the unit's algorithm name) and initialised
@@ -174,6 +185,13 @@ type Task struct {
 	// predating the field (gob drops it; the flat codec carries it under
 	// its own capability token).
 	Priority int
+	// Verify marks this task as one replica of a spot-checked unit: the
+	// server holds its result out of the fold until a quorum of replicas
+	// agrees (ServerOptions.VerifyFraction). Advisory on the donor side —
+	// the computation is identical — but surfaced for logs and metering.
+	// False from servers predating the field (gob drops it; the flat codec
+	// carries it under its own capability token).
+	Verify bool
 }
 
 // CancelNotice tells a donor that a unit it holds is dead: its problem

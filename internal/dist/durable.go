@@ -186,6 +186,11 @@ func (s *Server) recover(rec *journal.Recovered) error {
 	type recEntry struct {
 		snap journal.Snapshot
 		dm   DataManager
+		// replicas holds the journaled-but-not-folded replica results of
+		// quorum-verified units, keyed unit → donor → payload. A Fold for
+		// the unit under the same epoch supersedes them (WAL order
+		// guarantees the fold was appended after every replica it resolved).
+		replicas map[int64]map[string][]byte
 	}
 	info := &Recovery{Truncated: rec.Truncated}
 	entries := make(map[string]*recEntry)
@@ -216,12 +221,27 @@ func (s *Server) recover(rec *journal.Recovered) error {
 			if !ok || e.snap.Epoch != r.Epoch {
 				continue
 			}
+			// Folded — whether replayed or already covered — means any held
+			// replicas of the unit are resolved; drop them either way.
+			delete(e.replicas, r.UnitID)
 			if err := e.dm.Consume(r.UnitID, r.Payload); err != nil {
 				info.FoldsSkipped++
 				continue
 			}
 			e.snap.Completed++
 			info.FoldsReplayed++
+		case *journal.Replica:
+			e, ok := entries[r.ProblemID]
+			if !ok || e.snap.Epoch != r.Epoch {
+				continue
+			}
+			if e.replicas == nil {
+				e.replicas = make(map[int64]map[string][]byte)
+			}
+			if e.replicas[r.UnitID] == nil {
+				e.replicas[r.UnitID] = make(map[string][]byte)
+			}
+			e.replicas[r.UnitID][r.Donor] = r.Payload
 		case *journal.Forget:
 			if e, ok := entries[r.ProblemID]; ok && e.snap.Epoch == r.Epoch {
 				delete(entries, r.ProblemID)
@@ -283,6 +303,30 @@ func (s *Server) recover(rec *journal.Recovered) error {
 			// completes during replay and waiters get the result without
 			// any recomputation.
 			s.finalizeLocked(ps)
+		} else if s.verifyEnabled() && len(e.replicas) > 0 {
+			// Rebuild the pending verification sets from their journaled
+			// replicas, so quorums started before the crash complete across
+			// it instead of recomputing every copy. The sets have no unit
+			// yet (the restored DataManager re-emits it under its original
+			// ID at the next dispatch) and no leases; donor trust is soft
+			// state, so every recovered result counts as untrusted. A set
+			// whose quorum was already satisfied — the fold record was lost
+			// with the crash — resolves right here: no donor is trusted
+			// this early, so plain count quorum applies.
+			ps.verify = make(map[int64]*verifySet, len(e.replicas))
+			for uid, byDonor := range e.replicas {
+				vs := &verifySet{
+					uid:    uid,
+					donors: make(map[string]struct{}, len(byDonor)),
+					leases: make(map[string]verifyLease),
+				}
+				for donor, payload := range byDonor {
+					vs.donors[donor] = struct{}{}
+					vs.results = append(vs.results, verifyResult{donor: donor, payload: payload})
+				}
+				ps.verify[uid] = vs
+				s.resolveVerifyLocked(ps, vs)
+			}
 		}
 		ps.mu.Unlock()
 		info.Problems = append(info.Problems, RecoveredProblem{
@@ -348,6 +392,13 @@ func (s *Server) snapshotNow() error {
 // lock. Finished problems are skipped: durability covers in-flight work,
 // and a done problem's folds in the WAL replay it back to done anyway
 // until compaction retires them.
+//
+// Pending verification replicas are re-appended to the (just rotated) WAL
+// here, under the same ps.mu a racing fold would take: compaction prunes
+// the segments holding their original records, and without the re-append a
+// crash after pruning would lose every held replica. Appending under the
+// lock keeps the WAL's replica-before-fold order for any unit that folds
+// during the capture.
 func (s *Server) captureDurable() ([]journal.Snapshot, error) {
 	s.regMu.RLock()
 	states := make([]*problemState, 0, len(s.order))
@@ -384,6 +435,11 @@ func (s *Server) captureDurable() ([]journal.Snapshot, error) {
 			Completed:  int64(ps.completed),
 			Reissued:   int64(ps.reissued),
 		})
+		for _, vs := range ps.verify {
+			for _, r := range vs.results {
+				_ = s.journal.Append(&journal.Replica{ProblemID: ps.id, Epoch: ps.epoch, UnitID: vs.uid, Donor: r.donor, Payload: r.payload})
+			}
+		}
 		ps.mu.Unlock()
 	}
 	return snaps, nil

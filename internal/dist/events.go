@@ -35,6 +35,26 @@ const (
 	// second donor (ServerOptions.SpeculateAfter); Donor names the
 	// speculating donor the lease moved to.
 	EventUnitSpeculated
+	// EventUnitReplicaDispatched marks an extra replica of a spot-checked
+	// unit leased to a distinct donor for quorum verification
+	// (ServerOptions.VerifyFraction); Donor names the replica's donor. The
+	// first copy of a verified unit is announced as a plain
+	// EventUnitDispatched.
+	EventUnitReplicaDispatched
+	// EventQuorumAgreed marks a verified unit's replica results reaching
+	// quorum agreement and folding exactly one winner; Donor names the donor
+	// whose result was folded.
+	EventQuorumAgreed
+	// EventQuorumConflict marks a quorum resolution that had to discard at
+	// least one disagreeing replica result; Donor names one of the
+	// disagreeing donors. It accompanies (precedes) the EventQuorumAgreed of
+	// the same unit.
+	EventQuorumConflict
+	// EventDonorQuarantined marks a donor's trust EWMA falling below
+	// ServerOptions.QuarantineBelow: the named Donor stops receiving work
+	// and its in-flight leases on this problem were requeued. UnitID is
+	// zero; the event is published on each problem the quarantine touched.
+	EventDonorQuarantined
 )
 
 // String names the kind for logs.
@@ -58,6 +78,14 @@ func (k EventKind) String() string {
 		return "recovered"
 	case EventUnitSpeculated:
 		return "unit-speculated"
+	case EventUnitReplicaDispatched:
+		return "unit-replica-dispatched"
+	case EventQuorumAgreed:
+		return "quorum-agreed"
+	case EventQuorumConflict:
+		return "quorum-conflict"
+	case EventDonorQuarantined:
+		return "donor-quarantined"
 	default:
 		return "unknown"
 	}
@@ -197,7 +225,7 @@ func (s *Server) snapshotEventLocked(ps *problemState) Event {
 		Epoch:     ps.epoch,
 		Time:      time.Now(),
 		Completed: ps.completed,
-		Inflight:  len(ps.inflight),
+		Inflight:  ps.inflightLocked(),
 	}
 	if ps.recovered {
 		ev.Kind = EventRecovered

@@ -87,6 +87,7 @@ func (r TaskReply) MarshalFlat(e *wire.Encoder) {
 	e.Varint(r.Epoch)
 	e.String(r.SharedDigest)
 	e.Varint(r.Priority)
+	e.Bool(r.Verify)
 	e.Uvarint(uint64(len(r.Batch)))
 	for i := range r.Batch {
 		r.Batch[i].marshalFlat(e)
@@ -103,6 +104,7 @@ func (r *TaskReply) UnmarshalFlat(d *wire.Decoder) {
 	r.Epoch = d.Varint()
 	r.SharedDigest = d.String()
 	r.Priority = d.Varint()
+	r.Verify = d.Bool()
 	n := d.Uvarint()
 	if d.Err() != nil || n == 0 {
 		return
@@ -122,6 +124,7 @@ func (t *BatchTask) marshalFlat(e *wire.Encoder) {
 	e.Varint(t.Epoch)
 	e.String(t.SharedDigest)
 	e.Varint(t.Priority)
+	e.Bool(t.Verify)
 }
 
 func (t *BatchTask) unmarshalFlat(d *wire.Decoder) {
@@ -131,6 +134,7 @@ func (t *BatchTask) unmarshalFlat(d *wire.Decoder) {
 	t.Epoch = d.Varint()
 	t.SharedDigest = d.String()
 	t.Priority = d.Varint()
+	t.Verify = d.Bool()
 }
 
 // MarshalFlat implements wire.FlatMarshaler.

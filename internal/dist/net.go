@@ -396,6 +396,11 @@ type TaskReply struct {
 	// field ignore it: gob drops unknown fields, and the flat codec carries
 	// it only under the bumped wire.CapFlatCodec token.
 	Priority int64
+	// Verify marks the unit as one replica of a quorum-verified dispatch
+	// (see Task.Verify). Advisory; donors predating the field ignore it
+	// (gob drops unknown fields, the flat codec carries it only under the
+	// bumped wire.CapFlatCodec token).
+	Verify bool
 	// Batch carries the extra units of a batched WaitTask dispatch (the
 	// first unit stays in the legacy fields above). Only present when the
 	// donor asked via WaitTaskArgs.MaxBatch; every entry is leased and
@@ -415,6 +420,8 @@ type BatchTask struct {
 	SharedDigest string
 	// Priority mirrors TaskReply.Priority for this entry's problem.
 	Priority int64
+	// Verify mirrors TaskReply.Verify for this entry's unit.
+	Verify bool
 }
 
 // ResultArgs carries one completed unit's output back to the server.
@@ -498,6 +505,7 @@ func (s *rpcService) fillTaskReply(reply *TaskReply, task *Task, wait time.Durat
 	reply.Epoch = task.Epoch
 	reply.SharedDigest = task.SharedDigest
 	reply.Priority = int64(task.Priority)
+	reply.Verify = task.Verify
 	if key := s.ns.offloadPayload(task); key != "" {
 		reply.BulkKey = key
 		reply.Unit.Payload = nil
@@ -559,6 +567,7 @@ func (s *rpcService) fillTaskReplyBatch(reply *TaskReply, tasks []*Task, wait ti
 			Epoch:        task.Epoch,
 			SharedDigest: task.SharedDigest,
 			Priority:     int64(task.Priority),
+			Verify:       task.Verify,
 		}
 		if key := s.ns.offloadPayload(task); key != "" {
 			bt.BulkKey = key
@@ -798,7 +807,7 @@ func (c *RPCClient) tasksFromReply(ctx context.Context, donor string, r *TaskRep
 	}
 	entries := make([]BatchTask, 0, 1+len(r.Batch))
 	entries = append(entries, BatchTask{ProblemID: r.ProblemID, Unit: r.Unit, BulkKey: r.BulkKey,
-		Epoch: r.Epoch, SharedDigest: r.SharedDigest, Priority: r.Priority})
+		Epoch: r.Epoch, SharedDigest: r.SharedDigest, Priority: r.Priority, Verify: r.Verify})
 	entries = append(entries, r.Batch...)
 	tasks := make([]*Task, 0, len(entries))
 	var lastErr error
@@ -817,7 +826,7 @@ func (c *RPCClient) tasksFromReply(ctx context.Context, donor string, r *TaskRep
 			ent.Unit.Payload = payload
 		}
 		tasks = append(tasks, &Task{ProblemID: ent.ProblemID, Unit: ent.Unit, Epoch: ent.Epoch,
-			SharedDigest: ent.SharedDigest, Priority: int(ent.Priority)})
+			SharedDigest: ent.SharedDigest, Priority: int(ent.Priority), Verify: ent.Verify})
 	}
 	if len(tasks) == 0 && lastErr != nil {
 		return nil, wait, &transientError{lastErr}
@@ -846,7 +855,7 @@ func (c *RPCClient) taskFromReply(ctx context.Context, donor string, r *TaskRepl
 		r.Unit.Payload = payload
 	}
 	return &Task{ProblemID: r.ProblemID, Unit: r.Unit, Epoch: r.Epoch,
-		SharedDigest: r.SharedDigest, Priority: int(r.Priority)}, wait, nil
+		SharedDigest: r.SharedDigest, Priority: int(r.Priority), Verify: r.Verify}, wait, nil
 }
 
 // SharedData implements Coordinator: fetch the problem's shared blob over

@@ -123,6 +123,42 @@ func WithSpeculation(frac float64) ServerOption {
 	return func(o *ServerOptions) { o.SpeculateAfter = frac }
 }
 
+// WithVerify enables quorum spot-checking of results from untrusted
+// donors: fraction of freshly dispatched units (plus every unit handed to
+// a donor still in probation) is replicated to quorum distinct donors, and
+// the unit folds only once quorum results agree (see
+// ServerOptions.VerifyFraction/VerifyQuorum). Fraction zero — the
+// default — disables verification entirely.
+func WithVerify(fraction float64, quorum int) ServerOption {
+	return func(o *ServerOptions) { o.VerifyFraction, o.VerifyQuorum = fraction, quorum }
+}
+
+// WithQuarantineBelow sets the trust floor under which a donor is
+// quarantined: it stops receiving work and its pending results are
+// rejected (see ServerOptions.QuarantineBelow). Zero keeps the default;
+// negative disables quarantine while keeping trust tracking. Meaningless
+// without WithVerify.
+func WithQuarantineBelow(trust float64) ServerOption {
+	return func(o *ServerOptions) { o.QuarantineBelow = trust }
+}
+
+// WithProbation sets how many quorum agreements a new donor must accrue
+// before its unverified results are folded directly; until then every unit
+// it receives is spot-checked (see ServerOptions.ProbationUnits). Zero
+// keeps the default; negative disables probation. Meaningless without
+// WithVerify.
+func WithProbation(units int) ServerOption {
+	return func(o *ServerOptions) { o.ProbationUnits = units }
+}
+
+// WithReadmitAfter lets a quarantined donor back in after d on re-entry
+// probation: trust and probation progress reset as if it had just joined.
+// Zero — the default — quarantines forever. Meaningless without
+// WithVerify.
+func WithReadmitAfter(d time.Duration) ServerOption {
+	return func(o *ServerOptions) { o.ReadmitAfter = d }
+}
+
 // DonorOption tunes one DonorOptions knob.
 type DonorOption func(*DonorOptions)
 

@@ -123,6 +123,38 @@ type ServerOptions struct {
 	// SnapshotScan is the interval between compaction-budget checks. Zero
 	// defaults to 2s.
 	SnapshotScan time.Duration
+	// VerifyFraction enables quorum spot-checking of results from untrusted
+	// donors: this fraction of freshly dispatched units (deterministically
+	// sampled per problem) — plus every unit handed to a donor still in
+	// probation — is replicated to VerifyQuorum distinct donors, and the
+	// unit folds only once quorum replica results agree (byte-identical, or
+	// equivalent under the DataManager's ResultEquivaler). Zero — the
+	// default — disables verification entirely: no replicas, no trust
+	// tracking, no quarantine. Values above 1 verify every unit.
+	VerifyFraction float64
+	// VerifyQuorum is how many agreeing replica results fold a verified
+	// unit. Zero defaults to 2; values below 2 are raised to 2 (a quorum of
+	// one would be the unverified fold). Meaningless without VerifyFraction.
+	VerifyQuorum int
+	// QuarantineBelow is the trust floor: a donor whose trust EWMA falls
+	// below it is quarantined — it receives no further work, its in-flight
+	// leases are requeued (failure kind "verify"), and its pending and
+	// future results are rejected. Zero defaults to 0.3; negative disables
+	// quarantine while keeping trust tracking. Meaningless without
+	// VerifyFraction.
+	QuarantineBelow float64
+	// ProbationUnits is how many quorum *agreements* a new donor must
+	// accrue before its results are trusted: until then every unit it is
+	// handed is spot-checked regardless of VerifyFraction, and its results
+	// cannot complete a quorum on their own once any trusted donor exists
+	// (see verify.go). Zero defaults to 4; negative disables probation.
+	// Meaningless without VerifyFraction.
+	ProbationUnits int
+	// ReadmitAfter lets a quarantined donor back in after this long, on
+	// re-entry probation: its trust and probation progress reset as if it
+	// had just joined. Zero — the default — quarantines forever.
+	// Meaningless without VerifyFraction.
+	ReadmitAfter time.Duration
 }
 
 func (o *ServerOptions) applyDefaults() {
@@ -161,6 +193,26 @@ func (o *ServerOptions) applyDefaults() {
 	}
 	if o.SnapshotScan <= 0 {
 		o.SnapshotScan = 2 * time.Second
+	}
+	if o.VerifyFraction > 1 {
+		o.VerifyFraction = 1
+	}
+	if o.VerifyFraction > 0 {
+		if o.VerifyQuorum < 2 {
+			o.VerifyQuorum = 2
+		}
+		if o.QuarantineBelow == 0 {
+			o.QuarantineBelow = 0.3
+		}
+		if o.QuarantineBelow < 0 {
+			o.QuarantineBelow = 0 // trust can never go negative: quarantine off
+		}
+		if o.ProbationUnits == 0 {
+			o.ProbationUnits = 4
+		}
+		if o.ProbationUnits < 0 {
+			o.ProbationUnits = 0
+		}
 	}
 }
 
@@ -260,6 +312,19 @@ type problemState struct {
 	shared   []byte
 	inflight map[int64]*leaseInfo //dist:guardedby mu
 	requeue  []queuedUnit         //dist:guardedby mu
+	// verify tracks the units under quorum spot-checking, keyed by unit ID.
+	// A verified unit lives here INSTEAD of the inflight table: every
+	// replica lease, held result and excluded donor belongs to its
+	// verifySet, and the unit only folds when the set resolves (verify.go).
+	// Nil until the first set is created; lazily allocated.
+	//dist:guardedby mu
+	verify map[int64]*verifySet
+	// verifyAcc is the deterministic sampling accumulator: each fresh
+	// dispatch adds VerifyFraction and a unit is spot-checked whenever the
+	// accumulator crosses 1 — no randomness, so tests can count on exact
+	// sampling.
+	//dist:guardedby mu
+	verifyAcc float64
 	// watchers are the live Watch subscriptions (see events.go).
 	//dist:guardedby mu
 	watchers []*watcher
@@ -271,6 +336,13 @@ type problemState struct {
 	// scan; each also counts once more in dispatched.
 	//dist:guardedby mu
 	speculated int
+	// verified counts units folded through quorum agreement; conflicts
+	// counts quorum resolutions that discarded at least one disagreeing
+	// replica result.
+	//dist:guardedby mu
+	verified int
+	//dist:guardedby mu
+	conflicts int
 	// consecFails / consecTransport count compute and transport failures
 	// since the last successful Consume.
 	//dist:guardedby mu
@@ -301,6 +373,23 @@ type donorState struct {
 	mu       sync.Mutex
 	stats    sched.DonorStats //dist:guardedby mu
 	lastSeen time.Time        //dist:guardedby mu
+	// trust is the donor's reputation EWMA in [0, 1], fed by quorum
+	// outcomes (agree pulls toward 1, disagree and timeout toward 0);
+	// seeded at sched.TrustNeutral on first contact. Only meaningful while
+	// verification is enabled.
+	//dist:guardedby mu
+	trust float64
+	// verifiedOK counts the donor's quorum agreements; probation ends once
+	// it reaches ServerOptions.ProbationUnits.
+	//dist:guardedby mu
+	verifiedOK int
+	// quarantined marks a donor whose trust fell below the floor: it
+	// receives no work and its results are rejected until readmission
+	// (ServerOptions.ReadmitAfter) resets it to re-entry probation.
+	//dist:guardedby mu
+	quarantined bool
+	//dist:guardedby mu
+	quarantinedAt time.Time
 }
 
 // Status is a point-in-time snapshot of one problem's progress.
@@ -364,6 +453,12 @@ type Server struct {
 
 	donorMu sync.RWMutex
 	donors  map[string]*donorState //dist:guardedby donorMu
+
+	// trusted counts donors past probation and not quarantined — the
+	// fleet-wide signal the quorum rule keys on: once any trusted donor
+	// exists, a quorum must include one (see verify.go). Maintained on the
+	// probation/quarantine/prune transitions.
+	trusted atomic.Int64
 
 	// cancelMu guards cancels, the per-donor queues of epoch-tagged cancel
 	// notices for in-flight units of problems that ended while the unit
@@ -780,7 +875,7 @@ func (s *Server) Status(ctx context.Context, id string) (Status, error) {
 	defer ps.mu.Unlock()
 	st := Status{
 		Completed: ps.completed,
-		Inflight:  len(ps.inflight),
+		Inflight:  ps.inflightLocked(),
 		Reissued:  ps.reissued,
 		Done:      ps.done,
 		Recovered: ps.recovered,
@@ -801,6 +896,10 @@ type ProblemStats struct {
 	// Speculated counts straggler units re-dispatched to a second donor
 	// under ServerOptions.SpeculateAfter (each also counts in Dispatched).
 	Speculated int
+	// Verified counts units folded through quorum agreement
+	// (ServerOptions.VerifyFraction); Conflicts counts quorum resolutions
+	// that discarded at least one disagreeing replica result.
+	Verified, Conflicts int
 	// Recovered reports the problem was restored from the journal after a
 	// coordinator restart rather than submitted to this process.
 	Recovered bool
@@ -822,6 +921,8 @@ func (s *Server) Stats(ctx context.Context, id string) (ProblemStats, error) {
 		Completed:  ps.completed,
 		Reissued:   ps.reissued,
 		Speculated: ps.speculated,
+		Verified:   ps.verified,
+		Conflicts:  ps.conflicts,
 		Recovered:  ps.recovered,
 	}, nil
 }
@@ -901,9 +1002,12 @@ func (s *Server) RequestTask(ctx context.Context, donor string) (*Task, time.Dur
 	if n == 0 {
 		return nil, s.opts.WaitHint, nil
 	}
-	ds.mu.Lock()
-	stats := ds.stats
-	ds.mu.Unlock()
+	view, quarantined := s.donorDispatchView(ds)
+	if quarantined {
+		// A quarantined donor gets no work at all; it keeps polling (and
+		// long-polling) and is let back in only by ReadmitAfter.
+		return nil, s.opts.WaitHint, nil
+	}
 	live := s.liveDonorCount()
 	// Peer liveness is sampled lazily — the O(donors) scan only runs when
 	// some problem actually has a requeued unit to arbitrate — and at most
@@ -931,14 +1035,14 @@ func (s *Server) RequestTask(ctx context.Context, donor string) (*Task, time.Dur
 	start := int(s.rr.Add(1) % uint64(n))
 	keys := make([]sched.DispatchKey, n)
 	for i, ps := range rotation {
-		keys[i] = sched.DispatchKey{Priority: ps.priority, Deadline: ps.deadline, Inflight: ps.inflightN.Load()}
+		keys[i] = sched.DispatchKey{Priority: ps.priority, Deadline: ps.deadline, Inflight: ps.inflightN.Load(), Trust: view.trust}
 	}
 	scan := sched.ScanOrder(keys, start)
 	var finished []*problemState
 	var contended []*problemState
 	for _, idx := range scan {
 		ps := rotation[idx]
-		task, done, tried := s.tryDispatch(ps, donor, stats, live, othersAlive, false)
+		task, done, tried := s.tryDispatch(ps, donor, view, live, othersAlive, false)
 		if !tried {
 			contended = append(contended, ps)
 			continue
@@ -955,7 +1059,7 @@ func (s *Server) RequestTask(ctx context.Context, donor string) (*Task, time.Dur
 	// busy shards is now worth it (their DataManagers may be mid-partition
 	// with units to give).
 	for _, ps := range contended {
-		task, done, _ := s.tryDispatch(ps, donor, stats, live, othersAlive, true)
+		task, done, _ := s.tryDispatch(ps, donor, view, live, othersAlive, true)
 		if done {
 			finished = append(finished, ps)
 		}
@@ -974,7 +1078,7 @@ func (s *Server) RequestTask(ctx context.Context, donor string) (*Task, time.Dur
 // dispatched task (nil when the problem has nothing for this donor) and
 // whether the problem is done — finished problems are pruned from the
 // rotation by the caller.
-func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorStats, live int, othersAlive func() bool, block bool) (task *Task, done, tried bool) {
+func (s *Server) tryDispatch(ps *problemState, donor string, view dispatchView, live int, othersAlive func() bool, block bool) (task *Task, done, tried bool) {
 	if block {
 		ps.mu.Lock()
 	} else if !ps.mu.TryLock() {
@@ -984,41 +1088,90 @@ func (s *Server) tryDispatch(ps *problemState, donor string, stats sched.DonorSt
 	if ps.done {
 		return nil, true, true
 	}
-	if u, attempts, ok := s.popRequeueLocked(ps, donor, othersAlive); ok {
-		s.leaseLocked(ps, u, donor, attempts)
-		return s.taskLocked(ps, u), false, true
+	// A probation donor with ProbationUnits of unresolved verification
+	// backlog gets no new units — only replica service — until its
+	// quorums resolve: every unit it takes must be replicated, so an
+	// unbounded stream of them multiplies the problem by the quorum (and
+	// hands a malicious donor free amplification).
+	verifyCapped := s.verifyEnabled() && view.probation &&
+		ps.verifyBacklogLocked(donor, s.opts.ProbationUnits)
+	if !verifyCapped {
+		if u, attempts, ok := s.popRequeueLocked(ps, donor, othersAlive); ok {
+			// A probationary donor's requeued units are spot-checked like
+			// its fresh ones — no unit handed to an untrusted donor may
+			// fold unverified.
+			if s.verifyEnabled() && view.probation {
+				return s.startVerifyLocked(ps, u, donor, attempts, view), false, true
+			}
+			s.leaseLocked(ps, u, donor, attempts)
+			return s.taskLocked(ps, u), false, true
+		}
 	}
-	budget := s.opts.Policy.Budget(stats, remainingCost(ps.p.DM), live)
-	u, ok, err := ps.p.DM.NextUnit(budget)
-	if err != nil {
-		s.failLocked(ps, fmt.Errorf("dist: problem %q: NextUnit: %w", ps.id, err))
-		return nil, true, true
+	// A pending verification set wanting one more replica outranks fresh
+	// work: resolving a held unit unblocks its fold.
+	if t := s.replicaLocked(ps, donor, view); t != nil {
+		return t, false, true
 	}
-	if !ok {
-		if ps.p.DM.Done() {
-			s.finalizeLocked(ps)
-			return nil, true, true
-		}
-		if len(ps.inflight) == 0 && len(ps.requeue) == 0 {
-			// Nothing dispatchable, nothing in flight, nothing awaiting
-			// reissue, not done: no future event can unstick this
-			// problem. Fail loudly rather than leaving Wait hanging.
-			s.failLocked(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.id))
-			return nil, true, true
-		}
-		// Nothing fresh, but the problem is close to done with leases
-		// still out: offer this free donor a speculative copy of the
-		// oldest straggler before parking it.
-		if t := s.speculateLocked(ps, donor); t != nil {
-			return t, false, true
-		}
-		// A dispatch scan starved on this problem: the next folded result
-		// may release stage-barrier units, so it must wake parked donors.
+	if verifyCapped {
+		// Parked at the backlog cap: a resolving quorum must wake this
+		// donor so it can claim fresh work again.
 		ps.starved = true
 		return nil, false, true
 	}
-	s.leaseLocked(ps, u, donor, 0)
-	return s.taskLocked(ps, u), false, true
+	budget := s.opts.Policy.Budget(view.stats, remainingCost(ps.p.DM), live)
+	budget = scaleBudgetByTrust(budget, view.trust)
+	for {
+		u, ok, err := ps.p.DM.NextUnit(budget)
+		if err != nil {
+			s.failLocked(ps, fmt.Errorf("dist: problem %q: NextUnit: %w", ps.id, err))
+			return nil, true, true
+		}
+		if !ok {
+			if ps.p.DM.Done() {
+				s.finalizeLocked(ps)
+				return nil, true, true
+			}
+			if len(ps.inflight) == 0 && len(ps.requeue) == 0 && len(ps.verify) == 0 {
+				// Nothing dispatchable, nothing in flight, nothing awaiting
+				// reissue or quorum, not done: no future event can unstick
+				// this problem. Fail loudly rather than leaving Wait hanging.
+				s.failLocked(ps, fmt.Errorf("dist: problem %q stalled: no dispatchable units, none in flight, not done", ps.id))
+				return nil, true, true
+			}
+			// Nothing fresh, but the problem is close to done with leases
+			// still out: offer this free donor a speculative copy of the
+			// oldest straggler before parking it. Probationary donors are
+			// never offered speculation — first-result-wins would let an
+			// untrusted copy fold unverified.
+			if !(s.verifyEnabled() && view.probation) {
+				if t := s.speculateLocked(ps, donor); t != nil {
+					return t, false, true
+				}
+			}
+			// A dispatch scan starved on this problem: the next folded result
+			// may release stage-barrier units, so it must wake parked donors.
+			ps.starved = true
+			return nil, false, true
+		}
+		if vs, hasSet := ps.verify[u.ID]; hasSet {
+			// A recovered verification set whose unit the DataManager just
+			// regenerated: attach the unit, and hand this donor a replica if
+			// it is eligible. Otherwise keep scanning — the set's replica
+			// slots are served to other donors by replicaLocked.
+			if vs.unit == nil {
+				vs.unit = u
+			}
+			if t := s.replicaForSetLocked(ps, vs, donor, view); t != nil {
+				return t, false, true
+			}
+			continue
+		}
+		if s.verifyEnabled() && (view.probation || s.sampleVerifyLocked(ps)) {
+			return s.startVerifyLocked(ps, u, donor, 0, view), false, true
+		}
+		s.leaseLocked(ps, u, donor, 0)
+		return s.taskLocked(ps, u), false, true
+	}
 }
 
 // taskLocked builds the dispatched Task for one of ps's units. Callers
@@ -1130,6 +1283,18 @@ func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, 
 		return false, ErrClosed
 	}
 	ds := s.touchDonor(res.Donor)
+	donorTrusted := false
+	if s.verifyEnabled() {
+		ds.mu.Lock()
+		rejected := ds.quarantined
+		donorTrusted = !ds.quarantined && ds.verifiedOK >= s.opts.ProbationUnits
+		ds.mu.Unlock()
+		if rejected {
+			// Results from quarantined donors are rejected outright; their
+			// revoked leases were already requeued with failure kind verify.
+			return false, nil
+		}
+	}
 	ps, lerr := s.lookup(res.ProblemID)
 	if lerr != nil {
 		return false, nil // problem finished (or was forgotten) while the unit was out
@@ -1146,6 +1311,22 @@ func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, 
 		// current incarnation's unit stays leased and completes normally.
 		ps.mu.Unlock()
 		return false, nil
+	}
+	if vs, ok := ps.verify[res.UnitID]; ok {
+		// A spot-checked unit: hold the result in its verification set and
+		// fold only on quorum agreement (verify.go). Trust updates are
+		// applied after the problem lock drops — donor locks are leaves and
+		// a quarantine walks every problem.
+		deltas, wake, held, cost := s.verifySubmitLocked(ps, vs, res, donorTrusted)
+		ps.mu.Unlock()
+		if wake {
+			s.wakeParked()
+		}
+		s.applyTrustDeltas(deltas)
+		if held && cost > 0 {
+			s.feedThroughput(ds, cost, res.Elapsed)
+		}
+		return held, nil
 	}
 	var cost int64
 	if li, ok := ps.inflight[res.UnitID]; ok {
@@ -1200,19 +1381,25 @@ func (s *Server) submitResult(ctx context.Context, res *Result) (accepted bool, 
 
 	// Scheduler feedback happens outside the problem lock: stats are
 	// per-donor state, not per-problem state.
-	// Floor elapsed at 1ms: a sub-millisecond (or bogus donor-reported)
-	// sample would otherwise make the EWMA throughput — and with it the
-	// next adaptive budget, which has no upper clamp by default —
-	// effectively infinite, serializing the whole problem onto one donor.
-	elapsed := res.Elapsed.Seconds()
-	if elapsed < 1e-3 {
-		elapsed = 1e-3
+	s.feedThroughput(ds, cost, res.Elapsed)
+	return true, nil
+}
+
+// feedThroughput feeds one completed unit's measured cost/elapsed into the
+// donor's scheduling statistics. Elapsed is floored at 1ms: a
+// sub-millisecond (or bogus donor-reported) sample would otherwise make
+// the EWMA throughput — and with it the next adaptive budget, which has no
+// upper clamp by default — effectively infinite, serializing the whole
+// problem onto one donor.
+func (s *Server) feedThroughput(ds *donorState, cost int64, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	if sec < 1e-3 {
+		sec = 1e-3
 	}
 	ds.mu.Lock()
 	ds.stats.Completed++
-	ds.stats.Throughput = sched.EWMA(ds.stats.Throughput, float64(cost)/elapsed, throughputAlpha)
+	ds.stats.Throughput = sched.EWMA(ds.stats.Throughput, float64(cost)/sec, throughputAlpha)
 	ds.mu.Unlock()
-	return true, nil
 }
 
 // publishUnitEventLocked emits a unit-granularity event. Callers hold
@@ -1231,7 +1418,7 @@ func (s *Server) publishUnitEventLocked(ps *problemState, kind EventKind, unitID
 		UnitID:    unitID,
 		Donor:     donor,
 		Completed: ps.completed,
-		Inflight:  len(ps.inflight),
+		Inflight:  ps.inflightLocked(),
 	})
 }
 
@@ -1249,7 +1436,7 @@ func (s *Server) publishProgressLocked(ps *problemState) {
 		Epoch:     ps.epoch,
 		Time:      time.Now(),
 		Completed: ps.completed,
-		Inflight:  len(ps.inflight),
+		Inflight:  ps.inflightLocked(),
 	}
 	if pr, ok := ps.p.DM.(Progresser); ok {
 		ev.AppDone, ev.AppTotal = pr.Progress()
@@ -1282,6 +1469,12 @@ func (s *Server) reportTaggedFailure(ctx context.Context, donor, problemID strin
 // straggler report from a forgotten predecessor of a reused ID: dropped,
 // like its submitResult counterpart, so it cannot revoke a live lease of
 // the successor when donor names collide.
+//
+// The donor's reputation (its Failures count, and lastSeen liveness) is
+// only touched AFTER the report validates against a live lease held by
+// this donor under the current epoch: a report for a never-leased unit, a
+// stale epoch, or someone else's lease says nothing about this donor and
+// must not move its stats.
 func (s *Server) reportFailure(ctx context.Context, donor, problemID string, unitID int64, reason string, kind failureKind, epoch int64) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
@@ -1289,11 +1482,21 @@ func (s *Server) reportFailure(ctx context.Context, donor, problemID string, uni
 	if s.isClosed() {
 		return ErrClosed
 	}
-	ds := s.touchDonor(donor)
+	if s.verifyEnabled() {
+		if ds := s.peekDonor(donor); ds != nil {
+			ds.mu.Lock()
+			rejected := ds.quarantined
+			ds.mu.Unlock()
+			if rejected {
+				return nil // quarantined donors' reports are rejected like their results
+			}
+		}
+	}
 	ps, lerr := s.lookup(problemID)
 	if lerr != nil {
 		return nil // problem finished or forgotten; nothing to requeue
 	}
+	var deltas []trustDelta
 	ps.mu.Lock()
 	if ps.done {
 		ps.mu.Unlock()
@@ -1303,23 +1506,34 @@ func (s *Server) reportFailure(ctx context.Context, donor, problemID string, uni
 		ps.mu.Unlock()
 		return nil
 	}
-	li, ok := ps.inflight[unitID]
-	if !ok {
+	if vs, ok := ps.verify[unitID]; ok {
+		if _, held := vs.leases[donor]; !held {
+			ps.mu.Unlock()
+			return nil // no replica lease: a straggler or an impostor
+		}
+		deltas = s.verifyFailureLocked(ps, vs, donor, reason, kind)
 		ps.mu.Unlock()
-		return nil
-	}
-	if li.donor != donor {
-		// Stale report: the unit's lease already expired and the unit was
-		// re-dispatched to someone else. Results from stragglers are
-		// accepted; their failure reports must not revoke the new lease.
+	} else {
+		li, ok := ps.inflight[unitID]
+		if !ok {
+			ps.mu.Unlock()
+			return nil
+		}
+		if li.donor != donor {
+			// Stale report: the unit's lease already expired and the unit was
+			// re-dispatched to someone else. Results from stragglers are
+			// accepted; their failure reports must not revoke the new lease.
+			ps.mu.Unlock()
+			return nil
+		}
+		s.requeueLocked(ps, li, reason, kind)
 		ps.mu.Unlock()
-		return nil
 	}
-	s.requeueLocked(ps, li, reason, kind)
-	ps.mu.Unlock()
-	// The requeued unit is dispatchable again (to a different donor by
-	// preference): wake parked WaitTask callers to claim it.
+	// The requeued unit (or reopened replica slot) is dispatchable again,
+	// to a different donor by preference: wake parked WaitTask callers.
 	s.wakeParked()
+	s.applyTrustDeltas(deltas)
+	ds := s.touchDonor(donor)
 	ds.mu.Lock()
 	ds.stats.Failures++
 	ds.mu.Unlock()
@@ -1332,13 +1546,16 @@ func (s *Server) reportFailure(ctx context.Context, donor, problemID string, uni
 // very loose cap that catches a bulk channel no donor can reach; lease
 // expiries feed no cap at all — a healthy unit that merely takes many
 // lease periods, or a mass outage expiring every lease in one sweep, must
-// reissue, not fail the problem.
+// reissue, not fail the problem. Verify failures (a quarantined donor's
+// revoked leases) are uncapped like expiries: they blame the donor, not
+// the unit.
 type failureKind int
 
 const (
 	failCompute failureKind = iota
 	failTransport
 	failExpiry
+	failVerify
 )
 
 // requeueLocked returns a lost or failed in-flight unit to the dispatch
@@ -1499,7 +1716,7 @@ func (s *Server) touchDonor(name string) *donorState {
 		s.donorMu.Lock()
 		ds, ok = s.donors[name]
 		if !ok {
-			ds = &donorState{}
+			ds = &donorState{trust: sched.TrustNeutral}
 			s.donors[name] = ds
 		}
 		s.donorMu.Unlock()
@@ -1508,6 +1725,14 @@ func (s *Server) touchDonor(name string) *donorState {
 	ds.lastSeen = now
 	ds.mu.Unlock()
 	return ds
+}
+
+// peekDonor returns the donor's state without creating it or stamping its
+// last-seen time — for checks that must not count as donor activity.
+func (s *Server) peekDonor(name string) *donorState {
+	s.donorMu.RLock()
+	defer s.donorMu.RUnlock()
+	return s.donors[name]
 }
 
 // bumpFailures charges one failure to a donor's scheduling statistics, if
@@ -1557,22 +1782,36 @@ func (s *Server) CancelNotices(ctx context.Context, donor string) ([]CancelNotic
 //
 //dist:locked mu
 func (s *Server) queueCancels(ps *problemState) {
-	if len(ps.inflight) == 0 {
+	if len(ps.inflight) == 0 && len(ps.verify) == 0 {
 		return
 	}
 	s.cancelMu.Lock()
 	defer s.cancelMu.Unlock()
 	for _, li := range ps.inflight {
-		q := append(s.cancels[li.donor], CancelNotice{
-			ProblemID: ps.id,
-			Epoch:     ps.epoch,
-			UnitID:    li.unit.ID,
-		})
-		if len(q) > maxPendingCancels {
-			q = q[len(q)-maxPendingCancels:]
-		}
-		s.cancels[li.donor] = q
+		s.queueOneCancelLocked(ps, li.donor, li.unit.ID)
 	}
+	for _, vs := range ps.verify {
+		for donor := range vs.leases {
+			s.queueOneCancelLocked(ps, donor, vs.uid)
+		}
+	}
+}
+
+// queueOneCancelLocked appends one cancel notice to a donor's bounded
+// queue. Callers hold ps.mu and cancelMu.
+//
+//dist:locked mu
+//dist:locked cancelMu
+func (s *Server) queueOneCancelLocked(ps *problemState, donor string, unitID int64) {
+	q := append(s.cancels[donor], CancelNotice{
+		ProblemID: ps.id,
+		Epoch:     ps.epoch,
+		UnitID:    unitID,
+	})
+	if len(q) > maxPendingCancels {
+		q = q[len(q)-maxPendingCancels:]
+	}
+	s.cancels[donor] = q
 }
 
 // finalizeLocked marks a problem done with its DataManager's final result.
@@ -1621,6 +1860,10 @@ func (s *Server) releaseLocked(ps *problemState) {
 	ps.requeue = nil
 	ps.inflightN.Add(-int64(len(ps.inflight)))
 	ps.inflight = nil
+	for _, vs := range ps.verify {
+		ps.inflightN.Add(-int64(len(vs.leases)))
+	}
+	ps.verify = nil
 	ps.shared = nil // the server's reference only; the caller's Problem is untouched
 	if s.onProblemDone != nil {
 		s.onProblemDone(ps.id)
@@ -1656,10 +1899,17 @@ func (s *Server) expireLeases(now time.Time) {
 	for name, ds := range s.donors {
 		ds.mu.Lock()
 		gone := ds.lastSeen.Before(donorCutoff)
+		wasTrusted := gone && s.verifyEnabled() && !ds.quarantined && ds.verifiedOK >= s.opts.ProbationUnits
 		ds.mu.Unlock()
 		if gone {
 			delete(s.donors, name)
 			pruned = append(pruned, name)
+			if wasTrusted {
+				// The trusted count must track live donors only, or a fleet
+				// that fully churned could leave quorums forever demanding a
+				// trusted participant that no longer exists.
+				s.trusted.Add(-1)
+			}
 		}
 	}
 	s.donorMu.Unlock()
@@ -1682,6 +1932,7 @@ func (s *Server) expireLeases(now time.Time) {
 	requeued := false
 	for _, ps := range states {
 		var blamed []string
+		var deltas []trustDelta
 		ps.mu.Lock()
 		if ps.done {
 			ps.mu.Unlock()
@@ -1697,12 +1948,39 @@ func (s *Server) expireLeases(now time.Time) {
 				requeued = true
 			}
 		}
+		// Expired replica leases reopen their verification slots; the
+		// timeout is a quorum outcome that drags the donor's trust down
+		// (gently — an outage is not a wrong answer).
+		for _, vs := range ps.verify {
+			if ps.done {
+				break
+			}
+			dropped := false
+			for donor, l := range vs.leases {
+				if now.After(l.deadline) {
+					delete(vs.leases, donor)
+					ps.inflightN.Add(-1)
+					ps.reissued++
+					blamed = append(blamed, donor)
+					deltas = append(deltas, trustDelta{donor: donor, outcome: outcomeTimeout})
+					dropped = true
+					requeued = true
+				}
+			}
+			if dropped && !ps.done {
+				// No new result, so this cannot fold — but it can expose a
+				// set that exhausted every allowed donor without quorum.
+				d2, _ := s.resolveVerifyLocked(ps, vs)
+				deltas = append(deltas, d2...)
+			}
+		}
 		ps.mu.Unlock()
 		// Donor stats are charged outside the problem lock (lock order:
 		// problem locks never nest around donor state).
 		for _, name := range blamed {
 			s.bumpFailures(name)
 		}
+		s.applyTrustDeltas(deltas)
 	}
 	if requeued {
 		// Expired leases put units back in play; one wake after the sweep

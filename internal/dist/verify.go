@@ -1,0 +1,751 @@
+package dist
+
+// Result verification for untrusted donors (BOINC-style quorum spot
+// checking). The paper's premise is folding results computed on donated
+// machines; without verification any donor can submit an arbitrary fold
+// and the coordinator trusts it blindly. With ServerOptions.VerifyFraction
+// set, a sampled fraction of units — and every unit handed to a donor
+// still in probation — is dispatched redundantly to VerifyQuorum distinct
+// donors; the replica results are held out of the fold until enough of
+// them agree, then exactly one winner is folded. Quorum outcomes feed a
+// per-donor trust EWMA; donors falling below the trust floor are
+// quarantined.
+//
+// The design differs from straggler speculation deliberately: speculation
+// MOVES a single lease (first result wins), while verification holds a
+// SET of concurrent replica leases per unit and compares their results. A
+// spot-checked unit therefore lives in problemState.verify instead of the
+// inflight table, and every lease, held result and excluded donor belongs
+// to its verifySet until the quorum resolves.
+//
+// Collusion defense: once any post-probation ("trusted") donor exists, a
+// result group only wins a quorum if it contains at least one trusted
+// member — two unproven donors can never validate each other past the
+// cold start, so a pair submitting identical wrong answers merely forces
+// a trusted tie-breaking replica that outvotes them. Before any trusted
+// donor exists (bootstrap), plain count-based quorum applies.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/sched"
+)
+
+// maxVerifyDonors caps how many distinct donors one verification set may
+// involve. A unit that burns through this many donors without reaching
+// quorum agreement fails the problem loudly — a nondeterministic
+// DataManager (missing its ResultEquivaler) or a majority-malicious fleet
+// must surface, not livelock.
+const maxVerifyDonors = 8
+
+// Trust EWMA weights per quorum outcome. Disagreement is punished much
+// harder than it is forgiven: from neutral (0.5), two disagreements cross
+// the default quarantine floor (0.3), while climbing back the same
+// distance takes many agreements. Timeouts drag gently — an outage is not
+// a wrong answer.
+const (
+	trustAgreeAlpha    = 0.15
+	trustDisagreeAlpha = 0.5
+	trustTimeoutAlpha  = 0.1
+)
+
+// verifyOutcome classifies one donor's part in a quorum resolution.
+type verifyOutcome int
+
+const (
+	outcomeAgree verifyOutcome = iota
+	outcomeDisagree
+	outcomeTimeout
+)
+
+// trustDelta is one pending trust update, collected under a problem lock
+// and applied after it drops: donor locks are leaves, and enacting a
+// quarantine walks every problem.
+type trustDelta struct {
+	donor   string
+	outcome verifyOutcome
+}
+
+// verifyLease is one outstanding replica lease inside a verification set.
+type verifyLease struct {
+	deadline time.Time
+	// trusted records whether the donor was post-probation when leased, so
+	// replica accounting knows whether a trusted tie-breaker is already on
+	// its way.
+	trusted bool
+}
+
+// verifyResult is one held replica result awaiting quorum.
+type verifyResult struct {
+	donor   string
+	payload []byte
+	// trusted records the donor's standing when the result was accepted —
+	// the quorum rule keys on it, and a donor promoted later must not
+	// retroactively legitimize a result it submitted while unproven.
+	trusted bool
+}
+
+// verifySet tracks one unit's k-way redundant dispatch: all replica
+// leases, all held results, and every donor ever involved (excluded from
+// further replicas — one donor never holds two copies of a unit, even
+// after its first lease expired). Guarded by the owning problemState.mu.
+type verifySet struct {
+	// uid is the unit ID (the problemState.verify map key, duplicated for
+	// recovered sets whose unit is still nil).
+	uid int64
+	// unit is nil for a set rebuilt from the journal until the DataManager
+	// regenerates the unit under its original ID; no replica can dispatch
+	// before then.
+	unit *Unit
+	// attempts carries the unit's compute-failure count across replica
+	// failures, feeding the same maxUnitAttempts poisoned-unit cap as
+	// unverified units.
+	attempts int
+	donors   map[string]struct{}
+	leases   map[string]verifyLease
+	results  []verifyResult
+}
+
+// dispatchView is the per-request donor snapshot the dispatch scan
+// carries: scheduling stats plus the donor's verification standing (zero
+// values when verification is disabled).
+type dispatchView struct {
+	stats     sched.DonorStats
+	trust     float64
+	probation bool
+}
+
+// verifyEnabled reports whether quorum spot-checking is configured.
+func (s *Server) verifyEnabled() bool { return s.opts.VerifyFraction > 0 }
+
+// donorDispatchView snapshots the donor's stats and verification standing
+// for one dispatch scan, performing readmission of a quarantined donor
+// whose ReadmitAfter has elapsed (back to re-entry probation).
+func (s *Server) donorDispatchView(ds *donorState) (view dispatchView, quarantined bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	view.stats = ds.stats
+	if !s.verifyEnabled() {
+		return view, false
+	}
+	if ds.quarantined {
+		if s.opts.ReadmitAfter > 0 && time.Since(ds.quarantinedAt) >= s.opts.ReadmitAfter {
+			ds.quarantined = false
+			ds.trust = sched.TrustNeutral
+			ds.verifiedOK = 0
+		} else {
+			return view, true
+		}
+	}
+	view.trust = ds.trust
+	view.probation = ds.verifiedOK < s.opts.ProbationUnits
+	return view, false
+}
+
+// scaleBudgetByTrust shrinks a below-neutral donor's unit budget
+// proportionally, floored at one cost unit: less of the computation rides
+// on a machine whose results are suspect.
+func scaleBudgetByTrust(budget int64, trust float64) int64 {
+	if trust <= 0 || trust >= sched.TrustNeutral {
+		return budget
+	}
+	b := int64(float64(budget) * (trust / sched.TrustNeutral))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// verifyBacklogLocked counts the pending verification sets this donor is
+// involved in — outstanding unverified work attributable to it. A
+// probation donor at ProbationUnits of backlog receives no fresh units
+// (it may still serve other sets' replicas): without the bound, a fast
+// unproven donor streams primaries quicker than the fleet resolves them
+// and every one must be replicated, so the cold-start (or an attacker)
+// multiplies the whole problem by the quorum. The scan early-exits at
+// the cap, so it stays O(cap) per dispatch. Callers hold mu.
+//
+//dist:locked mu
+func (ps *problemState) verifyBacklogLocked(donor string, limit int) (atCap bool) {
+	n := 0
+	for _, vs := range ps.verify {
+		if _, ok := vs.donors[donor]; ok {
+			if n++; n >= limit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inflightLocked counts every outstanding lease, including verification
+// replicas. Callers hold mu.
+//
+//dist:locked mu
+func (ps *problemState) inflightLocked() int {
+	n := len(ps.inflight)
+	for _, vs := range ps.verify {
+		n += len(vs.leases)
+	}
+	return n
+}
+
+// sampleVerifyLocked advances the problem's deterministic sampling
+// accumulator by VerifyFraction and reports whether this fresh dispatch
+// should be spot-checked. Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) sampleVerifyLocked(ps *problemState) bool {
+	ps.verifyAcc += s.opts.VerifyFraction
+	if ps.verifyAcc >= 1 {
+		ps.verifyAcc--
+		return true
+	}
+	return false
+}
+
+// startVerifyLocked opens a verification set for a freshly dispatched
+// unit: the dispatching donor holds the first replica lease, and the
+// remaining quorum-1 slots become claimable by other donors immediately
+// (replicaLocked), so replicas compute concurrently with the primary.
+// Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) startVerifyLocked(ps *problemState, u *Unit, donor string, attempts int, view dispatchView) *Task {
+	if ps.verify == nil {
+		ps.verify = make(map[int64]*verifySet)
+	}
+	vs := &verifySet{
+		uid:      u.ID,
+		unit:     u,
+		attempts: attempts,
+		donors:   map[string]struct{}{donor: {}},
+		leases: map[string]verifyLease{donor: {
+			deadline: time.Now().Add(s.opts.Lease),
+			trusted:  !view.probation,
+		}},
+	}
+	ps.verify[u.ID] = vs
+	ps.inflightN.Add(1)
+	ps.dispatched++
+	s.publishUnitEventLocked(ps, EventUnitDispatched, u.ID, donor)
+	// The set's remaining replica slots are dispatchable now; parked
+	// donors must rescan to claim them (parkMu is a leaf under ps.mu).
+	s.wakeParked()
+	t := s.taskLocked(ps, u)
+	t.Verify = true
+	return t
+}
+
+// replicaLocked scans the problem's pending verification sets for a
+// replica this donor may serve. Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) replicaLocked(ps *problemState, donor string, view dispatchView) *Task {
+	for _, vs := range ps.verify {
+		if t := s.replicaForSetLocked(ps, vs, donor, view); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// replicaForSetLocked leases one replica of vs's unit to donor if the set
+// wants one and the donor is eligible: never already involved in the set
+// (distinct donors per replica, enforced here at lease time), and trusted
+// when the set is waiting for a trusted tie-breaker. Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) replicaForSetLocked(ps *problemState, vs *verifySet, donor string, view dispatchView) *Task {
+	if vs.unit == nil {
+		return nil // recovered set awaiting its regenerated unit
+	}
+	if _, involved := vs.donors[donor]; involved {
+		return nil // one donor never holds two replicas of a unit
+	}
+	if len(vs.donors) >= maxVerifyDonors {
+		return nil
+	}
+	trusted := !view.probation
+	want, trustedOnly := s.replicaWantLocked(ps, vs)
+	if !want || (trustedOnly && !trusted) {
+		return nil
+	}
+	vs.donors[donor] = struct{}{}
+	vs.leases[donor] = verifyLease{deadline: time.Now().Add(s.opts.Lease), trusted: trusted}
+	ps.inflightN.Add(1)
+	ps.dispatched++
+	s.publishUnitEventLocked(ps, EventUnitReplicaDispatched, vs.uid, donor)
+	t := s.taskLocked(ps, vs.unit)
+	t.Verify = true
+	return t
+}
+
+// groupResultsLocked partitions the set's held results into equivalence
+// groups (byte equality, or the DataManager's ResultEquivaler), each group
+// a slice of result indices in arrival order. Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) groupResultsLocked(ps *problemState, vs *verifySet) [][]int {
+	eq := bytes.Equal
+	if re, ok := ps.p.DM.(ResultEquivaler); ok {
+		uid := vs.uid
+		eq = func(a, b []byte) bool { return re.EquivalentResults(uid, a, b) }
+	}
+	var groups [][]int
+	for i := range vs.results {
+		placed := false
+		for gi, g := range groups {
+			if eq(vs.results[g[0]].payload, vs.results[i].payload) {
+				groups[gi] = append(g, i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{i})
+		}
+	}
+	return groups
+}
+
+// replicaWantLocked reports whether the set wants another replica lease,
+// and whether that replica must come from a trusted donor. The set wants
+// replicas while no group can reach quorum with what is held plus what is
+// outstanding; once some group has quorum *count* but (necessarily — it
+// would have resolved otherwise) no trusted member, exactly one trusted
+// tie-breaker is wanted instead, so a colluding pair cannot burn the
+// donor cap by piling on untrusted agreement. Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) replicaWantLocked(ps *problemState, vs *verifySet) (want, trustedOnly bool) {
+	need := s.opts.VerifyQuorum
+	best := 0
+	for _, g := range s.groupResultsLocked(ps, vs) {
+		if len(g) > best {
+			best = len(g)
+		}
+	}
+	if missing := need - best; missing > 0 {
+		return missing > len(vs.leases), false
+	}
+	for _, l := range vs.leases {
+		if l.trusted {
+			return false, true // a trusted tie-breaker is already on its way
+		}
+	}
+	return true, true
+}
+
+// verifySubmitLocked accepts one replica result into its verification set
+// and attempts quorum resolution. It reports the trust updates to apply
+// once ps.mu drops, whether parked donors should be woken, whether the
+// result was accepted (held or folded — duplicates and impostors are
+// dropped), and the unit cost for scheduler feedback. Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) verifySubmitLocked(ps *problemState, vs *verifySet, res *Result, trusted bool) (deltas []trustDelta, wake, held bool, cost int64) {
+	if _, involved := vs.donors[res.Donor]; !involved {
+		return nil, false, false, 0 // never leased a replica of this unit
+	}
+	for _, r := range vs.results {
+		if r.donor == res.Donor {
+			return nil, false, false, 0 // duplicate submission
+		}
+	}
+	if _, ok := vs.leases[res.Donor]; ok {
+		delete(vs.leases, res.Donor)
+		ps.inflightN.Add(-1)
+	}
+	// A straggler replica whose lease already expired is still evidence:
+	// the donor computed the unit, and its answer joins the comparison.
+	vs.results = append(vs.results, verifyResult{donor: res.Donor, payload: res.Payload, trusted: trusted})
+	if ps.durable {
+		// Held replicas are journaled so a verification set survives a
+		// coordinator crash: replay rebuilds the set and the quorum
+		// completes across the restart instead of recomputing every copy.
+		// Buffered like folds — losing a sync interval's replicas merely
+		// recomputes them.
+		_ = s.journal.Append(&journal.Replica{ProblemID: ps.id, Epoch: ps.epoch, UnitID: vs.uid, Donor: res.Donor, Payload: res.Payload})
+	}
+	if vs.unit != nil {
+		cost = vs.unit.Cost
+	}
+	deltas, wake = s.resolveVerifyLocked(ps, vs)
+	return deltas, wake, true, cost
+}
+
+// verifyFailureLocked handles a validated compute/transport failure report
+// for an outstanding replica lease: the slot reopens for another donor and
+// the problem-level failure caps advance exactly as for unverified units.
+// Callers hold ps.mu; the caller has already checked the lease exists.
+//
+//dist:locked mu
+func (s *Server) verifyFailureLocked(ps *problemState, vs *verifySet, donor, reason string, kind failureKind) []trustDelta {
+	delete(vs.leases, donor)
+	ps.inflightN.Add(-1)
+	ps.reissued++
+	switch kind {
+	case failCompute:
+		ps.consecFails++
+		vs.attempts++
+		if vs.attempts >= maxUnitAttempts {
+			s.failLocked(ps, fmt.Errorf("dist: problem %q: unit %d failed %d times, last: %s",
+				ps.id, vs.uid, vs.attempts, reason))
+			return nil
+		}
+		if ps.consecFails >= maxConsecutiveFailures {
+			s.failLocked(ps, fmt.Errorf("dist: problem %q: %d consecutive failures without a completed unit, last: %s",
+				ps.id, ps.consecFails, reason))
+			return nil
+		}
+	case failTransport:
+		ps.consecTransport++
+		if ps.consecTransport >= maxConsecutiveTransport {
+			s.failLocked(ps, fmt.Errorf("dist: problem %q: %d consecutive transport failures without a completed unit (bulk channel unreachable from every donor?), last: %s",
+				ps.id, ps.consecTransport, reason))
+			return nil
+		}
+	}
+	deltas, _ := s.resolveVerifyLocked(ps, vs)
+	return deltas
+}
+
+// resolveVerifyLocked attempts to resolve one verification set: fold the
+// winning group if some group reaches quorum (with a trusted member, once
+// any trusted donor exists), fail the problem if the set exhausted every
+// allowed donor without agreement, or leave it pending. It returns the
+// trust updates to apply after ps.mu drops and whether parked donors
+// should be woken (a fold released a stage barrier, or a replica slot
+// wants claiming). Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) resolveVerifyLocked(ps *problemState, vs *verifySet) (deltas []trustDelta, wake bool) {
+	if ps.done {
+		return nil, false
+	}
+	need := s.opts.VerifyQuorum
+	trustedExists := s.trusted.Load() > 0
+	groups := s.groupResultsLocked(ps, vs)
+	winner := -1
+	for gi, g := range groups {
+		if len(g) < need {
+			continue
+		}
+		if !trustedExists || groupHasTrusted(vs, g) {
+			winner = gi
+			break
+		}
+	}
+	if winner >= 0 {
+		deltas = s.foldQuorumLocked(ps, vs, groups, winner)
+		wake = ps.starved && !ps.done
+		ps.starved = false
+		return deltas, wake
+	}
+	want, _ := s.replicaWantLocked(ps, vs)
+	if !want {
+		return nil, false // waiting on outstanding replica leases
+	}
+	if len(vs.donors) >= maxVerifyDonors && len(vs.leases) == 0 {
+		s.failLocked(ps, fmt.Errorf("dist: problem %q: unit %d: verification exhausted %d donors without quorum agreement (nondeterministic results need a ResultEquivaler; otherwise the fleet is majority-malicious)",
+			ps.id, vs.uid, len(vs.donors)))
+		return nil, false
+	}
+	return nil, true // a replica slot is claimable: wake parked donors
+}
+
+// groupHasTrusted reports whether any result of the group was submitted
+// by a then-trusted donor.
+func groupHasTrusted(vs *verifySet, group []int) bool {
+	for _, i := range group {
+		if vs.results[i].trusted {
+			return true
+		}
+	}
+	return false
+}
+
+// foldQuorumLocked folds the winning group's result — exactly once: the
+// set leaves the verify table here, so late replicas and duplicate quorums
+// are impossible — cancels the set's outstanding replica leases, and
+// charges every held result its quorum outcome (agree for the winning
+// group, disagree for the rest). Callers hold ps.mu.
+//
+//dist:locked mu
+func (s *Server) foldQuorumLocked(ps *problemState, vs *verifySet, groups [][]int, winner int) (deltas []trustDelta) {
+	uid := vs.uid
+	// Outstanding replicas are doomed work: cancel their donors' compute.
+	if len(vs.leases) > 0 {
+		s.cancelMu.Lock()
+		for donor := range vs.leases {
+			s.queueOneCancelLocked(ps, donor, uid)
+		}
+		s.cancelMu.Unlock()
+	}
+	ps.inflightN.Add(-int64(len(vs.leases)))
+	vs.leases = nil
+	delete(ps.verify, uid)
+
+	win := groups[winner]
+	// Fold a trusted member's payload when one exists (all winners are
+	// equivalent, but byte-exact provenance should favor the proven donor).
+	pick := win[0]
+	for _, i := range win {
+		if vs.results[i].trusted {
+			pick = i
+			break
+		}
+	}
+	for gi, g := range groups {
+		outcome := outcomeDisagree
+		if gi == winner {
+			outcome = outcomeAgree
+		}
+		for _, i := range g {
+			deltas = append(deltas, trustDelta{donor: vs.results[i].donor, outcome: outcome})
+		}
+	}
+	if len(vs.results) > len(win) {
+		ps.conflicts++
+		loser := ""
+		for gi, g := range groups {
+			if gi != winner {
+				loser = vs.results[g[0]].donor
+				break
+			}
+		}
+		s.publishUnitEventLocked(ps, EventQuorumConflict, uid, loser)
+	}
+	winRes := vs.results[pick]
+	if cerr := ps.p.DM.Consume(uid, winRes.payload); cerr != nil {
+		s.failLocked(ps, fmt.Errorf("dist: problem %q: Consume unit %d: %w", ps.id, uid, cerr))
+		return deltas
+	}
+	if ps.durable {
+		_ = s.journal.Append(&journal.Fold{ProblemID: ps.id, Epoch: ps.epoch, UnitID: uid, Payload: winRes.payload})
+	}
+	ps.completed++
+	ps.verified++
+	ps.consecFails = 0
+	ps.consecTransport = 0
+	s.publishUnitEventLocked(ps, EventQuorumAgreed, uid, winRes.donor)
+	s.publishUnitEventLocked(ps, EventUnitDone, uid, winRes.donor)
+	s.publishProgressLocked(ps)
+	if ps.p.DM.Done() {
+		s.finalizeLocked(ps)
+	}
+	return deltas
+}
+
+// nextTrust is the pure reputation step: one quorum outcome folded into a
+// trust EWMA. Agreement pulls toward 1, disagreement and timeout decay
+// toward 0 — so trust under repeated disagreement is strictly decreasing
+// and never recovers without agreements.
+func nextTrust(cur float64, o verifyOutcome) float64 {
+	if cur < 0 {
+		cur = 0
+	}
+	switch o {
+	case outcomeAgree:
+		return cur + (1-cur)*trustAgreeAlpha
+	case outcomeDisagree:
+		return cur * (1 - trustDisagreeAlpha)
+	default: // outcomeTimeout
+		return cur * (1 - trustTimeoutAlpha)
+	}
+}
+
+// applyTrustDeltas feeds quorum outcomes into donor trust EWMAs, promotes
+// donors out of probation, and enacts quarantine for donors crossing the
+// floor. Must be called with no problem lock held: donor locks are leaves,
+// and a quarantine walks every problem's lease table.
+func (s *Server) applyTrustDeltas(deltas []trustDelta) {
+	if len(deltas) == 0 || !s.verifyEnabled() {
+		return
+	}
+	var newlyQuarantined []string
+	for _, d := range deltas {
+		ds := s.peekDonor(d.donor)
+		if ds == nil {
+			continue // pruned while the outcome was pending
+		}
+		ds.mu.Lock()
+		if ds.quarantined {
+			ds.mu.Unlock()
+			continue
+		}
+		wasTrusted := ds.verifiedOK >= s.opts.ProbationUnits
+		ds.trust = nextTrust(ds.trust, d.outcome)
+		if d.outcome == outcomeAgree {
+			ds.verifiedOK++
+		}
+		if floor := s.opts.QuarantineBelow; floor > 0 && ds.trust < floor {
+			ds.quarantined = true
+			ds.quarantinedAt = time.Now()
+			if wasTrusted {
+				s.trusted.Add(-1)
+			}
+			newlyQuarantined = append(newlyQuarantined, d.donor)
+			ds.mu.Unlock()
+			continue
+		}
+		if !wasTrusted && s.opts.ProbationUnits > 0 && ds.verifiedOK >= s.opts.ProbationUnits {
+			s.trusted.Add(1)
+		}
+		ds.mu.Unlock()
+	}
+	for _, name := range newlyQuarantined {
+		s.quarantineDonor(name)
+	}
+}
+
+// quarantineDonor enacts one donor's quarantine across the server: every
+// problem requeues the donor's in-flight leases (exactly once, failure
+// kind verify), drops its outstanding replica leases and held replica
+// results — a proven-bad donor's answers must not keep counting toward
+// quorums — and publishes EventDonorQuarantined. Called with no locks
+// held; evicting results can itself resolve quorums, whose outcomes may
+// cascade into further quarantines (bounded: each donor transitions once).
+func (s *Server) quarantineDonor(name string) {
+	s.regMu.RLock()
+	states := make([]*problemState, 0, len(s.problems))
+	for _, ps := range s.problems {
+		states = append(states, ps)
+	}
+	s.regMu.RUnlock()
+	for _, ps := range states {
+		var deltas []trustDelta
+		wake := false
+		ps.mu.Lock()
+		if ps.done {
+			ps.mu.Unlock()
+			continue
+		}
+		for _, li := range ps.inflight {
+			if ps.done {
+				break
+			}
+			if li.donor == name {
+				s.requeueLocked(ps, li, "donor quarantined", failVerify)
+				wake = true
+			}
+		}
+		for _, vs := range ps.verify {
+			if ps.done {
+				break
+			}
+			changed := false
+			if _, ok := vs.leases[name]; ok {
+				delete(vs.leases, name)
+				ps.inflightN.Add(-1)
+				changed = true
+			}
+			for i, r := range vs.results {
+				if r.donor == name {
+					vs.results = append(vs.results[:i], vs.results[i+1:]...)
+					changed = true
+					break
+				}
+			}
+			if changed {
+				d2, w2 := s.resolveVerifyLocked(ps, vs)
+				deltas = append(deltas, d2...)
+				wake = wake || w2
+			}
+		}
+		if !ps.done {
+			s.publishUnitEventLocked(ps, EventDonorQuarantined, 0, name)
+		}
+		ps.mu.Unlock()
+		if wake {
+			s.wakeParked()
+		}
+		s.applyTrustDeltas(deltas)
+	}
+}
+
+// DonorTrustInfo is a point-in-time view of one donor's verification
+// standing (see Server.DonorTrust).
+type DonorTrustInfo struct {
+	// Trust is the donor's reputation EWMA in [0, 1].
+	Trust float64
+	// Agreements counts the donor's quorum agreements; probation ends at
+	// ServerOptions.ProbationUnits of them.
+	Agreements  int
+	Probation   bool
+	Quarantined bool
+}
+
+// DonorTrust reports one donor's verification standing; ok is false for a
+// donor the server has never seen. Zero values with verification disabled.
+func (s *Server) DonorTrust(name string) (DonorTrustInfo, bool) {
+	ds := s.peekDonor(name)
+	if ds == nil {
+		return DonorTrustInfo{}, false
+	}
+	if !s.verifyEnabled() {
+		return DonorTrustInfo{}, true
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return DonorTrustInfo{
+		Trust:       ds.trust,
+		Agreements:  ds.verifiedOK,
+		Probation:   !ds.quarantined && ds.verifiedOK < s.opts.ProbationUnits,
+		Quarantined: ds.quarantined,
+	}, true
+}
+
+// QuarantinedDonors lists the currently quarantined donors, sorted.
+func (s *Server) QuarantinedDonors() []string {
+	s.donorMu.RLock()
+	var names []string
+	for name, ds := range s.donors {
+		ds.mu.Lock()
+		if ds.quarantined {
+			names = append(names, name)
+		}
+		ds.mu.Unlock()
+	}
+	s.donorMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// VerifyStats summarises the fleet's verification standing.
+type VerifyStats struct {
+	// Trusted counts donors past probation and not quarantined; Probation
+	// counts donors still accruing agreements; Quarantined counts donors
+	// below the trust floor awaiting readmission (or forever, without
+	// ReadmitAfter).
+	Trusted, Probation, Quarantined int
+}
+
+// FleetTrust reports the fleet-wide verification tallies. All zero with
+// verification disabled.
+func (s *Server) FleetTrust() VerifyStats {
+	var vs VerifyStats
+	if !s.verifyEnabled() {
+		return vs
+	}
+	s.donorMu.RLock()
+	defer s.donorMu.RUnlock()
+	for _, ds := range s.donors {
+		ds.mu.Lock()
+		switch {
+		case ds.quarantined:
+			vs.Quarantined++
+		case ds.verifiedOK >= s.opts.ProbationUnits:
+			vs.Trusted++
+		default:
+			vs.Probation++
+		}
+		ds.mu.Unlock()
+	}
+	return vs
+}

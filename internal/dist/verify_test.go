@@ -1,0 +1,489 @@
+package dist
+
+// Property tests for quorum verification and donor trust: the EWMA's
+// monotonicity, probation's always-spot-check guarantee, quorum's
+// never-fold-a-minority rule, replica-set donor distinctness, quarantine's
+// exactly-once requeue, readmission, and the crash-recovery of pending
+// verification sets.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// recDM hands out `units` unit-cost units with distinct payloads and
+// records every folded payload — the wrong-fold/double-fold detector for
+// the manual-submit tests below. Like every DataManager it runs under the
+// problem lock; the mutex covers the test's own reads.
+type recDM struct {
+	mu    sync.Mutex
+	units int64
+	seq   int64
+	folds map[int64][][]byte
+}
+
+func newRecDM(units int64) *recDM {
+	return &recDM{units: units, folds: make(map[int64][][]byte)}
+}
+
+func (d *recDM) NextUnit(int64) (*Unit, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seq >= d.units {
+		return nil, false, nil
+	}
+	d.seq++
+	return &Unit{ID: d.seq, Algorithm: "verify-test/echo", Cost: 1, Payload: []byte{byte(d.seq)}}, true, nil
+}
+
+func (d *recDM) Consume(unitID int64, payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.folds[unitID] = append(d.folds[unitID], append([]byte(nil), payload...))
+	return nil
+}
+
+func (d *recDM) Done() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.folds)) >= d.units
+}
+
+func (d *recDM) FinalResult() ([]byte, error) { return nil, nil }
+
+func (d *recDM) foldsOf(unitID int64) [][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.folds[unitID]
+}
+
+// submitRaw submits an arbitrary payload for the task, reporting whether
+// the server accepted it.
+func submitRaw(t *testing.T, s *Server, task *Task, donor string, payload []byte) bool {
+	t.Helper()
+	accepted, err := s.submitResult(bg, &Result{
+		ProblemID: task.ProblemID, UnitID: task.Unit.ID, Payload: payload,
+		Elapsed: time.Millisecond, Donor: donor, Epoch: task.Epoch,
+	})
+	if err != nil {
+		t.Fatalf("submitResult(%s): %v", donor, err)
+	}
+	return accepted
+}
+
+// verifyTestOptions is the shared bag: deterministic single-unit
+// dispatches, verification on every unit, quorum 2, no quarantine, no
+// probation — individual tests override the knobs they exercise.
+func verifyTestOptions() ServerOptions {
+	return ServerOptions{
+		Policy:          sched.Fixed{Size: 1},
+		VerifyFraction:  1,
+		VerifyQuorum:    2,
+		ProbationUnits:  -1,
+		QuarantineBelow: -1,
+		WaitHint:        time.Millisecond,
+	}
+}
+
+// TestTrustEWMAMonotone pins the reputation step's properties: strictly
+// decreasing under disagreement and timeout, strictly increasing (toward
+// 1) under agreement, always within [0, 1], and — the quarantine
+// guarantee — repeated disagreement from neutral crosses the default
+// floor within two steps and never climbs back without agreements.
+func TestTrustEWMAMonotone(t *testing.T) {
+	for _, outcome := range []verifyOutcome{outcomeDisagree, outcomeTimeout} {
+		cur := sched.TrustNeutral
+		for i := 0; i < 64; i++ {
+			next := nextTrust(cur, outcome)
+			if next >= cur {
+				t.Fatalf("outcome %d step %d: trust %v -> %v did not decrease", outcome, i, cur, next)
+			}
+			if next < 0 {
+				t.Fatalf("outcome %d step %d: trust %v below 0", outcome, i, next)
+			}
+			cur = next
+		}
+	}
+	cur := 0.01
+	for i := 0; i < 64; i++ {
+		next := nextTrust(cur, outcomeAgree)
+		if next <= cur || next > 1 {
+			t.Fatalf("agree step %d: trust %v -> %v not increasing within (cur, 1]", i, cur, next)
+		}
+		cur = next
+	}
+	if after2 := nextTrust(nextTrust(sched.TrustNeutral, outcomeDisagree), outcomeDisagree); after2 >= 0.3 {
+		t.Errorf("two disagreements from neutral left trust at %v, above the default 0.3 floor", after2)
+	}
+}
+
+// TestProbationAlwaysVerifies: a donor inside its probation window has
+// every unit spot-checked regardless of the sampling fraction, and stops
+// being spot-checked (modulo sampling) once it has accrued the configured
+// quorum agreements — while a donor joining later starts its own window.
+func TestProbationAlwaysVerifies(t *testing.T) {
+	o := verifyTestOptions()
+	o.VerifyFraction = 0.0001 // sampling alone would verify ~nothing
+	o.ProbationUnits = 2
+	s := newTestServer(o)
+	defer s.Close()
+	dm := newRecDM(20)
+	if err := s.Submit(bg, &Problem{ID: "prob", DM: dm}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		ta := dispatch(t, s, "a")
+		if !ta.Verify {
+			t.Fatalf("round %d: unit %d for probationary donor a not spot-checked", round, ta.Unit.ID)
+		}
+		tb := dispatch(t, s, "b")
+		if !tb.Verify || tb.Unit.ID != ta.Unit.ID {
+			t.Fatalf("round %d: donor b got %+v, want a verify replica of unit %d", round, tb, ta.Unit.ID)
+		}
+		if !submitRaw(t, s, ta, "a", []byte{42}) {
+			t.Fatalf("round %d: primary replica result rejected", round)
+		}
+		if !submitRaw(t, s, tb, "b", []byte{42}) {
+			t.Fatalf("round %d: agreeing replica result rejected", round)
+		}
+		if got := dm.foldsOf(ta.Unit.ID); len(got) != 1 {
+			t.Fatalf("round %d: unit %d folded %d times, want exactly 1", round, ta.Unit.ID, len(got))
+		}
+	}
+	for _, donor := range []string{"a", "b"} {
+		info, ok := s.DonorTrust(donor)
+		if !ok || info.Probation || info.Agreements != 2 {
+			t.Fatalf("donor %s after 2 agreements: %+v, ok=%v; want out of probation", donor, info, ok)
+		}
+	}
+	if task := dispatch(t, s, "a"); task.Verify {
+		t.Error("post-probation dispatch still spot-checked at fraction 0.0001")
+	}
+	if task := dispatch(t, s, "late"); !task.Verify {
+		t.Error("late-joining donor's first unit not spot-checked")
+	}
+}
+
+// TestQuorumNeverFoldsMinority: with results X, Y, Y held for one unit,
+// the quorum folds Y exactly once, records the conflict, and charges the
+// minority donor a disagreement — X never reaches the DataManager.
+func TestQuorumNeverFoldsMinority(t *testing.T) {
+	s := newTestServer(verifyTestOptions())
+	defer s.Close()
+	dm := newRecDM(1)
+	if err := s.Submit(bg, &Problem{ID: "minority", DM: dm}); err != nil {
+		t.Fatal(err)
+	}
+	ta := dispatch(t, s, "a")
+	tb := dispatch(t, s, "b")
+	if !ta.Verify || !tb.Verify || ta.Unit.ID != tb.Unit.ID {
+		t.Fatalf("expected two replicas of one unit, got %+v / %+v", ta, tb)
+	}
+	if !submitRaw(t, s, ta, "a", []byte("X")) {
+		t.Fatal("a's result rejected")
+	}
+	if !submitRaw(t, s, tb, "b", []byte("Y")) {
+		t.Fatal("b's result rejected")
+	}
+	// 1-vs-1: no quorum yet, nothing may fold, and a tie-breaking replica
+	// must be wanted.
+	if got := dm.foldsOf(ta.Unit.ID); len(got) != 0 {
+		t.Fatalf("folded %v before quorum", got)
+	}
+	tc := dispatch(t, s, "c")
+	if !tc.Verify || tc.Unit.ID != ta.Unit.ID {
+		t.Fatalf("tie-breaker dispatch got %+v, want replica of unit %d", tc, ta.Unit.ID)
+	}
+	if !submitRaw(t, s, tc, "c", []byte("Y")) {
+		t.Fatal("c's result rejected")
+	}
+	folds := dm.foldsOf(ta.Unit.ID)
+	if len(folds) != 1 || string(folds[0]) != "Y" {
+		t.Fatalf("folds = %q, want exactly one Y", folds)
+	}
+	stats, err := s.Stats(bg, "minority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Verified != 1 || stats.Conflicts != 1 {
+		t.Errorf("Verified/Conflicts = %d/%d, want 1/1", stats.Verified, stats.Conflicts)
+	}
+	ia, _ := s.DonorTrust("a")
+	ib, _ := s.DonorTrust("b")
+	if ia.Trust >= sched.TrustNeutral {
+		t.Errorf("minority donor a's trust %v did not drop below neutral", ia.Trust)
+	}
+	if ib.Trust <= sched.TrustNeutral {
+		t.Errorf("majority donor b's trust %v did not rise above neutral", ib.Trust)
+	}
+}
+
+// TestReplicaDonorsDistinct: a verification set never leases two replicas
+// of its unit to one donor, even across that donor's repeated requests.
+func TestReplicaDonorsDistinct(t *testing.T) {
+	s := newTestServer(verifyTestOptions())
+	defer s.Close()
+	if err := s.Submit(bg, &Problem{ID: "distinct", DM: newRecDM(1)}); err != nil {
+		t.Fatal(err)
+	}
+	ta := dispatch(t, s, "a")
+	if !ta.Verify {
+		t.Fatalf("fraction 1 dispatch not verified: %+v", ta)
+	}
+	for i := 0; i < 3; i++ {
+		task, _, err := s.RequestTask(bg, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task != nil {
+			t.Fatalf("donor a holding a replica of unit %d was leased %+v of the same set", ta.Unit.ID, task)
+		}
+	}
+	tb := dispatch(t, s, "b")
+	if !tb.Verify || tb.Unit.ID != ta.Unit.ID {
+		t.Fatalf("donor b got %+v, want the second replica of unit %d", tb, ta.Unit.ID)
+	}
+}
+
+// TestQuarantineRequeuesInflightOnce: when a donor crosses the trust
+// floor, its unverified in-flight lease is requeued exactly once, its
+// later result for that lease is rejected, and it stops receiving work.
+func TestQuarantineRequeuesInflightOnce(t *testing.T) {
+	o := verifyTestOptions()
+	o.VerifyFraction = 0.5 // alternate: unit1 unverified, unit2 verified
+	o.QuarantineBelow = 0.3
+	s := newTestServer(o)
+	defer s.Close()
+	dm := newRecDM(3)
+	if err := s.Submit(bg, &Problem{ID: "quar", DM: dm}); err != nil {
+		t.Fatal(err)
+	}
+	held := dispatch(t, s, "evil") // unit1, unverified, stays in flight
+	if held.Verify {
+		t.Fatalf("first unit at fraction 0.5 unexpectedly verified")
+	}
+	tv := dispatch(t, s, "evil") // unit2, verified, primary=evil
+	if !tv.Verify {
+		t.Fatalf("second unit at fraction 0.5 not verified")
+	}
+	tb := dispatch(t, s, "b")
+	if tb.Unit.ID != tv.Unit.ID {
+		t.Fatalf("donor b got unit %d, want replica of %d", tb.Unit.ID, tv.Unit.ID)
+	}
+	if !submitRaw(t, s, tv, "evil", []byte("WRONG")) {
+		t.Fatal("evil's held result rejected before any quorum")
+	}
+	if !submitRaw(t, s, tb, "b", []byte("right")) {
+		t.Fatal("b's result rejected")
+	}
+	tc := dispatch(t, s, "c")
+	if tc.Unit.ID != tv.Unit.ID {
+		t.Fatalf("donor c got unit %d, want the tie-breaker of %d", tc.Unit.ID, tv.Unit.ID)
+	}
+	if !submitRaw(t, s, tc, "c", []byte("right")) {
+		t.Fatal("c's result rejected")
+	}
+	// The quorum resolved against evil: one disagreement from neutral is
+	// 0.25, under the floor — quarantined, and unit1's lease requeued.
+	if q := s.QuarantinedDonors(); len(q) != 1 || q[0] != "evil" {
+		t.Fatalf("QuarantinedDonors = %v, want [evil]", q)
+	}
+	stats, err := s.Stats(bg, "quar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reissued != 1 {
+		t.Errorf("Reissued = %d, want exactly 1 (the quarantined donor's in-flight unit)", stats.Reissued)
+	}
+	if submitRaw(t, s, held, "evil", []byte("late")) {
+		t.Error("quarantined donor's result was accepted")
+	}
+	if task, _, err := s.RequestTask(bg, "evil"); err != nil || task != nil {
+		t.Errorf("quarantined donor was dispatched %+v, %v", task, err)
+	}
+	// The requeued unit goes back into play for someone else — once.
+	td := dispatch(t, s, "d")
+	if td.Unit.ID != held.Unit.ID {
+		t.Fatalf("donor d got unit %d, want the requeued unit %d", td.Unit.ID, held.Unit.ID)
+	}
+	if stats2, _ := s.Stats(bg, "quar"); stats2.Reissued != 1 {
+		t.Errorf("Reissued = %d after re-dispatch, want still 1", stats2.Reissued)
+	}
+}
+
+// TestReadmitAfterReprobation: with ReadmitAfter set, a quarantined donor
+// re-enters after the window on a fresh probation — neutral trust, zero
+// agreements, spot-checked work.
+func TestReadmitAfterReprobation(t *testing.T) {
+	o := verifyTestOptions()
+	o.QuarantineBelow = 0.3
+	o.ProbationUnits = 1
+	o.ReadmitAfter = 30 * time.Millisecond
+	s := newTestServer(o)
+	defer s.Close()
+	dm := newRecDM(8)
+	if err := s.Submit(bg, &Problem{ID: "readmit", DM: dm}); err != nil {
+		t.Fatal(err)
+	}
+	ta := dispatch(t, s, "evil")
+	tb := dispatch(t, s, "b")
+	if ta.Unit.ID != tb.Unit.ID {
+		t.Fatalf("donors got units %d/%d, want replicas of one unit", ta.Unit.ID, tb.Unit.ID)
+	}
+	submitRaw(t, s, ta, "evil", []byte("WRONG"))
+	submitRaw(t, s, tb, "b", []byte("right"))
+	tc := dispatch(t, s, "c")
+	submitRaw(t, s, tc, "c", []byte("right"))
+	if q := s.QuarantinedDonors(); len(q) != 1 || q[0] != "evil" {
+		t.Fatalf("QuarantinedDonors = %v, want [evil]", q)
+	}
+	if task, _, _ := s.RequestTask(bg, "evil"); task != nil {
+		t.Fatalf("quarantined donor dispatched %+v before the readmission window", task)
+	}
+	time.Sleep(40 * time.Millisecond)
+	task := dispatch(t, s, "evil")
+	if !task.Verify {
+		t.Error("readmitted donor's first unit not spot-checked")
+	}
+	info, ok := s.DonorTrust("evil")
+	if !ok || info.Quarantined || !info.Probation || info.Trust != sched.TrustNeutral || info.Agreements != 0 {
+		t.Errorf("readmitted donor state %+v, want fresh probation at neutral trust", info)
+	}
+}
+
+// TestCrashRecoveryResumesVerification is the durability satellite: a
+// coordinator crashes holding one replica result of a spot-checked unit;
+// the restarted coordinator replays the pending replica, re-attaches the
+// regenerated unit, leases the remaining replica to a second donor, and
+// the quorum completes across the crash — folding exactly once.
+func TestCrashRecoveryResumesVerification(t *testing.T) {
+	registerDurSum(t)
+	dir := t.TempDir()
+	const n = 20 // 2 units of 10 under Fixed{10}
+
+	o := durableServerOptions(dir)
+	o.VerifyFraction = 1
+	o.VerifyQuorum = 2
+	o.ProbationUnits = -1
+	o.QuarantineBelow = -1
+	s1, err := OpenServer(WithServerOptions(o))
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	if err := s1.Submit(bg, &Problem{ID: "vcrash", DM: newDurSumDM(n)}); err != nil {
+		t.Fatal(err)
+	}
+	ta := dispatch(t, s1, "a")
+	if !ta.Verify {
+		t.Fatalf("fraction-1 dispatch not verified: %+v", ta)
+	}
+	if !foldTask(t, s1, ta, "a") {
+		t.Fatal("replica result rejected")
+	}
+	st, err := s1.Stats(bg, "vcrash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("held replica folded before quorum: completed %d", st.Completed)
+	}
+	crashServer(s1)
+
+	s2, err := OpenServer(WithServerOptions(o))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	// The restored DataManager regenerates the unit under its original ID;
+	// the recovered verification set must hand donor b the second replica
+	// of it rather than a fresh single lease.
+	tb := dispatch(t, s2, "b")
+	if tb.Unit.ID != ta.Unit.ID {
+		t.Fatalf("post-crash dispatch got unit %d, want the pending verified unit %d", tb.Unit.ID, ta.Unit.ID)
+	}
+	if !tb.Verify {
+		t.Error("post-crash replica of a recovered set not marked Verify")
+	}
+	if !foldTask(t, s2, tb, "b") {
+		t.Fatal("second replica result rejected after recovery")
+	}
+	st2, err := s2.Stats(bg, "vcrash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Completed != 1 || st2.Verified != 1 {
+		t.Fatalf("after cross-crash quorum: completed %d verified %d, want 1/1", st2.Completed, st2.Verified)
+	}
+	// Finish the remaining unit — also spot-checked at fraction 1, so it
+	// needs two distinct donors — and check the exact total: the
+	// cross-crash unit folded exactly once (a double fold would double its
+	// range's sum and fail the DataManager's unknown-unit check).
+	tc := dispatch(t, s2, "c")
+	if !foldTask(t, s2, tc, "c") {
+		t.Fatal("post-crash primary result rejected")
+	}
+	td := dispatch(t, s2, "d")
+	if td.Unit.ID != tc.Unit.ID {
+		t.Fatalf("donor d got unit %d, want a replica of %d", td.Unit.ID, tc.Unit.ID)
+	}
+	if !foldTask(t, s2, td, "d") {
+		t.Fatal("post-crash replica result rejected")
+	}
+	out, err := s2.Wait(bg, "vcrash")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := decodeSum(t, out); got != sumSquares(n) {
+		t.Errorf("sum = %d, want %d", got, sumSquares(n))
+	}
+}
+
+// TestVerifyExhaustionFailsLoudly: a unit whose replicas never agree must
+// fail the problem with a diagnostic once it has burned the donor cap —
+// not livelock redispatching forever.
+func TestVerifyExhaustionFailsLoudly(t *testing.T) {
+	s := newTestServer(verifyTestOptions())
+	defer s.Close()
+	if err := s.Submit(bg, &Problem{ID: "exhaust", DM: newRecDM(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var first *Task
+	for i := 0; ; i++ {
+		donor := fmt.Sprintf("d%02d", i)
+		task, _, err := s.RequestTask(bg, donor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task == nil {
+			break // set stopped wanting replicas: either resolved or failed
+		}
+		if first == nil {
+			first = task
+		} else if task.Unit.ID != first.Unit.ID {
+			t.Fatalf("dispatch %d switched units: %d then %d", i, first.Unit.ID, task.Unit.ID)
+		}
+		// Every donor answers differently: no group ever reaches quorum.
+		submitRaw(t, s, task, donor, []byte(donor))
+		if i > maxVerifyDonors+2 {
+			t.Fatalf("still dispatching replicas after %d distinct donors (cap %d)", i, maxVerifyDonors)
+		}
+	}
+	if _, err := s.Wait(bg, "exhaust"); err == nil {
+		t.Fatal("problem with un-agreeable replicas completed instead of failing")
+	} else if got := err.Error(); !contains(got, "verification exhausted") {
+		t.Errorf("failure %q does not name verification exhaustion", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -41,10 +41,11 @@ const (
 	tagForget   byte = 3
 	tagSnapshot byte = 4
 	tagMeta     byte = 5
+	tagReplica  byte = 6
 )
 
 // Record is one typed journal entry. The concrete types are Submit, Fold,
-// Forget, Snapshot and Meta; replay switches on them.
+// Forget, Snapshot, Meta and Replica; replay switches on them.
 type Record interface{ tag() byte }
 
 // Submit records a durable problem's registration: everything needed to
@@ -97,6 +98,23 @@ type Snapshot struct {
 	Reissued   int64
 }
 
+// Replica records one held replica result of a quorum-verified unit
+// (ServerOptions.VerifyFraction): the result reached the coordinator but
+// is held out of the fold until quorum agreement. Replay rebuilds the
+// unit's verification set from its Replica records; a Fold for the unit
+// under the same epoch supersedes them (the quorum resolved before the
+// crash). Field order: ProblemID, Epoch, UnitID, Donor, Payload.
+type Replica struct {
+	ProblemID string
+	Epoch     int64
+	// UnitID is the verified unit this replica belongs to.
+	UnitID int64
+	// Donor names the worker that computed this replica.
+	Donor string
+	// Payload is the held result payload.
+	Payload []byte
+}
+
 // Meta is the first record of every snapshot file. Field order: EpochSeq.
 type Meta struct {
 	// EpochSeq is the coordinator's incarnation-counter high-water mark at
@@ -110,6 +128,7 @@ func (*Fold) tag() byte     { return tagFold }
 func (*Forget) tag() byte   { return tagForget }
 func (*Snapshot) tag() byte { return tagSnapshot }
 func (*Meta) tag() byte     { return tagMeta }
+func (*Replica) tag() byte  { return tagReplica }
 
 // recordEpoch reports the incarnation epoch a record carries (0 for Meta,
 // which carries the allocator high-water instead).
@@ -122,6 +141,8 @@ func recordEpoch(r Record) int64 {
 	case *Forget:
 		return r.Epoch
 	case *Snapshot:
+		return r.Epoch
+	case *Replica:
 		return r.Epoch
 	}
 	return 0
@@ -171,6 +192,12 @@ func encodeRecordInto(b []byte, r Record) []byte {
 		b = binary.AppendVarint(b, r.Reissued)
 	case *Meta:
 		b = binary.AppendVarint(b, r.EpochSeq)
+	case *Replica:
+		b = appendString(b, r.ProblemID)
+		b = binary.AppendVarint(b, r.Epoch)
+		b = binary.AppendVarint(b, r.UnitID)
+		b = appendString(b, r.Donor)
+		b = appendBytes(b, r.Payload)
 	default:
 		panic(fmt.Sprintf("journal: encode of unknown record type %T", r))
 	}
@@ -220,6 +247,14 @@ func decodeRecord(body []byte) (Record, error) {
 	case tagMeta:
 		rec := &Meta{}
 		rec.EpochSeq = d.varint()
+		r = rec
+	case tagReplica:
+		rec := &Replica{}
+		rec.ProblemID = d.str()
+		rec.Epoch = d.varint()
+		rec.UnitID = d.varint()
+		rec.Donor = d.str()
+		rec.Payload = d.bytes()
 		r = rec
 	default:
 		return nil, fmt.Errorf("journal: unknown record tag %d", body[0])

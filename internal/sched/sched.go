@@ -209,6 +209,12 @@ func (t TSS) Budget(d DonorStats, remaining int64, donors int) int64 {
 // Name implements Policy.
 func (t TSS) Name() string { return "tss" }
 
+// TrustNeutral is the reputation a donor starts with: the midpoint of the
+// [0, 1] trust scale, above which the dispatch scan treats the donor as
+// ordinary and below which it steers the donor toward less critical work.
+// The coordinator seeds every new donor's trust EWMA here.
+const TrustNeutral = 0.5
+
 // DispatchKey summarises one problem's urgency for the dispatch scan:
 // which problem a free donor should be offered first. The server builds
 // one key per registered problem from fields it can read without taking
@@ -227,21 +233,42 @@ type DispatchKey struct {
 	// work-stealing rule: a starved problem (few or no donors working it)
 	// borrows the next free donor from a hot one.
 	Inflight int64
+	// Trust is the requesting donor's reputation score in (0, 1], stamped
+	// identically on every key of one scan. A donor below TrustNeutral has
+	// its priority and deadline preferences inverted — it is steered toward
+	// the least critical problems first, so a low-reputation machine's
+	// (possibly wrong, possibly verified-at-extra-cost) results land where
+	// they hurt least. Zero or negative means trust is not tracked
+	// (verification disabled) and ordering is unchanged.
+	Trust float64
 }
 
 // Less reports whether the problem keyed a is more urgent than b:
 // priority descending, then deadline (set before unset, earlier before
 // later), then inflight ascending. Ties leave the scan's rotation order
-// intact, which is what keeps equal problems fairly rotated.
+// intact, which is what keeps equal problems fairly rotated. When both
+// keys carry a below-neutral Trust (one scan's keys always share the
+// requesting donor's trust), the priority and deadline preferences invert:
+// the low-trust donor is offered the least urgent problem first.
 func Less(a, b DispatchKey) bool {
+	lowTrust := a.Trust > 0 && a.Trust < TrustNeutral && b.Trust > 0 && b.Trust < TrustNeutral
 	if a.Priority != b.Priority {
+		if lowTrust {
+			return a.Priority < b.Priority
+		}
 		return a.Priority > b.Priority
 	}
 	aHas, bHas := !a.Deadline.IsZero(), !b.Deadline.IsZero()
 	if aHas != bHas {
+		if lowTrust {
+			return bHas
+		}
 		return aHas
 	}
 	if aHas && !a.Deadline.Equal(b.Deadline) {
+		if lowTrust {
+			return a.Deadline.After(b.Deadline)
+		}
 		return a.Deadline.Before(b.Deadline)
 	}
 	return a.Inflight < b.Inflight

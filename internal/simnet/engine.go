@@ -38,6 +38,17 @@ type DonorSpec struct {
 	Latency time.Duration
 	// Bandwidth is the link bandwidth in bytes/second (0 = infinite).
 	Bandwidth float64
+	// Malice makes the donor Byzantine in the swarm harness (the virtual
+	// simulation ignores it — simnet models capacity, not correctness).
+	// Recognised modes, all computing promptly but lying about results:
+	//
+	//	""             honest (the default)
+	//	"wrong-result" deterministic corruption of every result
+	//	"lazy"         skip the computation, return a constant
+	//	"collude"      wrong answers derived from the payload alone, so
+	//	               every colluding donor submits the same wrong bytes
+	//	"flaky"        corrupt the first few results, honest afterwards
+	Malice string
 }
 
 // Window is a half-open interval of virtual time [From, To).

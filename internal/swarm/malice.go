@@ -1,0 +1,149 @@
+package swarm
+
+// Byzantine donors for the adversarial harness: algorithm wrappers that
+// compute units like any donor but lie about the results, exercising the
+// coordinator's quorum verification (dist.ServerOptions.VerifyFraction).
+// Each mode models one attacker from the threat model:
+//
+//   - wrong-result: a hostile machine corrupting every answer it returns.
+//   - lazy: a credit-seeking donor that skips the work entirely and
+//     returns a constant, the classic volunteer-computing cheat.
+//   - collude: a coordinated clique. Each member derives its wrong answer
+//     from the payload alone, so all colluders submit byte-identical lies
+//     and can validate each other if the server lets unproven donors form
+//     a quorum among themselves.
+//   - flaky: a machine that corrupts its first few results and then
+//     behaves — the probation window must catch it before it earns trust.
+//
+// The wrappers compose over the throttle wrapper, so a malicious donor
+// still honours its spec's speed and load.
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/dist"
+)
+
+// DonorSpec.Malice modes (see simnet.DonorSpec).
+const (
+	MaliceWrongResult = "wrong-result"
+	MaliceLazy        = "lazy"
+	MaliceCollude     = "collude"
+	MaliceFlaky       = "flaky"
+)
+
+// flakyCorruptUnits is how many results a "flaky" donor corrupts before
+// turning honest.
+const flakyCorruptUnits = 3
+
+// maliceWrapper returns the algorithm wrapper realising the spec's Malice
+// mode, or nil for an honest donor. Unknown modes are treated as
+// wrong-result: a misspelled attacker must not silently run honest and
+// pass the suite.
+func maliceWrapper(malice string) func(string, dist.Algorithm) dist.Algorithm {
+	switch malice {
+	case "":
+		return nil
+	case MaliceLazy:
+		return func(_ string, a dist.Algorithm) dist.Algorithm {
+			return &lazyAlg{inner: a}
+		}
+	case MaliceCollude:
+		return func(_ string, a dist.Algorithm) dist.Algorithm {
+			return &colludeAlg{inner: a}
+		}
+	case MaliceFlaky:
+		return func(_ string, a dist.Algorithm) dist.Algorithm {
+			return &flakyAlg{inner: a}
+		}
+	default: // MaliceWrongResult and anything unrecognised
+		return func(_ string, a dist.Algorithm) dist.Algorithm {
+			return &wrongResultAlg{inner: a}
+		}
+	}
+}
+
+// corrupt flips every byte of a result — deterministic, never equal to
+// the honest answer, and (xor with a constant) different from collusion's
+// payload-derived lies.
+func corrupt(out []byte) []byte {
+	bad := make([]byte, len(out))
+	for i, b := range out {
+		bad[i] = b ^ 0xA5
+	}
+	if len(bad) == 0 {
+		bad = []byte{0xA5}
+	}
+	return bad
+}
+
+// wrongResultAlg computes the unit honestly (so timing looks right) and
+// corrupts the result.
+type wrongResultAlg struct{ inner dist.Algorithm }
+
+func (w *wrongResultAlg) Init(shared []byte) error { return w.inner.Init(shared) }
+
+func (w *wrongResultAlg) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	out, err := w.inner.ProcessCtx(ctx, payload)
+	if err != nil {
+		return out, err
+	}
+	return corrupt(out), nil
+}
+
+// lazyAlg skips the computation entirely.
+type lazyAlg struct{ inner dist.Algorithm }
+
+func (l *lazyAlg) Init(shared []byte) error { return l.inner.Init(shared) }
+
+func (l *lazyAlg) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return []byte{0}, nil
+}
+
+// colludeAlg returns a wrong answer any colluder reproduces from the
+// payload alone (FNV-1a over the input), so two colluding donors assigned
+// replicas of the same unit agree with each other while disagreeing with
+// every honest donor.
+type colludeAlg struct{ inner dist.Algorithm }
+
+func (c *colludeAlg) Init(shared []byte) error { return c.inner.Init(shared) }
+
+func (c *colludeAlg) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var h uint64 = 0xcbf29ce484222325
+	for _, b := range payload {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	lie := make([]byte, 8)
+	for i := range lie {
+		lie[i] = byte(h >> (8 * i))
+	}
+	return lie, nil
+}
+
+// flakyAlg corrupts its first flakyCorruptUnits results, then computes
+// honestly — the donor that must never earn trust from its early lies.
+type flakyAlg struct {
+	inner dist.Algorithm
+	bad   atomic.Int64
+}
+
+func (f *flakyAlg) Init(shared []byte) error { return f.inner.Init(shared) }
+
+func (f *flakyAlg) ProcessCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	out, err := f.inner.ProcessCtx(ctx, payload)
+	if err != nil {
+		return out, err
+	}
+	if f.bad.Add(1) <= flakyCorruptUnits {
+		return corrupt(out), nil
+	}
+	return out, nil
+}

@@ -361,8 +361,19 @@ func (s *Swarm) donorOptions(m *member) []dist.DonorOption {
 	if s.cfg.LongPollWait != 0 {
 		opts = append(opts, dist.WithLongPollWait(s.cfg.LongPollWait))
 	}
-	if wrap := throttleWrapper(m.spec, m.rng); wrap != nil {
-		opts = append(opts, dist.WithAlgorithmWrapper(wrap))
+	// Throttle and malice share the one algorithm-wrapper slot: malice
+	// wraps outermost so a Byzantine donor still honours its spec's speed.
+	throttle := throttleWrapper(m.spec, m.rng)
+	malice := maliceWrapper(m.spec.Malice)
+	switch {
+	case throttle != nil && malice != nil:
+		opts = append(opts, dist.WithAlgorithmWrapper(func(name string, a dist.Algorithm) dist.Algorithm {
+			return malice(name, throttle(name, a))
+		}))
+	case throttle != nil:
+		opts = append(opts, dist.WithAlgorithmWrapper(throttle))
+	case malice != nil:
+		opts = append(opts, dist.WithAlgorithmWrapper(malice))
 	}
 	return append(opts, s.cfg.DonorOptions...)
 }

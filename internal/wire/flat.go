@@ -35,10 +35,11 @@ import (
 // a server that never advertises it — stays on gob for that connection,
 // so mixed fleets keep draining. The token names the encoding version; an
 // incompatible flat-format change must introduce a new token. Version 2
-// added the Priority field to the dispatch envelopes: a v1 peer never
-// matches the v2 token (or preamble), so mixed v1/v2 fleets negotiate
-// down to gob — which tolerates the new field — rather than misframing.
-const CapFlatCodec = "flat-codec/2"
+// added the Priority field to the dispatch envelopes; version 3 added the
+// Verify replica flag. A peer of an older version never matches the
+// current token (or preamble), so mixed-version fleets negotiate down to
+// gob — which tolerates the new fields — rather than misframing.
+const CapFlatCodec = "flat-codec/3"
 
 // FlatPreamble is written by a client as the very first bytes of a
 // connection that will speak the flat codec; the server sniffs it before
@@ -48,7 +49,7 @@ const CapFlatCodec = "flat-codec/2"
 // The version digit tracks CapFlatCodec (a client only writes the
 // preamble after seeing the matching token), and every version keeps the
 // same byte length so the server's sniff window never changes.
-const FlatPreamble = "\x00dflt2\r\n"
+const FlatPreamble = "\x00dflt3\r\n"
 
 // Encoder appends flat-encoded fields to a frame buffer. Encoders come
 // from a sync.Pool (the codecs recycle them per message) and never fail:
